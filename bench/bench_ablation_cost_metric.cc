@@ -1,0 +1,54 @@
+// Ablation (design-choice study from DESIGN.md) — why LOAM regresses CPU
+// cost rather than end-to-end latency (Section 3: "end-to-end latency ... is
+// highly sensitive to transient system conditions such as queuing delays and
+// network congestion, and thus often noisy. Accordingly, LOAM predicts CPU
+// cost as a more stable proxy").
+//
+// Both models are identical except for the training label; selections are
+// scored on CPU cost (the long-term efficiency objective).
+#include <cstdio>
+
+#include "common.h"
+
+using namespace loam;
+
+int main() {
+  const bench::EvalScale scale = bench::EvalScale::from_env();
+  std::printf("=== Ablation: CPU-cost vs latency as the learning target ===\n\n");
+  TablePrinter table({"Project", "MaxCompute", "LOAM (CPU cost)",
+                      "LOAM (latency)", "CPU-target gain", "latency-target gain"});
+  for (int p : {0, 1, 4}) {
+    bench::PreparedProject project = bench::prepare_project(p, scale);
+    const auto& eval = project.eval;
+
+    core::LoamConfig cpu_cfg = bench::make_loam_config(scale);
+    core::LoamDeployment cpu_model(project.runtime.get(), cpu_cfg);
+    cpu_model.train();
+
+    core::LoamConfig lat_cfg = cpu_cfg;
+    lat_cfg.cost_target = core::CostTarget::kLatency;
+    core::LoamDeployment lat_model(project.runtime.get(), lat_cfg);
+    lat_model.train();
+
+    const double mc =
+        bench::average_selected_cost(eval, bench::default_choices(eval));
+    const double cpu =
+        bench::average_selected_cost(eval, bench::model_choices(cpu_model, eval));
+    const double lat =
+        bench::average_selected_cost(eval, bench::model_choices(lat_model, eval));
+    table.add_row({project.name,
+                   TablePrinter::fmt_int(static_cast<long long>(mc)),
+                   TablePrinter::fmt_int(static_cast<long long>(cpu)),
+                   TablePrinter::fmt_int(static_cast<long long>(lat)),
+                   TablePrinter::fmt_pct((mc - cpu) / mc),
+                   TablePrinter::fmt_pct((mc - lat) / mc)});
+    std::printf("[%s done]\n", project.name.c_str());
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nShape: the latency-trained variant captures less (or negative) "
+              "CPU-cost gain — latency labels fold in scheduling delays and "
+              "critical-path effects that do not reflect a plan's total "
+              "computational effort.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 10 (a/b) — Query-optimization performance of the plan-cost
+// inference strategies of Section 5: LOAM (representative machine-level mean
+// environment) vs LOAM-CE (expected cluster-wide environment), LOAM-CB
+// (instantaneous cluster-wide environment) and LOAM-NL (no environment
+// features at all), in end-to-end CPU cost and in relative deviance from the
+// oracle model. The best-achievable model's relative deviance stays around
+// ~10% (Theorem 1's intrinsic gap).
+#include <cstdio>
+
+#include "common.h"
+
+using namespace loam;
+
+int main() {
+  const bench::EvalScale scale = bench::EvalScale::from_env();
+  std::printf("=== Figure 10: Cost-inference strategies under invisible "
+              "environments ===\n\n");
+  TablePrinter cost_tab({"Project", "MaxCompute", "LOAM", "LOAM-CE", "LOAM-CB",
+                         "LOAM-NL", "BestAchievable"});
+  TablePrinter dev_tab({"Project", "LOAM", "LOAM-CE", "LOAM-CB", "LOAM-NL",
+                        "BestAchievable (M_b)", "MaxCompute (M_d)"});
+
+  for (int p = 0; p < 5; ++p) {
+    bench::PreparedProject project = bench::prepare_project(p, scale);
+    const auto& eval = project.eval;
+
+    // One environment-aware model shared by LOAM / LOAM-CE / LOAM-CB (the
+    // strategies only differ at inference time), plus a separately trained
+    // env-free model for LOAM-NL.
+    core::LoamConfig cfg = bench::make_loam_config(scale);
+    core::LoamDeployment env_model(project.runtime.get(), cfg);
+    env_model.train();
+    core::LoamConfig nl_cfg = cfg;
+    nl_cfg.encoding.include_env = false;
+    nl_cfg.strategy = core::EnvInferenceStrategy::kNoEnv;
+    core::LoamDeployment nl_model(project.runtime.get(), nl_cfg);
+    nl_model.train();
+
+    // Selection per strategy.
+    std::vector<std::pair<std::string, std::vector<int>>> model_rows;
+    {
+      std::vector<int> loam, ce, cb;
+      for (const core::EvaluatedQuery& eq : eval) {
+        loam.push_back(env_model.select_with_strategy(
+            eq.generation, core::EnvInferenceStrategy::kRepresentativeMean));
+        ce.push_back(env_model.select_with_strategy(
+            eq.generation, core::EnvInferenceStrategy::kClusterExpected));
+        cb.push_back(env_model.select_with_strategy(
+            eq.generation, core::EnvInferenceStrategy::kClusterInstant));
+      }
+      std::vector<int> nl;
+      for (const core::EvaluatedQuery& eq : eval) {
+        nl.push_back(nl_model.select(eq.generation));
+      }
+      model_rows = {{"LOAM", loam}, {"LOAM-CE", ce}, {"LOAM-CB", cb}, {"LOAM-NL", nl}};
+    }
+
+    const std::vector<int> def = bench::default_choices(eval);
+    const std::vector<int> best = bench::best_achievable_choices(eval);
+    const double oracle = bench::oracle_cost(eval);
+
+    auto rel_deviance = [&](const std::vector<int>& choices) {
+      double dev = 0.0;
+      for (std::size_t q = 0; q < eval.size(); ++q) {
+        dev += core::empirical_expected_deviance(eval[q].cost_samples,
+                                                 choices[q]);
+      }
+      dev /= static_cast<double>(eval.size());
+      return dev / oracle;
+    };
+
+    cost_tab.add_row(
+        {project.name,
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, def))),
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, model_rows[0].second))),
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, model_rows[1].second))),
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, model_rows[2].second))),
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, model_rows[3].second))),
+         TablePrinter::fmt_int(static_cast<long long>(
+             bench::average_selected_cost(eval, best)))});
+    dev_tab.add_row({project.name,
+                     TablePrinter::fmt_pct(rel_deviance(model_rows[0].second)),
+                     TablePrinter::fmt_pct(rel_deviance(model_rows[1].second)),
+                     TablePrinter::fmt_pct(rel_deviance(model_rows[2].second)),
+                     TablePrinter::fmt_pct(rel_deviance(model_rows[3].second)),
+                     TablePrinter::fmt_pct(rel_deviance(best)),
+                     TablePrinter::fmt_pct(rel_deviance(def))});
+    std::printf("[%s done]\n", project.name.c_str());
+  }
+  std::printf("\n(a) E2E CPU cost:\n");
+  cost_tab.print();
+  std::printf("\n(b) Relative deviance from the oracle model:\n");
+  dev_tab.print();
+  std::printf("\nPaper shape: LOAM's representative-mean strategy beats the "
+              "cluster-wide variants and the no-environment ablation; the "
+              "best-achievable model keeps a ~10%% relative deviance — the "
+              "intrinsic gap of Theorem 1.\n");
+  return 0;
+}

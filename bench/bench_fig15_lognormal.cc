@@ -1,0 +1,80 @@
+// Figure 15 — Cost distribution of recurring query plans: histogram with a
+// fitted log-normal curve, Q-Q agreement, and Kolmogorov-Smirnov p-values
+// (the paper reports an average p ~= 0.6, supporting the log-normal model of
+// Appendix E.1 that underpins the deviance analytics).
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+
+using namespace loam;
+
+int main() {
+  std::printf("=== Figure 15: Cost distribution of recurring query plans ===\n\n");
+  const auto archetypes = warehouse::evaluation_archetypes();
+  warehouse::WorkloadGenerator gen(1515);
+  warehouse::Project project = gen.make_project(archetypes[0]);
+  warehouse::NativeOptimizer optimizer(project.catalog);
+  Rng rng(3);
+
+  std::vector<double> p_values, qq_corrs;
+  bool printed_example = false;
+  for (int t = 0; t < 12; ++t) {
+    const warehouse::Query query = gen.instantiate(
+        project, project.templates[static_cast<std::size_t>(t) %
+                                   project.templates.size()],
+        0, rng);
+    warehouse::Plan plan = optimizer.optimize(query);
+    warehouse::FlightingEnv flighting(warehouse::ClusterConfig{},
+                                      warehouse::ExecutorConfig{},
+                                      1000 + static_cast<std::uint64_t>(t));
+    const std::vector<double> costs = flighting.replay(plan, 200);
+    const LogNormal fit = fit_lognormal_mle(costs);
+    const KsResult ks = ks_test_lognormal(costs, fit);
+    p_values.push_back(ks.p_value);
+    qq_corrs.push_back(qq_correlation(costs, fit));
+
+    if (!printed_example) {
+      printed_example = true;
+      std::printf("(a) Histogram of execution costs for one recurring plan "
+                  "(x = cost, # = empirical, * = fitted log-normal):\n");
+      const double lo = *std::min_element(costs.begin(), costs.end());
+      const double hi = *std::max_element(costs.begin(), costs.end());
+      const int bins = 14;
+      std::vector<int> hist(bins, 0);
+      for (double c : costs) {
+        int b = static_cast<int>((c - lo) / (hi - lo + 1e-9) * bins);
+        hist[static_cast<std::size_t>(std::clamp(b, 0, bins - 1))]++;
+      }
+      int max_h = *std::max_element(hist.begin(), hist.end());
+      for (int b = 0; b < bins; ++b) {
+        const double x0 = lo + (hi - lo) * b / bins;
+        const double x1 = lo + (hi - lo) * (b + 1) / bins;
+        const double expect =
+            (fit.cdf(x1) - fit.cdf(x0)) * static_cast<double>(costs.size());
+        const int emp = hist[static_cast<std::size_t>(b)];
+        const int the = static_cast<int>(expect / max_h * 40 + 0.5);
+        std::printf("%9.0f |%s\n", x0,
+                    (std::string(static_cast<std::size_t>(emp * 40 / max_h), '#') +
+                     "\n          |" +
+                     std::string(static_cast<std::size_t>(std::min(40, the)), '*'))
+                        .c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("(b) Goodness of fit across %zu recurring plans:\n", p_values.size());
+  TablePrinter table({"Metric", "mean", "min", "max"});
+  table.add_row({"KS p-value", TablePrinter::fmt(mean(p_values), 2),
+                 TablePrinter::fmt(*std::min_element(p_values.begin(), p_values.end()), 2),
+                 TablePrinter::fmt(*std::max_element(p_values.begin(), p_values.end()), 2)});
+  table.add_row({"Q-Q correlation", TablePrinter::fmt(mean(qq_corrs), 3),
+                 TablePrinter::fmt(*std::min_element(qq_corrs.begin(), qq_corrs.end()), 3),
+                 TablePrinter::fmt(*std::max_element(qq_corrs.begin(), qq_corrs.end()), 3)});
+  table.print();
+  std::printf("\nPaper shape: execution costs show no statistically significant "
+              "deviation from log-normal (avg KS p ~= 0.6; ours %.2f).\n",
+              mean(p_values));
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) of the hot paths behind the Section
+// 7.2.1 overhead numbers: plan vectorization, TCN inference, candidate
+// generation, GBDT prediction, native optimization and stage decomposition.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.h"
+#include "core/encoding.h"
+#include "core/explorer.h"
+#include "core/predictor.h"
+#include "warehouse/executor.h"
+#include "warehouse/native_optimizer.h"
+#include "warehouse/stages.h"
+#include "warehouse/workload.h"
+
+using namespace loam;
+
+namespace {
+
+struct Fixture {
+  warehouse::WorkloadGenerator gen{7};
+  warehouse::Project project;
+  std::unique_ptr<warehouse::NativeOptimizer> optimizer;
+  warehouse::Query query;
+  warehouse::Plan plan;
+  core::PlanEncoder encoder{nullptr};
+
+  Fixture() : project(gen.make_project(warehouse::evaluation_archetypes()[1])) {
+    optimizer = std::make_unique<warehouse::NativeOptimizer>(project.catalog);
+    Rng rng(3);
+    query = gen.instantiate(project, project.templates[0], 0, rng);
+    plan = optimizer->optimize(query);
+    encoder = core::PlanEncoder(&project.catalog);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_NativeOptimize(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.optimizer->optimize(f.query));
+  }
+}
+BENCHMARK(BM_NativeOptimize);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  Fixture& f = fixture();
+  core::PlanExplorer explorer(f.optimizer.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore(f.query));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_PlanEncoding(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.encoder.encode(f.plan, nullptr, std::nullopt));
+  }
+}
+BENCHMARK(BM_PlanEncoding);
+
+void BM_TcnInference(benchmark::State& state) {
+  Fixture& f = fixture();
+  core::AdaptiveCostPredictor predictor(f.encoder.feature_dim());
+  const nn::Tree tree = f.encoder.encode(f.plan, nullptr, std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict(tree));
+  }
+}
+BENCHMARK(BM_TcnInference);
+
+void BM_XgboostInference(benchmark::State& state) {
+  Fixture& f = fixture();
+  auto model = core::make_xgboost_cost_model(f.encoder.feature_dim());
+  const nn::Tree tree = f.encoder.encode(f.plan, nullptr, std::nullopt);
+  std::vector<core::TrainingExample> train;
+  for (int i = 0; i < 32; ++i) train.push_back({tree, 1000.0 + i});
+  model->fit(train, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(tree));
+  }
+}
+BENCHMARK(BM_XgboostInference);
+
+void BM_StageDecomposition(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    warehouse::Plan copy = f.plan;
+    benchmark::DoNotOptimize(warehouse::decompose_into_stages(copy));
+  }
+}
+BENCHMARK(BM_StageDecomposition);
+
+void BM_SimulatedExecution(benchmark::State& state) {
+  Fixture& f = fixture();
+  warehouse::ClusterConfig cfg;
+  cfg.machines = 64;
+  warehouse::Cluster cluster(cfg, 9);
+  warehouse::Executor executor(&cluster);
+  Rng rng(11);
+  for (auto _ : state) {
+    warehouse::Plan copy = f.plan;
+    benchmark::DoNotOptimize(executor.execute(copy, rng));
+  }
+}
+BENCHMARK(BM_SimulatedExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

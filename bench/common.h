@@ -1,0 +1,149 @@
+// Shared harness of the experiment drivers: builds the five evaluation
+// projects (Section 7.1), simulates their production history, trains every
+// model on identical data, and evaluates selections on paired flighting
+// replays.
+//
+// Scale: by default the drivers run a reduced-but-faithful configuration so
+// the full suite finishes in minutes. Set LOAM_FULL=1 for paper-scale
+// training (10,000-query cap, more epochs and replays).
+#ifndef LOAM_BENCH_COMMON_H_
+#define LOAM_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deviance.h"
+#include "core/loam.h"
+#include "util/table_printer.h"
+
+namespace loam::bench {
+
+struct EvalScale {
+  int train_days = 25;
+  int test_days = 5;
+  int max_train_queries = 2500;
+  int queries_per_day_cap = 150;
+  int test_queries = 48;
+  int replay_runs = 8;
+  int epochs = 16;
+  int hidden_dim = 32;
+  int candidate_sample_queries = 60;
+
+  static EvalScale from_env() {
+    EvalScale s;
+    if (const char* full = std::getenv("LOAM_FULL"); full && full[0] == '1') {
+      s.max_train_queries = 10000;
+      s.queries_per_day_cap = 500;
+      s.test_queries = 120;
+      s.replay_runs = 12;
+      s.epochs = 24;
+      s.hidden_dim = 48;
+      s.candidate_sample_queries = 150;
+    }
+    return s;
+  }
+};
+
+struct PreparedProject {
+  std::string name;
+  std::unique_ptr<core::ProjectRuntime> runtime;
+  std::vector<core::EvaluatedQuery> eval;  // test queries with paired replays
+};
+
+// Builds evaluation project `index` (0..4), simulates history over the
+// training window and prepares the held-out test set.
+inline PreparedProject prepare_project(int index, const EvalScale& scale,
+                                       std::uint64_t seed = 9000) {
+  const auto archetypes = warehouse::evaluation_archetypes();
+  PreparedProject p;
+  p.name = archetypes[static_cast<std::size_t>(index)].name;
+  core::RuntimeConfig rc;
+  rc.seed = seed + static_cast<std::uint64_t>(index);
+  p.runtime = std::make_unique<core::ProjectRuntime>(
+      archetypes[static_cast<std::size_t>(index)], rc);
+  p.runtime->simulate_history(scale.train_days, scale.queries_per_day_cap);
+  const std::vector<warehouse::Query> tests = p.runtime->make_queries(
+      scale.train_days, scale.train_days + scale.test_days - 1,
+      scale.test_queries);
+  p.eval = core::prepare_evaluation(*p.runtime, tests, core::ExplorerConfig(),
+                                    scale.replay_runs,
+                                    seed * 31 + static_cast<std::uint64_t>(index));
+  return p;
+}
+
+inline core::LoamConfig make_loam_config(const EvalScale& scale) {
+  core::LoamConfig cfg;
+  cfg.train_first_day = 0;
+  cfg.train_last_day = scale.train_days - 1;
+  cfg.max_train_queries = scale.max_train_queries;
+  cfg.candidate_sample_queries = scale.candidate_sample_queries;
+  cfg.predictor.epochs = scale.epochs;
+  cfg.predictor.hidden_dim = scale.hidden_dim;
+  return cfg;
+}
+
+inline core::BaselineConfig make_baseline_config(const EvalScale& scale) {
+  core::BaselineConfig cfg;
+  cfg.epochs = scale.epochs;
+  cfg.hidden_dim = scale.hidden_dim;
+  return cfg;
+}
+
+// Average cost of a model that picks `choice[q]` among each query's
+// candidates, measured on the paired replays.
+inline double average_selected_cost(const std::vector<core::EvaluatedQuery>& eval,
+                                    const std::vector<int>& choices) {
+  double acc = 0.0;
+  for (std::size_t q = 0; q < eval.size(); ++q) {
+    acc += eval[q].mean_cost.at(static_cast<std::size_t>(choices[q]));
+  }
+  return eval.empty() ? 0.0 : acc / static_cast<double>(eval.size());
+}
+
+// Cost of always executing the default plan (the MaxCompute baseline).
+inline std::vector<int> default_choices(const std::vector<core::EvaluatedQuery>& eval) {
+  std::vector<int> out;
+  out.reserve(eval.size());
+  for (const auto& eq : eval) out.push_back(eq.default_index);
+  return out;
+}
+
+// The best-achievable model M_b: per query, the candidate with the smallest
+// empirical expected cost.
+inline std::vector<int> best_achievable_choices(
+    const std::vector<core::EvaluatedQuery>& eval) {
+  std::vector<int> out;
+  out.reserve(eval.size());
+  for (const auto& eq : eval) {
+    int best = 0;
+    for (std::size_t c = 1; c < eq.mean_cost.size(); ++c) {
+      if (eq.mean_cost[c] < eq.mean_cost[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(c);
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+// Average per-realization oracle cost E[C(P_{M_o})].
+inline double oracle_cost(const std::vector<core::EvaluatedQuery>& eval) {
+  double acc = 0.0;
+  for (const auto& eq : eval) acc += core::empirical_oracle_cost(eq.cost_samples);
+  return eval.empty() ? 0.0 : acc / static_cast<double>(eval.size());
+}
+
+// Model selections over the evaluation set.
+inline std::vector<int> model_choices(const core::LoamDeployment& deployment,
+                                      const std::vector<core::EvaluatedQuery>& eval) {
+  std::vector<int> out;
+  out.reserve(eval.size());
+  for (const auto& eq : eval) out.push_back(deployment.select(eq.generation));
+  return out;
+}
+
+}  // namespace loam::bench
+
+#endif  // LOAM_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Shared machinery of the Ranker experiments (Sections 7.2.6, 7.3, Appendix
+// E.3): builds per-project (default plan -> improvement space) datasets with
+// ground-truth D(M_d) measured from paired flighting replays.
+#ifndef LOAM_BENCH_RANKER_COMMON_H_
+#define LOAM_BENCH_RANKER_COMMON_H_
+
+#include <numeric>
+
+#include "common.h"
+
+namespace loam::bench {
+
+struct RankerProjectData {
+  std::string name;
+  // Ground-truth improvement space of the project: mean relative expected
+  // deviance of the native optimizer, E[D(M_d)] / oracle cost.
+  double true_improvement = 0.0;
+  std::vector<core::RankerExample> examples;
+};
+
+// Measures a project's improvement space over a sampled workload. Kept
+// deliberately light: the Ranker is the scalable surrogate precisely because
+// exact D(M_d) does not scale (Section 6).
+inline RankerProjectData build_ranker_data(
+    const warehouse::ProjectArchetype& archetype, int n_queries, int replay_runs,
+    std::uint64_t seed) {
+  RankerProjectData out;
+  out.name = archetype.name;
+
+  warehouse::WorkloadGenerator gen(seed);
+  warehouse::Project project = gen.make_project(archetype);
+  warehouse::NativeOptimizer optimizer(project.catalog);
+  core::PlanExplorer explorer(&optimizer);
+  core::RankerFeaturizer featurizer;
+  Rng rng(seed ^ 0xabcd1234ull);
+
+  warehouse::ClusterConfig ccfg;
+  ccfg.machines = archetype.cluster_machines;
+  warehouse::ExecutorConfig ecfg;
+
+  double total_rel = 0.0;
+  int measured = 0;
+  for (int i = 0; i < n_queries; ++i) {
+    const warehouse::QueryTemplate& tmpl =
+        project.templates[static_cast<std::size_t>(
+            rng.zipf(static_cast<std::int64_t>(project.templates.size()),
+                     archetype.template_zipf_skew) -
+            1)];
+    const warehouse::Query query = gen.instantiate(project, tmpl, 0, rng);
+    core::CandidateGeneration gen_result = explorer.explore(query);
+    const auto samples = core::paired_replay(
+        gen_result.plans, ccfg, ecfg, replay_runs,
+        seed * 131 + static_cast<std::uint64_t>(i));
+
+    const double oracle = core::empirical_oracle_cost(samples);
+    if (oracle <= 0.0) continue;
+    const double deviance = core::empirical_expected_deviance(
+        samples, gen_result.default_index);
+    const double rel = deviance / oracle;
+    total_rel += rel;
+    ++measured;
+
+    double default_mean = 0.0;
+    for (double c : samples[static_cast<std::size_t>(gen_result.default_index)]) {
+      default_mean += c;
+    }
+    default_mean /= static_cast<double>(replay_runs);
+
+    core::RankerExample ex;
+    ex.features = featurizer.featurize(
+        gen_result.plans[static_cast<std::size_t>(gen_result.default_index)],
+        project.catalog, default_mean);
+    ex.improvement_space = rel;
+    out.examples.push_back(std::move(ex));
+  }
+  out.true_improvement = measured > 0 ? total_rel / measured : 0.0;
+  return out;
+}
+
+// One cross-validation evaluation: train a Ranker on `train` projects' pooled
+// examples, rank `test` projects, return (scores, truths) aligned by index.
+inline std::pair<std::vector<double>, std::vector<double>> rank_projects(
+    const std::vector<const RankerProjectData*>& train,
+    const std::vector<const RankerProjectData*>& test) {
+  std::vector<core::RankerExample> pooled;
+  for (const RankerProjectData* p : train) {
+    pooled.insert(pooled.end(), p->examples.begin(), p->examples.end());
+  }
+  gbdt::GbdtParams params;
+  params.n_trees = 120;
+  params.max_depth = 4;
+  core::ProjectRanker ranker(core::RankerFeaturizerConfig(), params);
+  ranker.fit(pooled);
+
+  std::vector<double> scores, truths;
+  for (const RankerProjectData* p : test) {
+    double s = 0.0;
+    for (const core::RankerExample& e : p->examples) s += ranker.estimate(e.features);
+    scores.push_back(p->examples.empty() ? 0.0
+                                         : s / static_cast<double>(p->examples.size()));
+    truths.push_back(p->true_improvement);
+  }
+  return {scores, truths};
+}
+
+}  // namespace loam::bench
+
+#endif  // LOAM_BENCH_RANKER_COMMON_H_

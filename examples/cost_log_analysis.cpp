@@ -1,0 +1,90 @@
+// Example: offline analytics over an exported repository cost log — the
+// downstream-consumer side of Section 2.1's logging step.
+//
+// Simulates a project's production history, exports the repository as a
+// portable cost log, re-imports it, and runs the analyses the log exists
+// for: recurring-query variance (Fig. 1), per-template cost profiles, and
+// environment-vs-cost correlation (Fig. 5), all without touching plan trees.
+//
+// Run: ./build/examples/cost_log_analysis
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "core/loam.h"
+#include "util/table_printer.h"
+#include "warehouse/repository_io.h"
+
+using namespace loam;
+
+int main() {
+  // --- produce and export a history --------------------------------------
+  warehouse::ProjectArchetype archetype = warehouse::evaluation_archetypes()[0];
+  archetype.queries_per_day = 150.0;
+  core::RuntimeConfig rc;
+  rc.seed = 2024;
+  core::ProjectRuntime runtime(archetype, rc);
+  runtime.simulate_history(/*days=*/10, /*max_queries_per_day=*/150);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "loam_cost_log.tsv").string();
+  warehouse::write_cost_log_file(warehouse::to_cost_log(runtime.repository()),
+                                 path);
+  std::printf("exported %zu rows to %s\n", runtime.repository().size(),
+              path.c_str());
+
+  // --- re-import and analyze ----------------------------------------------
+  const std::vector<warehouse::CostLogRow> rows =
+      warehouse::read_cost_log_file(path);
+  std::printf("re-imported %zu rows\n\n", rows.size());
+
+  // Per-template profile.
+  struct Profile {
+    std::vector<double> costs;
+    std::vector<double> idles;
+  };
+  std::map<std::string, Profile> templates;
+  for (const auto& r : rows) {
+    templates[r.template_id].costs.push_back(r.cpu_cost);
+    templates[r.template_id].idles.push_back(r.env.cpu_idle);
+  }
+
+  TablePrinter table({"template", "runs", "mean cost", "RSD",
+                      "corr(cost, CPU_IDLE)"});
+  std::vector<std::pair<std::string, const Profile*>> heavy;
+  for (const auto& [id, p] : templates) heavy.emplace_back(id, &p);
+  std::sort(heavy.begin(), heavy.end(), [](const auto& a, const auto& b) {
+    return a.second->costs.size() > b.second->costs.size();
+  });
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, heavy.size()); ++i) {
+    const Profile& p = *heavy[i].second;
+    table.add_row({heavy[i].first,
+                   TablePrinter::fmt_int(static_cast<long long>(p.costs.size())),
+                   TablePrinter::fmt_int(static_cast<long long>(mean(p.costs))),
+                   TablePrinter::fmt_pct(relative_stddev(p.costs)),
+                   TablePrinter::fmt(pearson_correlation(p.costs, p.idles), 2)});
+  }
+  table.print();
+
+  // Recurring-query variance (fixed parameters, same as Fig. 1).
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<double>> recurring;
+  for (const auto& r : rows) {
+    recurring[{r.template_id, r.param_signature}].push_back(r.cpu_cost);
+  }
+  std::vector<double> rsds;
+  for (const auto& [key, costs] : recurring) {
+    if (costs.size() >= 5) rsds.push_back(relative_stddev(costs));
+  }
+  if (!rsds.empty()) {
+    std::printf("\nrecurring queries with >=5 runs: %zu | median RSD %s | max "
+                "RSD %s\n",
+                rsds.size(),
+                TablePrinter::fmt_pct(percentile(rsds, 50)).c_str(),
+                TablePrinter::fmt_pct(percentile(rsds, 100)).c_str());
+  }
+  std::printf("\n(the negative cost/CPU_IDLE correlations are the Fig. 5 "
+              "relationship recovered purely from the log)\n");
+  std::remove(path.c_str());
+  return 0;
+}

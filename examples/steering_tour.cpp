@@ -1,0 +1,90 @@
+// Example: a tour of the steering surface — what each expert knob does to a
+// physical plan and what it costs (Section 3's plan explorer, from the
+// engine's point of view).
+//
+// Run: ./build/examples/steering_tour
+#include <cstdio>
+
+#include "core/explorer.h"
+#include "util/table_printer.h"
+#include "warehouse/flighting.h"
+#include "warehouse/workload.h"
+
+using namespace loam;
+
+int main() {
+  warehouse::WorkloadGenerator gen(777);
+  warehouse::Project project =
+      gen.make_project(warehouse::evaluation_archetypes()[1]);
+  warehouse::NativeOptimizer optimizer(project.catalog);
+  Rng rng(8);
+
+  // Find a join-heavy template for an interesting tour.
+  const warehouse::QueryTemplate* tmpl = &project.templates[0];
+  for (const auto& t : project.templates) {
+    if (t.tables.size() >= 4) {
+      tmpl = &t;
+      break;
+    }
+  }
+  const warehouse::Query query = gen.instantiate(project, *tmpl, 0, rng);
+  std::printf("query %s joins %zu tables:\n%s\n\n", query.template_id.c_str(),
+              query.tables.size(), query.to_sql(project.catalog).c_str());
+
+  // The default plan.
+  warehouse::Plan default_plan = optimizer.optimize(query);
+  std::printf("default plan (flags: %s):\n%s\n",
+              warehouse::PlannerKnobs().to_string().c_str(),
+              default_plan.to_string().c_str());
+
+  // Walk the individual knobs.
+  warehouse::FlightingEnv flighting(warehouse::ClusterConfig{},
+                                    warehouse::ExecutorConfig{}, 31);
+  const double default_cost = flighting.replay_mean(default_plan, 8);
+
+  TablePrinter table({"knob setting", "plan changed?", "mean CPU cost",
+                      "vs default"});
+  table.add_row({"(default)", "-",
+                 TablePrinter::fmt_int(static_cast<long long>(default_cost)),
+                 "-"});
+
+  auto tour = [&](const warehouse::PlannerKnobs& knobs) {
+    warehouse::Plan plan = optimizer.optimize(query, knobs);
+    const bool changed = plan.signature() != default_plan.signature();
+    const double cost = changed ? flighting.replay_mean(plan, 8) : default_cost;
+    table.add_row({knobs.to_string(), changed ? "yes" : "no",
+                   TablePrinter::fmt_int(static_cast<long long>(cost)),
+                   TablePrinter::fmt_pct((cost - default_cost) / default_cost)});
+  };
+
+  for (int f = 0; f < static_cast<int>(warehouse::Flag::kCount); ++f) {
+    warehouse::PlannerKnobs k;
+    k.flags = k.flags.toggled(static_cast<warehouse::Flag>(f));
+    tour(k);
+  }
+  {
+    warehouse::PlannerKnobs k;
+    k.force_reorder = true;
+    tour(k);
+  }
+  for (double s : {0.3, 3.0}) {
+    warehouse::PlannerKnobs k;
+    k.card_scale = s;
+    k.force_reorder = true;
+    tour(k);
+  }
+  table.print();
+
+  // And what the curated explorer actually offers.
+  core::PlanExplorer explorer(&optimizer);
+  const core::CandidateGeneration cand = explorer.explore(query);
+  std::printf("\nexplorer kept %zu candidates out of %d trials (generated in "
+              "%.1f ms); knobs:\n",
+              cand.plans.size(), cand.trials, cand.generation_seconds * 1e3);
+  for (std::size_t i = 0; i < cand.knobs.size(); ++i) {
+    std::printf("  [%zu]%s %s\n", i,
+                static_cast<int>(i) == cand.default_index ? " (default)" : "",
+                cand.knobs[i].to_string().c_str());
+  }
+  return 0;
+}

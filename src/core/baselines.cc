@@ -1,0 +1,173 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gbdt/gbdt.h"
+#include "nn/gcn.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+
+namespace loam::core {
+
+namespace {
+
+// Shared supervised trainer for any plan network exposing
+// forward(Tree) -> [1, embed], backward([1, embed]) and parameters().
+template <typename Net>
+class NetCostModel : public CostModel {
+ public:
+  NetCostModel(std::string name, Net net, int embed_dim, BaselineConfig config,
+               Rng rng)
+      : name_(std::move(name)), config_(config), net_(std::move(net)) {
+    head_ = nn::Linear(name_ + ".head", embed_dim, 1, rng);
+    std::vector<nn::Parameter*> params = net_.parameters();
+    for (nn::Parameter* p : head_.parameters()) params.push_back(p);
+    nn::AdamOptions opts;
+    opts.lr = config.lr;
+    optimizer_ = std::make_unique<nn::Adam>(std::move(params), opts);
+  }
+
+  void fit(const std::vector<TrainingExample>& default_plans,
+           const std::vector<nn::Tree>& /*candidate_plans*/) override {
+    if (default_plans.empty()) return;
+    scaler_.fit(default_plans);
+    Rng rng(config_.seed ^ 0x517ull);
+    std::vector<int> order(default_plans.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.shuffle(order);
+      for (std::size_t pos = 0; pos < order.size();
+           pos += static_cast<std::size_t>(config_.batch_size)) {
+        optimizer_->zero_grad();
+        const std::size_t end = std::min(
+            order.size(), pos + static_cast<std::size_t>(config_.batch_size));
+        const int batch = static_cast<int>(end - pos);
+        for (std::size_t i = pos; i < end; ++i) {
+          const TrainingExample& ex =
+              default_plans[static_cast<std::size_t>(order[i])];
+          nn::Mat emb = net_.forward(ex.tree);
+          nn::Mat pred = head_.forward(emb);
+          nn::Mat grad_pred;
+          nn::mse_loss(pred, {static_cast<float>(scaler_.to_z(ex.cpu_cost))},
+                       grad_pred);
+          grad_pred.scale_inplace(1.0f / static_cast<float>(batch));
+          net_.backward(head_.backward(grad_pred));
+        }
+        optimizer_->step();
+      }
+      optimizer_->decay_lr(config_.lr_decay);
+    }
+  }
+
+  double predict(const nn::Tree& tree) const override {
+    nn::Mat emb = net_.forward(tree);
+    nn::Mat pred = head_.forward(emb);
+    return scaler_.to_cost(static_cast<double>(pred.at(0, 0)));
+  }
+
+  std::size_t model_bytes() const override { return optimizer_->parameter_bytes(); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  BaselineConfig config_;
+  LogCostScaler scaler_;
+  mutable Net net_;
+  mutable nn::Linear head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+class XgbCostModel : public CostModel {
+ public:
+  explicit XgbCostModel(BaselineConfig config) : config_(config) {
+    gbdt::GbdtParams params;
+    params.n_trees = config.xgb_trees;
+    params.max_depth = config.xgb_depth;
+    params.learning_rate = config.xgb_lr;
+    params.seed = config.seed;
+    model_ = gbdt::GbdtRegressor(params);
+  }
+
+  void fit(const std::vector<TrainingExample>& default_plans,
+           const std::vector<nn::Tree>& /*candidate_plans*/) override {
+    if (default_plans.empty()) return;
+    scaler_.fit(default_plans);
+    gbdt::FeatureMatrix x;
+    std::vector<double> y;
+    x.reserve(default_plans.size());
+    y.reserve(default_plans.size());
+    for (const auto& ex : default_plans) {
+      x.push_back(pool_tree_features(ex.tree));
+      y.push_back(scaler_.to_z(ex.cpu_cost));
+    }
+    model_.fit(x, y);
+  }
+
+  double predict(const nn::Tree& tree) const override {
+    return scaler_.to_cost(model_.predict(pool_tree_features(tree)));
+  }
+
+  std::size_t model_bytes() const override { return model_.model_bytes(); }
+  std::string name() const override { return "XGBoost"; }
+
+ private:
+  BaselineConfig config_;
+  LogCostScaler scaler_;
+  gbdt::GbdtRegressor model_;
+};
+
+}  // namespace
+
+std::vector<float> pool_tree_features(const nn::Tree& tree) {
+  const int d = tree.features.cols();
+  const int n = tree.node_count();
+  std::vector<float> out(static_cast<std::size_t>(2 * d + 1), 0.0f);
+  for (int j = 0; j < d; ++j) {
+    float sum = 0.0f;
+    float mx = n > 0 ? tree.features.at(0, j) : 0.0f;
+    for (int i = 0; i < n; ++i) {
+      sum += tree.features.at(i, j);
+      mx = std::max(mx, tree.features.at(i, j));
+    }
+    out[static_cast<std::size_t>(j)] = n > 0 ? sum / static_cast<float>(n) : 0.0f;
+    out[static_cast<std::size_t>(d + j)] = mx;
+  }
+  out[static_cast<std::size_t>(2 * d)] =
+      std::log1p(static_cast<float>(n));
+  return out;
+}
+
+std::unique_ptr<CostModel> make_transformer_cost_model(int input_dim,
+                                                       BaselineConfig config) {
+  Rng rng(config.seed);
+  nn::TransformerEncoder::Config c;
+  c.input_dim = input_dim;
+  c.model_dim = config.hidden_dim;
+  c.heads = 2;
+  c.ffn_dim = 2 * config.hidden_dim;
+  c.embed_dim = config.embed_dim;
+  nn::TransformerEncoder net(c, rng);
+  return std::make_unique<NetCostModel<nn::TransformerEncoder>>(
+      "Transformer", std::move(net), config.embed_dim, config, rng);
+}
+
+std::unique_ptr<CostModel> make_gcn_cost_model(int input_dim, BaselineConfig config) {
+  Rng rng(config.seed);
+  nn::GcnNet::Config c;
+  c.input_dim = input_dim;
+  c.hidden_dim = config.hidden_dim;
+  c.embed_dim = config.embed_dim;
+  c.layers = config.layers;
+  nn::GcnNet net(c, rng);
+  return std::make_unique<NetCostModel<nn::GcnNet>>("GCN", std::move(net),
+                                                    config.embed_dim, config, rng);
+}
+
+std::unique_ptr<CostModel> make_xgboost_cost_model(int /*input_dim*/,
+                                                   BaselineConfig config) {
+  return std::make_unique<XgbCostModel>(config);
+}
+
+}  // namespace loam::core

@@ -1,0 +1,49 @@
+// Learned-optimizer baselines of Section 7.1: the same steering pipeline as
+// LOAM but with the cost predictor replaced by
+//   * a Transformer encoder (QueryFormer-style, Zhao et al.),
+//   * a Graph Convolutional Network (zero-shot-style, Hilprecht & Binnig),
+//   * an XGBoost regressor over pooled plan features (PerfGuard-style,
+//     Ammerlaan et al.).
+// Per the paper's fairness adaptations, all three consume LOAM's
+// statistics-free feature set and regress normalized log CPU cost; none
+// performs adaptive (domain-adversarial) training.
+#ifndef LOAM_CORE_BASELINES_H_
+#define LOAM_CORE_BASELINES_H_
+
+#include <memory>
+
+#include "core/cost_model.h"
+
+namespace loam::core {
+
+struct BaselineConfig {
+  int hidden_dim = 48;
+  int embed_dim = 32;
+  int layers = 2;
+  int epochs = 24;
+  int batch_size = 16;
+  double lr = 0.005;
+  double lr_decay = 0.99;
+  std::uint64_t seed = 7;
+  // XGBoost-specific.
+  int xgb_trees = 150;
+  int xgb_depth = 5;
+  double xgb_lr = 0.1;
+};
+
+std::unique_ptr<CostModel> make_transformer_cost_model(int input_dim,
+                                                       BaselineConfig config =
+                                                           BaselineConfig());
+std::unique_ptr<CostModel> make_gcn_cost_model(int input_dim,
+                                               BaselineConfig config = BaselineConfig());
+std::unique_ptr<CostModel> make_xgboost_cost_model(int input_dim,
+                                                   BaselineConfig config =
+                                                       BaselineConfig());
+
+// Pooled per-plan feature vector used by the XGBoost baseline: per-dimension
+// mean and max over nodes plus log tree size. Exposed for tests.
+std::vector<float> pool_tree_features(const nn::Tree& tree);
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_BASELINES_H_

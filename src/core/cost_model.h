@@ -1,0 +1,51 @@
+// Common interface of every learned cost model in the evaluation: LOAM's
+// adaptive predictor and the Transformer / GCN / XGBoost baselines.
+//
+// All models regress normalized log CPU cost (costs span 1e3..1e7, Section
+// 2.2, so log-space is what makes a single MSE loss meaningful) and receive
+// the same vectorized plans from PlanEncoder, mirroring the fairness
+// adaptations of Section 7.1.
+#ifndef LOAM_CORE_COST_MODEL_H_
+#define LOAM_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tree_conv.h"
+
+namespace loam::core {
+
+struct TrainingExample {
+  nn::Tree tree;
+  double cpu_cost = 0.0;
+};
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // `default_plans` carry observed costs; `candidate_plans` are UNEXECUTED
+  // vectorized candidate plans, consumed only by models that perform
+  // domain-adaptive training (others may ignore them).
+  virtual void fit(const std::vector<TrainingExample>& default_plans,
+                   const std::vector<nn::Tree>& candidate_plans) = 0;
+
+  virtual double predict(const nn::Tree& tree) const = 0;
+
+  virtual std::size_t model_bytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Shared target transform: models regress z = (log1p(cost) - mu) / sd.
+struct LogCostScaler {
+  double mu = 0.0;
+  double sd = 1.0;
+
+  void fit(const std::vector<TrainingExample>& examples);
+  double to_z(double cost) const;
+  double to_cost(double z) const;
+};
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_COST_MODEL_H_

@@ -1,0 +1,142 @@
+#include "core/deviance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace loam::core {
+
+double min_cost_pdf(const std::vector<LogNormal>& dists, double x) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    double term = dists[i].pdf(x);
+    if (term == 0.0) continue;
+    for (std::size_t j = 0; j < dists.size(); ++j) {
+      if (j == i) continue;
+      term *= 1.0 - dists[j].cdf(x);
+    }
+    total += term;
+  }
+  return total;
+}
+
+namespace {
+
+// Integration range covering essentially all mass of every distribution.
+std::pair<double, double> support(const std::vector<LogNormal>& dists) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const LogNormal& d : dists) {
+    lo = std::min(lo, d.quantile(1e-5));
+    hi = std::max(hi, d.quantile(1.0 - 1e-5));
+  }
+  return {std::max(0.0, lo * 0.5), hi * 1.1};
+}
+
+}  // namespace
+
+double expected_min_cost(const std::vector<LogNormal>& dists, int intervals) {
+  if (dists.empty()) throw std::invalid_argument("no distributions");
+  const auto [lo, hi] = support(dists);
+  return integrate([&dists](double x) { return x * min_cost_pdf(dists, x); }, lo, hi,
+                   intervals);
+}
+
+double expected_deviance(const std::vector<LogNormal>& dists, int selected,
+                         int intervals) {
+  if (selected < 0 || selected >= static_cast<int>(dists.size())) {
+    throw std::invalid_argument("selected index out of range");
+  }
+  if (dists.size() == 1) return 0.0;
+  std::vector<LogNormal> others;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (static_cast<int>(i) != selected) others.push_back(dists[i]);
+  }
+  const LogNormal& sel = dists[static_cast<std::size_t>(selected)];
+  const auto [lo, hi] = support(dists);
+
+  // Eq. (2): E[(C_sel - C*)+] = ∫ f_sel(x) ∫_lo^x (x - y) f_{C*}(y) dy dx.
+  auto inner = [&](double x) {
+    if (x <= lo) return 0.0;
+    return integrate(
+        [&](double y) { return (x - y) * min_cost_pdf(others, y); }, lo, x,
+        intervals / 2);
+  };
+  return integrate([&](double x) { return sel.pdf(x) * inner(x); }, lo, hi,
+                   intervals);
+}
+
+double mc_expected_min_cost(const std::vector<LogNormal>& dists, Rng& rng,
+                            int draws) {
+  double acc = 0.0;
+  for (int d = 0; d < draws; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (const LogNormal& dist : dists) {
+      mn = std::min(mn, rng.lognormal(dist.mu, dist.sigma));
+    }
+    acc += mn;
+  }
+  return acc / draws;
+}
+
+double mc_expected_deviance(const std::vector<LogNormal>& dists, int selected,
+                            Rng& rng, int draws) {
+  double acc = 0.0;
+  for (int d = 0; d < draws; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double sel = 0.0;
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+      const double c = rng.lognormal(dists[i].mu, dists[i].sigma);
+      mn = std::min(mn, c);
+      if (static_cast<int>(i) == selected) sel = c;
+    }
+    acc += sel - mn;
+  }
+  return acc / draws;
+}
+
+int best_achievable_index(const std::vector<LogNormal>& dists) {
+  int best = 0;
+  for (std::size_t i = 1; i < dists.size(); ++i) {
+    if (dists[i].mean() < dists[static_cast<std::size_t>(best)].mean()) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<LogNormal> fit_cost_distributions(
+    const std::vector<std::vector<double>>& samples) {
+  std::vector<LogNormal> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(fit_lognormal_mle(s));
+  return out;
+}
+
+double empirical_expected_deviance(const std::vector<std::vector<double>>& samples,
+                                   int selected) {
+  if (samples.empty()) return 0.0;
+  const std::size_t runs = samples[0].size();
+  double acc = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (const auto& s : samples) mn = std::min(mn, s.at(r));
+    acc += samples[static_cast<std::size_t>(selected)].at(r) - mn;
+  }
+  return runs > 0 ? acc / static_cast<double>(runs) : 0.0;
+}
+
+double empirical_oracle_cost(const std::vector<std::vector<double>>& samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t runs = samples[0].size();
+  double acc = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (const auto& s : samples) mn = std::min(mn, s.at(r));
+    acc += mn;
+  }
+  return runs > 0 ? acc / static_cast<double>(runs) : 0.0;
+}
+
+}  // namespace loam::core

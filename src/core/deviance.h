@@ -1,0 +1,61 @@
+// Deviance analytics (Section 5, Theorem 1, Appendix C / E.1).
+//
+// For a query with candidate plans {P_1..P_n} whose execution costs are
+// random variables C_E(P_i):
+//   * the oracle M_o picks the per-realization minimum; E[D(M_o)] = 0;
+//   * the best-achievable M_b picks argmin_i E[C_E(P_i)];
+//   * any realizable model M picks a fixed index; its expected deviance is
+//       E[D(M)] = E[(C(P_M) - C*)+],  C* = min over the other candidates.
+//
+// Following Appendix E.1 we model each plan's cost as log-normal (validated
+// by the Fig. 15 experiment), fit parameters by MLE over repeated flighting
+// replays, and evaluate E[D(M)] both analytically (Lemma 1 min-distribution +
+// numeric integration of Eq. 2) and by Monte Carlo.
+#ifndef LOAM_CORE_DEVIANCE_H_
+#define LOAM_CORE_DEVIANCE_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace loam::core {
+
+// PDF of C* = min of the given independent cost distributions, per Lemma 1:
+//   f_{C*}(x) = sum_i f_i(x) * prod_{j != i} (1 - F_j(x)).
+double min_cost_pdf(const std::vector<LogNormal>& dists, double x);
+
+// E[min_i C_i] by numeric integration (expected oracle cost when `dists`
+// covers ALL candidates).
+double expected_min_cost(const std::vector<LogNormal>& dists, int intervals = 1024);
+
+// Analytic E[D(M)] of a model that always selects `selected`: numeric double
+// integration of Eq. (2) with C* = min over the OTHER candidates.
+double expected_deviance(const std::vector<LogNormal>& dists, int selected,
+                         int intervals = 384);
+
+// Monte-Carlo versions (fast path used by the experiment drivers).
+double mc_expected_min_cost(const std::vector<LogNormal>& dists, Rng& rng,
+                            int draws = 20000);
+double mc_expected_deviance(const std::vector<LogNormal>& dists, int selected,
+                            Rng& rng, int draws = 20000);
+
+// Index the best-achievable model M_b selects: argmin of expected cost.
+int best_achievable_index(const std::vector<LogNormal>& dists);
+
+// Fits one log-normal per candidate from repeated cost samples
+// (samples[i] = replay costs of candidate i).
+std::vector<LogNormal> fit_cost_distributions(
+    const std::vector<std::vector<double>>& samples);
+
+// Expected deviance of a model from raw per-candidate samples, without any
+// distributional assumption: mean over paired draws of cost[sel] - min(all).
+// Sample vectors must have equal length (replay r of each candidate shares
+// the r-th environment batch).
+double empirical_expected_deviance(const std::vector<std::vector<double>>& samples,
+                                   int selected);
+double empirical_oracle_cost(const std::vector<std::vector<double>>& samples);
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_DEVIANCE_H_

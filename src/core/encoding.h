@@ -1,0 +1,90 @@
+// Statistics-free plan vectorization (Section 4, Fig. 4, Appendix B).
+//
+// Every plan-tree node becomes one feature vector:
+//
+//   [ 30  op-type one-hot                                          ]
+//   [ 5xN' multi-segment hash of the scanned table identifier      ]
+//   [ 2   log-min-max #partitions, #columns accessed               ]
+//   [ 4   join-form one-hot                                        ]
+//   [ 5xN' hash union of the joined column identifiers             ]
+//   [ 5   aggregation-function one-hot                             ]
+//   [ 5xN' hash union of aggregate + group-by column identifiers   ]
+//   [ 8   filter-function multi-hot                                ]
+//   [ 5xN' hash union of filtered column identifiers               ]
+//   [ 4   execution-environment features (stage-shared)            ]
+//
+// No histogram, NDV or cardinality feature appears anywhere — the model must
+// infer data-distribution detail from operator attributes plus historical
+// costs (Challenge 2). Environment features come from the executing stage's
+// telemetry during training and from an inference strategy (Section 5) at
+// serving time; all nodes of one stage share one environment vector.
+#ifndef LOAM_CORE_ENCODING_H_
+#define LOAM_CORE_ENCODING_H_
+
+#include <optional>
+#include <vector>
+
+#include "nn/tree_conv.h"
+#include "util/hash.h"
+#include "util/stats.h"
+#include "warehouse/catalog.h"
+#include "warehouse/executor.h"
+#include "warehouse/plan.h"
+
+namespace loam::core {
+
+struct EncodingConfig {
+  MultiSegmentHashConfig table_hash{5, 8};
+  MultiSegmentHashConfig column_hash{5, 8};
+  // LOAM-NL ablation: drop the environment block entirely.
+  bool include_env = true;
+};
+
+class PlanEncoder {
+ public:
+  PlanEncoder(const warehouse::Catalog* catalog, EncodingConfig config = EncodingConfig());
+
+  int feature_dim() const;
+
+  // Fits the log-min-max normalizers of the numeric attributes over a
+  // training corpus of plans.
+  void fit_normalizers(const std::vector<const warehouse::Plan*>& plans);
+
+  // Encodes a plan into a vectorized binary tree.
+  //   * stage_envs — per-stage environment features observed during
+  //     execution (training path); indexed by PlanNode::stage.
+  //   * fixed_env — one environment used for every node (inference path).
+  // Pass neither to zero-fill the environment block.
+  nn::Tree encode(const warehouse::Plan& plan,
+                  const std::vector<warehouse::EnvFeatures>* stage_envs,
+                  const std::optional<warehouse::EnvFeatures>& fixed_env) const;
+
+  const EncodingConfig& config() const { return config_; }
+
+  // Offsets of the feature blocks (exposed for tests).
+  struct Layout {
+    int op = 0;
+    int table = 0;
+    int scan_numeric = 0;
+    int join_form = 0;
+    int join_cols = 0;
+    int agg_fn = 0;
+    int agg_cols = 0;
+    int filter_fns = 0;
+    int filter_cols = 0;
+    int env = 0;
+    int total = 0;
+  };
+  Layout layout() const { return layout_; }
+
+ private:
+  const warehouse::Catalog* catalog_;
+  EncodingConfig config_;
+  Layout layout_;
+  LogMinMax partitions_norm_;
+  LogMinMax columns_norm_;
+};
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_ENCODING_H_

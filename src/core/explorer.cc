@@ -1,0 +1,159 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace loam::core {
+
+using warehouse::Flag;
+using warehouse::FlagSet;
+using warehouse::Plan;
+using warehouse::PlannerKnobs;
+using warehouse::Query;
+
+PlanExplorer::PlanExplorer(const warehouse::NativeOptimizer* optimizer, Config config)
+    : optimizer_(optimizer), config_(config) {}
+
+CandidateGeneration PlanExplorer::explore(const Query& query) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Expert-curated trial list (Section 3: the six flags were "selected by
+  // MaxCompute's domain experts because they are more likely to yield diverse
+  // candidate plans, while remaining safe enough to avoid drastically bad
+  // plans"). Toggles whose only possible effect is pessimization — disabling
+  // filter pushdown, forcing sort-merge pipelines onto unsorted fact inputs —
+  // are deliberately absent.
+  std::vector<PlannerKnobs> trials;
+  const PlannerKnobs def;  // shipping defaults
+  trials.push_back(def);
+
+  {
+    // Shuffle-related: fall back from broadcast to repartitioning.
+    PlannerKnobs k = def;
+    k.flags.set(Flag::kEnableBroadcastJoin, false);
+    trials.push_back(k);
+  }
+  {
+    // Data-flow: partial (pre-shuffle) aggregation.
+    PlannerKnobs k = def;
+    k.flags.set(Flag::kPartialAggregation);
+    trials.push_back(k);
+  }
+  {
+    // Spool: share repeated scans.
+    PlannerKnobs k = def;
+    k.flags.set(Flag::kSpoolReuse);
+    trials.push_back(k);
+  }
+  if (config_.expert_combos) {
+    PlannerKnobs k = def;
+    k.flags.set(Flag::kPartialAggregation).set(Flag::kSpoolReuse);
+    trials.push_back(k);
+  }
+  if (config_.risky_trials) {
+    // The trials the expert pass rejected: kept behind a switch for the
+    // explorer ablations.
+    PlannerKnobs merge = def;
+    merge.flags.set(Flag::kPreferHashJoin, false).set(Flag::kMergeJoinForSorted);
+    trials.push_back(merge);
+    PlannerKnobs late = def;
+    late.flags.set(Flag::kAggressiveFilterPushdown, false);
+    trials.push_back(late);
+    if (query.tables.size() >= 3) {
+      for (double s : {0.05, 20.0}) {
+        PlannerKnobs k = def;
+        k.card_scale = s;
+        k.force_reorder = true;
+        trials.push_back(k);
+      }
+    }
+  }
+  // Join-order steering: reordering on coarse metadata estimates — the only
+  // way to repair a bad syntactic order when statistics are missing.
+  if (query.tables.size() >= 2) {
+    PlannerKnobs k = def;
+    k.force_reorder = true;
+    trials.push_back(k);
+    if (config_.expert_combos) {
+      PlannerKnobs kp = k;
+      kp.flags.set(Flag::kPartialAggregation);
+      trials.push_back(kp);
+    }
+  }
+  // Lero-style scaled cardinalities for queries with >= 3 inputs. Scaling
+  // only perturbs the join-order search, so these trials force reordering.
+  if (query.tables.size() >= 3) {
+    for (double s : config_.card_scales) {
+      PlannerKnobs k = def;
+      k.card_scale = s;
+      k.force_reorder = true;
+      trials.push_back(k);
+      if (config_.expert_combos) {
+        PlannerKnobs kb = k;
+        kb.flags.set(Flag::kPartialAggregation);
+        trials.push_back(kb);
+      }
+    }
+  }
+
+  // Optimize every trial and deduplicate by plan signature. Rough costs are
+  // evaluated on a COMMON estimate face (card_scale = 1) so trials that only
+  // deluded their own search face do not get to flatter themselves.
+  struct Candidate {
+    Plan plan;
+    PlannerKnobs knobs;
+    double rough = 0.0;
+    bool is_default = false;
+  };
+  std::vector<Candidate> candidates;
+  std::set<std::uint64_t> seen;
+  double default_rough = 0.0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    Plan plan = optimizer_->optimize(query, trials[i]);
+    const std::uint64_t sig = plan.signature();
+    if (!seen.insert(sig).second) continue;
+    if (trials[i].card_scale != 1.0) {
+      // Re-annotate on the common face.
+      warehouse::CardEstimator common(optimizer_->catalog(), query, 1.0);
+      common.annotate(plan);
+    }
+    Candidate c;
+    c.rough = optimizer_->rough_cost(plan);
+    if (i == 0) default_rough = c.rough;
+    c.plan = std::move(plan);
+    c.knobs = trials[i];
+    c.is_default = (i == 0);
+    candidates.push_back(std::move(c));
+  }
+  // Sanity pruning against the default plan's rough cost.
+  if (config_.sanity_factor > 0.0 && default_rough > 0.0) {
+    std::erase_if(candidates, [&](const Candidate& c) {
+      return !c.is_default && c.rough > config_.sanity_factor * default_rough;
+    });
+  }
+
+  // Keep the top-k by rough cost; the default plan is always retained
+  // (Section 7.1: candidate sets include the default plan).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.is_default != b.is_default) return a.is_default;
+                     return a.rough < b.rough;
+                   });
+  if (static_cast<int>(candidates.size()) > config_.top_k) {
+    candidates.resize(static_cast<std::size_t>(config_.top_k));
+  }
+
+  CandidateGeneration out;
+  out.trials = static_cast<int>(trials.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].is_default) out.default_index = static_cast<int>(i);
+    out.plans.push_back(std::move(candidates[i].plan));
+    out.knobs.push_back(candidates[i].knobs);
+  }
+  out.generation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+}  // namespace loam::core

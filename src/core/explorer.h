@@ -1,0 +1,58 @@
+// Plan explorer (Section 3): steers the native optimizer with the six
+// expert-selected flags (Bao-style) and with scaled cardinalities on >= 3
+// input subqueries (Lero-style) to produce a diverse candidate set; keeps the
+// top-k by the engine's rough cost estimate and always includes the default
+// plan.
+#ifndef LOAM_CORE_EXPLORER_H_
+#define LOAM_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "warehouse/native_optimizer.h"
+
+namespace loam::core {
+
+struct CandidateGeneration {
+  std::vector<warehouse::Plan> plans;
+  std::vector<warehouse::PlannerKnobs> knobs;
+  int default_index = 0;        // position of the default plan in `plans`
+  double generation_seconds = 0.0;
+  int trials = 0;               // knob settings attempted
+};
+
+struct ExplorerConfig {
+  int top_k = 5;
+  // Lero-style scaling factors applied when the query has >= 3 inputs.
+  std::vector<double> card_scales = {0.3, 3.0};
+  // Also try a few expert flag combinations beyond single toggles.
+  bool expert_combos = true;
+  // Engine-side sanity pruning: a candidate whose rough cost on the COMMON
+  // estimate face (card_scale = 1) exceeds this multiple of the default
+  // plan's rough cost is discarded before ranking. This is how the engine
+  // protects itself from steering trials its own estimates already condemn.
+  double sanity_factor = 1.6;
+  // Include the aggressive trials the domain experts rejected (sort-merge
+  // pipelines on unsorted inputs, disabled filter pushdown, extreme
+  // cardinality scales). Used by ablation studies of the explorer itself.
+  bool risky_trials = false;
+};
+
+class PlanExplorer {
+ public:
+  using Config = ExplorerConfig;
+
+  PlanExplorer(const warehouse::NativeOptimizer* optimizer,
+               Config config = ExplorerConfig());
+
+  CandidateGeneration explore(const warehouse::Query& query) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  const warehouse::NativeOptimizer* optimizer_;
+  Config config_;
+};
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_EXPLORER_H_

@@ -1,0 +1,54 @@
+#include "core/gate.h"
+
+#include <cstdio>
+
+namespace loam::core {
+
+std::string DeploymentGateReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "gate(%s): %d queries, %d improved / %d regressed, avg cost "
+                "%.0f vs default %.0f (%+.1f%%)",
+                approved ? "APPROVED" : "REJECTED", queries, improved, regressed,
+                model_cost, default_cost, 100.0 * gain);
+  return buf;
+}
+
+DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
+                                         const LoamDeployment& deployment,
+                                         DeploymentGateConfig config) {
+  DeploymentGateReport report;
+  const int day = deployment.config().train_last_day + 1;
+  const std::vector<warehouse::Query> queries =
+      runtime.make_queries(day, day + 2, config.sample_queries);
+  const std::vector<EvaluatedQuery> eval = prepare_evaluation(
+      runtime, queries, deployment.config().explorer, config.replay_runs,
+      config.seed);
+
+  double default_total = 0.0, model_total = 0.0;
+  for (const EvaluatedQuery& eq : eval) {
+    const int choice = deployment.select(eq.generation);
+    const double d = eq.mean_cost.at(static_cast<std::size_t>(eq.default_index));
+    const double m = eq.mean_cost.at(static_cast<std::size_t>(choice));
+    default_total += d;
+    model_total += m;
+    if (m < 0.95 * d) ++report.improved;
+    if (m > 1.05 * d) ++report.regressed;
+  }
+  report.queries = static_cast<int>(eval.size());
+  report.default_cost =
+      report.queries > 0 ? default_total / report.queries : 0.0;
+  report.model_cost = report.queries > 0 ? model_total / report.queries : 0.0;
+  report.gain = default_total > 0.0
+                    ? (default_total - model_total) / default_total
+                    : 0.0;
+  const bool cost_ok = report.gain >= -config.max_regression;
+  const bool ratio_ok =
+      report.regressed <=
+      static_cast<int>(config.max_regression_ratio *
+                       std::max(1, report.improved));
+  report.approved = report.queries > 0 && cost_ok && ratio_ok;
+  return report;
+}
+
+}  // namespace loam::core

@@ -1,0 +1,49 @@
+// Pre-deployment gate (Section 3): before a trained predictor serves user
+// queries, it is evaluated on a sampled set of held-out queries whose ground
+// truth comes from the flighting environment; only predictors that do not
+// regress the project go to production. This is LOAM's last line of defense
+// against the risks conventional online refinement would have introduced.
+#ifndef LOAM_CORE_GATE_H_
+#define LOAM_CORE_GATE_H_
+
+#include <string>
+
+#include "core/loam.h"
+
+namespace loam::core {
+
+struct DeploymentGateConfig {
+  int sample_queries = 24;
+  int replay_runs = 5;
+  // Approve when the model's average cost is at most (1 + max_regression)
+  // times the default plans' average cost.
+  double max_regression = 0.0;
+  // Also require that regressed queries do not outnumber improved ones by
+  // more than this factor.
+  double max_regression_ratio = 1.0;
+  std::uint64_t seed = 4711;
+};
+
+struct DeploymentGateReport {
+  bool approved = false;
+  int queries = 0;
+  int improved = 0;   // >5% cheaper than the default plan
+  int regressed = 0;  // >5% more expensive
+  double default_cost = 0.0;
+  double model_cost = 0.0;
+  double gain = 0.0;  // relative cost reduction (negative = regression)
+
+  std::string to_string() const;
+};
+
+// Samples fresh queries from the project's workload for the days immediately
+// after the training window, replays every candidate in flighting, and
+// compares the deployment's selections against the default plans.
+DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
+                                         const LoamDeployment& deployment,
+                                         DeploymentGateConfig config =
+                                             DeploymentGateConfig());
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_GATE_H_

@@ -1,0 +1,64 @@
+#include "core/inference.h"
+
+namespace loam::core {
+
+using warehouse::EnvFeatures;
+
+const char* env_strategy_name(EnvInferenceStrategy s) {
+  switch (s) {
+    case EnvInferenceStrategy::kRepresentativeMean: return "LOAM";
+    case EnvInferenceStrategy::kClusterExpected: return "LOAM-CE";
+    case EnvInferenceStrategy::kClusterInstant: return "LOAM-CB";
+    case EnvInferenceStrategy::kNoEnv: return "LOAM-NL";
+    default: return "?";
+  }
+}
+
+EnvFeatures representative_env(const warehouse::QueryRepository& repo) {
+  double total_work = 0.0;
+  EnvFeatures acc;
+  acc.cpu_idle = acc.io_wait = acc.load5_norm = acc.mem_usage = 0.0;
+  for (const warehouse::QueryRecord& r : repo.records()) {
+    for (const warehouse::StageExecution& s : r.exec.stages) {
+      const double w = std::max(1e-9, s.work);
+      acc.cpu_idle += s.env.cpu_idle * w;
+      acc.io_wait += s.env.io_wait * w;
+      acc.load5_norm += s.env.load5_norm * w;
+      acc.mem_usage += s.env.mem_usage * w;
+      total_work += w;
+    }
+  }
+  if (total_work <= 0.0) return EnvFeatures{};
+  acc.cpu_idle /= total_work;
+  acc.io_wait /= total_work;
+  acc.load5_norm /= total_work;
+  acc.mem_usage /= total_work;
+  return acc;
+}
+
+EnvFeatures expected_cluster_env(const std::vector<EnvFeatures>& history) {
+  return EnvFeatures::average(history);
+}
+
+EnvContext build_env_context(const warehouse::QueryRepository& repo,
+                             const std::vector<EnvFeatures>& cluster_history,
+                             const warehouse::Cluster& cluster) {
+  EnvContext ctx;
+  ctx.representative = representative_env(repo);
+  ctx.cluster_expected = expected_cluster_env(cluster_history);
+  ctx.cluster_instant = EnvFeatures::from_load(cluster.cluster_average());
+  return ctx;
+}
+
+EnvFeatures select_env(EnvInferenceStrategy strategy, const EnvContext& context) {
+  switch (strategy) {
+    case EnvInferenceStrategy::kRepresentativeMean: return context.representative;
+    case EnvInferenceStrategy::kClusterExpected: return context.cluster_expected;
+    case EnvInferenceStrategy::kClusterInstant: return context.cluster_instant;
+    case EnvInferenceStrategy::kNoEnv:
+    default:
+      return EnvFeatures{};
+  }
+}
+
+}  // namespace loam::core

@@ -1,0 +1,63 @@
+// Plan cost inference under invisible execution environments (Section 5).
+//
+// At optimization time the query has not started, so no environment features
+// exist. Theorem 1 shows the resulting error is intrinsic; the practical
+// strategy is to evaluate every candidate under ONE representative
+// environment e_r. LOAM instantiates e_r as the per-feature empirical mean of
+// the project's historical machine-level stage environments; the ablations of
+// Section 7.2.5 are the alternative instantiations:
+//
+//   kRepresentativeMean — LOAM     (historical machine-level mean)
+//   kClusterExpected    — LOAM-CE  (mean of cluster-wide averages, past 24 h)
+//   kClusterInstant     — LOAM-CB  (cluster-wide average right now)
+//   kNoEnv              — LOAM-NL  (no environment features at all)
+#ifndef LOAM_CORE_INFERENCE_H_
+#define LOAM_CORE_INFERENCE_H_
+
+#include <vector>
+
+#include "warehouse/cluster.h"
+#include "warehouse/repository.h"
+
+namespace loam::core {
+
+enum class EnvInferenceStrategy {
+  kRepresentativeMean,
+  kClusterExpected,
+  kClusterInstant,
+  kNoEnv,
+};
+
+const char* env_strategy_name(EnvInferenceStrategy s);
+
+struct EnvContext {
+  // Empirical mean of machine-level stage environments from the historical
+  // repository (what queries of THIS project actually experienced).
+  warehouse::EnvFeatures representative;
+  // Expectation of cluster-wide averaged metrics over a trailing window.
+  warehouse::EnvFeatures cluster_expected;
+  // Cluster-wide average at the moment of query optimization.
+  warehouse::EnvFeatures cluster_instant;
+};
+
+// Builds the representative environment from logged stage executions
+// (work-weighted, so heavy stages dominate as they do in cost).
+warehouse::EnvFeatures representative_env(const warehouse::QueryRepository& repo);
+
+// Aggregates a trailing history of cluster-wide samples.
+warehouse::EnvFeatures expected_cluster_env(
+    const std::vector<warehouse::EnvFeatures>& history);
+
+EnvContext build_env_context(const warehouse::QueryRepository& repo,
+                             const std::vector<warehouse::EnvFeatures>& cluster_history,
+                             const warehouse::Cluster& cluster);
+
+// The environment vector fed to the encoder for a given strategy (kNoEnv
+// callers should use an encoder with include_env = false; this returns a
+// neutral vector for them).
+warehouse::EnvFeatures select_env(EnvInferenceStrategy strategy,
+                                  const EnvContext& context);
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_INFERENCE_H_

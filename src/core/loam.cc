@@ -1,0 +1,275 @@
+#include "core/loam.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace loam::core {
+
+using warehouse::EnvFeatures;
+using warehouse::Plan;
+using warehouse::PlannerKnobs;
+using warehouse::Query;
+using warehouse::QueryRecord;
+
+ProjectRuntime::ProjectRuntime(const warehouse::ProjectArchetype& archetype,
+                               RuntimeConfig config)
+    : config_(config),
+      generator_(config.seed ^ 0x9a7e11ull),
+      project_(generator_.make_project(archetype)),
+      cluster_([&] {
+        warehouse::ClusterConfig c = config.cluster;
+        c.machines = archetype.cluster_machines;
+        return c;
+      }(), config.seed ^ 0xc157e2ull),
+      executor_(&cluster_, config.executor),
+      rng_(config.seed ^ 0x5eedull) {
+  optimizer_ = std::make_unique<warehouse::NativeOptimizer>(project_.catalog);
+}
+
+void ProjectRuntime::simulate_history(int days, int max_queries_per_day) {
+  for (int day = 0; day < days; ++day) {
+    std::vector<Query> queries = generator_.day_workload(project_, day, rng_);
+    if (static_cast<int>(queries.size()) > max_queries_per_day) {
+      queries.resize(static_cast<std::size_t>(max_queries_per_day));
+    }
+    for (Query& q : queries) {
+      QueryRecord record;
+      record.query = q;
+      record.knobs = PlannerKnobs();  // shipping defaults
+      record.is_default = true;
+      record.day = day;
+      record.plan = optimizer_->optimize(q, record.knobs);
+      record.exec = executor_.execute(record.plan, rng_);
+      repository_.log(std::move(record));
+      // Telemetry archive of cluster-wide averages (LOAM-CE's data source).
+      cluster_env_history_.push_back(
+          EnvFeatures::from_load(cluster_.cluster_average()));
+      // Idle gaps between queries.
+      cluster_.advance(rng_.uniform(20.0, 200.0));
+    }
+    // Overnight drift.
+    cluster_.advance(3600.0);
+  }
+}
+
+std::vector<Query> ProjectRuntime::make_queries(int first_day, int last_day,
+                                                int max_queries) {
+  std::vector<Query> out;
+  for (int day = first_day; day <= last_day; ++day) {
+    std::vector<Query> batch = generator_.day_workload(project_, day, rng_);
+    for (Query& q : batch) {
+      if (static_cast<int>(out.size()) >= max_queries) return out;
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+WorkloadSummary summarize_workload(const ProjectRuntime& runtime, int first_day,
+                                   int last_day, int lifespan_days) {
+  WorkloadSummary s;
+  s.project = runtime.project().name;
+  s.queries_per_day.assign(static_cast<std::size_t>(last_day - first_day + 1), 0);
+  int stable = 0, total = 0;
+  for (const QueryRecord& r : runtime.repository().records()) {
+    if (r.day < first_day || r.day > last_day) continue;
+    ++s.queries_per_day[static_cast<std::size_t>(r.day - first_day)];
+    ++total;
+    bool all_stable = true;
+    for (int t : r.query.tables) {
+      if (runtime.project().catalog.table(t).lifespan_days() <= lifespan_days) {
+        all_stable = false;
+        break;
+      }
+    }
+    if (all_stable) ++stable;
+  }
+  s.stable_table_ratio = total > 0 ? static_cast<double>(stable) / total : 0.0;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// LoamDeployment
+// ---------------------------------------------------------------------------
+
+LoamDeployment::LoamDeployment(ProjectRuntime* runtime, LoamConfig config,
+                               std::unique_ptr<CostModel> model)
+    : runtime_(runtime),
+      config_(config),
+      encoder_(&runtime->project().catalog, config.encoding),
+      explorer_(&runtime->optimizer(), config.explorer),
+      model_(std::move(model)) {
+  if (model_ == nullptr) {
+    model_ = std::make_unique<AdaptiveCostPredictor>(encoder_.feature_dim(),
+                                                     config_.predictor);
+  }
+}
+
+void LoamDeployment::train() {
+  const auto start = std::chrono::steady_clock::now();
+  const warehouse::QueryRepository& repo = runtime_->repository();
+
+  // Deduplicated training window, capped as in Section 7.1.
+  std::vector<const QueryRecord*> records =
+      repo.deduplicated(config_.train_first_day, config_.train_last_day);
+  if (static_cast<int>(records.size()) > config_.max_train_queries) {
+    records.resize(static_cast<std::size_t>(config_.max_train_queries));
+  }
+
+  // Environment context for inference-time encoding.
+  env_context_ = build_env_context(repo, runtime_->cluster_env_history(),
+                                   runtime_->cluster());
+
+  // Fit the numeric normalizers on the training plans.
+  std::vector<const Plan*> plans;
+  plans.reserve(records.size());
+  for (const QueryRecord* r : records) plans.push_back(&r->plan);
+  encoder_.fit_normalizers(plans);
+
+  // Default plans with observed costs, encoded with the environments their
+  // stages actually experienced.
+  data_.default_plans.clear();
+  data_.default_plans.reserve(records.size());
+  for (const QueryRecord* r : records) {
+    std::vector<EnvFeatures> stage_envs(r->exec.stages.size());
+    for (const warehouse::StageExecution& s : r->exec.stages) {
+      if (s.stage_id >= 0) stage_envs[static_cast<std::size_t>(s.stage_id)] = s.env;
+    }
+    TrainingExample ex;
+    ex.tree = encoder_.encode(r->plan, &stage_envs, std::nullopt);
+    ex.cpu_cost = config_.cost_target == CostTarget::kLatency
+                      ? r->exec.latency_s
+                      : r->exec.cpu_cost;
+    data_.default_plans.push_back(std::move(ex));
+  }
+
+  // Candidate plans for the adversarial half of Eq. (1): generated for a
+  // sample of training queries, encoded under the representative environment
+  // (the encoding they will see at serving time), never executed.
+  data_.candidate_plans.clear();
+  const int sample = std::min<int>(config_.candidate_sample_queries,
+                                   static_cast<int>(records.size()));
+  const EnvFeatures rep = env_context_.representative;
+  for (int i = 0; i < sample; ++i) {
+    const QueryRecord* r = records[static_cast<std::size_t>(
+        i * std::max<std::size_t>(1, records.size() / std::max(1, sample)))];
+    CandidateGeneration gen = explorer_.explore(r->query);
+    for (std::size_t c = 0; c < gen.plans.size(); ++c) {
+      if (static_cast<int>(c) == gen.default_index) continue;
+      data_.candidate_plans.push_back(
+          encoder_.encode(gen.plans[c], nullptr, rep));
+    }
+  }
+
+  model_->fit(data_.default_plans, data_.candidate_plans);
+  train_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+int LoamDeployment::select(const CandidateGeneration& generation,
+                           std::vector<double>* predictions) const {
+  return select_with_strategy(generation, config_.strategy, predictions);
+}
+
+int LoamDeployment::select_with_strategy(const CandidateGeneration& generation,
+                                         EnvInferenceStrategy strategy,
+                                         std::vector<double>* predictions) const {
+  EnvFeatures env;
+  if (strategy == EnvInferenceStrategy::kClusterInstant) {
+    EnvContext ctx = env_context_;
+    ctx.cluster_instant =
+        EnvFeatures::from_load(runtime_->cluster().cluster_average());
+    env = select_env(strategy, ctx);
+  } else {
+    env = select_env(strategy, env_context_);
+  }
+  const bool use_env = strategy != EnvInferenceStrategy::kNoEnv;
+  int best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<double> preds;
+  preds.reserve(generation.plans.size());
+  for (std::size_t c = 0; c < generation.plans.size(); ++c) {
+    nn::Tree tree = encoder_.encode(
+        generation.plans[c], nullptr,
+        use_env ? std::optional<EnvFeatures>(env) : std::nullopt);
+    const double cost = model_->predict(tree);
+    preds.push_back(cost);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<int>(c);
+    }
+  }
+  if (predictions != nullptr) *predictions = std::move(preds);
+  return best;
+}
+
+LoamDeployment::Choice LoamDeployment::optimize(const Query& query) const {
+  Choice choice;
+  choice.generation = explorer_.explore(query);
+  const auto start = std::chrono::steady_clock::now();
+  choice.chosen = select(choice.generation, &choice.predicted);
+  choice.inference_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return choice;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation harness
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> paired_replay(
+    const std::vector<Plan>& plans, const warehouse::ClusterConfig& cluster_config,
+    const warehouse::ExecutorConfig& executor_config, int runs,
+    std::uint64_t seed) {
+  std::vector<std::vector<double>> samples(
+      plans.size(), std::vector<double>(static_cast<std::size_t>(runs), 0.0));
+  warehouse::Cluster master(cluster_config, seed ^ 0x3a57e5ull);
+  Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    // One realized environment e: every candidate executes against an
+    // identical cluster snapshot. Scheduling and execution noise stay
+    // independent across candidates — e determines the environment, not the
+    // residual randomness (this is the independence Lemma 1 assumes).
+    master.advance(rng.uniform(300.0, 3600.0));
+    const std::uint64_t run_seed = static_cast<std::uint64_t>(rng.uniform_int(
+        0, std::numeric_limits<std::int64_t>::max()));
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      warehouse::Cluster snapshot = master;
+      warehouse::Executor executor(&snapshot, executor_config);
+      Rng run_rng(mix64(run_seed + 0x9e37 * (p + 1)));
+      Plan copy = plans[p];
+      samples[p][static_cast<std::size_t>(r)] = executor.execute(copy, run_rng).cpu_cost;
+    }
+  }
+  return samples;
+}
+
+std::vector<EvaluatedQuery> prepare_evaluation(
+    ProjectRuntime& runtime, const std::vector<Query>& test_queries,
+    const PlanExplorer::Config& explorer_config, int runs, std::uint64_t seed) {
+  PlanExplorer explorer(&runtime.optimizer(), explorer_config);
+  warehouse::ClusterConfig cluster_config = runtime.config().cluster;
+  cluster_config.machines = runtime.project().archetype.cluster_machines;
+  std::vector<EvaluatedQuery> out;
+  out.reserve(test_queries.size());
+  std::uint64_t salt = seed;
+  for (const Query& q : test_queries) {
+    EvaluatedQuery eq;
+    eq.query = q;
+    eq.generation = explorer.explore(q);
+    eq.default_index = eq.generation.default_index;
+    eq.cost_samples = paired_replay(eq.generation.plans, cluster_config,
+                                    runtime.config().executor, runs, ++salt);
+    eq.mean_cost.reserve(eq.cost_samples.size());
+    for (const auto& s : eq.cost_samples) {
+      double acc = 0.0;
+      for (double c : s) acc += c;
+      eq.mean_cost.push_back(s.empty() ? 0.0 : acc / static_cast<double>(s.size()));
+    }
+    out.push_back(std::move(eq));
+  }
+  return out;
+}
+
+}  // namespace loam::core

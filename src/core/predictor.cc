@@ -1,0 +1,202 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "util/stats.h"
+
+namespace loam::core {
+
+void LogCostScaler::fit(const std::vector<TrainingExample>& examples) {
+  if (examples.empty()) return;
+  std::vector<double> logs;
+  logs.reserve(examples.size());
+  for (const auto& e : examples) logs.push_back(std::log1p(std::max(0.0, e.cpu_cost)));
+  mu = mean(logs);
+  sd = std::max(1e-6, stddev(logs));
+}
+
+double LogCostScaler::to_z(double cost) const {
+  return (std::log1p(std::max(0.0, cost)) - mu) / sd;
+}
+
+double LogCostScaler::to_cost(double z) const {
+  return std::expm1(std::clamp(z * sd + mu, -30.0, 30.0));
+}
+
+AdaptiveCostPredictor::AdaptiveCostPredictor(int input_dim, PredictorConfig config)
+    : config_(config) {
+  Rng rng(config.seed);
+  nn::TreeConvNet::Config tcn;
+  tcn.input_dim = input_dim;
+  tcn.hidden_dim = config.hidden_dim;
+  tcn.embed_dim = config.embed_dim;
+  tcn.layers = config.tcn_layers;
+  plan_emb_ = nn::TreeConvNet(tcn, rng);
+  cost_pred_ = nn::Linear("cost_pred", config.embed_dim, 1, rng);
+  dom_fc1_ = nn::Linear("dom_fc1", config.embed_dim, config.domain_hidden, rng);
+  dom_fc2_ = nn::Linear("dom_fc2", config.domain_hidden, 2, rng);
+
+  all_params_ = plan_emb_.parameters();
+  for (auto* layer : {&cost_pred_, &dom_fc1_, &dom_fc2_}) {
+    for (nn::Parameter* p : layer->parameters()) all_params_.push_back(p);
+  }
+  nn::AdamOptions opts;
+  opts.lr = config.lr;
+  optimizer_ = std::make_unique<nn::Adam>(all_params_, opts);
+}
+
+double AdaptiveCostPredictor::grl_lambda(double progress) {
+  return 2.0 / (1.0 + std::exp(-10.0 * progress)) - 1.0;
+}
+
+void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plans,
+                                const std::vector<nn::Tree>& candidate_plans) {
+  const auto start = std::chrono::steady_clock::now();
+  if (default_plans.empty()) return;
+  scaler_.fit(default_plans);
+
+  Rng rng(config_.seed ^ 0xabcdefull);
+  std::vector<int> order(default_plans.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const bool adversarial = config_.adversarial && !candidate_plans.empty();
+
+  // Running loss magnitudes used to auto-balance w_c and w_d (Eq. 1).
+  double ema_cost = 1.0, ema_dom = 1.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double progress = static_cast<double>(epoch) / std::max(1, config_.epochs - 1);
+    const double lambda = adversarial ? grl_lambda(progress) : 0.0;
+
+    double epoch_cost_loss = 0.0, epoch_dom_loss = 0.0;
+    int dom_correct = 0, dom_total = 0;
+
+    for (std::size_t pos = 0; pos < order.size(); pos += config_.batch_size) {
+      optimizer_->zero_grad();
+      const std::size_t end =
+          std::min(order.size(), pos + static_cast<std::size_t>(config_.batch_size));
+      const int batch = static_cast<int>(end - pos);
+
+      // Balance the two loss terms by their running magnitudes.
+      const double w_d =
+          std::clamp(0.5 * ema_cost / std::max(1e-6, ema_dom), 0.02, 10.0);
+      grl_.set_lambda(static_cast<float>(lambda));
+
+      for (std::size_t i = pos; i < end; ++i) {
+        const TrainingExample& ex =
+            default_plans[static_cast<std::size_t>(order[i])];
+        nn::Mat emb = plan_emb_.forward(ex.tree);
+        nn::Mat pred = cost_pred_.forward(emb);
+
+        nn::Mat grad_pred;
+        const double z = scaler_.to_z(ex.cpu_cost);
+        epoch_cost_loss += nn::mse_loss(pred, {static_cast<float>(z)}, grad_pred);
+        grad_pred.scale_inplace(1.0f / static_cast<float>(batch));
+        nn::Mat grad_emb = cost_pred_.backward(grad_pred);
+
+        if (adversarial) {
+          // Domain path, label 0 = default plan.
+          nn::Mat logits = dom_fc2_.forward(dom_act_.forward(
+              dom_fc1_.forward(grl_.forward(emb))));
+          nn::Mat grad_logits;
+          epoch_dom_loss += nn::softmax_cross_entropy(logits, {0}, grad_logits);
+          dom_correct += logits.at(0, 0) > logits.at(0, 1) ? 1 : 0;
+          ++dom_total;
+          grad_logits.scale_inplace(static_cast<float>(w_d / batch));
+          nn::Mat grad_dom = grl_.backward(dom_fc1_.backward(
+              dom_act_.backward(dom_fc2_.backward(grad_logits))));
+          grad_emb.add_inplace(grad_dom);
+        }
+        plan_emb_.backward(grad_emb);
+      }
+
+      if (adversarial) {
+        // Candidate-plan half of the domain objective (label 1). The plans
+        // are never executed — only their embeddings matter.
+        for (int i = 0; i < batch; ++i) {
+          const nn::Tree& tree = candidate_plans[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(candidate_plans.size()) - 1))];
+          nn::Mat emb = plan_emb_.forward(tree);
+          nn::Mat logits = dom_fc2_.forward(dom_act_.forward(
+              dom_fc1_.forward(grl_.forward(emb))));
+          nn::Mat grad_logits;
+          epoch_dom_loss += nn::softmax_cross_entropy(logits, {1}, grad_logits);
+          dom_correct += logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
+          ++dom_total;
+          grad_logits.scale_inplace(static_cast<float>(w_d / batch));
+          nn::Mat grad_emb = grl_.backward(dom_fc1_.backward(
+              dom_act_.backward(dom_fc2_.backward(grad_logits))));
+          plan_emb_.backward(grad_emb);
+        }
+      }
+      optimizer_->step();
+    }
+
+    const double n_default = static_cast<double>(default_plans.size());
+    diagnostics_.final_cost_loss = epoch_cost_loss / n_default;
+    if (dom_total > 0) {
+      diagnostics_.final_domain_loss = epoch_dom_loss / dom_total;
+      diagnostics_.final_domain_accuracy =
+          static_cast<double>(dom_correct) / dom_total;
+    }
+    ema_cost = 0.7 * ema_cost + 0.3 * diagnostics_.final_cost_loss;
+    if (dom_total > 0) {
+      ema_dom = 0.7 * ema_dom + 0.3 * diagnostics_.final_domain_loss;
+    }
+    optimizer_->decay_lr(config_.lr_decay);
+    diagnostics_.epochs_run = epoch + 1;
+  }
+  diagnostics_.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+double AdaptiveCostPredictor::predict(const nn::Tree& tree) const {
+  nn::Mat emb = plan_emb_.forward(tree);
+  nn::Mat pred = cost_pred_.forward(emb);
+  return scaler_.to_cost(static_cast<double>(pred.at(0, 0)));
+}
+
+std::vector<float> AdaptiveCostPredictor::embed(const nn::Tree& tree) const {
+  nn::Mat emb = plan_emb_.forward(tree);
+  auto row = emb.row(0);
+  return {row.begin(), row.end()};
+}
+
+double AdaptiveCostPredictor::domain_probability(const nn::Tree& tree) const {
+  nn::Mat emb = plan_emb_.forward(tree);
+  nn::Mat logits =
+      dom_fc2_.forward(dom_act_.forward(dom_fc1_.forward(grl_.forward(emb))));
+  const nn::Mat probs = nn::row_softmax(logits);
+  return static_cast<double>(probs.at(0, 1));
+}
+
+std::size_t AdaptiveCostPredictor::model_bytes() const {
+  return optimizer_->parameter_bytes();
+}
+
+void AdaptiveCostPredictor::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  // Target scaler first, then the weights.
+  out.write(reinterpret_cast<const char*>(&scaler_.mu), sizeof(scaler_.mu));
+  out.write(reinterpret_cast<const char*>(&scaler_.sd), sizeof(scaler_.sd));
+  nn::save_parameters(all_params_, out);
+}
+
+void AdaptiveCostPredictor::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  in.read(reinterpret_cast<char*>(&scaler_.mu), sizeof(scaler_.mu));
+  in.read(reinterpret_cast<char*>(&scaler_.sd), sizeof(scaler_.sd));
+  if (!in) throw std::runtime_error("checkpoint truncated (scaler)");
+  nn::load_parameters(all_params_, in);
+}
+
+}  // namespace loam::core

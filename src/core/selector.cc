@@ -1,0 +1,234 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/hash.h"
+
+namespace loam::core {
+
+double WorkloadSummary::n_query() const {
+  if (queries_per_day.empty()) return 0.0;
+  double total = 0.0;
+  for (int q : queries_per_day) total += q;
+  return total / static_cast<double>(queries_per_day.size());
+}
+
+double WorkloadSummary::query_inc_ratio() const {
+  if (queries_per_day.size() < 2) return 1.0;
+  double acc = 0.0;
+  int terms = 0;
+  for (std::size_t i = 1; i < queries_per_day.size(); ++i) {
+    const double prev = std::max(1, queries_per_day[i - 1]);
+    acc += static_cast<double>(queries_per_day[i]) / prev;
+    ++terms;
+  }
+  return terms > 0 ? acc / terms : 1.0;
+}
+
+FilterThresholds FilterThresholds::make_default() {
+  FilterThresholds t;
+  // r is the smallest day-over-day ratio under which a project at the volume
+  // floor N0 still accumulates `train_target` queries across a 30-day
+  // collection window (sum N0 * r^d >= target). Stable workloads (ratio 1.0)
+  // pass comfortably; only collapsing workloads are filtered — the "stable or
+  // growing steadily" reading of the paper's R2.
+  double lo = 0.5, hi = 1.5;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double r = 0.5 * (lo + hi);
+    double total = 0.0, term = t.n0;
+    for (int d = 0; d < 30; ++d) {
+      total += term;
+      term *= r;
+    }
+    (total >= t.train_target ? hi : lo) = r;
+  }
+  t.r = hi;
+  return t;
+}
+
+FilterDecision apply_filter(const WorkloadSummary& summary,
+                            const FilterThresholds& thresholds) {
+  FilterDecision d;
+  d.n_query = summary.n_query();
+  d.inc_ratio = summary.query_inc_ratio();
+  d.stable_ratio = summary.stable_table_ratio;
+  d.r1 = d.n_query >= thresholds.n0;
+  d.r2 = d.inc_ratio >= thresholds.r;
+  d.r3 = d.stable_ratio >= thresholds.theta;
+  d.pass = d.r1 && d.r2 && d.r3;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Ranker
+// ---------------------------------------------------------------------------
+
+RankerFeaturizer::RankerFeaturizer(RankerFeaturizerConfig config) : config_(config) {}
+
+int RankerFeaturizer::feature_dim() const {
+  return 1 + config_.pattern_buckets + 3 + 1;
+}
+
+std::vector<float> RankerFeaturizer::featurize(const warehouse::Plan& plan,
+                                               const warehouse::Catalog& catalog,
+                                               double cpu_cost) const {
+  std::vector<float> f(static_cast<std::size_t>(feature_dim()), 0.0f);
+  // [0]: total operator count (log-scaled into roughly [0, 1]).
+  f[0] = static_cast<float>(std::log1p(plan.node_count()) / std::log(64.0));
+
+  // Parent-child pattern counts hashed into fixed buckets (Appendix D.2's
+  // <parent, child> encoding, made project-agnostic).
+  for (const auto& [pattern, count] : plan.parent_child_patterns()) {
+    const std::uint64_t key =
+        mix64((static_cast<std::uint64_t>(pattern.first) << 8) ^
+              static_cast<std::uint64_t>(pattern.second));
+    const int bucket = static_cast<int>(key % static_cast<std::uint64_t>(
+                                                  config_.pattern_buckets));
+    f[static_cast<std::size_t>(1 + bucket)] += static_cast<float>(count) / 8.0f;
+  }
+
+  // Top-3 input table sizes, log-normalized against a 1e9-row ceiling.
+  std::vector<double> sizes;
+  std::set<int> seen;
+  for (const warehouse::PlanNode& n : plan.nodes()) {
+    if ((n.op == warehouse::OpType::kTableScan ||
+         n.op == warehouse::OpType::kSpoolRead) &&
+        n.table_id >= 0 && seen.insert(n.table_id).second) {
+      sizes.push_back(static_cast<double>(catalog.table(n.table_id).row_count));
+    }
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  for (int i = 0; i < 3 && i < static_cast<int>(sizes.size()); ++i) {
+    f[static_cast<std::size_t>(1 + config_.pattern_buckets + i)] =
+        static_cast<float>(std::log1p(sizes[static_cast<std::size_t>(i)]) /
+                           std::log(1e9));
+  }
+
+  // Plan CPU cost, log-normalized against a 1e8 ceiling.
+  f[static_cast<std::size_t>(1 + config_.pattern_buckets + 3)] =
+      static_cast<float>(std::log1p(std::max(0.0, cpu_cost)) / std::log(1e8));
+  return f;
+}
+
+ProjectRanker::ProjectRanker(RankerFeaturizerConfig config, gbdt::GbdtParams params)
+    : featurizer_(config), model_(params) {}
+
+void ProjectRanker::fit(const std::vector<RankerExample>& examples) {
+  corpus_ = examples;
+  gbdt::FeatureMatrix x;
+  std::vector<double> y;
+  x.reserve(corpus_.size());
+  y.reserve(corpus_.size());
+  for (const RankerExample& e : corpus_) {
+    x.push_back(e.features);
+    y.push_back(e.improvement_space);
+  }
+  model_.fit(x, y);
+}
+
+void ProjectRanker::update(const std::vector<RankerExample>& new_examples) {
+  std::vector<RankerExample> merged = corpus_;
+  merged.insert(merged.end(), new_examples.begin(), new_examples.end());
+  fit(merged);
+}
+
+double ProjectRanker::estimate(const std::vector<float>& features) const {
+  return model_.predict(features);
+}
+
+double ProjectRanker::estimate_plan(const warehouse::Plan& plan,
+                                    const warehouse::Catalog& catalog,
+                                    double cpu_cost) const {
+  return estimate(featurizer_.featurize(plan, catalog, cpu_cost));
+}
+
+double ProjectRanker::score_project(
+    const std::vector<const warehouse::Plan*>& default_plans,
+    const warehouse::Catalog& catalog, const std::vector<double>& costs) const {
+  if (default_plans.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < default_plans.size(); ++i) {
+    acc += estimate_plan(*default_plans[i], catalog, costs.at(i));
+  }
+  return acc / static_cast<double>(default_plans.size());
+}
+
+// ---------------------------------------------------------------------------
+// Ranking metrics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<int> order_desc(const std::vector<double>& values) {
+  std::vector<int> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&values](int a, int b) {
+    return values[static_cast<std::size_t>(a)] > values[static_cast<std::size_t>(b)];
+  });
+  return idx;
+}
+
+}  // namespace
+
+double recall_at(const std::vector<double>& scores, const std::vector<double>& truth,
+                 int k, int n) {
+  const int total = static_cast<int>(scores.size());
+  k = std::clamp(k, 0, total);
+  n = std::clamp(n, 1, total);
+  const std::vector<int> by_score = order_desc(scores);
+  const std::vector<int> by_truth = order_desc(truth);
+  std::set<int> top_truth(by_truth.begin(), by_truth.begin() + n);
+  int hits = 0;
+  for (int i = 0; i < k; ++i) {
+    if (top_truth.contains(by_score[static_cast<std::size_t>(i)])) ++hits;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+namespace {
+
+double dcg(const std::vector<int>& order, const std::vector<double>& truth, int k) {
+  double acc = 0.0;
+  for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+    const double rel = truth[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    acc += (std::pow(2.0, rel) - 1.0) / std::log2(i + 2.0);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double ndcg_at(const std::vector<double>& scores, const std::vector<double>& truth,
+               int k) {
+  const std::vector<int> by_score = order_desc(scores);
+  const std::vector<int> by_truth = order_desc(truth);
+  const double ideal = dcg(by_truth, truth, k);
+  if (ideal <= 0.0) return 0.0;
+  return dcg(by_score, truth, k) / ideal;
+}
+
+double expected_random_recall(int k, int total_projects) {
+  if (total_projects <= 0) return 0.0;
+  // Appendix E.2: each project lands in the top-k with probability k/N, so
+  // E[Recall@(k,n)] = k/N independent of n.
+  return static_cast<double>(k) / total_projects;
+}
+
+double expected_random_ndcg(const std::vector<double>& truth, int k) {
+  const int n = static_cast<int>(truth.size());
+  if (n == 0) return 0.0;
+  // E[DCG@k] = sum_{i<k} E[2^rel - 1] / log2(i+2) with E over a uniformly
+  // random project at each position.
+  double mean_gain = 0.0;
+  for (double rel : truth) mean_gain += std::pow(2.0, rel) - 1.0;
+  mean_gain /= n;
+  double expected_dcg = 0.0;
+  for (int i = 0; i < k && i < n; ++i) expected_dcg += mean_gain / std::log2(i + 2.0);
+  const double ideal = dcg(order_desc(truth), truth, k);
+  return ideal > 0.0 ? expected_dcg / ideal : 0.0;
+}
+
+}  // namespace loam::core

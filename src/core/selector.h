@@ -1,0 +1,147 @@
+// Project selection (Section 6, Appendix D): a two-stage pipeline that first
+// excludes projects with training challenges via rule-based filtering, then
+// ranks the survivors by estimated deployment benefit with a lightweight
+// learned model.
+//
+//   R1: n_query(Q) >= N0                (enough daily queries)
+//   R2: query_inc_ratio(Q) >= r         (stable or growing volume)
+//   R3: stable_table_ratio(Q) >= theta  (long-lived tables dominate)
+//
+// The Ranker regresses the improvement space D(M_d) of a query from the
+// observable properties of its DEFAULT plan (Appendix D.2): parent-child
+// operator-pattern counts, the top-3 input table sizes, and the plan's CPU
+// cost. Features are project-agnostic, so one Ranker trains across projects
+// and transfers to new ones.
+#ifndef LOAM_CORE_SELECTOR_H_
+#define LOAM_CORE_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "gbdt/gbdt.h"
+#include "warehouse/catalog.h"
+#include "warehouse/plan.h"
+
+namespace loam::core {
+
+// ---------------------------------------------------------------------------
+// Rule-based Filter
+// ---------------------------------------------------------------------------
+
+struct WorkloadSummary {
+  std::string project;
+  // Queries submitted on each of the d observed days.
+  std::vector<int> queries_per_day;
+  // Fraction of queries all of whose tables outlive the churn horizon.
+  double stable_table_ratio = 1.0;
+
+  double n_query() const;          // |Q| / d
+  double query_inc_ratio() const;  // mean day-over-day growth
+};
+
+struct FilterThresholds {
+  // Simulation-scaled counterparts of the paper's constants (N0 = 2,000/day
+  // with N0 * r^30 >= 10,000 at production scale).
+  double n0 = 120.0;
+  double r = 1.0;          // derived in make_default() from n0 and the target
+  double theta = 0.2;
+  int lifespan_days = 30;  // tables must outlive this to count as stable
+  double train_target = 600.0;  // N0 * r^30 >= train_target
+
+  static FilterThresholds make_default();
+};
+
+struct FilterDecision {
+  bool pass = false;
+  bool r1 = false, r2 = false, r3 = false;
+  double n_query = 0.0, inc_ratio = 0.0, stable_ratio = 0.0;
+};
+
+FilterDecision apply_filter(const WorkloadSummary& summary,
+                            const FilterThresholds& thresholds =
+                                FilterThresholds::make_default());
+
+// ---------------------------------------------------------------------------
+// Learned Ranker
+// ---------------------------------------------------------------------------
+
+struct RankerFeaturizerConfig {
+  // Parent-child operator patterns are hashed into this many buckets so the
+  // feature space stays fixed across projects.
+  int pattern_buckets = 48;
+};
+
+class RankerFeaturizer {
+ public:
+  explicit RankerFeaturizer(RankerFeaturizerConfig config = RankerFeaturizerConfig());
+
+  int feature_dim() const;
+  // Encodes a DEFAULT plan: [#ops, pattern-bucket counts, top-3 log table
+  // sizes, log cpu cost], min-max normalized where unbounded.
+  std::vector<float> featurize(const warehouse::Plan& plan,
+                               const warehouse::Catalog& catalog,
+                               double cpu_cost) const;
+
+ private:
+  RankerFeaturizerConfig config_;
+};
+
+struct RankerExample {
+  std::vector<float> features;
+  double improvement_space = 0.0;  // D(M_d), possibly normalized by cost
+};
+
+class ProjectRanker {
+ public:
+  explicit ProjectRanker(RankerFeaturizerConfig config = RankerFeaturizerConfig(),
+                         gbdt::GbdtParams params = gbdt::GbdtParams());
+
+  // Trains on (default plan, D(M_d)) pairs pooled from multiple projects.
+  void fit(const std::vector<RankerExample>& examples);
+
+  // Periodic refinement (Section 6): as more projects get deployed and
+  // evaluated, their (P_d, D(M_d)) pairs are folded in and the model is
+  // refit over the accumulated corpus.
+  void update(const std::vector<RankerExample>& new_examples);
+  std::size_t training_corpus_size() const { return corpus_.size(); }
+
+  double estimate(const std::vector<float>& features) const;
+  double estimate_plan(const warehouse::Plan& plan, const warehouse::Catalog& catalog,
+                       double cpu_cost) const;
+
+  // A project's score: mean estimated improvement space over its sampled
+  // default plans.
+  double score_project(const std::vector<const warehouse::Plan*>& default_plans,
+                       const warehouse::Catalog& catalog,
+                       const std::vector<double>& costs) const;
+
+  const RankerFeaturizer& featurizer() const { return featurizer_; }
+  bool trained() const { return model_.trained(); }
+
+ private:
+  RankerFeaturizer featurizer_;
+  gbdt::GbdtRegressor model_;
+  std::vector<RankerExample> corpus_;
+};
+
+// ---------------------------------------------------------------------------
+// Ranking metrics (Section 7.2.6, Appendix E.2)
+// ---------------------------------------------------------------------------
+
+// Recall@(k, n): fraction of the n ground-truth-best projects found in the
+// top-k of the ranking. `scores` are the model's scores, `truth` the true
+// improvement spaces (higher = better); both indexed by project.
+double recall_at(const std::vector<double>& scores, const std::vector<double>& truth,
+                 int k, int n);
+
+// NDCG@k with relevance = the true improvement space.
+double ndcg_at(const std::vector<double>& scores, const std::vector<double>& truth,
+               int k);
+
+// Closed-form expectations for a uniformly random ranking (Appendix E.2).
+double expected_random_recall(int k, int total_projects);
+double expected_random_ndcg(const std::vector<double>& truth, int k);
+
+}  // namespace loam::core
+
+#endif  // LOAM_CORE_SELECTOR_H_

@@ -1,0 +1,189 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace loam::gbdt {
+
+namespace {
+
+double leaf_weight(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+
+double structure_score(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
+  trees_.clear();
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n), hess(n, 1.0);  // squared loss: h == 1
+  Rng rng(params_.seed);
+
+  for (int t = 0; t < params_.n_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+
+    std::vector<int> rows;
+    if (params_.subsample < 1.0) {
+      const int k = std::max(1, static_cast<int>(params_.subsample * static_cast<double>(n)));
+      rows = rng.sample_without_replacement(static_cast<int>(n), k);
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+
+    Tree tree;
+    build_tree(tree, x, grad, hess, rows, rng);
+    trees_.push_back(tree);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += params_.learning_rate * predict_tree(tree, x[i]);
+    }
+  }
+}
+
+void GbdtRegressor::build_tree(Tree& tree, const FeatureMatrix& x,
+                               std::vector<double>& grad, std::vector<double>& hess,
+                               const std::vector<int>& rows, Rng& /*rng*/) {
+  build_node(tree, x, grad, hess, rows, 0);
+}
+
+int GbdtRegressor::build_node(Tree& tree, const FeatureMatrix& x,
+                              const std::vector<double>& grad,
+                              const std::vector<double>& hess, std::vector<int> rows,
+                              int depth) {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  double g_total = 0.0, h_total = 0.0;
+  for (int r : rows) {
+    g_total += grad[static_cast<std::size_t>(r)];
+    h_total += hess[static_cast<std::size_t>(r)];
+  }
+
+  auto make_leaf = [&] {
+    tree.nodes[static_cast<std::size_t>(node_id)].value =
+        leaf_weight(g_total, h_total, params_.lambda);
+    return node_id;
+  };
+
+  if (depth >= params_.max_depth ||
+      static_cast<int>(rows.size()) < 2 * params_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  const int n_features = static_cast<int>(x[0].size());
+  double best_gain = params_.gamma;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<int> sorted = rows;
+  for (int f = 0; f < n_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+             x[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+    });
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const int r = sorted[i];
+      gl += grad[static_cast<std::size_t>(r)];
+      hl += hess[static_cast<std::size_t>(r)];
+      const float xv = x[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)];
+      const float xn = x[static_cast<std::size_t>(sorted[i + 1])][static_cast<std::size_t>(f)];
+      if (xv == xn) continue;  // can only split between distinct values
+      const double gr = g_total - gl, hr = h_total - hl;
+      if (hl < params_.min_child_weight || hr < params_.min_child_weight) continue;
+      if (static_cast<int>(i) + 1 < params_.min_samples_leaf ||
+          static_cast<int>(sorted.size() - i - 1) < params_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = 0.5 * (structure_score(gl, hl, params_.lambda) +
+                                 structure_score(gr, hr, params_.lambda) -
+                                 structure_score(g_total, h_total, params_.lambda));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (xv + xn);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    if (x[static_cast<std::size_t>(r)][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const int left = build_node(tree, x, grad, hess, std::move(left_rows), depth + 1);
+  const int right = build_node(tree, x, grad, hess, std::move(right_rows), depth + 1);
+  Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  node.gain = best_gain;
+  return node_id;
+}
+
+double GbdtRegressor::predict_tree(const Tree& tree,
+                                   std::span<const float> features) const {
+  int node = 0;
+  while (tree.nodes[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = tree.nodes[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                        : n.right;
+  }
+  return tree.nodes[static_cast<std::size_t>(node)].value;
+}
+
+double GbdtRegressor::predict(std::span<const float> features) const {
+  double p = base_score_;
+  for (const Tree& t : trees_) {
+    p += params_.learning_rate * predict_tree(t, features);
+  }
+  return p;
+}
+
+std::vector<double> GbdtRegressor::predict_all(const FeatureMatrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+std::size_t GbdtRegressor::model_bytes() const {
+  std::size_t nodes = 0;
+  for (const Tree& t : trees_) nodes += t.nodes.size();
+  // feature id + threshold + two child ids + leaf value per node.
+  return nodes * (sizeof(int) * 3 + sizeof(float) + sizeof(double));
+}
+
+std::vector<double> GbdtRegressor::feature_importance(int n_features) const {
+  std::vector<double> imp(static_cast<std::size_t>(n_features), 0.0);
+  for (const Tree& t : trees_) {
+    for (const Node& n : t.nodes) {
+      if (n.feature >= 0 && n.feature < n_features) {
+        imp[static_cast<std::size_t>(n.feature)] += n.gain;
+      }
+    }
+  }
+  return imp;
+}
+
+}  // namespace loam::gbdt

@@ -1,0 +1,76 @@
+// Gradient-boosted regression trees in the style of XGBoost (Chen &
+// Guestrin): second-order boosting with the L2-regularized structure score
+//   gain = 1/2 [ GL^2/(HL+λ) + GR^2/(HR+λ) − (GL+GR)^2/(HL+HR+λ) ] − γ
+// exact greedy split finding over presorted features, shrinkage, and optional
+// row subsampling. Serves two roles in this repo:
+//   * the "XGBoost" cost-model baseline of Section 7.1 (squared loss on
+//     normalized log cost over pooled plan features), and
+//   * the lightweight Ranker of Section 6 (Appendix D.2 features).
+#ifndef LOAM_GBDT_GBDT_H_
+#define LOAM_GBDT_GBDT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loam::gbdt {
+
+struct GbdtParams {
+  int n_trees = 100;
+  int max_depth = 4;
+  double learning_rate = 0.1;
+  double lambda = 1.0;           // L2 regularization on leaf weights
+  double gamma = 0.0;            // minimum gain to split
+  double min_child_weight = 1.0; // minimum hessian sum per child
+  int min_samples_leaf = 2;
+  double subsample = 1.0;        // row subsampling per tree
+  std::uint64_t seed = 17;
+};
+
+// A dense feature matrix: rows are samples.
+using FeatureMatrix = std::vector<std::vector<float>>;
+
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtParams params = {}) : params_(params) {}
+
+  void fit(const FeatureMatrix& x, std::span<const double> y);
+  double predict(std::span<const float> features) const;
+  std::vector<double> predict_all(const FeatureMatrix& x) const;
+
+  bool trained() const { return !trees_.empty(); }
+  int tree_count() const { return static_cast<int>(trees_.size()); }
+  // Serialized footprint in bytes (for the Fig. 9(b) model-size row).
+  std::size_t model_bytes() const;
+  // Total gain attributed to each feature (split importance).
+  std::vector<double> feature_importance(int n_features) const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 marks a leaf
+    float threshold = 0.0f; // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;     // leaf weight
+    double gain = 0.0;      // split gain (internal nodes)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  void build_tree(Tree& tree, const FeatureMatrix& x, std::vector<double>& grad,
+                  std::vector<double>& hess, const std::vector<int>& rows, Rng& rng);
+  int build_node(Tree& tree, const FeatureMatrix& x, const std::vector<double>& grad,
+                 const std::vector<double>& hess, std::vector<int> rows, int depth);
+  double predict_tree(const Tree& tree, std::span<const float> features) const;
+
+  GbdtParams params_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+};
+
+}  // namespace loam::gbdt
+
+#endif  // LOAM_GBDT_GBDT_H_

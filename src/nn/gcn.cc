@@ -1,0 +1,125 @@
+#include "nn/gcn.h"
+
+#include <cmath>
+
+namespace loam::nn {
+
+NormalizedAdjacency NormalizedAdjacency::from_tree(const Tree& tree) {
+  NormalizedAdjacency a;
+  a.n = tree.node_count();
+  std::vector<int> degree(static_cast<std::size_t>(a.n), 1);  // self loop
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < a.n; ++i) {
+    for (int c : {tree.left[static_cast<std::size_t>(i)],
+                  tree.right[static_cast<std::size_t>(i)]}) {
+      if (c >= 0) {
+        edges.emplace_back(i, c);
+        ++degree[static_cast<std::size_t>(i)];
+        ++degree[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  auto push = [&a, &degree](int i, int j) {
+    a.src.push_back(i);
+    a.dst.push_back(j);
+    a.weight.push_back(static_cast<float>(
+        1.0 / std::sqrt(static_cast<double>(degree[static_cast<std::size_t>(i)]) *
+                        degree[static_cast<std::size_t>(j)])));
+  };
+  for (int i = 0; i < a.n; ++i) push(i, i);
+  for (auto [i, j] : edges) {
+    push(i, j);
+    push(j, i);
+  }
+  return a;
+}
+
+Mat NormalizedAdjacency::apply(const Mat& x) const {
+  Mat y(x.rows(), x.cols());
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    const float w = weight[e];
+    auto xs = x.row(dst[e]);
+    auto yd = y.row(src[e]);
+    for (std::size_t j = 0; j < yd.size(); ++j) yd[j] += w * xs[j];
+  }
+  return y;
+}
+
+GcnLayer::GcnLayer(const std::string& name, int in, int out, Rng& rng)
+    : w_(name + ".w", in, out), b_(name + ".b", 1, out) {
+  w_.value.glorot_init(rng);
+  b_.value.zero();
+}
+
+Mat GcnLayer::forward(const Mat& x, const NormalizedAdjacency& adj) {
+  adj_cache_ = &adj;
+  hx_cache_ = adj.apply(x);
+  Mat y;
+  matmul(hx_cache_, w_.value, y);
+  add_row_bias(y, b_.value);
+  return y;
+}
+
+Mat GcnLayer::backward(const Mat& grad_out) {
+  matmul_at_b(hx_cache_, grad_out, w_.grad, /*accumulate=*/true);
+  accumulate_bias_grad(grad_out, b_.grad);
+  Mat gh;
+  matmul_a_bt(grad_out, w_.value, gh);
+  // Â is symmetric, so the adjoint is another application of Â.
+  return adj_cache_->apply(gh);
+}
+
+std::vector<Parameter*> GcnLayer::parameters() { return {&w_, &b_}; }
+
+GcnNet::GcnNet(const Config& config, Rng& rng) : config_(config) {
+  int in = config.input_dim;
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.emplace_back("gcn" + std::to_string(l), in, config.hidden_dim, rng);
+    acts_.emplace_back();
+    in = config.hidden_dim;
+  }
+  proj_ = Linear("gcn.proj", config.hidden_dim, config.embed_dim, rng);
+}
+
+Mat GcnNet::forward(const Tree& tree) {
+  adj_ = NormalizedAdjacency::from_tree(tree);
+  node_count_ = tree.node_count();
+  Mat h = tree.features;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].forward(h, adj_);
+    h = acts_[l].forward(h);
+  }
+  // Mean pooling over nodes.
+  Mat pooled(1, h.cols());
+  for (int i = 0; i < h.rows(); ++i) {
+    for (int j = 0; j < h.cols(); ++j) pooled.at(0, j) += h.at(i, j);
+  }
+  pooled.scale_inplace(1.0f / static_cast<float>(node_count_));
+  return proj_.forward(pooled);
+}
+
+void GcnNet::backward(const Mat& grad_out) {
+  Mat g = proj_.backward(grad_out);
+  // Un-pool: every node receives grad / n.
+  Mat gn(node_count_, g.cols());
+  for (int i = 0; i < node_count_; ++i) {
+    for (int j = 0; j < g.cols(); ++j) {
+      gn.at(i, j) = g.at(0, j) / static_cast<float>(node_count_);
+    }
+  }
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    gn = acts_[l].backward(gn);
+    gn = layers_[l].backward(gn);
+  }
+}
+
+std::vector<Parameter*> GcnNet::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& l : layers_) {
+    for (Parameter* p : l.parameters()) out.push_back(p);
+  }
+  for (Parameter* p : proj_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace loam::nn

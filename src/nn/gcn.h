@@ -1,0 +1,77 @@
+// Graph Convolutional Network (Kipf & Welling) over plan graphs — the
+// backbone of the zero-shot-style GCN baseline of Section 7.1.
+//
+// The plan tree is treated as an undirected graph with self loops; each layer
+// computes H' = act(Â H W) with the symmetric-normalized adjacency
+// Â = D^{-1/2}(A + I)D^{-1/2}. Mean pooling yields the plan embedding.
+#ifndef LOAM_NN_GCN_H_
+#define LOAM_NN_GCN_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tree_conv.h"
+
+namespace loam::nn {
+
+// Sparse normalized adjacency in coordinate form.
+struct NormalizedAdjacency {
+  int n = 0;
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<float> weight;
+
+  // Builds Â from a binary tree's parent-child edges.
+  static NormalizedAdjacency from_tree(const Tree& tree);
+
+  // y = Â x (or Â^T x, identical here since Â is symmetric).
+  Mat apply(const Mat& x) const;
+};
+
+class GcnLayer {
+ public:
+  GcnLayer() = default;
+  GcnLayer(const std::string& name, int in, int out, Rng& rng);
+
+  Mat forward(const Mat& x, const NormalizedAdjacency& adj);
+  Mat backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Mat hx_cache_;  // Â x
+  const NormalizedAdjacency* adj_cache_ = nullptr;
+};
+
+class GcnNet {
+ public:
+  struct Config {
+    int input_dim = 0;
+    int hidden_dim = 64;
+    int embed_dim = 32;
+    int layers = 2;
+  };
+
+  GcnNet() = default;
+  GcnNet(const Config& config, Rng& rng);
+
+  Mat forward(const Tree& tree);
+  void backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+  int embed_dim() const { return config_.embed_dim; }
+
+ private:
+  Config config_;
+  std::vector<GcnLayer> layers_;
+  std::vector<Relu> acts_;
+  Linear proj_;
+  NormalizedAdjacency adj_;  // cached per forward pass
+  int node_count_ = 0;
+};
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_GCN_H_

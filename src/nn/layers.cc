@@ -1,0 +1,126 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loam::nn {
+
+Linear::Linear(const std::string& name, int in, int out, Rng& rng)
+    : w_(name + ".w", in, out), b_(name + ".b", 1, out) {
+  w_.value.glorot_init(rng);
+  b_.value.zero();
+}
+
+Mat Linear::forward(const Mat& x) {
+  x_cache_ = x;
+  Mat y;
+  matmul(x, w_.value, y);
+  add_row_bias(y, b_.value);
+  return y;
+}
+
+Mat Linear::backward(const Mat& grad_out) {
+  matmul_at_b(x_cache_, grad_out, w_.grad, /*accumulate=*/true);
+  accumulate_bias_grad(grad_out, b_.grad);
+  Mat grad_in;
+  matmul_a_bt(grad_out, w_.value, grad_in);
+  return grad_in;
+}
+
+std::vector<Parameter*> Linear::parameters() { return {&w_, &b_}; }
+
+Mat Relu::forward(const Mat& x) {
+  mask_ = Mat(x.rows(), x.cols());
+  Mat y = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      if (y.at(i, j) > 0.0f) {
+        mask_.at(i, j) = 1.0f;
+      } else {
+        y.at(i, j) = 0.0f;
+      }
+    }
+  }
+  return y;
+}
+
+Mat Relu::backward(const Mat& grad_out) const {
+  Mat g = grad_out;
+  for (int i = 0; i < g.rows(); ++i) {
+    for (int j = 0; j < g.cols(); ++j) g.at(i, j) *= mask_.at(i, j);
+  }
+  return g;
+}
+
+Mat LeakyRelu::forward(const Mat& x) {
+  x_cache_ = x;
+  Mat y = x;
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int j = 0; j < y.cols(); ++j) {
+      if (y.at(i, j) < 0.0f) y.at(i, j) *= slope_;
+    }
+  }
+  return y;
+}
+
+Mat LeakyRelu::backward(const Mat& grad_out) const {
+  Mat g = grad_out;
+  for (int i = 0; i < g.rows(); ++i) {
+    for (int j = 0; j < g.cols(); ++j) {
+      if (x_cache_.at(i, j) < 0.0f) g.at(i, j) *= slope_;
+    }
+  }
+  return g;
+}
+
+Mat GradientReversal::backward(const Mat& grad_out) const {
+  Mat g = grad_out;
+  g.scale_inplace(-lambda_);
+  return g;
+}
+
+double mse_loss(const Mat& pred, const std::vector<float>& target, Mat& grad_out) {
+  const int n = pred.rows();
+  grad_out = Mat(n, 1);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred.at(i, 0)) - target[static_cast<std::size_t>(i)];
+    loss += d * d;
+    grad_out.at(i, 0) = static_cast<float>(2.0 * d / n);
+  }
+  return loss / n;
+}
+
+Mat row_softmax(const Mat& x) {
+  Mat y = x;
+  for (int i = 0; i < y.rows(); ++i) {
+    float mx = y.at(i, 0);
+    for (int j = 1; j < y.cols(); ++j) mx = std::max(mx, y.at(i, j));
+    float sum = 0.0f;
+    for (int j = 0; j < y.cols(); ++j) {
+      y.at(i, j) = std::exp(y.at(i, j) - mx);
+      sum += y.at(i, j);
+    }
+    for (int j = 0; j < y.cols(); ++j) y.at(i, j) /= sum;
+  }
+  return y;
+}
+
+double softmax_cross_entropy(const Mat& logits, const std::vector<int>& labels,
+                             Mat& grad_out) {
+  const int n = logits.rows();
+  const int c = logits.cols();
+  const Mat probs = row_softmax(logits);
+  grad_out = Mat(n, c);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss -= std::log(std::max(1e-12f, probs.at(i, y)));
+    for (int j = 0; j < c; ++j) {
+      grad_out.at(i, j) = (probs.at(i, j) - (j == y ? 1.0f : 0.0f)) / n;
+    }
+  }
+  return loss / n;
+}
+
+}  // namespace loam::nn

@@ -1,0 +1,110 @@
+// Core NN building blocks: parameters, Linear, ReLU, losses and the
+// gradient reversal layer of Ganin & Lempitsky used by LOAM's adaptive
+// (adversarial) training (Section 4).
+//
+// The library follows a Caffe-style explicit forward/backward design: each
+// layer caches what it needs in forward() and produces input gradients in
+// backward(), accumulating parameter gradients into Parameter::grad. This
+// keeps backprop auditable, which matters more here than generality.
+#ifndef LOAM_NN_LAYERS_H_
+#define LOAM_NN_LAYERS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace loam::nn {
+
+struct Parameter {
+  std::string name;
+  Mat value;
+  Mat grad;
+
+  Parameter() = default;
+  Parameter(std::string n, int rows, int cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t count() const { return value.size(); }
+};
+
+// Fully connected layer: y = x W + b, x is [batch, in].
+class Linear {
+ public:
+  Linear() = default;
+  Linear(const std::string& name, int in, int out, Rng& rng);
+
+  Mat forward(const Mat& x);
+  // Returns gradient w.r.t. the input; accumulates into parameter grads.
+  Mat backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+  int in_dim() const { return w_.value.rows(); }
+  int out_dim() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Mat x_cache_;
+};
+
+class Relu {
+ public:
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& grad_out) const;
+
+ private:
+  Mat mask_;
+};
+
+// Leaky variant used inside tree convolution stacks for gradient flow on
+// sparse inputs.
+class LeakyRelu {
+ public:
+  explicit LeakyRelu(float slope = 0.01f) : slope_(slope) {}
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& grad_out) const;
+
+ private:
+  float slope_ = 0.01f;
+  Mat x_cache_;
+};
+
+// Gradient reversal layer (GRL). Identity in the forward pass; multiplies the
+// incoming gradient by -lambda in the backward pass. Placing it between
+// PlanEmb and DomClf makes a single backprop step simultaneously train the
+// domain classifier and push the embedder toward domain-invariant features.
+class GradientReversal {
+ public:
+  void set_lambda(float lambda) { lambda_ = lambda; }
+  float lambda() const { return lambda_; }
+
+  const Mat& forward(const Mat& x) const { return x; }
+  Mat backward(const Mat& grad_out) const;
+
+ private:
+  float lambda_ = 1.0f;
+};
+
+// ---------------------------------------------------------------------------
+// Losses. Each returns the (mean) loss and writes d(loss)/d(input) into
+// grad_out (same shape as the prediction).
+// ---------------------------------------------------------------------------
+
+// Mean squared error over a column vector of predictions [batch, 1].
+double mse_loss(const Mat& pred, const std::vector<float>& target, Mat& grad_out);
+
+// Binary cross entropy over 2-way logits [batch, 2] with integer labels in
+// {0, 1}; applies softmax internally. Returns mean loss.
+double softmax_cross_entropy(const Mat& logits, const std::vector<int>& labels,
+                             Mat& grad_out);
+
+// Softmax over each row (used by attention and exposed for tests).
+Mat row_softmax(const Mat& x);
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_LAYERS_H_

@@ -1,0 +1,98 @@
+#include "nn/mat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loam::nn {
+
+void Mat::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Mat::glorot_init(Rng& rng) {
+  const double limit = std::sqrt(6.0 / (rows_ + cols_));
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void Mat::add_inplace(const Mat& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Mat::scale_inplace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Mat::l2_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+void matmul(const Mat& a, const Mat& b, Mat& out, bool accumulate) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) out = Mat(m, n);
+  if (!accumulate) out.zero();
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* orow = out.data() + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // plan features are sparse; skip zero lanes
+      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_at_b(const Mat& a, const Mat& b, Mat& out, bool accumulate) {
+  assert(a.rows() == b.rows());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) out = Mat(m, n);
+  if (!accumulate) out.zero();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + static_cast<std::size_t>(kk) * m;
+    const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Mat& a, const Mat& b, Mat& out, bool accumulate) {
+  assert(a.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  if (out.rows() != m || out.cols() != n) out = Mat(m, n);
+  if (!accumulate) out.zero();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* orow = out.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.data() + static_cast<std::size_t>(j) * k;
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      orow[j] += s;
+    }
+  }
+}
+
+void add_row_bias(Mat& x, const Mat& bias) {
+  assert(bias.rows() == 1 && bias.cols() == x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    float* row = x.data() + static_cast<std::size_t>(i) * x.cols();
+    for (int j = 0; j < x.cols(); ++j) row[j] += bias.at(0, j);
+  }
+}
+
+void accumulate_bias_grad(const Mat& grad, Mat& grad_bias) {
+  assert(grad_bias.rows() == 1 && grad_bias.cols() == grad.cols());
+  for (int i = 0; i < grad.rows(); ++i) {
+    const float* row = grad.data() + static_cast<std::size_t>(i) * grad.cols();
+    for (int j = 0; j < grad.cols(); ++j) grad_bias.at(0, j) += row[j];
+  }
+}
+
+}  // namespace loam::nn

@@ -1,0 +1,85 @@
+// Minimal dense float32 matrix used by the hand-rolled NN library.
+//
+// The predictors in this repo are small (tens of thousands of parameters), so
+// a straightforward row-major matrix with cache-friendly matmul loops is all
+// the "tensor framework" the reproduction needs. Everything is
+// deterministic: initialization draws from an explicitly seeded Rng.
+#ifndef LOAM_NN_MAT_H_
+#define LOAM_NN_MAT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loam::nn {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols) : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  std::span<float> row(int r) {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<const float> row(int r) const {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Glorot/Xavier uniform initialization, fan-in = rows, fan-out = cols.
+  void glorot_init(Rng& rng);
+
+  // this += other (shapes must match).
+  void add_inplace(const Mat& other);
+  // this *= s.
+  void scale_inplace(float s);
+
+  double l2_norm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a * b. Shapes: [m,k] x [k,n] -> [m,n]. `accumulate` adds into out
+// instead of overwriting.
+void matmul(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
+// out = a^T * b. Shapes: [k,m]^T x [k,n] -> [m,n].
+void matmul_at_b(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
+// out = a * b^T. Shapes: [m,k] x [n,k]^T -> [m,n].
+void matmul_a_bt(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
+
+// Adds bias (a 1 x n Mat) to every row of x.
+void add_row_bias(Mat& x, const Mat& bias);
+// grad_bias (1 x n) += column sums of grad (m x n).
+void accumulate_bias_grad(const Mat& grad, Mat& grad_bias);
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_MAT_H_

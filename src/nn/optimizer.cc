@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace loam::nn {
+
+Adam::Adam(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Adam::step() {
+  ++t_;
+  // Global gradient-norm clipping across all parameters.
+  double scale = 1.0;
+  if (opts_.clip_norm > 0.0) {
+    double total = 0.0;
+    for (const Parameter* p : params_) {
+      const double n = p->grad.l2_norm();
+      total += n * n;
+    }
+    total = std::sqrt(total);
+    if (total > opts_.clip_norm) scale = opts_.clip_norm / total;
+  }
+  const double bc1 = 1.0 - std::pow(opts_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(opts_.beta2, t_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Mat& m = m_[k];
+    Mat& v = v_[k];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* mp = m.data();
+    float* vp = v.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      double gi = g[i] * scale + opts_.weight_decay * w[i];
+      mp[i] = static_cast<float>(opts_.beta1 * mp[i] + (1.0 - opts_.beta1) * gi);
+      vp[i] = static_cast<float>(opts_.beta2 * vp[i] + (1.0 - opts_.beta2) * gi * gi);
+      const double mhat = mp[i] / bc1;
+      const double vhat = vp[i] / bc2;
+      w[i] -= static_cast<float>(opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps));
+    }
+  }
+}
+
+std::size_t Adam::parameter_count() const {
+  std::size_t n = 0;
+  for (const Parameter* p : params_) n += p->count();
+  return n;
+}
+
+}  // namespace loam::nn

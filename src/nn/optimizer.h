@@ -1,0 +1,50 @@
+// First-order optimizers over a registry of Parameters.
+#ifndef LOAM_NN_OPTIMIZER_H_
+#define LOAM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace loam::nn {
+
+// Adam with optional global gradient-norm clipping and multiplicative
+// learning-rate decay per epoch (LOAM uses lr=0.01, decay 0.99 — Section 7.1).
+struct AdamOptions {
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double clip_norm = 5.0;  // <= 0 disables clipping
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  using Options = AdamOptions;
+
+  explicit Adam(std::vector<Parameter*> params, Options opts = AdamOptions());
+
+  void zero_grad();
+  void step();
+  // Multiplies the learning rate (called once per epoch with the decay
+  // factor).
+  void decay_lr(double factor) { opts_.lr *= factor; }
+  double lr() const { return opts_.lr; }
+
+  std::size_t parameter_count() const;
+  // Serialized model footprint in bytes (float32 weights), reported by the
+  // Fig. 9(b) experiment.
+  std::size_t parameter_bytes() const { return parameter_count() * sizeof(float); }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options opts_;
+  std::vector<Mat> m_;
+  std::vector<Mat> v_;
+  long t_ = 0;
+};
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_OPTIMIZER_H_

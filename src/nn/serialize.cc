@@ -1,0 +1,91 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace loam::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'A', 'M', 'N', 'N', '1', '\0'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint truncated");
+  return v;
+}
+
+}  // namespace
+
+std::size_t save_parameters(const std::vector<Parameter*>& params,
+                            std::ostream& out) {
+  std::size_t bytes = sizeof(kMagic);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  bytes += 4;
+  for (const Parameter* p : params) {
+    write_u32(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u32(out, static_cast<std::uint32_t>(p->value.rows()));
+    write_u32(out, static_cast<std::uint32_t>(p->value.cols()));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    bytes += 12 + p->name.size() + p->value.size() * sizeof(float);
+  }
+  if (!out) throw std::runtime_error("checkpoint write failed");
+  return bytes;
+}
+
+void load_parameters(const std::vector<Parameter*>& params, std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LOAM checkpoint (bad magic)");
+  }
+  const std::uint32_t count = read_u32(in);
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in || name != p->name) {
+      throw std::runtime_error("checkpoint parameter name mismatch: expected '" +
+                               p->name + "' got '" + name + "'");
+    }
+    const std::uint32_t rows = read_u32(in);
+    const std::uint32_t cols = read_u32(in);
+    if (rows != static_cast<std::uint32_t>(p->value.rows()) ||
+        cols != static_cast<std::uint32_t>(p->value.cols())) {
+      throw std::runtime_error("checkpoint shape mismatch for " + p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint truncated in " + p->name);
+  }
+}
+
+void save_parameters_file(const std::vector<Parameter*>& params,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  save_parameters(params, out);
+}
+
+void load_parameters_file(const std::vector<Parameter*>& params,
+                          const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  load_parameters(params, in);
+}
+
+}  // namespace loam::nn

@@ -1,0 +1,35 @@
+// Parameter (de)serialization: a small, versioned binary format for model
+// checkpoints. Used to persist trained predictors between the offline
+// training phase and serving, and by the Fig. 9(b) footprint accounting.
+//
+// Format: magic "LOAMNN1\0", u32 parameter count, then per parameter:
+// u32 name length, name bytes, u32 rows, u32 cols, rows*cols f32 values.
+// Loading verifies that names and shapes match the target registry, so a
+// checkpoint can never be silently applied to a different architecture.
+#ifndef LOAM_NN_SERIALIZE_H_
+#define LOAM_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace loam::nn {
+
+// Writes all parameters to the stream. Returns bytes written.
+std::size_t save_parameters(const std::vector<Parameter*>& params, std::ostream& out);
+
+// Loads parameters into an existing registry; throws std::runtime_error on
+// magic/name/shape mismatch or truncated input.
+void load_parameters(const std::vector<Parameter*>& params, std::istream& in);
+
+// Convenience file wrappers.
+void save_parameters_file(const std::vector<Parameter*>& params,
+                          const std::string& path);
+void load_parameters_file(const std::vector<Parameter*>& params,
+                          const std::string& path);
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_SERIALIZE_H_

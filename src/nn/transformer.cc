@@ -1,0 +1,180 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <functional>
+
+namespace loam::nn {
+
+AttentionHead::AttentionHead(const std::string& name, int model_dim, int head_dim,
+                             Rng& rng)
+    : wq_(name + ".wq", model_dim, head_dim, rng),
+      wk_(name + ".wk", model_dim, head_dim, rng),
+      wv_(name + ".wv", model_dim, head_dim, rng),
+      scale_(1.0f / std::sqrt(static_cast<float>(head_dim))) {}
+
+Mat AttentionHead::forward(const Mat& x) {
+  q_ = wq_.forward(x);
+  k_ = wk_.forward(x);
+  v_ = wv_.forward(x);
+  Mat scores;
+  matmul_a_bt(q_, k_, scores);
+  scores.scale_inplace(scale_);
+  probs_ = row_softmax(scores);
+  Mat out;
+  matmul(probs_, v_, out);
+  return out;
+}
+
+Mat AttentionHead::backward(const Mat& grad_out) {
+  // grad wrt V and P.
+  Mat gv;
+  matmul_at_b(probs_, grad_out, gv);
+  Mat gp;
+  matmul_a_bt(grad_out, v_, gp);
+  // Softmax backward per row: gS_ij = P_ij (gP_ij - sum_k gP_ik P_ik).
+  Mat gs(gp.rows(), gp.cols());
+  for (int i = 0; i < gp.rows(); ++i) {
+    float dot = 0.0f;
+    for (int j = 0; j < gp.cols(); ++j) dot += gp.at(i, j) * probs_.at(i, j);
+    for (int j = 0; j < gp.cols(); ++j) {
+      gs.at(i, j) = probs_.at(i, j) * (gp.at(i, j) - dot);
+    }
+  }
+  gs.scale_inplace(scale_);
+  Mat gq;
+  matmul(gs, k_, gq);
+  Mat gk;
+  matmul_at_b(gs, q_, gk);
+  Mat gx = wq_.backward(gq);
+  gx.add_inplace(wk_.backward(gk));
+  gx.add_inplace(wv_.backward(gv));
+  return gx;
+}
+
+std::vector<Parameter*> AttentionHead::parameters() {
+  std::vector<Parameter*> out;
+  for (auto* layer : {&wq_, &wk_, &wv_}) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void tree_depth_height(const Tree& tree, std::vector<float>& depth,
+                       std::vector<float>& height) {
+  const int n = tree.node_count();
+  depth.assign(static_cast<std::size_t>(n), 0.0f);
+  height.assign(static_cast<std::size_t>(n), 0.0f);
+  // Depth by DFS from root; height bottom-up.
+  std::function<int(int, int)> dfs = [&](int node, int d) -> int {
+    depth[static_cast<std::size_t>(node)] = static_cast<float>(d);
+    int h = 0;
+    for (int c : {tree.left[static_cast<std::size_t>(node)],
+                  tree.right[static_cast<std::size_t>(node)]}) {
+      if (c >= 0) h = std::max(h, 1 + dfs(c, d + 1));
+    }
+    height[static_cast<std::size_t>(node)] = static_cast<float>(h);
+    return h;
+  };
+  if (n > 0) dfs(tree.root, 0);
+  const float norm = static_cast<float>(std::max(1, n));
+  for (int i = 0; i < n; ++i) {
+    depth[static_cast<std::size_t>(i)] /= norm;
+    height[static_cast<std::size_t>(i)] /= norm;
+  }
+}
+
+TransformerEncoder::TransformerEncoder(const Config& config, Rng& rng)
+    : config_(config) {
+  input_proj_ = Linear("tf.in", config.input_dim + 2, config.model_dim, rng);
+  const int head_dim = config.model_dim / config.heads;
+  for (int h = 0; h < config.heads; ++h) {
+    heads_.emplace_back("tf.head" + std::to_string(h), config.model_dim, head_dim, rng);
+  }
+  attn_out_ = Linear("tf.attn_out", head_dim * config.heads, config.model_dim, rng);
+  ffn1_ = Linear("tf.ffn1", config.model_dim, config.ffn_dim, rng);
+  ffn2_ = Linear("tf.ffn2", config.ffn_dim, config.model_dim, rng);
+  pool_proj_ = Linear("tf.pool", config.model_dim, config.embed_dim, rng);
+}
+
+Mat TransformerEncoder::forward(const Tree& tree) {
+  node_count_ = tree.node_count();
+  // Augment features with structural channels.
+  std::vector<float> depth, height;
+  tree_depth_height(tree, depth, height);
+  Mat aug(node_count_, tree.features.cols() + 2);
+  for (int i = 0; i < node_count_; ++i) {
+    auto src = tree.features.row(i);
+    auto dst = aug.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[src.size()] = depth[static_cast<std::size_t>(i)];
+    dst[src.size() + 1] = height[static_cast<std::size_t>(i)];
+  }
+  x0_ = input_proj_.forward(aug);
+  // Multi-head attention, concatenated heads.
+  const int head_dim = config_.model_dim / config_.heads;
+  Mat concat(node_count_, head_dim * config_.heads);
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    Mat ho = heads_[h].forward(x0_);
+    for (int i = 0; i < node_count_; ++i) {
+      for (int j = 0; j < head_dim; ++j) {
+        concat.at(i, static_cast<int>(h) * head_dim + j) = ho.at(i, j);
+      }
+    }
+  }
+  Mat attn = attn_out_.forward(concat);
+  x1_ = x0_;
+  x1_.add_inplace(attn);  // residual 1
+  Mat f = ffn2_.forward(ffn_act_.forward(ffn1_.forward(x1_)));
+  Mat x2 = x1_;
+  x2.add_inplace(f);  // residual 2
+  // Mean pool.
+  Mat pooled(1, x2.cols());
+  for (int i = 0; i < node_count_; ++i) {
+    for (int j = 0; j < x2.cols(); ++j) pooled.at(0, j) += x2.at(i, j);
+  }
+  pooled.scale_inplace(1.0f / static_cast<float>(std::max(1, node_count_)));
+  return pool_proj_.forward(pooled);
+}
+
+void TransformerEncoder::backward(const Mat& grad_out) {
+  Mat g = pool_proj_.backward(grad_out);
+  // Un-pool.
+  Mat gx2(node_count_, g.cols());
+  for (int i = 0; i < node_count_; ++i) {
+    for (int j = 0; j < g.cols(); ++j) {
+      gx2.at(i, j) = g.at(0, j) / static_cast<float>(std::max(1, node_count_));
+    }
+  }
+  // Residual 2: gradient flows to both x1 and the FFN branch.
+  Mat gf = ffn1_.backward(ffn_act_.backward(ffn2_.backward(gx2)));
+  Mat gx1 = gx2;
+  gx1.add_inplace(gf);
+  // Residual 1: to x0 and the attention branch.
+  Mat gconcat = attn_out_.backward(gx1);
+  const int head_dim = config_.model_dim / config_.heads;
+  Mat gx0 = gx1;
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    Mat gh(node_count_, head_dim);
+    for (int i = 0; i < node_count_; ++i) {
+      for (int j = 0; j < head_dim; ++j) {
+        gh.at(i, j) = gconcat.at(i, static_cast<int>(h) * head_dim + j);
+      }
+    }
+    gx0.add_inplace(heads_[h].backward(gh));
+  }
+  input_proj_.backward(gx0);
+}
+
+std::vector<Parameter*> TransformerEncoder::parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : input_proj_.parameters()) out.push_back(p);
+  for (auto& h : heads_) {
+    for (Parameter* p : h.parameters()) out.push_back(p);
+  }
+  for (auto* layer : {&attn_out_, &ffn1_, &ffn2_, &pool_proj_}) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace loam::nn

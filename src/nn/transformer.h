@@ -1,0 +1,78 @@
+// A compact Transformer encoder (QueryFormer-style baseline, Section 7.1):
+// input projection, one multi-head self-attention block with residuals, a
+// position-wise feed-forward block, mean pooling to a plan embedding.
+//
+// Tree structure is conveyed to the attention layers through two structural
+// channels appended to every node's features (depth and subtree height),
+// which is how we adapt the published encoder to plans without positional
+// encodings.
+#ifndef LOAM_NN_TRANSFORMER_H_
+#define LOAM_NN_TRANSFORMER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tree_conv.h"
+
+namespace loam::nn {
+
+// One attention head with cached intermediates for backward.
+class AttentionHead {
+ public:
+  AttentionHead() = default;
+  AttentionHead(const std::string& name, int model_dim, int head_dim, Rng& rng);
+
+  Mat forward(const Mat& x);          // [n, model_dim] -> [n, head_dim]
+  Mat backward(const Mat& grad_out);  // -> grad wrt x
+
+  std::vector<Parameter*> parameters();
+
+ private:
+  Linear wq_, wk_, wv_;
+  Mat q_, k_, v_, probs_;
+  float scale_ = 1.0f;
+};
+
+class TransformerEncoder {
+ public:
+  struct Config {
+    int input_dim = 0;
+    int model_dim = 48;
+    int heads = 2;
+    int ffn_dim = 96;
+    int embed_dim = 32;
+  };
+
+  TransformerEncoder() = default;
+  TransformerEncoder(const Config& config, Rng& rng);
+
+  // Appends (depth, height) structural features internally; callers pass the
+  // raw vectorized plan tree.
+  Mat forward(const Tree& tree);
+  void backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+  int embed_dim() const { return config_.embed_dim; }
+
+ private:
+  Config config_;
+  Linear input_proj_;
+  std::vector<AttentionHead> heads_;
+  Linear attn_out_;
+  Linear ffn1_, ffn2_;
+  Relu ffn_act_;
+  Linear pool_proj_;
+  // Caches.
+  int node_count_ = 0;
+  Mat x0_;  // after input projection (pre-attention residual source)
+  Mat x1_;  // after attention + residual
+};
+
+// Computes per-node depth (distance from root) and height (max distance to a
+// leaf), normalized by tree size; exposed for tests.
+void tree_depth_height(const Tree& tree, std::vector<float>& depth,
+                       std::vector<float>& height);
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_TRANSFORMER_H_

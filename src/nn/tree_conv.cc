@@ -1,0 +1,149 @@
+#include "nn/tree_conv.h"
+
+namespace loam::nn {
+
+namespace {
+
+// Builds the gathered child-feature matrix: row i = x[child(i)] or zeros.
+Mat gather_children(const Mat& x, const std::vector<int>& child) {
+  Mat out(x.rows(), x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const int c = child[static_cast<std::size_t>(i)];
+    if (c < 0) continue;
+    auto src = x.row(c);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+TreeConvLayer::TreeConvLayer(const std::string& name, int in, int out, Rng& rng)
+    : w_self_(name + ".w_self", in, out),
+      w_left_(name + ".w_left", in, out),
+      w_right_(name + ".w_right", in, out),
+      b_(name + ".b", 1, out) {
+  w_self_.value.glorot_init(rng);
+  w_left_.value.glorot_init(rng);
+  w_right_.value.glorot_init(rng);
+  b_.value.zero();
+}
+
+Mat TreeConvLayer::forward(const Mat& x, const std::vector<int>& left,
+                           const std::vector<int>& right) {
+  x_cache_ = x;
+  left_cache_ = left;
+  right_cache_ = right;
+  x_left_cache_ = gather_children(x, left);
+  x_right_cache_ = gather_children(x, right);
+  Mat y;
+  matmul(x, w_self_.value, y);
+  matmul(x_left_cache_, w_left_.value, y, /*accumulate=*/true);
+  matmul(x_right_cache_, w_right_.value, y, /*accumulate=*/true);
+  add_row_bias(y, b_.value);
+  return y;
+}
+
+Mat TreeConvLayer::backward(const Mat& grad_out) {
+  matmul_at_b(x_cache_, grad_out, w_self_.grad, /*accumulate=*/true);
+  matmul_at_b(x_left_cache_, grad_out, w_left_.grad, /*accumulate=*/true);
+  matmul_at_b(x_right_cache_, grad_out, w_right_.grad, /*accumulate=*/true);
+  accumulate_bias_grad(grad_out, b_.grad);
+
+  Mat grad_in;
+  matmul_a_bt(grad_out, w_self_.value, grad_in);
+  // Child contributions scatter back through the gather.
+  Mat g_left;
+  matmul_a_bt(grad_out, w_left_.value, g_left);
+  Mat g_right;
+  matmul_a_bt(grad_out, w_right_.value, g_right);
+  for (int i = 0; i < grad_in.rows(); ++i) {
+    const int l = left_cache_[static_cast<std::size_t>(i)];
+    if (l >= 0) {
+      auto dst = grad_in.row(l);
+      auto src = g_left.row(i);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    }
+    const int r = right_cache_[static_cast<std::size_t>(i)];
+    if (r >= 0) {
+      auto dst = grad_in.row(r);
+      auto src = g_right.row(i);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> TreeConvLayer::parameters() {
+  return {&w_self_, &w_left_, &w_right_, &b_};
+}
+
+Mat DynamicMaxPool::forward(const Mat& x) {
+  rows_ = x.rows();
+  argmax_.assign(static_cast<std::size_t>(x.cols()), 0);
+  Mat out(1, x.cols());
+  for (int j = 0; j < x.cols(); ++j) {
+    float best = x.at(0, j);
+    int best_i = 0;
+    for (int i = 1; i < x.rows(); ++i) {
+      if (x.at(i, j) > best) {
+        best = x.at(i, j);
+        best_i = i;
+      }
+    }
+    out.at(0, j) = best;
+    argmax_[static_cast<std::size_t>(j)] = best_i;
+  }
+  return out;
+}
+
+Mat DynamicMaxPool::backward(const Mat& grad_out) const {
+  Mat g(rows_, grad_out.cols());
+  for (int j = 0; j < grad_out.cols(); ++j) {
+    g.at(argmax_[static_cast<std::size_t>(j)], j) = grad_out.at(0, j);
+  }
+  return g;
+}
+
+TreeConvNet::TreeConvNet(const Config& config, Rng& rng) : config_(config) {
+  int in = config.input_dim;
+  for (int l = 0; l < config.layers; ++l) {
+    convs_.emplace_back("tcn" + std::to_string(l), in, config.hidden_dim, rng);
+    acts_.emplace_back(0.01f);
+    in = config.hidden_dim;
+  }
+  proj_ = Linear("tcn.proj", config.hidden_dim, config.embed_dim, rng);
+}
+
+Mat TreeConvNet::forward(const Tree& tree) {
+  Mat h = tree.features;
+  for (std::size_t l = 0; l < convs_.size(); ++l) {
+    h = convs_[l].forward(h, tree.left, tree.right);
+    h = acts_[l].forward(h);
+  }
+  Mat pooled = pool_.forward(h);
+  Mat emb = proj_.forward(pooled);
+  return proj_act_.forward(emb);
+}
+
+void TreeConvNet::backward(const Mat& grad_out) {
+  Mat g = proj_act_.backward(grad_out);
+  g = proj_.backward(g);
+  g = pool_.backward(g);
+  for (std::size_t l = convs_.size(); l-- > 0;) {
+    g = acts_[l].backward(g);
+    g = convs_[l].backward(g);
+  }
+}
+
+std::vector<Parameter*> TreeConvNet::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& c : convs_) {
+    for (Parameter* p : c.parameters()) out.push_back(p);
+  }
+  for (Parameter* p : proj_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace loam::nn

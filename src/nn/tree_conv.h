@@ -1,0 +1,98 @@
+// Tree Convolutional Network (TCN) over binary plan trees, the PlanEmb
+// backbone of LOAM (Section 4), following the architecture popularized by
+// Bao/Neo: each convolution filter looks at a node and its two children and
+// aggregates information upward; stacking layers widens each node's receptive
+// subtree; dynamic max-pooling collapses the tree into a fixed-size vector.
+#ifndef LOAM_NN_TREE_CONV_H_
+#define LOAM_NN_TREE_CONV_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace loam::nn {
+
+// A vectorized binary tree: row i of `features` is node i's feature vector;
+// left/right hold child indices or -1 (missing children behave as zero
+// vectors, i.e. the canonical binary-tree padding of footnote 1).
+struct Tree {
+  Mat features;
+  std::vector<int> left;
+  std::vector<int> right;
+  int root = 0;
+
+  int node_count() const { return features.rows(); }
+};
+
+// One triangular tree-convolution layer:
+//   y[i] = x[i] W_self + x[left(i)] W_left + x[right(i)] W_right + b
+class TreeConvLayer {
+ public:
+  TreeConvLayer() = default;
+  TreeConvLayer(const std::string& name, int in, int out, Rng& rng);
+
+  // X is [n_nodes, in]; returns [n_nodes, out].
+  Mat forward(const Mat& x, const std::vector<int>& left, const std::vector<int>& right);
+  Mat backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+  int out_dim() const { return w_self_.value.cols(); }
+
+ private:
+  Parameter w_self_;
+  Parameter w_left_;
+  Parameter w_right_;
+  Parameter b_;
+  // Caches for backward.
+  Mat x_cache_;
+  Mat x_left_cache_;
+  Mat x_right_cache_;
+  std::vector<int> left_cache_;
+  std::vector<int> right_cache_;
+};
+
+// Dynamic max pooling over tree nodes: [n_nodes, d] -> [1, d].
+class DynamicMaxPool {
+ public:
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& grad_out) const;  // scatters back to [n_nodes, d]
+
+ private:
+  std::vector<int> argmax_;
+  int rows_ = 0;
+};
+
+// The full PlanEmb tower: `layers` tree convolutions with LeakyReLU,
+// max-pool, then a fully connected projection to the embedding size.
+class TreeConvNet {
+ public:
+  struct Config {
+    int input_dim = 0;
+    int hidden_dim = 64;
+    int embed_dim = 32;
+    int layers = 2;
+  };
+
+  TreeConvNet() = default;
+  TreeConvNet(const Config& config, Rng& rng);
+
+  // Returns the [1, embed_dim] plan embedding.
+  Mat forward(const Tree& tree);
+  // grad_out is [1, embed_dim]; parameter grads accumulate internally.
+  void backward(const Mat& grad_out);
+
+  std::vector<Parameter*> parameters();
+  int embed_dim() const { return config_.embed_dim; }
+
+ private:
+  Config config_;
+  std::vector<TreeConvLayer> convs_;
+  std::vector<LeakyRelu> acts_;
+  DynamicMaxPool pool_;
+  Linear proj_;
+  Relu proj_act_;
+};
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_TREE_CONV_H_

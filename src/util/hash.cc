@@ -1,0 +1,59 @@
+#include "util/hash.h"
+
+#include <cmath>
+
+namespace loam {
+
+std::uint64_t hash64(std::string_view s, std::uint64_t seed) {
+  // FNV-1a over the bytes, then a splitmix-style avalanche with the seed.
+  std::uint64_t h = 14695981039346656037ull ^ mix64(seed + 0x9e3779b97f4a7c15ull);
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return mix64(h);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void encode_identifier(std::string_view id, const MultiSegmentHashConfig& config,
+                       std::span<float> out) {
+  for (int seg = 0; seg < config.segments; ++seg) {
+    const std::uint64_t h = hash64(id, static_cast<std::uint64_t>(seg) + 1);
+    const int pos = static_cast<int>(h % static_cast<std::uint64_t>(config.segment_dim));
+    out[static_cast<std::size_t>(seg * config.segment_dim + pos)] = 1.0f;
+  }
+}
+
+std::vector<float> encode_identifier_set(std::span<const std::string> ids,
+                                         const MultiSegmentHashConfig& config) {
+  std::vector<float> out(static_cast<std::size_t>(config.dim()), 0.0f);
+  for (const auto& id : ids) encode_identifier(id, config, out);
+  return out;
+}
+
+double expected_collision_prob_single(int n, int dim) {
+  // Probability that a fixed pair collides is 1/dim; with n identifiers the
+  // probability that at least one pair collides (birthday bound, exact
+  // product form).
+  double p_all_distinct = 1.0;
+  for (int i = 1; i < n; ++i) {
+    p_all_distinct *= std::max(0.0, 1.0 - static_cast<double>(i) / dim);
+  }
+  return 1.0 - p_all_distinct;
+}
+
+double expected_collision_prob_multi(int n, const MultiSegmentHashConfig& config) {
+  // Two identifiers collide only if they agree in every segment:
+  // p_pair = (1/N')^segments. Union bound over pairs (accurate when small).
+  const double p_pair = std::pow(1.0 / config.segment_dim, config.segments);
+  const double pairs = 0.5 * static_cast<double>(n) * (n - 1);
+  return std::min(1.0, pairs * p_pair);
+}
+
+}  // namespace loam

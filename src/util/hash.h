@@ -1,0 +1,56 @@
+// Hashing utilities, including the multi-segment identifier encoding of
+// LOAM Appendix B.1.
+//
+// Table/column identifiers in a warehouse form an unbounded, churning set
+// (temp tables are created and dropped constantly), so one-hot encodings are
+// impossible. LOAM replaces the classic single-bucket hashing trick with a
+// 5-segment variant: the identifier is hashed by five independent hash
+// functions, each selecting one position inside its own N'-dimensional
+// segment. Collisions now require all five segments to collide
+// simultaneously, which extends the reliably-encodable id space from ~N' to
+// ~N'^5 while the feature stays 5*N'-dimensional and suitable for set-union
+// encoding of multiple identifiers.
+#ifndef LOAM_UTIL_HASH_H_
+#define LOAM_UTIL_HASH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loam {
+
+// 64-bit FNV-1a with an additional seed mix, used as the family of
+// independent hash functions f_i(T) = fnv1a(T, seed_i).
+std::uint64_t hash64(std::string_view s, std::uint64_t seed = 0);
+
+// Mixes an integer into a well-distributed 64-bit value (splitmix64 finalizer).
+std::uint64_t mix64(std::uint64_t x);
+
+struct MultiSegmentHashConfig {
+  int segments = 5;     // number of independent hash functions
+  int segment_dim = 10; // N': dimensionality of each segment
+  int dim() const { return segments * segment_dim; }
+};
+
+// Encodes one identifier: sets exactly one position per segment in `out`
+// (out.size() must equal config.dim()). Positions already set remain set, so
+// repeated calls union multiple identifiers into the same vector, as used for
+// e.g. all columns referenced by a Filter operator.
+void encode_identifier(std::string_view id, const MultiSegmentHashConfig& config,
+                       std::span<float> out);
+
+// Convenience: union-encode a set of identifiers into a fresh vector.
+std::vector<float> encode_identifier_set(std::span<const std::string> ids,
+                                         const MultiSegmentHashConfig& config);
+
+// Expected number of pairwise collisions for `n` distinct identifiers under
+// single-bucket hashing with `dim` buckets vs. multi-segment hashing; used by
+// tests to verify the collision-resistance claim of Appendix B.1.
+double expected_collision_prob_single(int n, int dim);
+double expected_collision_prob_multi(int n, const MultiSegmentHashConfig& config);
+
+}  // namespace loam
+
+#endif  // LOAM_UTIL_HASH_H_

@@ -1,0 +1,47 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loam {
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  if (n <= 1) return 1;
+  if (s <= 1e-9) return uniform_int(1, n);
+  // Rejection sampling following Gray et al. (used by YCSB): valid for any
+  // s > 0, amortized O(1) per draw.
+  const double sn = static_cast<double>(n);
+  if (std::abs(s - 1.0) < 1e-9) {
+    // For s == 1 the inverse CDF has a closed form via the exponential of a
+    // uniform over log(n).
+    const double u = uniform(0.0, 1.0);
+    const double r = std::exp(u * std::log(sn + 1.0));
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(r), 1, n);
+  }
+  const double t = std::pow(sn, 1.0 - s);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const double u = uniform(0.0, 1.0);
+    const double v = uniform(0.0, 1.0);
+    // Inverse of the integral-bound envelope.
+    const double x = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+    const std::int64_t k = std::clamp<std::int64_t>(static_cast<std::int64_t>(x), 1, n);
+    const double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (v * x <= static_cast<double>(k) * ratio) return k;
+  }
+  return 1;
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  k = std::min(k, n);
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  // Partial Fisher-Yates: only the first k positions are needed.
+  for (int i = 0; i < k; ++i) {
+    const int j = static_cast<int>(uniform_int(i, n - 1));
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+}  // namespace loam

@@ -1,0 +1,214 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace loam {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double relative_stddev(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / std::abs(m);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double phi_inverse(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("phi_inverse requires p in (0,1)");
+  }
+  // Acklam's rational approximation, |relative error| < 1.15e-9.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1.0 - plow;
+  double q = 0.0, r = 0.0;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (x * sigma * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return phi((std::log(x) - mu) / sigma);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu + sigma * phi_inverse(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+double LogNormal::median() const { return std::exp(mu); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma * sigma;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu + s2);
+}
+
+LogNormal fit_lognormal_mle(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("empty sample");
+  std::vector<double> logs;
+  logs.reserve(samples.size());
+  for (double x : samples) {
+    if (x <= 0.0) throw std::invalid_argument("lognormal requires positive samples");
+    logs.push_back(std::log(x));
+  }
+  LogNormal d;
+  d.mu = mean(logs);
+  // MLE uses the biased (1/n) variance; with our sample sizes the difference
+  // is immaterial but we follow the estimator definition.
+  double s = 0.0;
+  for (double l : logs) s += (l - d.mu) * (l - d.mu);
+  d.sigma = std::max(1e-9, std::sqrt(s / static_cast<double>(logs.size())));
+  return d;
+}
+
+namespace {
+
+// Asymptotic Kolmogorov distribution Q(t) = 2 * sum (-1)^{k-1} exp(-2 k^2 t^2).
+double kolmogorov_survival(double t) {
+  if (t <= 0.0) return 1.0;
+  double s = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    s += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * s, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_test_lognormal(std::vector<double> samples, const LogNormal& dist) {
+  KsResult r;
+  if (samples.empty()) return r;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d_max = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = dist.cdf(samples[i]);
+    const double d_plus = (static_cast<double>(i) + 1.0) / n - f;
+    const double d_minus = f - static_cast<double>(i) / n;
+    d_max = std::max({d_max, d_plus, d_minus});
+  }
+  r.statistic = d_max;
+  // Stephens' small-sample adjustment.
+  const double t = d_max * (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n));
+  r.p_value = kolmogorov_survival(t);
+  return r;
+}
+
+double qq_correlation(std::vector<double> samples, const LogNormal& dist) {
+  if (samples.size() < 3) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::vector<double> theo(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Hazen plotting positions.
+    const double p = (static_cast<double>(i) + 0.5) / n;
+    theo[i] = dist.quantile(p);
+  }
+  return pearson_correlation(theo, samples);
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 int intervals) {
+  if (intervals % 2 == 1) ++intervals;
+  const double h = (b - a) / intervals;
+  double s = f(a) + f(b);
+  for (int i = 1; i < intervals; ++i) {
+    s += f(a + h * i) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return s * h / 3.0;
+}
+
+double LogMinMax::normalize(double x) const {
+  const double lx = std::log(std::max(x, 0.0) + 1.0);
+  if (log_hi <= log_lo) return 0.0;
+  return std::clamp((lx - log_lo) / (log_hi - log_lo), 0.0, 1.0);
+}
+
+LogMinMax LogMinMax::fit(std::span<const double> xs) {
+  LogMinMax n;
+  if (xs.empty()) return n;
+  double lo = std::log(std::max(xs[0], 0.0) + 1.0);
+  double hi = lo;
+  for (double x : xs) {
+    const double lx = std::log(std::max(x, 0.0) + 1.0);
+    lo = std::min(lo, lx);
+    hi = std::max(hi, lx);
+  }
+  n.log_lo = lo;
+  n.log_hi = std::max(hi, lo + 1e-9);
+  return n;
+}
+
+}  // namespace loam

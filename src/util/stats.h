@@ -1,0 +1,81 @@
+// Statistics toolbox: descriptive stats, log-normal MLE fitting,
+// Kolmogorov-Smirnov goodness of fit, ranking metrics helpers and numeric
+// integration. Used by the deviance analytics of Section 5 / Appendix E.1
+// and by the experiment drivers.
+#ifndef LOAM_UTIL_STATS_H_
+#define LOAM_UTIL_STATS_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace loam {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // unbiased (n-1)
+double stddev(std::span<const double> xs);
+// Relative standard deviation (coefficient of variation), as plotted in
+// Fig. 1 for recurring-query CPU costs.
+double relative_stddev(std::span<const double> xs);
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+// ---------------------------------------------------------------------------
+// Log-normal distribution (Appendix E.1 models plan execution cost as
+// log-normal; parameters fitted by maximum likelihood).
+// ---------------------------------------------------------------------------
+struct LogNormal {
+  double mu = 0.0;     // mean of log X
+  double sigma = 1.0;  // stddev of log X
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;  // inverse CDF
+  double mean() const;              // exp(mu + sigma^2/2)
+  double median() const;            // exp(mu)
+  double variance() const;
+};
+
+// MLE fit: mu = mean(log x), sigma = stddev(log x). Requires all samples > 0.
+LogNormal fit_lognormal_mle(std::span<const double> samples);
+
+// One-sample Kolmogorov-Smirnov test of `samples` against `dist`.
+// Returns {statistic D, asymptotic p-value} using the Kolmogorov
+// distribution with the small-sample correction of Stephens.
+struct KsResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+};
+KsResult ks_test_lognormal(std::vector<double> samples, const LogNormal& dist);
+
+// Correlation of the theoretical vs. empirical quantiles (the summary number
+// behind the Q-Q plot of Fig. 15(b); 1.0 = perfect agreement).
+double qq_correlation(std::vector<double> samples, const LogNormal& dist);
+
+// Standard normal CDF.
+double phi(double x);
+// Inverse standard normal CDF (Acklam's rational approximation).
+double phi_inverse(double p);
+
+// ---------------------------------------------------------------------------
+// Numeric integration: adaptive-free composite Simpson on [a, b].
+// ---------------------------------------------------------------------------
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 int intervals = 2048);
+
+// ---------------------------------------------------------------------------
+// Normalization helpers (Section 4: numerical plan attributes are
+// "log-normalized using min-max normalization on their logarithms").
+// ---------------------------------------------------------------------------
+struct LogMinMax {
+  double log_lo = 0.0;
+  double log_hi = 1.0;
+
+  // Maps x >= 0 to [0, 1]; values outside the fitted range are clamped.
+  double normalize(double x) const;
+  static LogMinMax fit(std::span<const double> xs);
+};
+
+}  // namespace loam
+
+#endif  // LOAM_UTIL_STATS_H_

@@ -1,0 +1,87 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace loam {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TablePrinter::fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) {
+  // Thousands separators for readability of CPU-cost magnitudes.
+  const bool neg = v < 0;
+  unsigned long long u = neg ? static_cast<unsigned long long>(-(v + 1)) + 1ull
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TablePrinter::fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string bar_line(const std::string& label, double value, double max_value,
+                     int width) {
+  const double frac = max_value > 0.0 ? std::clamp(value / max_value, 0.0, 1.0) : 0.0;
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string bar(static_cast<std::size_t>(filled), '#');
+  bar += std::string(static_cast<std::size_t>(width - filled), '.');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.3g", value);
+  return label + " |" + bar + "|" + buf;
+}
+
+}  // namespace loam

@@ -1,0 +1,37 @@
+// Console table rendering for the experiment drivers: every bench binary
+// prints the rows/series of the paper table or figure it reproduces.
+#ifndef LOAM_UTIL_TABLE_PRINTER_H_
+#define LOAM_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace loam {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with aligned columns and a header separator.
+  std::string to_string() const;
+  void print() const;
+
+  // Formatting helpers.
+  static std::string fmt(double v, int decimals = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int decimals = 1);  // 0.231 -> "23.1%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a simple horizontal-bar chart line, e.g. for Fig. 1 / Fig. 7
+// style series: `label |######....| value`.
+std::string bar_line(const std::string& label, double value, double max_value,
+                     int width = 40);
+
+}  // namespace loam
+
+#endif  // LOAM_UTIL_TABLE_PRINTER_H_

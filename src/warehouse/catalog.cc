@@ -1,0 +1,36 @@
+#include "warehouse/catalog.h"
+
+#include <stdexcept>
+
+namespace loam::warehouse {
+
+int Catalog::add_table(Table table) {
+  const int id = static_cast<int>(tables_.size());
+  if (by_name_.contains(table.name)) {
+    throw std::invalid_argument("duplicate table name: " + table.name);
+  }
+  by_name_[table.name] = id;
+  // Until statistics are collected the optimizer falls back to metadata.
+  TableStats stats;
+  stats.available = false;
+  stats.observed_rows = table.row_count;
+  tables_.push_back(std::move(table));
+  stats_.push_back(stats);
+  return id;
+}
+
+int Catalog::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+void Catalog::set_stats(int id, TableStats stats) {
+  stats_.at(static_cast<std::size_t>(id)) = stats;
+}
+
+std::string Catalog::column_identifier(int table_id, int column) const {
+  const Table& t = table(table_id);
+  return t.name + "." + t.columns.at(static_cast<std::size_t>(column)).name;
+}
+
+}  // namespace loam::warehouse

@@ -1,0 +1,99 @@
+#include "warehouse/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loam::warehouse {
+
+Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  busy_.resize(static_cast<std::size_t>(config_.machines));
+  tenant_mix_.resize(static_cast<std::size_t>(config_.machines));
+  for (std::size_t m = 0; m < busy_.size(); ++m) {
+    // Heterogeneous tenant mixes: some machines chronically run hotter.
+    tenant_mix_[m] = rng_.normal(0.0, 0.10);
+    busy_[m] = std::clamp(config_.mean_busy + tenant_mix_[m] +
+                              rng_.normal(0.0, config_.busy_stddev),
+                          0.02, 0.98);
+  }
+}
+
+void Cluster::tick() {
+  now_s_ += config_.metric_period_s;
+  const double phase = 2.0 * M_PI * now_s_ / config_.seconds_per_day;
+  const double diurnal = config_.diurnal_amplitude * std::sin(phase);
+  // Innovation scale chosen so the stationary stddev matches busy_stddev:
+  // for an AR(1) with pull a, sd_innov = busy_stddev * sqrt(a * (2 - a)).
+  const double a = config_.mean_reversion;
+  const double innov = config_.busy_stddev * std::sqrt(a * (2.0 - a));
+  for (std::size_t m = 0; m < busy_.size(); ++m) {
+    const double target = config_.mean_busy + tenant_mix_[m] + diurnal;
+    busy_[m] += a * (target - busy_[m]) + rng_.normal(0.0, innov);
+    busy_[m] = std::clamp(busy_[m], 0.02, 0.98);
+  }
+}
+
+void Cluster::advance(double seconds) {
+  const int ticks = std::max(1, static_cast<int>(seconds / config_.metric_period_s));
+  for (int t = 0; t < ticks; ++t) tick();
+}
+
+MachineLoad Cluster::machine_load(int machine) const {
+  const double b = busy_.at(static_cast<std::size_t>(machine));
+  MachineLoad l;
+  l.cpu_idle = std::clamp(1.0 - b, 0.0, 1.0);
+  // IO wait grows superlinearly once machines saturate.
+  l.io_wait = std::clamp(0.02 + 0.12 * b * b, 0.0, 1.0);
+  // Run-queue length: roughly proportional to busyness on a 16-slot machine.
+  l.load5 = std::max(0.0, 16.0 * b * b + 0.5 * b);
+  l.mem_usage = std::clamp(0.25 + 0.6 * b, 0.0, 1.0);
+  return l;
+}
+
+MachineLoad Cluster::cluster_average() const {
+  MachineLoad avg;
+  avg.cpu_idle = avg.io_wait = avg.load5 = avg.mem_usage = 0.0;
+  for (int m = 0; m < size(); ++m) {
+    const MachineLoad l = machine_load(m);
+    avg.cpu_idle += l.cpu_idle;
+    avg.io_wait += l.io_wait;
+    avg.load5 += l.load5;
+    avg.mem_usage += l.mem_usage;
+  }
+  const double n = static_cast<double>(size());
+  avg.cpu_idle /= n;
+  avg.io_wait /= n;
+  avg.load5 /= n;
+  avg.mem_usage /= n;
+  return avg;
+}
+
+EnvFeatures EnvFeatures::from_load(const MachineLoad& load) {
+  EnvFeatures f;
+  f.cpu_idle = std::clamp(load.cpu_idle, 0.0, 1.0);
+  f.io_wait = std::clamp(load.io_wait, 0.0, 1.0);
+  // LOAD5 is unbounded; log-normalize against a 64-process ceiling.
+  f.load5_norm = std::clamp(std::log1p(load.load5) / std::log1p(64.0), 0.0, 1.0);
+  f.mem_usage = std::clamp(load.mem_usage, 0.0, 1.0);
+  return f;
+}
+
+EnvFeatures EnvFeatures::average(const std::vector<EnvFeatures>& samples) {
+  EnvFeatures avg;
+  if (samples.empty()) return avg;
+  avg.cpu_idle = avg.io_wait = avg.load5_norm = avg.mem_usage = 0.0;
+  for (const EnvFeatures& s : samples) {
+    avg.cpu_idle += s.cpu_idle;
+    avg.io_wait += s.io_wait;
+    avg.load5_norm += s.load5_norm;
+    avg.mem_usage += s.mem_usage;
+  }
+  const double n = static_cast<double>(samples.size());
+  avg.cpu_idle /= n;
+  avg.io_wait /= n;
+  avg.load5_norm /= n;
+  avg.mem_usage /= n;
+  return avg;
+}
+
+}  // namespace loam::warehouse

@@ -1,0 +1,88 @@
+// Cluster simulator: a pool of homogeneous machines whose load evolves as a
+// mean-reverting AR(1) process with a shared diurnal component and
+// per-machine tenant mix. The four standard metrics of Appendix B.2
+// (CPU_IDLE, IO_WAIT, LOAD5, MEM_USAGE) are derived from the latent busyness
+// and sampled every 20 seconds, exactly the telemetry LOAM's plan encoding
+// consumes.
+//
+// Machines inside one cluster are intentionally homogeneous (Section 4's
+// rationale for omitting hardware features), so the environment's entire
+// influence on cost flows through load.
+#ifndef LOAM_WAREHOUSE_CLUSTER_H_
+#define LOAM_WAREHOUSE_CLUSTER_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loam::warehouse {
+
+// One sample of the four standard load metrics. LOAD5 is the raw run-queue
+// length (unbounded); the other three are fractions in [0, 1].
+struct MachineLoad {
+  double cpu_idle = 1.0;
+  double io_wait = 0.0;
+  double load5 = 0.0;
+  double mem_usage = 0.0;
+};
+
+struct ClusterConfig {
+  int machines = 128;
+  double metric_period_s = 20.0;  // telemetry sampling period
+  double mean_busy = 0.45;        // long-run average busyness
+  double busy_stddev = 0.16;      // dispersion of the stationary distribution
+  double mean_reversion = 0.08;   // AR(1) pull per tick
+  double diurnal_amplitude = 0.15;
+  double seconds_per_day = 86400.0;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, std::uint64_t seed);
+
+  int size() const { return static_cast<int>(busy_.size()); }
+  double now_s() const { return now_s_; }
+
+  // Advances simulated time, evolving every machine's load process in
+  // `metric_period_s` ticks.
+  void advance(double seconds);
+
+  // Current metric sample of one machine.
+  MachineLoad machine_load(int machine) const;
+
+  // Cluster-wide averaged metrics (what the LOAM-CE / LOAM-CB ablations of
+  // Section 7.2.5 consume).
+  MachineLoad cluster_average() const;
+
+  // Latent busyness in [0, 1]; used by the scheduler to prefer idle machines.
+  double busyness(int machine) const { return busy_.at(static_cast<std::size_t>(machine)); }
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  void tick();
+
+  ClusterConfig config_;
+  Rng rng_;
+  double now_s_ = 0.0;
+  std::vector<double> busy_;        // latent busyness per machine
+  std::vector<double> tenant_mix_;  // per-machine long-run offset
+};
+
+// Normalizes a raw metric sample into the [0, 1] feature vector LOAM encodes:
+// CPU_IDLE, IO_WAIT and MEM_USAGE are already fractions; LOAD5 is
+// log-normalized (Section 4).
+struct EnvFeatures {
+  double cpu_idle = 0.5;
+  double io_wait = 0.05;
+  double load5_norm = 0.5;
+  double mem_usage = 0.5;
+
+  static EnvFeatures from_load(const MachineLoad& load);
+  // Average of several samples.
+  static EnvFeatures average(const std::vector<EnvFeatures>& samples);
+};
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_CLUSTER_H_

@@ -1,0 +1,148 @@
+#include "warehouse/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loam::warehouse {
+
+double operator_work(const Plan& plan, const PlanNode& node,
+                     int consumer_parallelism) {
+  const double out = node.true_rows;
+  const double in_l = node.left >= 0 ? plan.node(node.left).true_rows : 0.0;
+  const double in_r = node.right >= 0 ? plan.node(node.right).true_rows : 0.0;
+  const double width = std::max(0.25, node.row_width / 64.0);
+  double w = 0.0;
+  switch (node.op) {
+    case OpType::kTableScan: w = 1.0 * out; break;
+    case OpType::kSpoolRead: w = 0.25 * out; break;
+    case OpType::kSpoolWrite: w = 0.8 * in_l; break;
+    case OpType::kFilter: w = 0.2 * in_l; break;
+    case OpType::kCalc: w = 0.3 * in_l; break;
+    case OpType::kProject: w = 0.1 * in_l; break;
+    case OpType::kHashJoin: w = 0.9 * in_l + 1.3 * in_r + 0.3 * out; break;
+    case OpType::kMergeJoin: w = 0.6 * (in_l + in_r) + 0.3 * out; break;
+    case OpType::kBroadcastHashJoin: w = 0.7 * in_l + 1.0 * in_r + 0.3 * out; break;
+    case OpType::kNestedLoopJoin: w = in_l * std::max(1.0, in_r) * 1e-3; break;
+    case OpType::kHashAggregate: w = 1.0 * in_l + 0.2 * out; break;
+    case OpType::kSortAggregate: w = 0.5 * in_l + 0.2 * out; break;
+    case OpType::kLocalHashAggregate: w = 0.8 * in_l + 0.2 * out; break;
+    case OpType::kSort: w = 0.11 * in_l * std::log2(in_l + 2.0); break;
+    case OpType::kExchange: w = 0.8 * in_l; break;
+    case OpType::kBroadcastExchange:
+      // Replicating to every consumer instance multiplies the volume.
+      w = 0.8 * in_l * std::sqrt(static_cast<double>(std::max(1, consumer_parallelism)));
+      break;
+    case OpType::kLocalExchange: w = 0.3 * in_l; break;
+    case OpType::kLimit:
+    case OpType::kSink: w = 0.05 * in_l; break;
+    case OpType::kTopN: w = 0.4 * in_l; break;
+    default: w = 0.5 * in_l; break;
+  }
+  return w * width;
+}
+
+double env_multiplier(const EnvFeatures& env, const ExecutorConfig& config) {
+  return config.env_base + config.env_cpu * (1.0 - env.cpu_idle) +
+         config.env_io * env.io_wait + config.env_load * env.load5_norm +
+         config.env_mem * env.mem_usage;
+}
+
+double plan_work(const Plan& plan, const ExecutorConfig& config) {
+  // Work needs stage parallelism for broadcast costs; decompose a copy.
+  Plan copy = plan;
+  StageGraph graph = decompose_into_stages(copy, config.stage_config);
+  double total = 0.0;
+  for (const Stage& s : graph.stages) {
+    for (int id : s.node_ids) {
+      const PlanNode& n = copy.node(id);
+      // A broadcast exchange's consumer is this (downstream) stage.
+      total += operator_work(copy, n, s.parallelism);
+    }
+  }
+  return total * config.work_scale;
+}
+
+Executor::Executor(Cluster* cluster, ExecutorConfig config)
+    : cluster_(cluster), config_(config) {}
+
+ExecutionResult Executor::execute(Plan& plan, Rng& rng) {
+  ExecutionResult result;
+  StageGraph graph = decompose_into_stages(plan, config_.stage_config);
+  if (graph.stage_count() == 0) return result;
+  result.stages.resize(static_cast<std::size_t>(graph.stage_count()));
+
+  std::vector<double> finish(static_cast<std::size_t>(graph.stage_count()), 0.0);
+  double total_cost = 0.0;
+  double total_work = 0.0;
+  EnvFeatures weighted_env;
+  weighted_env.cpu_idle = weighted_env.io_wait = weighted_env.load5_norm =
+      weighted_env.mem_usage = 0.0;
+
+  for (int sid : graph.topological_order()) {
+    const Stage& stage = graph.stages.at(static_cast<std::size_t>(sid));
+
+    double work = 0.0;
+    for (int id : stage.node_ids) {
+      work += operator_work(plan, plan.node(id), stage.parallelism);
+    }
+    work *= config_.work_scale;
+
+    // Resource allocation: Fuxi picks machines, we average their telemetry
+    // over the stage's execution window.
+    const std::vector<int> machines =
+        scheduler_.allocate(*cluster_, stage.parallelism, rng);
+    std::vector<EnvFeatures> samples;
+    samples.reserve(machines.size());
+    for (int m : machines) {
+      samples.push_back(EnvFeatures::from_load(cluster_->machine_load(m)));
+    }
+    const EnvFeatures env = EnvFeatures::average(samples);
+
+    const double mult = env_multiplier(env, config_);
+    const double sigma = config_.noise_sigma;
+    const double noise = rng.lognormal(-0.5 * sigma * sigma, sigma);
+    const double cost = work * mult * noise;
+
+    StageExecution& exec = result.stages.at(static_cast<std::size_t>(sid));
+    exec.stage_id = sid;
+    exec.instances = stage.parallelism;
+    exec.env = env;
+    exec.work = work;
+    exec.cpu_cost = cost;
+
+    total_cost += cost;
+    total_work += work;
+    weighted_env.cpu_idle += env.cpu_idle * work;
+    weighted_env.io_wait += env.io_wait * work;
+    weighted_env.load5_norm += env.load5_norm * work;
+    weighted_env.mem_usage += env.mem_usage * work;
+
+    // Latency: stage time over its instances, after upstream stages finish,
+    // plus a small scheduling delay.
+    const double stage_rows = std::max(1.0, stage.input_rows);
+    const double stage_time =
+        stage_rows / (config_.rows_per_second * stage.parallelism) * mult +
+        rng.uniform(0.05, 0.4);
+    double start = 0.0;
+    for (int u : stage.upstream) {
+      start = std::max(start, finish[static_cast<std::size_t>(u)]);
+    }
+    finish[static_cast<std::size_t>(sid)] = start + stage_time;
+
+    // The cluster keeps moving while the stage runs.
+    cluster_->advance(std::min(stage_time, 120.0));
+  }
+
+  result.cpu_cost = total_cost;
+  result.latency_s = *std::max_element(finish.begin(), finish.end());
+  if (total_work > 0.0) {
+    weighted_env.cpu_idle /= total_work;
+    weighted_env.io_wait /= total_work;
+    weighted_env.load5_norm /= total_work;
+    weighted_env.mem_usage /= total_work;
+  }
+  result.plan_avg_env = weighted_env;
+  return result;
+}
+
+}  // namespace loam::warehouse

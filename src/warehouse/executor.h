@@ -1,0 +1,91 @@
+// Distributed execution simulator (Section 2.1, step 3).
+//
+// A plan is decomposed into stages; each stage is scheduled by the Fuxi-like
+// resource manager onto cluster machines, and its CPU cost is
+//
+//     work(stage)  ×  env_multiplier(load of allocated machines)  ×  noise
+//
+// where `work` is a physical-operator cost model over TRUE cardinalities,
+// `env_multiplier` is a monotone, roughly linear function of the four load
+// metrics (the empirically observed shape of Fig. 5), and `noise` is a
+// mean-one log-normal residual capturing everything the telemetry cannot see
+// (the irreducible error that lower-bounds every optimizer — Theorem 1).
+#ifndef LOAM_WAREHOUSE_EXECUTOR_H_
+#define LOAM_WAREHOUSE_EXECUTOR_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "warehouse/cluster.h"
+#include "warehouse/fuxi.h"
+#include "warehouse/plan.h"
+#include "warehouse/stages.h"
+
+namespace loam::warehouse {
+
+struct ExecutorConfig {
+  // Environment-multiplier coefficients: m = base + a(1-CPU_IDLE) +
+  // b*IO_WAIT + c*LOAD5_norm + d*MEM_USAGE.
+  double env_base = 0.70;
+  double env_cpu = 0.90;
+  double env_io = 0.80;
+  double env_load = 0.35;
+  double env_mem = 0.25;
+  // Log-normal residual sigma (of log cost): stragglers, retries, cache
+  // state, co-tenant bursts the 20-second telemetry cannot resolve.
+  double noise_sigma = 0.15;
+  // Converts operator work units into the reported CPU-cost scale.
+  double work_scale = 1e-3;
+  // Simulated per-instance processing rate (rows/second) for latency.
+  double rows_per_second = 4e5;
+  StageDecomposerConfig stage_config;
+};
+
+// Execution record of a single stage; the environment features are exactly
+// what gets logged into the historical repository and later encoded into the
+// plan vector of every node of that stage.
+struct StageExecution {
+  int stage_id = -1;
+  int instances = 1;
+  EnvFeatures env;
+  double work = 0.0;
+  double cpu_cost = 0.0;
+};
+
+struct ExecutionResult {
+  double cpu_cost = 0.0;
+  double latency_s = 0.0;
+  std::vector<StageExecution> stages;  // indexed by stage id
+  // Work-weighted average environment over the whole plan.
+  EnvFeatures plan_avg_env;
+};
+
+// Deterministic operator work model over true cardinalities; exposed so
+// tests and the deviance analytics can reason about noiseless costs.
+double operator_work(const Plan& plan, const PlanNode& node, int consumer_parallelism);
+// Total noiseless work of a plan (before environment and noise), in CPU-cost
+// units (work_scale applied).
+double plan_work(const Plan& plan, const ExecutorConfig& config =
+                                        ExecutorConfig());
+// The environment multiplier applied to a stage's work.
+double env_multiplier(const EnvFeatures& env, const ExecutorConfig& config);
+
+class Executor {
+ public:
+  Executor(Cluster* cluster, ExecutorConfig config = ExecutorConfig());
+
+  // Executes the plan against the live cluster, advancing cluster time as
+  // stages run. Writes stage ids into the plan.
+  ExecutionResult execute(Plan& plan, Rng& rng);
+
+  const ExecutorConfig& config() const { return config_; }
+
+ private:
+  Cluster* cluster_;
+  FuxiScheduler scheduler_;
+  ExecutorConfig config_;
+};
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_EXECUTOR_H_

@@ -1,0 +1,33 @@
+#include "warehouse/flighting.h"
+
+namespace loam::warehouse {
+
+FlightingEnv::FlightingEnv(ClusterConfig cluster_config,
+                           ExecutorConfig executor_config, std::uint64_t seed)
+    : cluster_(cluster_config, seed ^ 0xf11447ull),
+      executor_(&cluster_, executor_config),
+      rng_(seed) {}
+
+ExecutionResult FlightingEnv::replay_once(const Plan& plan) {
+  // Decorrelate consecutive replays: let the cluster drift for a random
+  // interval before launching.
+  cluster_.advance(rng_.uniform(120.0, 1200.0));
+  Plan copy = plan;
+  return executor_.execute(copy, rng_);
+}
+
+std::vector<double> FlightingEnv::replay(const Plan& plan, int runs) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) costs.push_back(replay_once(plan).cpu_cost);
+  return costs;
+}
+
+double FlightingEnv::replay_mean(const Plan& plan, int runs) {
+  const std::vector<double> costs = replay(plan, runs);
+  double s = 0.0;
+  for (double c : costs) s += c;
+  return costs.empty() ? 0.0 : s / static_cast<double>(costs.size());
+}
+
+}  // namespace loam::warehouse

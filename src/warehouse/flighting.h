@@ -1,0 +1,40 @@
+// Flighting environment (Section 3): replays user query plans against an
+// isolated clone of the execution substrate, without touching the serving
+// path. LOAM uses it to obtain ground-truth costs for held-out test queries
+// before deciding whether a trained predictor is fit for production, and the
+// deviance analytics use repeated replays to fit per-plan cost distributions
+// (Appendix E.1).
+#ifndef LOAM_WAREHOUSE_FLIGHTING_H_
+#define LOAM_WAREHOUSE_FLIGHTING_H_
+
+#include <vector>
+
+#include "warehouse/executor.h"
+
+namespace loam::warehouse {
+
+class FlightingEnv {
+ public:
+  FlightingEnv(ClusterConfig cluster_config, ExecutorConfig executor_config,
+               std::uint64_t seed);
+
+  // Executes the plan `runs` times under freshly evolved environments and
+  // returns the observed CPU costs.
+  std::vector<double> replay(const Plan& plan, int runs);
+  double replay_mean(const Plan& plan, int runs);
+
+  // Single replay that also exposes the full execution record (used to pair
+  // realized environments with realized costs).
+  ExecutionResult replay_once(const Plan& plan);
+
+  Cluster& cluster() { return cluster_; }
+
+ private:
+  Cluster cluster_;
+  Executor executor_;
+  Rng rng_;
+};
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_FLIGHTING_H_

@@ -1,0 +1,35 @@
+#include "warehouse/fuxi.h"
+
+#include <cmath>
+
+namespace loam::warehouse {
+
+std::vector<int> FuxiScheduler::allocate(const Cluster& cluster, int instances,
+                                         Rng& rng) const {
+  // Softmax over idleness: weight_m = exp(bias * (1 - busy_m)).
+  const int n = cluster.size();
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int m = 0; m < n; ++m) {
+    weights[static_cast<std::size_t>(m)] =
+        std::exp(config_.idle_bias * (1.0 - cluster.busyness(m)));
+    total += weights[static_cast<std::size_t>(m)];
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    double u = rng.uniform(0.0, total);
+    int pick = n - 1;
+    for (int m = 0; m < n; ++m) {
+      u -= weights[static_cast<std::size_t>(m)];
+      if (u <= 0.0) {
+        pick = m;
+        break;
+      }
+    }
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace loam::warehouse

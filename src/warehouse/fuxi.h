@@ -1,0 +1,36 @@
+// Fuxi-like resource manager (Zhang et al., VLDB'14): allocates machines to
+// stage instances from the shared cluster pool, biased toward idle machines —
+// the load-balancing behaviour that makes machine-level environments differ
+// systematically from cluster-wide averages (the effect behind LOAM's win
+// over the LOAM-CE / LOAM-CB ablations in Section 7.2.5).
+#ifndef LOAM_WAREHOUSE_FUXI_H_
+#define LOAM_WAREHOUSE_FUXI_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "warehouse/cluster.h"
+
+namespace loam::warehouse {
+
+struct FuxiConfig {
+  // Strength of the idle-machine preference: 0 = uniform random placement,
+  // larger = tighter packing onto idle machines.
+  double idle_bias = 6.0;
+};
+
+class FuxiScheduler {
+ public:
+  explicit FuxiScheduler(FuxiConfig config = FuxiConfig()) : config_(config) {}
+
+  // Picks `instances` machines (with replacement across instances — several
+  // instances may land on one machine) preferring idle ones.
+  std::vector<int> allocate(const Cluster& cluster, int instances, Rng& rng) const;
+
+ private:
+  FuxiConfig config_;
+};
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_FUXI_H_

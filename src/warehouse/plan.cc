@@ -1,0 +1,142 @@
+#include "warehouse/plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace loam::warehouse {
+
+const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::kTableScan: return "TableScan";
+    case OpType::kFilter: return "Filter";
+    case OpType::kCalc: return "Calc";
+    case OpType::kProject: return "Project";
+    case OpType::kHashJoin: return "HashJoin";
+    case OpType::kMergeJoin: return "MergeJoin";
+    case OpType::kNestedLoopJoin: return "NestedLoopJoin";
+    case OpType::kBroadcastHashJoin: return "BroadcastHashJoin";
+    case OpType::kHashAggregate: return "HashAggregate";
+    case OpType::kSortAggregate: return "SortAggregate";
+    case OpType::kLocalHashAggregate: return "LocalHashAggregate";
+    case OpType::kSort: return "Sort";
+    case OpType::kExchange: return "Exchange";
+    case OpType::kBroadcastExchange: return "BroadcastExchange";
+    case OpType::kLocalExchange: return "LocalExchange";
+    case OpType::kLimit: return "Limit";
+    case OpType::kTopN: return "TopN";
+    case OpType::kWindow: return "Window";
+    case OpType::kUnionAll: return "UnionAll";
+    case OpType::kExpand: return "Expand";
+    case OpType::kValues: return "Values";
+    case OpType::kSink: return "Sink";
+    case OpType::kSpoolWrite: return "SpoolWrite";
+    case OpType::kSpoolRead: return "SpoolRead";
+    case OpType::kLateralView: return "LateralView";
+    case OpType::kUserDefinedFn: return "UserDefinedFn";
+    case OpType::kSelectTransform: return "SelectTransform";
+    case OpType::kDynamicFilter: return "DynamicFilter";
+    case OpType::kRangePartition: return "RangePartition";
+    case OpType::kSampling: return "Sampling";
+    default: return "?";
+  }
+}
+
+bool is_join(OpType op) {
+  return op == OpType::kHashJoin || op == OpType::kMergeJoin ||
+         op == OpType::kNestedLoopJoin || op == OpType::kBroadcastHashJoin;
+}
+
+bool is_aggregate(OpType op) {
+  return op == OpType::kHashAggregate || op == OpType::kSortAggregate ||
+         op == OpType::kLocalHashAggregate;
+}
+
+bool is_exchange(OpType op) {
+  return op == OpType::kExchange || op == OpType::kBroadcastExchange ||
+         op == OpType::kLocalExchange;
+}
+
+bool is_filter_like(OpType op) {
+  return op == OpType::kFilter || op == OpType::kCalc;
+}
+
+int Plan::add_node(PlanNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::vector<int> Plan::postorder() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  if (root_ < 0) return order;
+  // Iterative post-order to stay safe on deep trees.
+  std::vector<std::pair<int, bool>> stack{{root_, false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      order.push_back(id);
+      continue;
+    }
+    stack.emplace_back(id, true);
+    const PlanNode& n = node(id);
+    if (n.right >= 0) stack.emplace_back(n.right, false);
+    if (n.left >= 0) stack.emplace_back(n.left, false);
+  }
+  return order;
+}
+
+std::uint64_t Plan::signature() const {
+  std::function<std::uint64_t(int)> hash_node = [&](int id) -> std::uint64_t {
+    if (id < 0) return 0x5bd1e995u;
+    const PlanNode& n = node(id);
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(n.op) + 0x100);
+    h ^= mix64(static_cast<std::uint64_t>(n.table_id + 2));
+    h ^= mix64(static_cast<std::uint64_t>(n.join_form) + 0x9000);
+    for (const auto& c : n.join_columns) h ^= hash64(c, 3);
+    h = mix64(h ^ (hash_node(n.left) * 0x9e3779b97f4a7c15ull));
+    h = mix64(h ^ (hash_node(n.right) * 0xc2b2ae3d27d4eb4full));
+    return h;
+  };
+  return hash_node(root_);
+}
+
+std::vector<std::pair<std::pair<OpType, OpType>, int>> Plan::parent_child_patterns()
+    const {
+  std::map<std::pair<OpType, OpType>, int> counts;
+  for (const PlanNode& n : nodes_) {
+    for (int c : {n.left, n.right}) {
+      if (c >= 0) ++counts[{n.op, node(c).op}];
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
+std::string Plan::to_string() const {
+  std::ostringstream out;
+  std::function<void(int, int)> render = [&](int id, int indent) {
+    if (id < 0) return;
+    const PlanNode& n = node(id);
+    out << std::string(static_cast<std::size_t>(indent) * 2, ' ') << op_name(n.op);
+    if (n.op == OpType::kTableScan || n.op == OpType::kSpoolRead) {
+      out << "(t" << n.table_id << ", parts=" << n.partitions_accessed
+          << ", cols=" << n.columns_accessed << ")";
+    }
+    if (is_join(n.op)) out << "(" << join_form_name(n.join_form) << ")";
+    if (is_aggregate(n.op)) out << "(" << agg_fn_name(n.agg_fn) << ")";
+    out << " est=" << static_cast<long long>(n.est_rows)
+        << " true=" << static_cast<long long>(n.true_rows);
+    if (n.stage >= 0) out << " stage=" << n.stage;
+    out << "\n";
+    render(n.left, indent + 1);
+    render(n.right, indent + 1);
+  };
+  render(root_, 0);
+  return out.str();
+}
+
+}  // namespace loam::warehouse

@@ -1,0 +1,51 @@
+#include "warehouse/repository.h"
+
+#include <algorithm>
+#include <set>
+
+namespace loam::warehouse {
+
+std::vector<const QueryRecord*> QueryRepository::on_day(int day) const {
+  return in_day_range(day, day);
+}
+
+std::vector<const QueryRecord*> QueryRepository::in_day_range(int first_day,
+                                                              int last_day) const {
+  std::vector<const QueryRecord*> out;
+  for (const QueryRecord& r : records_) {
+    if (r.day >= first_day && r.day <= last_day) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const QueryRecord*> QueryRepository::deduplicated(int first_day,
+                                                              int last_day) const {
+  std::set<std::pair<std::string, std::uint64_t>> seen;
+  std::vector<const QueryRecord*> out;
+  for (const QueryRecord& r : records_) {
+    if (r.day < first_day || r.day > last_day) continue;
+    const auto key = std::make_pair(r.query.template_id, r.query.param_signature);
+    if (seen.insert(key).second) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const QueryRecord*> QueryRepository::runs_of(
+    const std::string& template_id, std::uint64_t param_signature) const {
+  std::vector<const QueryRecord*> out;
+  for (const QueryRecord& r : records_) {
+    if (r.query.template_id == template_id &&
+        r.query.param_signature == param_signature) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+int QueryRepository::max_day() const {
+  int d = -1;
+  for (const QueryRecord& r : records_) d = std::max(d, r.day);
+  return d;
+}
+
+}  // namespace loam::warehouse

@@ -1,0 +1,56 @@
+// Historical query repository (Section 2.1, step 4): after every query
+// completes, the SQL-level query, its physical plan, the execution
+// environment at stage granularity, and the end-to-end cost/latency are
+// logged per project. This repository is LOAM's only training data source —
+// the feature that lets it avoid executing extra candidate plans.
+#ifndef LOAM_WAREHOUSE_REPOSITORY_H_
+#define LOAM_WAREHOUSE_REPOSITORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "warehouse/executor.h"
+#include "warehouse/flags.h"
+#include "warehouse/plan.h"
+#include "warehouse/query.h"
+
+namespace loam::warehouse {
+
+struct QueryRecord {
+  Query query;
+  Plan plan;
+  PlannerKnobs knobs;
+  bool is_default = true;  // produced by the native optimizer without steering
+  ExecutionResult exec;
+  int day = 0;
+};
+
+class QueryRepository {
+ public:
+  void log(QueryRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  std::vector<const QueryRecord*> on_day(int day) const;
+  std::vector<const QueryRecord*> in_day_range(int first_day, int last_day) const;
+
+  // Deduplicated view: one record per (template_id, param_signature) pair,
+  // keeping the earliest execution — matching the "deduplicated queries over
+  // 30 consecutive days" protocol of Section 7.1.
+  std::vector<const QueryRecord*> deduplicated(int first_day, int last_day) const;
+
+  // Executions of the same recurring query (same template and parameters),
+  // the unit of the Fig. 1 / Fig. 15 variance analyses.
+  std::vector<const QueryRecord*> runs_of(const std::string& template_id,
+                                          std::uint64_t param_signature) const;
+
+  int max_day() const;
+
+ private:
+  std::vector<QueryRecord> records_;
+};
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_REPOSITORY_H_

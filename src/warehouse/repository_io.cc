@@ -1,0 +1,99 @@
+#include "warehouse/repository_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace loam::warehouse {
+
+namespace {
+constexpr const char* kHeader =
+    "#loam-cost-log-v1\ttemplate\tparam\tday\tcpu_cost\tlatency_s\tstages\t"
+    "cpu_idle\tio_wait\tload5\tmem";
+}
+
+std::vector<CostLogRow> to_cost_log(const QueryRepository& repo) {
+  std::vector<CostLogRow> rows;
+  rows.reserve(repo.size());
+  for (const QueryRecord& r : repo.records()) {
+    CostLogRow row;
+    row.template_id = r.query.template_id;
+    row.param_signature = r.query.param_signature;
+    row.day = r.day;
+    row.cpu_cost = r.exec.cpu_cost;
+    row.latency_s = r.exec.latency_s;
+    row.stages = static_cast<int>(r.exec.stages.size());
+    row.env = r.exec.plan_avg_env;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_cost_log(const std::vector<CostLogRow>& rows, std::ostream& out) {
+  out << kHeader << '\n';
+  out.precision(17);
+  for (const CostLogRow& r : rows) {
+    out << r.template_id << '\t' << r.param_signature << '\t' << r.day << '\t'
+        << r.cpu_cost << '\t' << r.latency_s << '\t' << r.stages << '\t'
+        << r.env.cpu_idle << '\t' << r.env.io_wait << '\t' << r.env.load5_norm
+        << '\t' << r.env.mem_usage << '\n';
+  }
+  if (!out) throw std::runtime_error("cost-log write failed");
+}
+
+std::vector<CostLogRow> read_cost_log(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("not a loam cost log (bad header)");
+  }
+  std::vector<CostLogRow> rows;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    CostLogRow r;
+    std::string token;
+    auto next = [&fields, &token, line_no]() -> const std::string& {
+      if (!std::getline(fields, token, '\t')) {
+        throw std::runtime_error("cost-log row truncated at line " +
+                                 std::to_string(line_no));
+      }
+      return token;
+    };
+    try {
+      r.template_id = next();
+      r.param_signature = std::stoull(next());
+      r.day = std::stoi(next());
+      r.cpu_cost = std::stod(next());
+      r.latency_s = std::stod(next());
+      r.stages = std::stoi(next());
+      r.env.cpu_idle = std::stod(next());
+      r.env.io_wait = std::stod(next());
+      r.env.load5_norm = std::stod(next());
+      r.env.mem_usage = std::stod(next());
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("cost-log parse error at line " +
+                               std::to_string(line_no));
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void write_cost_log_file(const std::vector<CostLogRow>& rows,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_cost_log(rows, out);
+}
+
+std::vector<CostLogRow> read_cost_log_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_cost_log(in);
+}
+
+}  // namespace loam::warehouse

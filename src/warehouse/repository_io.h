@@ -1,0 +1,49 @@
+// Cost-log export/import for the historical query repository.
+//
+// Production repositories outlive processes; downstream analytics (the Fig. 1
+// variance studies, Ranker training, capacity planning) consume flat cost
+// logs rather than full plan trees. The format is a versioned
+// tab-separated text file with one row per executed query:
+//
+//   template_id  param_signature  day  cpu_cost  latency_s  stages
+//   cpu_idle  io_wait  load5_norm  mem_usage
+//
+// (environment columns are the work-weighted plan averages).
+#ifndef LOAM_WAREHOUSE_REPOSITORY_IO_H_
+#define LOAM_WAREHOUSE_REPOSITORY_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "warehouse/repository.h"
+
+namespace loam::warehouse {
+
+struct CostLogRow {
+  std::string template_id;
+  std::uint64_t param_signature = 0;
+  int day = 0;
+  double cpu_cost = 0.0;
+  double latency_s = 0.0;
+  int stages = 0;
+  EnvFeatures env;
+
+  bool operator==(const CostLogRow&) const = default;
+};
+
+// Flattens the repository into cost-log rows.
+std::vector<CostLogRow> to_cost_log(const QueryRepository& repo);
+
+// Writes/reads the versioned TSV format; readers throw std::runtime_error on
+// malformed headers or rows.
+void write_cost_log(const std::vector<CostLogRow>& rows, std::ostream& out);
+std::vector<CostLogRow> read_cost_log(std::istream& in);
+
+void write_cost_log_file(const std::vector<CostLogRow>& rows,
+                         const std::string& path);
+std::vector<CostLogRow> read_cost_log_file(const std::string& path);
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_REPOSITORY_IO_H_

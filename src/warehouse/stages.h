@@ -1,0 +1,49 @@
+// Stage decomposition (Section 2.1, step 2): the physical plan is split at
+// data-reshuffling operators (Exchange / BroadcastExchange) into a tree of
+// stages. Each stage is an intra-machine operator pipeline and the atomic
+// unit of resource allocation; edges capture data dependencies.
+#ifndef LOAM_WAREHOUSE_STAGES_H_
+#define LOAM_WAREHOUSE_STAGES_H_
+
+#include <vector>
+
+#include "warehouse/plan.h"
+
+namespace loam::warehouse {
+
+struct Stage {
+  int id = -1;
+  std::vector<int> node_ids;     // plan nodes executed by this stage
+  std::vector<int> upstream;     // stages that must finish first
+  // Total rows flowing into the stage from scans and upstream exchanges;
+  // drives the instance count.
+  double input_rows = 0.0;
+  // Parallel instances Fuxi will launch (1 .. >100,000 in production; we
+  // clamp to the simulated cluster's scale).
+  int parallelism = 1;
+};
+
+struct StageGraph {
+  std::vector<Stage> stages;
+
+  int stage_count() const { return static_cast<int>(stages.size()); }
+
+  // Stages in a valid execution order (upstream before downstream).
+  std::vector<int> topological_order() const;
+};
+
+struct StageDecomposerConfig {
+  double rows_per_instance = 2.5e5;
+  int max_parallelism = 256;
+};
+
+// Splits `plan` into stages, writing the stage id into every PlanNode and
+// returning the stage graph. Exchange operators belong to the DOWNSTREAM
+// (consumer) stage; their child subtree forms (part of) an upstream stage.
+StageGraph decompose_into_stages(Plan& plan,
+                                 const StageDecomposerConfig& config =
+                                     StageDecomposerConfig());
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_STAGES_H_

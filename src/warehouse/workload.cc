@@ -1,0 +1,440 @@
+#include "warehouse/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+
+namespace loam::warehouse {
+
+namespace {
+
+// Column 0 is the partition column, column 1 the primary key (NDV == rows).
+Column make_column(const std::string& table, int index, long long rows, Rng& rng) {
+  Column c;
+  c.name = "c" + std::to_string(index);
+  (void)table;
+  if (index == 0) {
+    c.ndv = std::max<long long>(1, rows / 200000 + 1);  // one value per partition
+    c.zipf_skew = 0.0;
+  } else if (index == 1) {
+    c.ndv = std::max<long long>(1, rows);
+    c.zipf_skew = 0.0;
+  } else {
+    const double exponent = rng.uniform(0.25, 0.95);
+    c.ndv = std::max<long long>(
+        1, static_cast<long long>(std::pow(static_cast<double>(rows), exponent)));
+    c.zipf_skew = rng.uniform(0.0, 1.3);
+  }
+  return c;
+}
+
+}  // namespace
+
+Catalog WorkloadGenerator::make_catalog(const ProjectArchetype& a, Rng& rng) const {
+  Catalog catalog;
+  std::vector<int> base_ids;
+  const int n_snapshots =
+      static_cast<int>(a.snapshot_fraction * a.n_tables);
+  const int n_base = std::max(1, a.n_tables - n_snapshots);
+
+  for (int i = 0; i < n_base; ++i) {
+    Table t;
+    const bool temp = rng.uniform() < a.temp_table_fraction;
+    t.name = (temp ? "tmp_" : "t") + std::to_string(i);
+    t.is_temp = temp;
+    if (temp) {
+      t.created_day = static_cast<int>(rng.uniform_int(0, 25));
+      t.dropped_day = t.created_day + static_cast<int>(rng.uniform_int(1, 9));
+    }
+    const double log10_rows =
+        rng.normal(a.table_rows_log10_mean, a.table_rows_log10_sd);
+    t.row_count = std::max<long long>(
+        100, static_cast<long long>(std::pow(10.0, std::clamp(log10_rows, 2.0, 8.6))));
+    t.num_partitions =
+        std::clamp(static_cast<int>(t.row_count / 200000) + 1, 1, 1024);
+    t.row_width = rng.uniform(32.0, 256.0);
+    const int n_cols = std::max(3, rng.poisson(a.avg_columns_per_table));
+    for (int c = 0; c < n_cols; ++c) {
+      t.columns.push_back(make_column(t.name, c, t.row_count, rng));
+    }
+    base_ids.push_back(catalog.add_table(std::move(t)));
+  }
+
+  // Snapshot twins: same shape, alias_of links the storage.
+  for (int s = 0; s < n_snapshots; ++s) {
+    const int base =
+        base_ids[static_cast<std::size_t>(rng.uniform_int(0, n_base - 1))];
+    const Table& bt = catalog.table(base);
+    if (bt.is_temp || bt.alias_of >= 0) continue;
+    Table twin = bt;
+    twin.name = bt.name + "_snapshot" + std::to_string(s);
+    twin.alias_of = base;
+    catalog.add_table(std::move(twin));
+  }
+
+  // Statistics regime.
+  for (int id = 0; id < catalog.table_count(); ++id) {
+    const Table& t = catalog.table(id);
+    TableStats stats;
+    if (rng.uniform() < a.stats_coverage && !t.is_temp) {
+      stats.available = true;
+      stats.observed_rows = std::max<long long>(
+          1, static_cast<long long>(t.row_count * rng.lognormal(0.0, 0.12)));
+      stats.ndv_drift = rng.lognormal(0.0, 0.15);
+    } else {
+      stats.available = false;
+      // Metadata row counts drift badly on uncovered tables.
+      stats.observed_rows = std::max<long long>(
+          1, static_cast<long long>(t.row_count *
+                                    rng.lognormal(0.0, a.stats_staleness)));
+      stats.ndv_drift = 1.0;
+    }
+    catalog.set_stats(id, stats);
+  }
+  return catalog;
+}
+
+QueryTemplate WorkloadGenerator::make_template(const Project& project, int index,
+                                               Rng& rng) const {
+  const ProjectArchetype& a = project.archetype;
+  const Catalog& catalog = project.catalog;
+  QueryTemplate tmpl;
+  tmpl.id = project.name + ".q" + std::to_string(index);
+  tmpl.weight = 1.0;
+
+  const bool temp_template = rng.uniform() < a.temp_template_fraction;
+  tmpl.uses_temp_tables = temp_template;
+
+  // Candidate tables: temp templates draw from temp tables, others from
+  // long-lived ones.
+  std::vector<int> pool;
+  for (int id = 0; id < catalog.table_count(); ++id) {
+    if (catalog.table(id).is_temp == temp_template) pool.push_back(id);
+  }
+  if (pool.empty()) {
+    for (int id = 0; id < catalog.table_count(); ++id) pool.push_back(id);
+  }
+
+  const int want =
+      std::clamp(1 + rng.poisson(std::max(0.0, a.join_tables_mean - 1.0)), 1, 6);
+  std::set<int> chosen;
+  // Anchor on a large "fact" table so that size skew (and with it broadcast /
+  // ordering opportunities) is common.
+  int fact = pool[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(pool.size()) - 1))];
+  for (int tries = 0; tries < 8; ++tries) {
+    const int cand = pool[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(pool.size()) - 1))];
+    if (catalog.table(cand).row_count > catalog.table(fact).row_count) fact = cand;
+  }
+  chosen.insert(fact);
+  while (static_cast<int>(chosen.size()) < want &&
+         static_cast<int>(chosen.size()) < static_cast<int>(pool.size())) {
+    int cand = pool[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(pool.size()) - 1))];
+    // Occasionally join a table with its snapshot twin (day-over-day diff).
+    if (rng.uniform() < 0.2) {
+      for (int id = 0; id < catalog.table_count(); ++id) {
+        if (catalog.table(id).alias_of == *chosen.begin()) {
+          cand = id;
+          break;
+        }
+      }
+    }
+    chosen.insert(cand);
+  }
+  tmpl.tables.assign(chosen.begin(), chosen.end());
+  // Shuffle so the syntactic (FROM) order is arbitrary rather than sorted;
+  // ETL-style templates then put the fact table first.
+  rng.shuffle(tmpl.tables);
+  if (rng.uniform() < a.fact_first_bias) {
+    for (std::size_t i = 0; i < tmpl.tables.size(); ++i) {
+      if (tmpl.tables[i] == fact) {
+        std::swap(tmpl.tables[0], tmpl.tables[i]);
+        break;
+      }
+    }
+  }
+
+  // Spanning tree of equi-joins: each new table joins one already-connected
+  // table via the pair's canonical foreign-key edge. Schemas have stable
+  // PK-FK relationships, so the joining columns are a deterministic function
+  // of the table pair — every template joining the same two tables uses the
+  // same edge, which is what lets LOAM learn an edge's behaviour from
+  // historical queries (Section 4's "join operations under the same join
+  // condition" rationale).
+  for (std::size_t i = 1; i < tmpl.tables.size(); ++i) {
+    JoinEdge e;
+    const std::size_t anchor = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    e.left_table = tmpl.tables[anchor];
+    e.right_table = tmpl.tables[i];
+    const Table& lt = catalog.table(e.left_table);
+    const Table& rt = catalog.table(e.right_table);
+    const std::uint64_t fk = hash64(lt.name + "->" + rt.name, 4242);
+    e.left_column = lt.columns.size() > 1
+                        ? 1 + static_cast<int>(fk % (lt.columns.size() - 1))
+                        : 0;
+    // Join against the right table's primary key when available.
+    e.right_column = rt.columns.size() > 1 ? 1 : 0;
+    const double form_draw = rng.uniform();
+    e.form = form_draw < 0.8 ? JoinForm::kInner
+             : form_draw < 0.95 ? JoinForm::kLeft
+                                : JoinForm::kRight;
+    tmpl.joins.push_back(e);
+  }
+
+  // Predicate slots.
+  const int n_preds = static_cast<int>(rng.uniform_int(0, 3));
+  for (int p = 0; p < n_preds; ++p) {
+    QueryTemplate::PredSlot slot;
+    slot.table_id = tmpl.tables[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(tmpl.tables.size()) - 1))];
+    const Table& t = catalog.table(slot.table_id);
+    slot.column = static_cast<int>(
+        rng.uniform_int(2, std::max<std::int64_t>(
+                               2, static_cast<std::int64_t>(t.columns.size()) - 1)));
+    slot.column = std::min(slot.column, static_cast<int>(t.columns.size()) - 1);
+    const double draw = rng.uniform();
+    if (draw < 0.45) {
+      slot.fns = {FilterFn::kEq};
+    } else if (draw < 0.75) {
+      slot.fns = {FilterFn::kGe, FilterFn::kLt};
+    } else if (draw < 0.9) {
+      slot.fns = {FilterFn::kIn};
+    } else {
+      slot.fns = {FilterFn::kLike};
+    }
+    slot.base_selectivity = std::exp(rng.uniform(std::log(1e-3), std::log(0.5)));
+    slot.param_spread = rng.uniform(0.15, 0.6);
+    tmpl.pred_slots.push_back(slot);
+  }
+  // Partition-pruning slot on the fact table (very common in production).
+  if (rng.uniform() < 0.6) {
+    QueryTemplate::PredSlot slot;
+    slot.table_id = fact;
+    slot.column = 0;
+    slot.fns = {FilterFn::kEq};
+    slot.base_selectivity = rng.uniform(0.01, 0.3);
+    slot.param_spread = 0.2;
+    tmpl.pred_slots.push_back(slot);
+  }
+
+  // Aggregation.
+  if (rng.uniform() < a.agg_probability) {
+    Aggregation agg;
+    agg.fn = static_cast<AggFn>(rng.uniform_int(0, 4));
+    agg.table_id = fact;
+    const Table& ft = catalog.table(fact);
+    agg.column = static_cast<int>(rng.uniform_int(
+        1, static_cast<std::int64_t>(ft.columns.size()) - 1));
+    const int n_groups = static_cast<int>(rng.uniform_int(0, 2));
+    for (int g = 0; g < n_groups; ++g) {
+      const int gt = tmpl.tables[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(tmpl.tables.size()) - 1))];
+      const Table& gtt = catalog.table(gt);
+      int col = 2 % static_cast<int>(gtt.columns.size());
+      if (rng.uniform() < a.group_by_low_ndv_bias) {
+        // Reporting pattern: group on the coarsest (lowest-NDV) key.
+        long long best_ndv = gtt.columns[static_cast<std::size_t>(col)].ndv;
+        for (std::size_t c = 2; c < gtt.columns.size(); ++c) {
+          if (gtt.columns[c].ndv < best_ndv) {
+            best_ndv = gtt.columns[c].ndv;
+            col = static_cast<int>(c);
+          }
+        }
+      } else if (gtt.columns.size() > 2) {
+        // Exploratory pattern: arbitrary, often fine-grained key.
+        col = static_cast<int>(rng.uniform_int(
+            2, static_cast<std::int64_t>(gtt.columns.size()) - 1));
+      }
+      agg.group_by.emplace_back(gt, col);
+    }
+    tmpl.aggregation = agg;
+  }
+  return tmpl;
+}
+
+Project WorkloadGenerator::make_project(const ProjectArchetype& archetype) {
+  Rng rng(archetype.seed ^ hash64(archetype.name));
+  Project project;
+  project.name = archetype.name;
+  project.archetype = archetype;
+  project.catalog = make_catalog(archetype, rng);
+  for (int i = 0; i < archetype.n_templates; ++i) {
+    project.templates.push_back(make_template(project, i, rng));
+  }
+  return project;
+}
+
+Query WorkloadGenerator::instantiate(const Project& project,
+                                     const QueryTemplate& tmpl, int day,
+                                     Rng& rng) const {
+  (void)project;
+  Query q;
+  q.tables = tmpl.tables;
+  q.joins = tmpl.joins;
+  q.aggregation = tmpl.aggregation;
+  q.template_id = tmpl.id;
+  q.submit_day = day;
+
+  std::uint64_t sig = 0;
+  for (const auto& slot : tmpl.pred_slots) {
+    Predicate p;
+    p.table_id = slot.table_id;
+    p.column = slot.column;
+    p.fns = slot.fns;
+    // The parameter binding shifts the true selectivity; quantize so that a
+    // modest number of distinct parameter values recurs across days.
+    const double jitter = rng.lognormal(0.0, slot.param_spread);
+    const double quantized = std::pow(2.0, std::round(std::log2(jitter) * 8.0) / 8.0);
+    p.selectivity = std::clamp(slot.base_selectivity * quantized, 1e-6, 1.0);
+    sig = mix64(sig ^ p.param_seed());
+    q.predicates.push_back(p);
+  }
+  q.param_signature = sig;
+  return q;
+}
+
+std::vector<Query> WorkloadGenerator::day_workload(const Project& project, int day,
+                                                   Rng& rng) const {
+  const ProjectArchetype& a = project.archetype;
+  const double expected = a.queries_per_day * std::pow(a.daily_growth, day);
+  const int n = std::max(0, rng.poisson(expected));
+  std::vector<Query> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const auto n_templates = static_cast<std::int64_t>(project.templates.size());
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t rank = rng.zipf(n_templates, a.template_zipf_skew);
+    const QueryTemplate& tmpl =
+        project.templates[static_cast<std::size_t>(rank - 1)];
+    // Temp-table templates only run while their tables exist.
+    if (tmpl.uses_temp_tables) {
+      bool live = true;
+      for (int t : tmpl.tables) {
+        if (!project.catalog.table(t).live_on(day)) live = false;
+      }
+      if (!live) continue;
+    }
+    out.push_back(instantiate(project, tmpl, day, rng));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Canned archetypes
+// ---------------------------------------------------------------------------
+
+std::vector<ProjectArchetype> evaluation_archetypes() {
+  std::vector<ProjectArchetype> v(5);
+
+  // Project 1: moderate improvement space, enough data, wide-ish schema.
+  v[0].name = "project1";
+  v[0].seed = 101;
+  v[0].n_tables = 60;
+  v[0].avg_columns_per_table = 15;
+  v[0].n_templates = 36;
+  v[0].queries_per_day = 420.0;
+  v[0].stats_coverage = 0.6;
+  v[0].stats_staleness = 0.8;
+  v[0].table_rows_log10_mean = 5.2;
+  v[0].table_rows_log10_sd = 0.9;
+  v[0].join_tables_mean = 3.6;
+  v[0].fact_first_bias = 0.3;
+
+  // Project 2: large improvement space — tiny stats coverage, strong size
+  // skew, big tables (avg CPU cost orders of magnitude above the others).
+  v[1].name = "project2";
+  v[1].seed = 202;
+  v[1].n_tables = 32;
+  v[1].avg_columns_per_table = 6;
+  v[1].n_templates = 24;
+  v[1].queries_per_day = 420.0;
+  v[1].stats_coverage = 0.08;
+  v[1].stats_staleness = 1.5;
+  v[1].table_rows_log10_mean = 6.8;
+  v[1].table_rows_log10_sd = 1.5;
+  v[1].join_tables_mean = 4.4;
+  v[1].fact_first_bias = 0.9;
+
+  // Project 3: limited improvement space and a hard learning problem — the
+  // widest schema and the most diverse workload.
+  v[2].name = "project3";
+  v[2].seed = 303;
+  v[2].n_tables = 85;
+  v[2].avg_columns_per_table = 21;
+  v[2].n_templates = 80;
+  v[2].queries_per_day = 420.0;
+  v[2].stats_coverage = 0.97;
+  v[2].stats_staleness = 0.15;
+  v[2].table_rows_log10_mean = 4.9;
+  v[2].join_tables_mean = 3.2;
+  v[2].template_zipf_skew = 0.4;  // little recurrence → little signal reuse
+  v[2].group_by_low_ndv_bias = 0.15;  // fine-grained exploratory grouping
+  v[2].fact_first_bias = 0.3;
+
+  // Project 4: limited improvement space and scarce training data.
+  v[3].name = "project4";
+  v[3].seed = 404;
+  v[3].n_tables = 52;
+  v[3].avg_columns_per_table = 22;
+  v[3].n_templates = 64;
+  v[3].template_zipf_skew = 0.5;
+  v[3].queries_per_day = 170.0;  // low volume
+  v[3].stats_coverage = 0.98;
+  v[3].stats_staleness = 0.1;
+  v[3].fact_first_bias = 0.25;
+  v[3].table_rows_log10_mean = 4.6;
+  v[3].join_tables_mean = 3.0;
+  v[3].group_by_low_ndv_bias = 0.2;
+
+  // Project 5: large improvement space, medium volume.
+  v[4].name = "project5";
+  v[4].seed = 508;
+  v[4].n_tables = 56;
+  v[4].avg_columns_per_table = 16;
+  v[4].n_templates = 30;
+  v[4].queries_per_day = 360.0;
+  v[4].stats_coverage = 0.05;
+  v[4].stats_staleness = 1.4;
+  v[4].table_rows_log10_mean = 6.3;
+  v[4].table_rows_log10_sd = 1.5;
+  v[4].join_tables_mean = 5.0;
+  v[4].fact_first_bias = 0.95;
+  v[4].agg_probability = 0.65;
+  v[4].snapshot_fraction = 0.25;
+  v[4].table_rows_log10_sd = 1.6;
+
+  return v;
+}
+
+std::vector<ProjectArchetype> sampled_archetypes(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ProjectArchetype> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ProjectArchetype a;
+    a.name = "sampled" + std::to_string(i);
+    a.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    a.n_tables = static_cast<int>(rng.uniform_int(12, 90));
+    a.avg_columns_per_table = static_cast<int>(rng.uniform_int(5, 24));
+    a.n_templates = static_cast<int>(rng.uniform_int(8, 70));
+    // Log-uniform volume: many small projects, few big ones.
+    a.queries_per_day = std::exp(rng.uniform(std::log(25.0), std::log(700.0)));
+    a.daily_growth = rng.uniform(0.9, 1.12);
+    a.temp_table_fraction = rng.uniform(0.0, 0.5);
+    a.temp_template_fraction = a.temp_table_fraction * rng.uniform(0.4, 1.0);
+    a.stats_coverage = rng.uniform(0.05, 0.95);
+    a.stats_staleness = rng.uniform(0.2, 1.6);
+    a.table_rows_log10_mean = rng.uniform(4.2, 6.6);
+    a.table_rows_log10_sd = rng.uniform(0.7, 1.6);
+    a.join_tables_mean = rng.uniform(2.0, 5.0);
+    a.template_zipf_skew = rng.uniform(0.3, 1.2);
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace loam::warehouse

@@ -1,0 +1,131 @@
+// Workload and project generator: synthesizes heterogeneous projects
+// (user-created database instances) with parameterized recurring query
+// templates — the substrate replacing MaxCompute's production workloads.
+//
+// The archetype knobs map one-to-one onto the heterogeneity axes the paper
+// identifies as driving deployment benefit: workload volume and growth
+// (Filter rules R1/R2), table churn (rule R3), statistics coverage &
+// staleness (improvement space of default plans), join topology, and
+// table-size skew (how much broadcast / reordering can win).
+#ifndef LOAM_WAREHOUSE_WORKLOAD_H_
+#define LOAM_WAREHOUSE_WORKLOAD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "warehouse/catalog.h"
+#include "warehouse/cluster.h"
+#include "warehouse/query.h"
+
+namespace loam::warehouse {
+
+// A parameterized recurring query template. Instantiating a template binds
+// each predicate slot's parameter, which shifts the TRUE selectivity around
+// its base value — the "A1 = a" pattern of Section 4.
+struct QueryTemplate {
+  std::string id;
+  std::vector<int> tables;       // catalog ids, FROM order
+  std::vector<JoinEdge> joins;   // spanning tree over `tables`
+  struct PredSlot {
+    int table_id = -1;
+    int column = -1;
+    std::vector<FilterFn> fns;
+    double base_selectivity = 0.1;
+    double param_spread = 0.4;   // sigma of the log-normal parameter jitter
+  };
+  std::vector<PredSlot> pred_slots;
+  std::optional<Aggregation> aggregation;
+  double weight = 1.0;           // relative submission frequency
+  bool uses_temp_tables = false;
+};
+
+struct ProjectArchetype {
+  std::string name = "project";
+  std::uint64_t seed = 1;
+
+  // Catalog shape.
+  int n_tables = 60;
+  int avg_columns_per_table = 15;
+  double table_rows_log10_mean = 5.6;
+  double table_rows_log10_sd = 1.1;
+  double temp_table_fraction = 0.10;   // short-lived tables (churn)
+  double snapshot_fraction = 0.12;     // alias twins enabling self-joins
+
+  // Statistics regime (Challenge 2): coverage = fraction of tables with
+  // collected statistics; staleness = log-scale error of the metadata row
+  // counts the optimizer falls back to on uncovered tables.
+  double stats_coverage = 0.5;
+  double stats_staleness = 0.8;
+
+  // Workload shape.
+  int n_templates = 40;
+  double queries_per_day = 300.0;
+  double daily_growth = 1.0;           // multiplicative day-over-day
+  double join_tables_mean = 3.8;       // average FROM-clause size
+  double template_zipf_skew = 0.9;     // recurrence skew across templates
+  double agg_probability = 0.5;
+  // Probability that the largest table is listed first in the FROM clause
+  // (the classic hand-written ETL style). With join reordering disabled by
+  // missing statistics, a fact-first syntactic order is what leaves the big
+  // improvement space the steered reorder trials can reclaim.
+  double fact_first_bias = 0.5;
+  // Probability that an aggregation groups on the table's lowest-NDV column
+  // (few groups => partial aggregation pays off) instead of an arbitrary,
+  // typically fine-grained key. A workload-character knob: reporting-style
+  // workloads sit near 1, exploratory analytics near 0.
+  double group_by_low_ndv_bias = 0.85;
+  double temp_template_fraction = 0.0; // templates touching temp tables
+
+  // Execution substrate.
+  int cluster_machines = 96;
+};
+
+struct Project {
+  std::string name;
+  ProjectArchetype archetype;
+  Catalog catalog;
+  std::vector<QueryTemplate> templates;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  Project make_project(const ProjectArchetype& archetype);
+
+  // Binds one template's parameters for a given day.
+  Query instantiate(const Project& project, const QueryTemplate& tmpl, int day,
+                    Rng& rng) const;
+
+  // All queries submitted on `day` (volume follows queries_per_day and
+  // daily_growth; template choice is Zipf-skewed so a few templates recur
+  // heavily, as in production).
+  std::vector<Query> day_workload(const Project& project, int day, Rng& rng) const;
+
+ private:
+  Catalog make_catalog(const ProjectArchetype& a, Rng& rng) const;
+  QueryTemplate make_template(const Project& project, int index, Rng& rng) const;
+
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Canned archetypes for the evaluation (Section 7.1).
+// ---------------------------------------------------------------------------
+
+// The five evaluation projects, calibrated to the shape of Table 1: P2 and P5
+// carry large improvement space (low stats coverage, heavy size skew), P1 a
+// moderate one, P3 suffers from feature breadth (many columns, diverse
+// templates), P4 from scarce training data.
+std::vector<ProjectArchetype> evaluation_archetypes();
+
+// A pool of `n` heterogeneous archetypes approximating the random sample of
+// MaxCompute projects used for Filter statistics (Section 6) and the Ranker
+// experiments (Sections 7.2.6 / 7.3).
+std::vector<ProjectArchetype> sampled_archetypes(int n, std::uint64_t seed);
+
+}  // namespace loam::warehouse
+
+#endif  // LOAM_WAREHOUSE_WORKLOAD_H_

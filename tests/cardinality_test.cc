@@ -1,0 +1,254 @@
+// Tests of the two-faced cardinality model: ground truth for the executor,
+// statistics-dependent estimates for the native optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "warehouse/cardinality.h"
+
+namespace loam::warehouse {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  int fact = -1, dim = -1, dim2 = -1;
+
+  Fixture() {
+    Table f;
+    f.name = "fact";
+    f.row_count = 1000000;
+    f.num_partitions = 100;
+    for (int c = 0; c < 5; ++c) {
+      Column col;
+      col.name = "c" + std::to_string(c);
+      col.ndv = c == 1 ? 1000000 : 1000;
+      f.columns.push_back(col);
+    }
+    fact = catalog.add_table(f);
+
+    Table d;
+    d.name = "dim";
+    d.row_count = 1000;
+    d.num_partitions = 1;
+    for (int c = 0; c < 3; ++c) {
+      Column col;
+      col.name = "c" + std::to_string(c);
+      col.ndv = c == 1 ? 1000 : 50;
+      d.columns.push_back(col);
+    }
+    dim = catalog.add_table(d);
+
+    Table d2 = d;
+    d2.name = "dim2";
+    dim2 = catalog.add_table(d2);
+  }
+
+  Query join_query() const {
+    Query q;
+    q.tables = {fact, dim};
+    JoinEdge e;
+    e.left_table = fact;
+    e.right_table = dim;
+    e.left_column = 2;  // fk-ish, ndv 1000
+    e.right_column = 1; // dim pk, ndv 1000
+    q.joins = {e};
+    return q;
+  }
+};
+
+TEST(CardEstimator, TrueScanRowsApplyPartitionPruning) {
+  Fixture fx;
+  Query q = fx.join_query();
+  Predicate part;
+  part.table_id = fx.fact;
+  part.column = 0;  // partition column
+  part.selectivity = 0.1;
+  q.predicates = {part};
+  CardEstimator cards(fx.catalog, q);
+  EXPECT_NEAR(cards.scan_rows(fx.fact, true), 100000.0, 1.0);
+  // Pruning applies on the estimated face too (metadata-driven).
+  EXPECT_NEAR(cards.scan_rows(fx.fact, false), 100000.0, 1.0);
+}
+
+TEST(CardEstimator, ResidualSelectivityUsesTruthOnTrueFace) {
+  Fixture fx;
+  Query q = fx.join_query();
+  Predicate p;
+  p.table_id = fx.fact;
+  p.column = 3;
+  p.fns = {FilterFn::kEq};
+  p.selectivity = 0.01;
+  q.predicates = {p};
+  CardEstimator cards(fx.catalog, q);
+  EXPECT_NEAR(cards.residual_filter_selectivity(fx.fact, true), 0.01, 1e-12);
+  // Without statistics the estimate falls back to the default per-function
+  // guess, independent of the actual parameter.
+  const double est = cards.residual_filter_selectivity(fx.fact, false);
+  EXPECT_NEAR(est, 0.05, 1e-9);
+}
+
+TEST(CardEstimator, JoinSelectivityDrivenByMaxNdv) {
+  Fixture fx;
+  Query q = fx.join_query();
+  CardEstimator cards(fx.catalog, q);
+  const double corr = cards.true_correlation(q.joins[0]);
+  EXPECT_GT(corr, 0.2);
+  EXPECT_LT(corr, 3.5);
+  EXPECT_NEAR(cards.join_selectivity(q.joins[0], true), corr / 1000.0, 1e-9);
+}
+
+TEST(CardEstimator, CorrelationDeterministicPerColumnPair) {
+  Fixture fx;
+  Query q = fx.join_query();
+  CardEstimator a(fx.catalog, q), b(fx.catalog, q);
+  EXPECT_DOUBLE_EQ(a.true_correlation(q.joins[0]), b.true_correlation(q.joins[0]));
+}
+
+TEST(CardEstimator, SubsetRowsComposesJoins) {
+  Fixture fx;
+  Query q = fx.join_query();
+  CardEstimator cards(fx.catalog, q);
+  const double lone_fact = cards.subset_rows(0b01, true);
+  const double lone_dim = cards.subset_rows(0b10, true);
+  EXPECT_NEAR(lone_fact, 1e6, 1.0);
+  EXPECT_NEAR(lone_dim, 1e3, 1.0);
+  const double joined = cards.subset_rows(0b11, true);
+  const double corr = cards.true_correlation(q.joins[0]);
+  EXPECT_NEAR(joined, 1e6 * 1e3 * corr / 1e3, joined * 1e-9);
+}
+
+TEST(CardEstimator, CardScaleAppliesOnlyToLargeSubqueriesOnEstimatedFace) {
+  Fixture fx;
+  Query q = fx.join_query();
+  // Extend to three tables so >= 3-input scaling can trigger.
+  q.tables.push_back(fx.dim2);
+  JoinEdge e2;
+  e2.left_table = fx.fact;
+  e2.right_table = fx.dim2;
+  e2.left_column = 3;
+  e2.right_column = 1;
+  q.joins.push_back(e2);
+
+  CardEstimator plain(fx.catalog, q, 1.0);
+  CardEstimator scaled(fx.catalog, q, 10.0);
+  // 2-table subsets unaffected.
+  EXPECT_DOUBLE_EQ(plain.subset_rows(0b011, false), scaled.subset_rows(0b011, false));
+  // 3-table subsets scaled by 10 on the estimated face only.
+  EXPECT_NEAR(scaled.subset_rows(0b111, false) / plain.subset_rows(0b111, false),
+              10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(plain.subset_rows(0b111, true), scaled.subset_rows(0b111, true));
+}
+
+TEST(CardEstimator, MissingStatsDegradeEstimates) {
+  Fixture fx;
+  // Stale metadata: observed rows 50x off.
+  TableStats stale;
+  stale.available = false;
+  stale.observed_rows = 20000;  // truth is 1,000,000
+  fx.catalog.set_stats(fx.fact, stale);
+  Query q = fx.join_query();
+  CardEstimator cards(fx.catalog, q);
+  EXPECT_NEAR(cards.scan_rows(fx.fact, false), 20000.0, 1.0);
+  EXPECT_NEAR(cards.scan_rows(fx.fact, true), 1e6, 1.0);
+}
+
+TEST(CardEstimator, FreshStatsTrackTruth) {
+  Fixture fx;
+  TableStats fresh;
+  fresh.available = true;
+  fresh.observed_rows = 990000;
+  fresh.ndv_drift = 1.0;
+  fx.catalog.set_stats(fx.fact, fresh);
+  Query q = fx.join_query();
+  CardEstimator cards(fx.catalog, q);
+  EXPECT_NEAR(cards.scan_rows(fx.fact, false), 990000.0, 1.0);
+}
+
+TEST(CardEstimator, AggregateRowsCappedByInput) {
+  Fixture fx;
+  Query q = fx.join_query();
+  Aggregation agg;
+  agg.fn = AggFn::kSum;
+  agg.table_id = fx.fact;
+  agg.column = 3;
+  agg.group_by = {{fx.dim, 2}};  // ndv 50
+  CardEstimator cards(fx.catalog, q);
+  EXPECT_NEAR(cards.aggregate_rows(agg, 1e6, true), 50.0, 1e-9);
+  EXPECT_NEAR(cards.aggregate_rows(agg, 10.0, true), 10.0, 1e-9);
+  // No group-by -> single output row.
+  agg.group_by.clear();
+  EXPECT_DOUBLE_EQ(cards.aggregate_rows(agg, 1e6, true), 1.0);
+}
+
+TEST(CardEstimator, AnnotateFillsEveryNode) {
+  Fixture fx;
+  Query q = fx.join_query();
+  Predicate p;
+  p.table_id = fx.fact;
+  p.column = 3;
+  p.fns = {FilterFn::kEq};
+  p.selectivity = 0.2;
+  q.predicates = {p};
+
+  Plan plan;
+  PlanNode scan_f;
+  scan_f.op = OpType::kTableScan;
+  scan_f.table_id = fx.fact;
+  const int sf = plan.add_node(scan_f);
+  PlanNode calc;
+  calc.op = OpType::kCalc;
+  calc.left = sf;
+  calc.table_id = fx.fact;
+  calc.filter_preds = {0};
+  const int c = plan.add_node(calc);
+  PlanNode scan_d;
+  scan_d.op = OpType::kTableScan;
+  scan_d.table_id = fx.dim;
+  const int sd = plan.add_node(scan_d);
+  PlanNode join;
+  join.op = OpType::kHashJoin;
+  join.left = c;
+  join.right = sd;
+  join.join_edge = 0;
+  const int j = plan.add_node(join);
+  plan.set_root(j);
+
+  CardEstimator cards(fx.catalog, q);
+  cards.annotate(plan);
+  EXPECT_NEAR(plan.node(sf).true_rows, 1e6, 1.0);
+  EXPECT_NEAR(plan.node(c).true_rows, 2e5, 1.0);
+  const double corr = cards.true_correlation(q.joins[0]);
+  EXPECT_NEAR(plan.node(j).true_rows, 2e5 * 1e3 * corr / 1e3,
+              plan.node(j).true_rows * 1e-6);
+  // Estimated face filled too, and different from truth (no stats).
+  EXPECT_GT(plan.node(c).est_rows, 0.0);
+}
+
+TEST(CardEstimator, OuterJoinPreservesSides) {
+  Fixture fx;
+  Query q = fx.join_query();
+  q.joins[0].form = JoinForm::kLeft;
+  Plan plan;
+  PlanNode sf;
+  sf.op = OpType::kTableScan;
+  sf.table_id = fx.fact;
+  const int a = plan.add_node(sf);
+  PlanNode sd;
+  sd.op = OpType::kTableScan;
+  sd.table_id = fx.dim;
+  const int b = plan.add_node(sd);
+  PlanNode join;
+  join.op = OpType::kHashJoin;
+  join.left = a;
+  join.right = b;
+  join.join_edge = 0;
+  join.join_form = JoinForm::kLeft;
+  plan.set_root(plan.add_node(join));
+  CardEstimator cards(fx.catalog, q);
+  cards.annotate(plan);
+  // Left outer join emits at least the left side.
+  EXPECT_GE(plan.node(plan.root()).true_rows, 1e6 - 1.0);
+}
+
+}  // namespace
+}  // namespace loam::warehouse

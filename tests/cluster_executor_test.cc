@@ -1,0 +1,314 @@
+// Tests of the stage decomposition, cluster load simulator, Fuxi-style
+// scheduler and execution cost model — the Challenge-1 substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+#include "warehouse/cluster.h"
+#include "warehouse/executor.h"
+#include "warehouse/fuxi.h"
+#include "warehouse/native_optimizer.h"
+#include "warehouse/stages.h"
+#include "warehouse/workload.h"
+
+namespace loam::warehouse {
+namespace {
+
+// A small project used as a realistic plan source.
+struct Env {
+  WorkloadGenerator gen{77};
+  Project project;
+  Env() {
+    ProjectArchetype a;
+    a.name = "exec_test";
+    a.n_tables = 12;
+    a.n_templates = 8;
+    a.seed = 5;
+    project = gen.make_project(a);
+  }
+  Query query(int i = 0) {
+    Rng rng(100 + static_cast<std::uint64_t>(i));
+    return gen.instantiate(project, project.templates[static_cast<std::size_t>(
+                                        i % project.templates.size())],
+                           0, rng);
+  }
+};
+
+TEST(Stages, ExchangeBoundariesSplitStages) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  for (int i = 0; i < 6; ++i) {
+    Query q = env.query(i);
+    Plan plan = opt.optimize(q);
+    StageGraph graph = decompose_into_stages(plan);
+    // An exchange node and its child always belong to different stages.
+    for (const PlanNode& n : plan.nodes()) {
+      if (is_exchange(n.op) && n.left >= 0) {
+        EXPECT_NE(n.stage, plan.node(n.left).stage);
+      } else if (n.left >= 0) {
+        EXPECT_EQ(n.stage, plan.node(n.left).stage);
+      }
+      if (!is_exchange(n.op) && n.right >= 0) {
+        EXPECT_EQ(n.stage, plan.node(n.right).stage);
+      }
+      EXPECT_GE(n.stage, 0);
+      EXPECT_LT(n.stage, graph.stage_count());
+    }
+  }
+}
+
+TEST(Stages, TopologicalOrderRespectsDependencies) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(1);
+  Plan plan = opt.optimize(q);
+  StageGraph graph = decompose_into_stages(plan);
+  const std::vector<int> order = graph.topological_order();
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(graph.stage_count()));
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const Stage& s : graph.stages) {
+    for (int u : s.upstream) {
+      EXPECT_LT(position[static_cast<std::size_t>(u)],
+                position[static_cast<std::size_t>(s.id)]);
+    }
+  }
+}
+
+TEST(Stages, ParallelismScalesWithInputRows) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(2);
+  Plan plan = opt.optimize(q);
+  StageDecomposerConfig cfg;
+  cfg.rows_per_instance = 1e3;
+  StageGraph fine = decompose_into_stages(plan, cfg);
+  cfg.rows_per_instance = 1e9;
+  StageGraph coarse = decompose_into_stages(plan, cfg);
+  int fine_total = 0, coarse_total = 0;
+  for (const Stage& s : fine.stages) fine_total += s.parallelism;
+  for (const Stage& s : coarse.stages) coarse_total += s.parallelism;
+  EXPECT_GE(fine_total, coarse_total);
+  for (const Stage& s : coarse.stages) EXPECT_EQ(s.parallelism, 1);
+}
+
+TEST(Cluster, MetricsWithinDomains) {
+  Cluster cluster(ClusterConfig{}, 3);
+  cluster.advance(3600.0);
+  for (int m = 0; m < cluster.size(); ++m) {
+    const MachineLoad l = cluster.machine_load(m);
+    EXPECT_GE(l.cpu_idle, 0.0);
+    EXPECT_LE(l.cpu_idle, 1.0);
+    EXPECT_GE(l.io_wait, 0.0);
+    EXPECT_LE(l.io_wait, 1.0);
+    EXPECT_GE(l.load5, 0.0);
+    EXPECT_GE(l.mem_usage, 0.0);
+    EXPECT_LE(l.mem_usage, 1.0);
+  }
+}
+
+TEST(Cluster, LoadEvolvesOverTime) {
+  Cluster cluster(ClusterConfig{}, 4);
+  const MachineLoad before = cluster.machine_load(0);
+  cluster.advance(7200.0);
+  const MachineLoad after = cluster.machine_load(0);
+  EXPECT_NE(before.cpu_idle, after.cpu_idle);
+}
+
+TEST(Cluster, StationaryBusynessNearConfiguredMean) {
+  ClusterConfig cfg;
+  cfg.machines = 64;
+  cfg.mean_busy = 0.45;
+  Cluster cluster(cfg, 5);
+  // Average across machines AND across a full diurnal cycle (the sinusoidal
+  // component alone swings busyness by +-diurnal_amplitude).
+  std::vector<double> busy;
+  for (int step = 0; step < 48; ++step) {
+    cluster.advance(1800.0);
+    for (int m = 0; m < cluster.size(); ++m) busy.push_back(cluster.busyness(m));
+  }
+  EXPECT_NEAR(mean(busy), cfg.mean_busy, 0.12);
+}
+
+TEST(Cluster, EnvFeaturesNormalized) {
+  MachineLoad l;
+  l.cpu_idle = 0.4;
+  l.io_wait = 0.1;
+  l.load5 = 64.0;
+  l.mem_usage = 0.7;
+  const EnvFeatures f = EnvFeatures::from_load(l);
+  EXPECT_DOUBLE_EQ(f.cpu_idle, 0.4);
+  EXPECT_NEAR(f.load5_norm, 1.0, 1e-9);
+  l.load5 = 0.0;
+  EXPECT_DOUBLE_EQ(EnvFeatures::from_load(l).load5_norm, 0.0);
+}
+
+TEST(Fuxi, PrefersIdleMachines) {
+  ClusterConfig cfg;
+  cfg.machines = 50;
+  Cluster cluster(cfg, 6);
+  cluster.advance(3600.0);
+  FuxiScheduler scheduler;
+  Rng rng(9);
+  // Allocate many instances; the mean busyness of chosen machines must be
+  // below the cluster mean.
+  double chosen_busy = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (int m : scheduler.allocate(cluster, 8, rng)) {
+      chosen_busy += cluster.busyness(m);
+      ++count;
+    }
+  }
+  chosen_busy /= count;
+  double cluster_busy = 0.0;
+  for (int m = 0; m < cluster.size(); ++m) cluster_busy += cluster.busyness(m);
+  cluster_busy /= cluster.size();
+  EXPECT_LT(chosen_busy, cluster_busy - 0.05);
+}
+
+TEST(ExecutorTest, EnvMultiplierMonotoneInLoad) {
+  ExecutorConfig cfg;
+  EnvFeatures idle;
+  idle.cpu_idle = 0.95;
+  idle.io_wait = 0.01;
+  idle.load5_norm = 0.05;
+  idle.mem_usage = 0.3;
+  EnvFeatures busy;
+  busy.cpu_idle = 0.1;
+  busy.io_wait = 0.3;
+  busy.load5_norm = 0.8;
+  busy.mem_usage = 0.9;
+  EXPECT_GT(env_multiplier(busy, cfg), env_multiplier(idle, cfg));
+  EXPECT_GT(env_multiplier(idle, cfg), 0.5);
+}
+
+TEST(ExecutorTest, CostScalesWithWork) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(3);
+  Plan plan = opt.optimize(q);
+  const double work = plan_work(plan);
+  EXPECT_GT(work, 0.0);
+
+  ClusterConfig ccfg;
+  ccfg.machines = 16;
+  Cluster cluster(ccfg, 7);
+  Executor executor(&cluster);
+  Rng rng(11);
+  Plan copy = plan;
+  const ExecutionResult r = executor.execute(copy, rng);
+  EXPECT_GT(r.cpu_cost, 0.0);
+  EXPECT_GT(r.latency_s, 0.0);
+  // Cost = work x env multiplier x noise, so it must lie within a broad
+  // multiplicative band of the noiseless work.
+  EXPECT_GT(r.cpu_cost, 0.5 * work);
+  EXPECT_LT(r.cpu_cost, 5.0 * work);
+}
+
+TEST(ExecutorTest, StagesCarryEnvironmentRecords) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(4);
+  Plan plan = opt.optimize(q);
+  ClusterConfig ccfg;
+  ccfg.machines = 16;
+  Cluster cluster(ccfg, 8);
+  Executor executor(&cluster);
+  Rng rng(12);
+  const ExecutionResult r = executor.execute(plan, rng);
+  ASSERT_FALSE(r.stages.empty());
+  for (const StageExecution& s : r.stages) {
+    EXPECT_GE(s.stage_id, 0);
+    EXPECT_GE(s.instances, 1);
+    EXPECT_GE(s.env.cpu_idle, 0.0);
+    EXPECT_LE(s.env.cpu_idle, 1.0);
+    EXPECT_GE(s.cpu_cost, 0.0);
+  }
+  // Stage ids were written into the plan.
+  for (const PlanNode& n : plan.nodes()) EXPECT_GE(n.stage, 0);
+}
+
+TEST(ExecutorTest, RepeatedRunsExhibitEnvironmentVariance) {
+  // The Fig. 1 phenomenon: identical recurring plans fluctuate in cost.
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(5);
+  Plan plan = opt.optimize(q);
+  ClusterConfig ccfg;
+  ccfg.machines = 32;
+  Cluster cluster(ccfg, 9);
+  Executor executor(&cluster);
+  Rng rng(13);
+  std::vector<double> costs;
+  for (int i = 0; i < 60; ++i) {
+    cluster.advance(600.0);
+    Plan copy = plan;
+    costs.push_back(executor.execute(copy, rng).cpu_cost);
+  }
+  const double rsd = relative_stddev(costs);
+  EXPECT_GT(rsd, 0.03);  // non-trivial variance
+  EXPECT_LT(rsd, 0.8);   // but not absurd
+}
+
+TEST(ExecutorTest, BusyClusterCostsMoreOnAverage) {
+  Env env;
+  NativeOptimizer opt(env.project.catalog);
+  Query q = env.query(0);
+  Plan plan = opt.optimize(q);
+
+  auto mean_cost = [&](double busy_level, std::uint64_t seed) {
+    ClusterConfig ccfg;
+    ccfg.machines = 32;
+    ccfg.mean_busy = busy_level;
+    Cluster cluster(ccfg, seed);
+    cluster.advance(3600.0);
+    Executor executor(&cluster);
+    Rng rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      cluster.advance(300.0);
+      Plan copy = plan;
+      acc += executor.execute(copy, rng).cpu_cost;
+    }
+    return acc / 30.0;
+  };
+  EXPECT_GT(mean_cost(0.85, 21), mean_cost(0.1, 22));
+}
+
+TEST(ExecutorTest, OperatorWorkRelationships) {
+  // Broadcast exchanges must cost more than plain exchanges at equal volume;
+  // nested-loop joins must dwarf hash joins.
+  Plan plan;
+  PlanNode scan;
+  scan.op = OpType::kTableScan;
+  scan.true_rows = 1e6;
+  const int s = plan.add_node(scan);
+  PlanNode ex;
+  ex.op = OpType::kExchange;
+  ex.left = s;
+  ex.true_rows = 1e6;
+  PlanNode bex;
+  bex.op = OpType::kBroadcastExchange;
+  bex.left = s;
+  bex.true_rows = 1e6;
+  EXPECT_GT(operator_work(plan, bex, /*consumer_parallelism=*/64),
+            operator_work(plan, ex, 64));
+
+  PlanNode scan2 = scan;
+  const int s2 = plan.add_node(scan2);
+  PlanNode hj;
+  hj.op = OpType::kHashJoin;
+  hj.left = s;
+  hj.right = s2;
+  hj.true_rows = 1e6;
+  PlanNode nlj = hj;
+  nlj.op = OpType::kNestedLoopJoin;
+  EXPECT_GT(operator_work(plan, nlj, 1), 10.0 * operator_work(plan, hj, 1));
+}
+
+}  // namespace
+}  // namespace loam::warehouse

@@ -1,0 +1,138 @@
+// Tests of the deviance analytics (Section 5 / Theorem 1 / Appendix C & E.1):
+// the min-cost distribution of Lemma 1, the Eq. (2) expected deviance,
+// Monte-Carlo agreement, and the Theorem-1 ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deviance.h"
+
+namespace loam::core {
+namespace {
+
+TEST(Deviance, MinCostPdfIntegratesToOne) {
+  const std::vector<LogNormal> dists = {{5.0, 0.3}, {5.2, 0.4}, {4.8, 0.25}};
+  double lo = 1.0, hi = 0.0;
+  for (const LogNormal& d : dists) {
+    lo = std::min(lo, d.quantile(1e-6));
+    hi = std::max(hi, d.quantile(1.0 - 1e-6));
+  }
+  const double total = integrate(
+      [&dists](double x) { return min_cost_pdf(dists, x); }, lo * 0.5, hi, 4096);
+  EXPECT_NEAR(total, 1.0, 2e-3);
+}
+
+TEST(Deviance, MinOfSingleDistributionIsItself) {
+  const std::vector<LogNormal> one = {{3.0, 0.5}};
+  const LogNormal d = one[0];
+  for (double x : {5.0, 20.0, 60.0}) {
+    EXPECT_NEAR(min_cost_pdf(one, x), d.pdf(x), 1e-12);
+  }
+  EXPECT_NEAR(expected_min_cost(one), d.mean(), d.mean() * 1e-3);
+}
+
+TEST(Deviance, ExpectedMinBelowEveryMean) {
+  const std::vector<LogNormal> dists = {{5.0, 0.3}, {5.1, 0.5}, {5.05, 0.2}};
+  const double emin = expected_min_cost(dists);
+  for (const LogNormal& d : dists) EXPECT_LT(emin, d.mean());
+  // Cross-check against Monte Carlo.
+  Rng rng(3);
+  EXPECT_NEAR(emin, mc_expected_min_cost(dists, rng, 60000), emin * 0.02);
+}
+
+TEST(Deviance, AnalyticMatchesMonteCarlo) {
+  const std::vector<LogNormal> dists = {{4.0, 0.35}, {4.2, 0.3}, {4.1, 0.45}};
+  Rng rng(5);
+  for (int sel = 0; sel < 3; ++sel) {
+    const double analytic = expected_deviance(dists, sel);
+    const double mc = mc_expected_deviance(dists, sel, rng, 80000);
+    EXPECT_NEAR(analytic, mc, std::max(0.6, 0.08 * mc)) << "selected " << sel;
+  }
+}
+
+TEST(Deviance, Theorem1Ordering) {
+  // E[D(M)] >= E[D(M_b)] >= E[D(M_o)] = 0 for every fixed selection M.
+  const std::vector<LogNormal> dists = {{4.0, 0.3}, {4.4, 0.3}, {4.15, 0.5}};
+  const int mb = best_achievable_index(dists);
+  const double d_mb = expected_deviance(dists, mb);
+  EXPECT_GE(d_mb, 0.0);
+  for (int sel = 0; sel < 3; ++sel) {
+    EXPECT_GE(expected_deviance(dists, sel) + 1e-9, d_mb) << "selected " << sel;
+  }
+}
+
+TEST(Deviance, BestAchievableIndexIsArgminMean) {
+  const std::vector<LogNormal> dists = {{4.0, 0.1}, {3.5, 0.1}, {3.9, 0.1}};
+  EXPECT_EQ(best_achievable_index(dists), 1);
+  // Mean depends on sigma too: exp(mu + sigma^2/2).
+  const std::vector<LogNormal> tricky = {{3.0, 1.5}, {3.5, 0.1}};
+  // exp(3 + 1.125) = exp(4.125) > exp(3.505).
+  EXPECT_EQ(best_achievable_index(tricky), 1);
+}
+
+TEST(Deviance, DominantPlanHasNearZeroDeviance) {
+  // One plan 10x cheaper than the rest: selecting it is essentially optimal.
+  const std::vector<LogNormal> dists = {{3.0, 0.2}, {5.3, 0.2}, {5.5, 0.2}};
+  const double d = expected_deviance(dists, 0);
+  EXPECT_LT(d, 0.01 * dists[0].mean());
+  // Selecting a dominated plan costs about the full gap.
+  const double bad = expected_deviance(dists, 1);
+  EXPECT_GT(bad, 3.0 * dists[0].mean());
+}
+
+TEST(Deviance, FitFromSamplesRecoversParameters) {
+  Rng rng(7);
+  std::vector<std::vector<double>> samples(2);
+  for (int i = 0; i < 4000; ++i) {
+    samples[0].push_back(rng.lognormal(4.0, 0.3));
+    samples[1].push_back(rng.lognormal(4.5, 0.2));
+  }
+  const std::vector<LogNormal> fits = fit_cost_distributions(samples);
+  EXPECT_NEAR(fits[0].mu, 4.0, 0.05);
+  EXPECT_NEAR(fits[1].sigma, 0.2, 0.03);
+}
+
+TEST(Deviance, EmpiricalDevianceFromPairedSamples) {
+  // Hand-built paired samples: candidate 0 = {10, 20}, candidate 1 = {12, 14}.
+  const std::vector<std::vector<double>> samples = {{10.0, 20.0}, {12.0, 14.0}};
+  // Oracle per run: min(10,12)=10, min(20,14)=14 -> mean 12.
+  EXPECT_DOUBLE_EQ(empirical_oracle_cost(samples), 12.0);
+  // Deviance of selecting candidate 0: (10-10 + 20-14)/2 = 3.
+  EXPECT_DOUBLE_EQ(empirical_expected_deviance(samples, 0), 3.0);
+  // Candidate 1: (12-10 + 14-14)/2 = 1.
+  EXPECT_DOUBLE_EQ(empirical_expected_deviance(samples, 1), 1.0);
+  // Deviance is non-negative for any selection (Theorem 1 empirical face).
+  for (int sel : {0, 1}) {
+    EXPECT_GE(empirical_expected_deviance(samples, sel), 0.0);
+  }
+}
+
+TEST(Deviance, InvalidInputsRejected) {
+  EXPECT_THROW(expected_min_cost({}), std::invalid_argument);
+  const std::vector<LogNormal> dists = {{1.0, 0.1}};
+  EXPECT_THROW(expected_deviance(dists, 5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(expected_deviance(dists, 0), 0.0);  // single candidate
+}
+
+// Property sweep: deviance of the best-achievable choice shrinks as the
+// spread between candidate means grows (easier decisions).
+class DevianceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DevianceSweep, EasierDecisionsLowerRelativeDeviance) {
+  const double gap = GetParam();
+  const std::vector<LogNormal> close = {{4.0, 0.3}, {4.0 + gap, 0.3}};
+  const int mb = best_achievable_index(close);
+  const double rel = expected_deviance(close, mb) / expected_min_cost(close);
+  // With no mean gap the intrinsic deviance is largest; with a 1.0 log-gap it
+  // nearly vanishes.
+  if (gap >= 1.0) {
+    EXPECT_LT(rel, 0.02);
+  } else if (gap == 0.0) {
+    EXPECT_GT(rel, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, DevianceSweep, ::testing::Values(0.0, 0.25, 1.0, 2.0));
+
+}  // namespace
+}  // namespace loam::core

@@ -1,0 +1,220 @@
+// Tests of the statistics-free plan vectorization (Section 4 / Fig. 4).
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "warehouse/native_optimizer.h"
+#include "warehouse/workload.h"
+
+namespace loam::core {
+namespace {
+
+using warehouse::EnvFeatures;
+using warehouse::OpType;
+using warehouse::Plan;
+using warehouse::PlanNode;
+using warehouse::Query;
+
+struct Fixture {
+  warehouse::WorkloadGenerator gen{55};
+  warehouse::Project project;
+  std::unique_ptr<warehouse::NativeOptimizer> optimizer;
+
+  Fixture() {
+    warehouse::ProjectArchetype a;
+    a.name = "enc";
+    a.seed = 56;
+    a.n_tables = 14;
+    a.n_templates = 10;
+    project = gen.make_project(a);
+    optimizer = std::make_unique<warehouse::NativeOptimizer>(project.catalog);
+  }
+
+  Plan plan_for(int t) {
+    Rng rng(60 + static_cast<std::uint64_t>(t));
+    Query q = gen.instantiate(project, project.templates[static_cast<std::size_t>(t)],
+                              0, rng);
+    return optimizer->optimize(q);
+  }
+};
+
+TEST(Encoding, FeatureDimMatchesLayout) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  const auto l = enc.layout();
+  EXPECT_EQ(l.op, 0);
+  EXPECT_EQ(l.table - l.op, 30);
+  EXPECT_EQ(l.scan_numeric - l.table, 40);  // 5 x 8 table hash
+  EXPECT_EQ(l.join_form - l.scan_numeric, 2);
+  EXPECT_EQ(l.join_cols - l.join_form, 4);
+  EXPECT_EQ(l.agg_fn - l.join_cols, 40);
+  EXPECT_EQ(l.agg_cols - l.agg_fn, 5);
+  EXPECT_EQ(l.filter_fns - l.agg_cols, 40);
+  EXPECT_EQ(l.filter_cols - l.filter_fns, 8);
+  EXPECT_EQ(l.env - l.filter_cols, 40);
+  EXPECT_EQ(l.total - l.env, 4);
+  EXPECT_EQ(enc.feature_dim(), l.total);
+}
+
+TEST(Encoding, NoEnvVariantDropsEnvBlock) {
+  Fixture fx;
+  EncodingConfig cfg;
+  cfg.include_env = false;
+  PlanEncoder enc(&fx.project.catalog, cfg);
+  EXPECT_EQ(enc.feature_dim(), enc.layout().env);
+}
+
+TEST(Encoding, TreeMirrorsPlanStructure) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  Plan plan = fx.plan_for(0);
+  nn::Tree tree = enc.encode(plan, nullptr, std::nullopt);
+  ASSERT_EQ(tree.node_count(), plan.node_count());
+  EXPECT_EQ(tree.root, plan.root());
+  for (int i = 0; i < plan.node_count(); ++i) {
+    EXPECT_EQ(tree.left[static_cast<std::size_t>(i)], plan.node(i).left);
+    EXPECT_EQ(tree.right[static_cast<std::size_t>(i)], plan.node(i).right);
+    // Operator one-hot set exactly once.
+    int ones = 0;
+    for (int j = 0; j < 30; ++j) ones += tree.features.at(i, j) > 0;
+    EXPECT_EQ(ones, 1);
+    EXPECT_GT(tree.features.at(i, static_cast<int>(plan.node(i).op)), 0.0f);
+  }
+}
+
+TEST(Encoding, NoCardinalityLeakage) {
+  // The statistics-free property: changing est_rows / true_rows must not
+  // change a single feature value.
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  Plan plan = fx.plan_for(1);
+  nn::Tree before = enc.encode(plan, nullptr, std::nullopt);
+  for (PlanNode& n : plan.mutable_nodes()) {
+    n.est_rows *= 1000.0;
+    n.true_rows *= 1000.0;
+  }
+  nn::Tree after = enc.encode(plan, nullptr, std::nullopt);
+  for (int i = 0; i < before.node_count(); ++i) {
+    for (int j = 0; j < before.features.cols(); ++j) {
+      ASSERT_FLOAT_EQ(before.features.at(i, j), after.features.at(i, j));
+    }
+  }
+}
+
+TEST(Encoding, ScanNumericsNormalizedAfterFit) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  std::vector<Plan> plans;
+  std::vector<const Plan*> ptrs;
+  for (int t = 0; t < 6; ++t) plans.push_back(fx.plan_for(t));
+  for (const Plan& p : plans) ptrs.push_back(&p);
+  enc.fit_normalizers(ptrs);
+  const auto l = enc.layout();
+  for (const Plan& p : plans) {
+    nn::Tree tree = enc.encode(p, nullptr, std::nullopt);
+    for (int i = 0; i < tree.node_count(); ++i) {
+      EXPECT_GE(tree.features.at(i, l.scan_numeric), 0.0f);
+      EXPECT_LE(tree.features.at(i, l.scan_numeric), 1.0f);
+      EXPECT_GE(tree.features.at(i, l.scan_numeric + 1), 0.0f);
+      EXPECT_LE(tree.features.at(i, l.scan_numeric + 1), 1.0f);
+    }
+  }
+}
+
+TEST(Encoding, FixedEnvAppliedToAllNodes) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  Plan plan = fx.plan_for(2);
+  EnvFeatures env;
+  env.cpu_idle = 0.61;
+  env.io_wait = 0.07;
+  env.load5_norm = 0.33;
+  env.mem_usage = 0.52;
+  nn::Tree tree = enc.encode(plan, nullptr, env);
+  const int e = enc.layout().env;
+  for (int i = 0; i < tree.node_count(); ++i) {
+    EXPECT_FLOAT_EQ(tree.features.at(i, e + 0), 0.61f);
+    EXPECT_FLOAT_EQ(tree.features.at(i, e + 1), 0.07f);
+    EXPECT_FLOAT_EQ(tree.features.at(i, e + 2), 0.33f);
+    EXPECT_FLOAT_EQ(tree.features.at(i, e + 3), 0.52f);
+  }
+}
+
+TEST(Encoding, StageEnvsAssignPerStage) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  Plan plan = fx.plan_for(3);
+  warehouse::StageGraph graph = warehouse::decompose_into_stages(plan);
+  std::vector<EnvFeatures> envs(static_cast<std::size_t>(graph.stage_count()));
+  for (int s = 0; s < graph.stage_count(); ++s) {
+    envs[static_cast<std::size_t>(s)].cpu_idle = 0.1 + 0.05 * s;
+  }
+  nn::Tree tree = enc.encode(plan, &envs, std::nullopt);
+  const int e = enc.layout().env;
+  for (int i = 0; i < plan.node_count(); ++i) {
+    const int stage = plan.node(i).stage;
+    EXPECT_FLOAT_EQ(tree.features.at(i, e),
+                    static_cast<float>(0.1 + 0.05 * stage));
+  }
+}
+
+TEST(Encoding, JoinAndFilterBlocksPopulated) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  const auto l = enc.layout();
+  bool saw_join = false, saw_filter = false;
+  for (int t = 0; t < 8; ++t) {
+    Plan plan = fx.plan_for(t);
+    nn::Tree tree = enc.encode(plan, nullptr, std::nullopt);
+    for (int i = 0; i < plan.node_count(); ++i) {
+      const PlanNode& n = plan.node(i);
+      if (warehouse::is_join(n.op)) {
+        saw_join = true;
+        float join_form_sum = 0.0f, join_cols_sum = 0.0f;
+        for (int j = l.join_form; j < l.join_cols; ++j) {
+          join_form_sum += tree.features.at(i, j);
+        }
+        for (int j = l.join_cols; j < l.agg_fn; ++j) {
+          join_cols_sum += tree.features.at(i, j);
+        }
+        EXPECT_FLOAT_EQ(join_form_sum, 1.0f);
+        EXPECT_GT(join_cols_sum, 0.0f);
+      }
+      if (warehouse::is_filter_like(n.op) && !n.filter_fns.empty()) {
+        saw_filter = true;
+        float fn_sum = 0.0f;
+        for (int j = l.filter_fns; j < l.filter_cols; ++j) {
+          fn_sum += tree.features.at(i, j);
+        }
+        EXPECT_GT(fn_sum, 0.0f);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_join);
+  EXPECT_TRUE(saw_filter);
+}
+
+TEST(Encoding, DistinctTablesGetDistinctCodes) {
+  Fixture fx;
+  PlanEncoder enc(&fx.project.catalog);
+  const auto l = enc.layout();
+  // Two single-table scans of different tables must differ in the table block.
+  Plan p;
+  PlanNode s0;
+  s0.op = OpType::kTableScan;
+  s0.table_id = 0;
+  s0.partitions_accessed = 1;
+  s0.columns_accessed = 1;
+  p.add_node(s0);
+  p.set_root(0);
+  nn::Tree t0 = enc.encode(p, nullptr, std::nullopt);
+  p.mutable_node(0).table_id = 1;
+  nn::Tree t1 = enc.encode(p, nullptr, std::nullopt);
+  bool differs = false;
+  for (int j = l.table; j < l.scan_numeric; ++j) {
+    if (t0.features.at(0, j) != t1.features.at(0, j)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace loam::core

@@ -1,0 +1,146 @@
+// Tests of the plan explorer: candidate diversity, dedup, default-plan
+// retention, top-k pruning and the engine-side sanity filter.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/explorer.h"
+#include "warehouse/workload.h"
+
+namespace loam::core {
+namespace {
+
+struct Fixture {
+  warehouse::WorkloadGenerator gen{66};
+  warehouse::Project project;
+  std::unique_ptr<warehouse::NativeOptimizer> optimizer;
+
+  Fixture(double stats_coverage = 0.2) {
+    warehouse::ProjectArchetype a;
+    a.name = "explorer";
+    a.seed = 67;
+    a.n_tables = 16;
+    a.n_templates = 12;
+    a.stats_coverage = stats_coverage;
+    a.join_tables_mean = 4.0;
+    project = gen.make_project(a);
+    optimizer = std::make_unique<warehouse::NativeOptimizer>(project.catalog);
+  }
+
+  warehouse::Query query(int t) {
+    Rng rng(70 + static_cast<std::uint64_t>(t));
+    return gen.instantiate(project,
+                           project.templates[static_cast<std::size_t>(t) %
+                                             project.templates.size()],
+                           0, rng);
+  }
+};
+
+TEST(Explorer, AlwaysIncludesDefaultPlan) {
+  Fixture fx;
+  PlanExplorer explorer(fx.optimizer.get());
+  for (int t = 0; t < 8; ++t) {
+    const CandidateGeneration gen = explorer.explore(fx.query(t));
+    ASSERT_FALSE(gen.plans.empty());
+    ASSERT_GE(gen.default_index, 0);
+    ASSERT_LT(gen.default_index, static_cast<int>(gen.plans.size()));
+    // The default slot carries shipping-default knobs.
+    EXPECT_EQ(gen.knobs[static_cast<std::size_t>(gen.default_index)],
+              warehouse::PlannerKnobs());
+    // And its plan equals what the native optimizer produces unsteered.
+    EXPECT_EQ(gen.plans[static_cast<std::size_t>(gen.default_index)].signature(),
+              fx.optimizer->optimize(fx.query(t)).signature());
+  }
+}
+
+TEST(Explorer, RespectsTopK) {
+  Fixture fx;
+  ExplorerConfig cfg;
+  cfg.top_k = 3;
+  PlanExplorer explorer(fx.optimizer.get(), cfg);
+  for (int t = 0; t < 8; ++t) {
+    const CandidateGeneration gen = explorer.explore(fx.query(t));
+    EXPECT_LE(static_cast<int>(gen.plans.size()), 3);
+  }
+}
+
+TEST(Explorer, CandidatesAreStructurallyDistinct) {
+  Fixture fx;
+  PlanExplorer explorer(fx.optimizer.get());
+  for (int t = 0; t < 8; ++t) {
+    const CandidateGeneration gen = explorer.explore(fx.query(t));
+    std::set<std::uint64_t> sigs;
+    for (const warehouse::Plan& p : gen.plans) sigs.insert(p.signature());
+    EXPECT_EQ(sigs.size(), gen.plans.size());
+  }
+}
+
+TEST(Explorer, ProducesDiversityOnJoinHeavyQueries) {
+  Fixture fx(/*stats_coverage=*/0.0);  // syntactic defaults -> reorder diversity
+  PlanExplorer explorer(fx.optimizer.get());
+  int multi_candidate_queries = 0;
+  for (int t = 0; t < 12; ++t) {
+    warehouse::Query q = fx.query(t);
+    if (q.tables.size() < 3) continue;
+    const CandidateGeneration gen = explorer.explore(q);
+    if (gen.plans.size() >= 2) ++multi_candidate_queries;
+  }
+  EXPECT_GT(multi_candidate_queries, 3);
+}
+
+TEST(Explorer, SanityPruningDropsSelfCondemnedPlans) {
+  Fixture fx(/*stats_coverage=*/1.0);
+  ExplorerConfig strict;
+  strict.sanity_factor = 1.0;  // nothing worse than the default survives
+  strict.risky_trials = true;
+  PlanExplorer tight(fx.optimizer.get(), strict);
+  ExplorerConfig loose = strict;
+  loose.sanity_factor = -1.0;  // disabled
+  PlanExplorer open(fx.optimizer.get(), loose);
+  int tight_total = 0, open_total = 0;
+  for (int t = 0; t < 10; ++t) {
+    tight_total += static_cast<int>(tight.explore(fx.query(t)).plans.size());
+    open_total += static_cast<int>(open.explore(fx.query(t)).plans.size());
+  }
+  EXPECT_LE(tight_total, open_total);
+}
+
+TEST(Explorer, RiskyTrialsWidenTheCandidatePool) {
+  Fixture fx;
+  ExplorerConfig expert;
+  expert.sanity_factor = -1.0;
+  expert.top_k = 50;
+  ExplorerConfig risky = expert;
+  risky.risky_trials = true;
+  PlanExplorer a(fx.optimizer.get(), expert);
+  PlanExplorer b(fx.optimizer.get(), risky);
+  int expert_total = 0, risky_total = 0;
+  for (int t = 0; t < 10; ++t) {
+    expert_total += static_cast<int>(a.explore(fx.query(t)).plans.size());
+    risky_total += static_cast<int>(b.explore(fx.query(t)).plans.size());
+  }
+  EXPECT_GT(risky_total, expert_total);
+}
+
+TEST(Explorer, ReportsGenerationTimeAndTrials) {
+  Fixture fx;
+  PlanExplorer explorer(fx.optimizer.get());
+  const CandidateGeneration gen = explorer.explore(fx.query(0));
+  EXPECT_GT(gen.trials, 1);
+  EXPECT_GE(gen.generation_seconds, 0.0);
+  // Section 7.2.1: candidate generation takes well under 0.1 s per query.
+  EXPECT_LT(gen.generation_seconds, 0.1);
+}
+
+TEST(Explorer, SingleTableQueriesStillServed) {
+  Fixture fx;
+  warehouse::Query q;
+  q.tables = {0};
+  PlanExplorer explorer(fx.optimizer.get());
+  const CandidateGeneration gen = explorer.explore(q);
+  EXPECT_GE(gen.plans.size(), 1u);
+  EXPECT_EQ(gen.default_index, 0);
+}
+
+}  // namespace
+}  // namespace loam::core

@@ -1,0 +1,91 @@
+// Tests of the pre-deployment flighting gate (Section 3).
+#include <gtest/gtest.h>
+
+#include "core/gate.h"
+
+namespace loam::core {
+namespace {
+
+struct GateFixture {
+  std::unique_ptr<ProjectRuntime> runtime;
+
+  GateFixture() {
+    warehouse::ProjectArchetype a;
+    a.name = "gate";
+    a.seed = 5;
+    a.n_tables = 14;
+    a.n_templates = 8;
+    a.queries_per_day = 50.0;
+    a.stats_coverage = 0.15;
+    a.cluster_machines = 24;
+    RuntimeConfig rc;
+    rc.seed = 31;
+    runtime = std::make_unique<ProjectRuntime>(a, rc);
+    runtime->simulate_history(5, 50);
+  }
+
+  LoamConfig config() const {
+    LoamConfig cfg;
+    cfg.train_first_day = 0;
+    cfg.train_last_day = 4;
+    cfg.max_train_queries = 200;
+    cfg.candidate_sample_queries = 15;
+    cfg.predictor.epochs = 6;
+    cfg.predictor.hidden_dim = 24;
+    return cfg;
+  }
+};
+
+TEST(DeploymentGate, ReportsCoherentNumbers) {
+  GateFixture fx;
+  LoamDeployment loam(fx.runtime.get(), fx.config());
+  loam.train();
+  DeploymentGateConfig gc;
+  gc.sample_queries = 10;
+  gc.replay_runs = 3;
+  const DeploymentGateReport report = evaluate_deployment(*fx.runtime, loam, gc);
+  EXPECT_GT(report.queries, 0);
+  EXPECT_LE(report.improved + report.regressed, report.queries);
+  EXPECT_GT(report.default_cost, 0.0);
+  EXPECT_GT(report.model_cost, 0.0);
+  EXPECT_NEAR(report.gain,
+              (report.default_cost - report.model_cost) / report.default_cost,
+              1e-9);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(DeploymentGate, ApprovalFollowsThresholds) {
+  GateFixture fx;
+  LoamDeployment loam(fx.runtime.get(), fx.config());
+  loam.train();
+  // A gate that tolerates any regression approves everything.
+  DeploymentGateConfig lenient;
+  lenient.sample_queries = 8;
+  lenient.replay_runs = 3;
+  lenient.max_regression = 1e9;
+  lenient.max_regression_ratio = 1e9;
+  EXPECT_TRUE(evaluate_deployment(*fx.runtime, loam, lenient).approved);
+  // A gate demanding an impossible gain rejects.
+  DeploymentGateConfig impossible = lenient;
+  impossible.max_regression = -0.99;  // require >= 99% cost reduction
+  EXPECT_FALSE(evaluate_deployment(*fx.runtime, loam, impossible).approved);
+}
+
+TEST(DeploymentGate, UntrainedPredictorScrutinized) {
+  // An untrained model's selections are arbitrary; the gate must still
+  // produce a valid report (and the strict default thresholds protect
+  // production from the worst outcomes).
+  GateFixture fx;
+  LoamDeployment raw(fx.runtime.get(), fx.config());
+  // no train() on purpose — the predictor has random weights and no scaler.
+  DeploymentGateConfig gc;
+  gc.sample_queries = 6;
+  gc.replay_runs = 3;
+  const DeploymentGateReport report = evaluate_deployment(*fx.runtime, raw, gc);
+  EXPECT_GT(report.queries, 0);
+  EXPECT_GE(report.improved, 0);
+  EXPECT_GE(report.regressed, 0);
+}
+
+}  // namespace
+}  // namespace loam::core

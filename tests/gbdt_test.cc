@@ -1,0 +1,199 @@
+// Unit and property tests of the gradient-boosted-tree library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbdt/gbdt.h"
+#include "util/rng.h"
+
+namespace loam::gbdt {
+namespace {
+
+FeatureMatrix make_features(int n, int d, Rng& rng) {
+  FeatureMatrix x(static_cast<std::size_t>(n),
+                  std::vector<float>(static_cast<std::size_t>(d)));
+  for (auto& row : x) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+TEST(Gbdt, FitsConstantTarget) {
+  Rng rng(1);
+  FeatureMatrix x = make_features(50, 3, rng);
+  std::vector<double> y(50, 4.2);
+  GbdtRegressor model;
+  model.fit(x, y);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(model.predict(x[static_cast<std::size_t>(i)]), 4.2, 1e-6);
+}
+
+TEST(Gbdt, LearnsStepFunction) {
+  Rng rng(2);
+  FeatureMatrix x = make_features(400, 2, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(row[0] > 0.25f ? 10.0 : -10.0);
+  GbdtRegressor model;
+  model.fit(x, y);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i][0] - 0.25f) < 0.05f) continue;  // near the boundary
+    worst = std::max(worst, std::abs(model.predict(x[i]) - y[i]));
+  }
+  EXPECT_LT(worst, 2.0);
+}
+
+TEST(Gbdt, LearnsAdditiveNonlinearFunction) {
+  Rng rng(3);
+  FeatureMatrix x = make_features(1500, 4, rng);
+  std::vector<double> y;
+  for (const auto& row : x) {
+    y.push_back(2.0 * row[0] + std::sin(3.0 * row[1]) + row[2] * row[2]);
+  }
+  GbdtParams params;
+  params.n_trees = 200;
+  params.max_depth = 4;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  double se = 0.0, var = 0.0, mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = model.predict(x[i]) - y[i];
+    se += e * e;
+    var += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  EXPECT_LT(se / var, 0.1) << "R^2 should exceed 0.9";
+}
+
+TEST(Gbdt, IgnoresPureNoiseWithRegularization) {
+  Rng rng(4);
+  FeatureMatrix x = make_features(200, 3, rng);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < x.size(); ++i) y.push_back(rng.normal(0.0, 1.0));
+  GbdtParams params;
+  params.n_trees = 20;
+  params.gamma = 5.0;  // high split threshold
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  // With gamma this large, trees should stay (near-)stumps: prediction
+  // variance stays well below the label variance.
+  std::vector<double> preds = model.predict_all(x);
+  double mean_p = 0.0;
+  for (double p : preds) mean_p += p;
+  mean_p /= static_cast<double>(preds.size());
+  double var_p = 0.0;
+  for (double p : preds) var_p += (p - mean_p) * (p - mean_p);
+  var_p /= static_cast<double>(preds.size());
+  EXPECT_LT(var_p, 0.5);
+}
+
+TEST(Gbdt, DeterministicForFixedSeed) {
+  Rng rng(5);
+  FeatureMatrix x = make_features(100, 2, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(row[0] - row[1]);
+  GbdtParams params;
+  params.subsample = 0.7;
+  params.seed = 99;
+  GbdtRegressor a(params), b(params);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(x[static_cast<std::size_t>(i)]),
+                     b.predict(x[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(Gbdt, FeatureImportanceIdentifiesSignal) {
+  Rng rng(6);
+  FeatureMatrix x = make_features(600, 5, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(5.0 * row[3]);  // only feature 3 matters
+  GbdtRegressor model;
+  model.fit(x, y);
+  const std::vector<double> imp = model.feature_importance(5);
+  for (int f = 0; f < 5; ++f) {
+    if (f == 3) continue;
+    EXPECT_GT(imp[3], 10.0 * imp[static_cast<std::size_t>(f)]);
+  }
+}
+
+TEST(Gbdt, ModelBytesGrowWithTrees) {
+  Rng rng(7);
+  FeatureMatrix x = make_features(200, 3, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(row[0]);
+  GbdtParams small;
+  small.n_trees = 10;
+  GbdtParams large;
+  large.n_trees = 100;
+  GbdtRegressor a(small), b(large);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_GT(b.model_bytes(), a.model_bytes());
+  EXPECT_GT(a.model_bytes(), 0u);
+}
+
+TEST(Gbdt, HandlesEmptyAndSingleSample) {
+  GbdtRegressor model;
+  model.fit({}, {});
+  EXPECT_FALSE(model.trained());
+
+  FeatureMatrix x = {{1.0f, 2.0f}};
+  std::vector<double> y = {7.0};
+  GbdtRegressor m2;
+  m2.fit(x, y);
+  EXPECT_NEAR(m2.predict(x[0]), 7.0, 1e-9);
+}
+
+TEST(Gbdt, MinSamplesLeafRespected) {
+  // With min_samples_leaf = n/2 no split can satisfy both children on
+  // strongly separable data, so the model must stay a single leaf per tree.
+  Rng rng(8);
+  FeatureMatrix x = make_features(20, 1, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(row[0] > 0 ? 1.0 : -1.0);
+  GbdtParams params;
+  params.min_samples_leaf = 15;
+  params.n_trees = 5;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  // All predictions collapse to (roughly) the global mean.
+  const double p0 = model.predict(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    EXPECT_NEAR(model.predict(x[i]), p0, 1e-9);
+  }
+}
+
+// Parameterized sweep: boosting must monotonically (weakly) improve training
+// fit as rounds increase across depths.
+class GbdtSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GbdtSweep, MoreTreesFitTrainingDataBetter) {
+  const int depth = GetParam();
+  Rng rng(42);
+  FeatureMatrix x = make_features(300, 3, rng);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(std::sin(4.0 * row[0]) + row[1]);
+  auto mse_with_trees = [&](int trees) {
+    GbdtParams params;
+    params.n_trees = trees;
+    params.max_depth = depth;
+    GbdtRegressor model(params);
+    model.fit(x, y);
+    double se = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = model.predict(x[i]) - y[i];
+      se += e * e;
+    }
+    return se / static_cast<double>(x.size());
+  };
+  const double few = mse_with_trees(10);
+  const double many = mse_with_trees(150);
+  EXPECT_LT(many, few);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GbdtSweep, ::testing::Values(2, 3, 4, 6));
+
+}  // namespace
+}  // namespace loam::gbdt

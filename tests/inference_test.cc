@@ -1,0 +1,125 @@
+// Tests of the environment-inference strategies of Section 5.
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+
+namespace loam::core {
+namespace {
+
+using warehouse::EnvFeatures;
+
+warehouse::QueryRecord make_record(double cpu_idle, double work) {
+  warehouse::QueryRecord r;
+  warehouse::StageExecution s;
+  s.stage_id = 0;
+  s.env.cpu_idle = cpu_idle;
+  s.env.io_wait = 0.05;
+  s.env.load5_norm = 1.0 - cpu_idle;
+  s.env.mem_usage = 0.5;
+  s.work = work;
+  r.exec.stages.push_back(s);
+  return r;
+}
+
+TEST(Inference, StrategyNames) {
+  EXPECT_STREQ(env_strategy_name(EnvInferenceStrategy::kRepresentativeMean), "LOAM");
+  EXPECT_STREQ(env_strategy_name(EnvInferenceStrategy::kClusterExpected), "LOAM-CE");
+  EXPECT_STREQ(env_strategy_name(EnvInferenceStrategy::kClusterInstant), "LOAM-CB");
+  EXPECT_STREQ(env_strategy_name(EnvInferenceStrategy::kNoEnv), "LOAM-NL");
+}
+
+TEST(Inference, RepresentativeEnvIsWorkWeighted) {
+  warehouse::QueryRepository repo;
+  repo.log(make_record(0.2, 9.0));  // heavy stage, busy machines
+  repo.log(make_record(0.8, 1.0));  // light stage, idle machines
+  const EnvFeatures rep = representative_env(repo);
+  EXPECT_NEAR(rep.cpu_idle, (0.2 * 9.0 + 0.8 * 1.0) / 10.0, 1e-9);
+}
+
+TEST(Inference, RepresentativeEnvEmptyRepository) {
+  warehouse::QueryRepository repo;
+  const EnvFeatures rep = representative_env(repo);
+  // Neutral default.
+  EXPECT_DOUBLE_EQ(rep.cpu_idle, 0.5);
+}
+
+TEST(Inference, ExpectedClusterEnvAverages) {
+  std::vector<EnvFeatures> history;
+  EnvFeatures a;
+  a.cpu_idle = 0.2;
+  EnvFeatures b;
+  b.cpu_idle = 0.6;
+  history = {a, b};
+  EXPECT_NEAR(expected_cluster_env(history).cpu_idle, 0.4, 1e-12);
+}
+
+TEST(Inference, SelectEnvDispatch) {
+  EnvContext ctx;
+  ctx.representative.cpu_idle = 0.11;
+  ctx.cluster_expected.cpu_idle = 0.22;
+  ctx.cluster_instant.cpu_idle = 0.33;
+  EXPECT_DOUBLE_EQ(
+      select_env(EnvInferenceStrategy::kRepresentativeMean, ctx).cpu_idle, 0.11);
+  EXPECT_DOUBLE_EQ(select_env(EnvInferenceStrategy::kClusterExpected, ctx).cpu_idle,
+                   0.22);
+  EXPECT_DOUBLE_EQ(select_env(EnvInferenceStrategy::kClusterInstant, ctx).cpu_idle,
+                   0.33);
+  // kNoEnv yields the neutral vector.
+  EXPECT_DOUBLE_EQ(select_env(EnvInferenceStrategy::kNoEnv, ctx).cpu_idle, 0.5);
+}
+
+TEST(Inference, BuildContextCombinesSources) {
+  warehouse::QueryRepository repo;
+  repo.log(make_record(0.3, 1.0));
+  std::vector<EnvFeatures> history;
+  EnvFeatures h;
+  h.cpu_idle = 0.9;
+  history = {h};
+  warehouse::Cluster cluster(warehouse::ClusterConfig{}, 5);
+  const EnvContext ctx = build_env_context(repo, history, cluster);
+  EXPECT_NEAR(ctx.representative.cpu_idle, 0.3, 1e-9);
+  EXPECT_NEAR(ctx.cluster_expected.cpu_idle, 0.9, 1e-9);
+  EXPECT_GT(ctx.cluster_instant.cpu_idle, 0.0);
+  EXPECT_LT(ctx.cluster_instant.cpu_idle, 1.0);
+}
+
+// The load-balancing property driving LOAM's advantage over cluster-wide
+// strategies (Section 7.2.5): representative (machine-level, work-weighted)
+// environments are systematically idler than the cluster-wide average,
+// because Fuxi schedules onto idle machines.
+TEST(Inference, RepresentativeIdlerThanClusterAverage) {
+  warehouse::ClusterConfig ccfg;
+  ccfg.machines = 48;
+  warehouse::Cluster cluster(ccfg, 17);
+  cluster.advance(3600.0);
+  warehouse::Executor executor(&cluster);
+  warehouse::FuxiScheduler scheduler;
+  (void)scheduler;
+  Rng rng(18);
+
+  // Execute a trivial plan repeatedly and log it, tracking cluster averages.
+  warehouse::Plan plan;
+  warehouse::PlanNode scan;
+  scan.op = warehouse::OpType::kTableScan;
+  scan.table_id = 0;
+  scan.true_rows = 1e6;
+  scan.est_rows = 1e6;
+  plan.set_root(plan.add_node(scan));
+
+  warehouse::QueryRepository repo;
+  std::vector<EnvFeatures> cluster_history;
+  for (int i = 0; i < 40; ++i) {
+    cluster.advance(300.0);
+    warehouse::QueryRecord r;
+    warehouse::Plan copy = plan;
+    r.exec = executor.execute(copy, rng);
+    repo.log(std::move(r));
+    cluster_history.push_back(EnvFeatures::from_load(cluster.cluster_average()));
+  }
+  const EnvFeatures rep = representative_env(repo);
+  const EnvFeatures avg = expected_cluster_env(cluster_history);
+  EXPECT_GT(rep.cpu_idle, avg.cpu_idle);
+}
+
+}  // namespace
+}  // namespace loam::core

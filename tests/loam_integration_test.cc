@@ -1,0 +1,226 @@
+// Integration and property tests of the full LOAM pipeline: history
+// simulation -> training -> steering -> flighting evaluation, plus
+// cross-module invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/deviance.h"
+#include "core/loam.h"
+
+namespace loam::core {
+namespace {
+
+warehouse::ProjectArchetype small_archetype(std::uint64_t seed) {
+  warehouse::ProjectArchetype a;
+  a.name = "integration" + std::to_string(seed);
+  a.seed = seed;
+  a.n_tables = 14;
+  a.n_templates = 10;
+  a.queries_per_day = 60.0;
+  a.stats_coverage = 0.2;
+  a.cluster_machines = 24;
+  return a;
+}
+
+LoamConfig small_config() {
+  LoamConfig cfg;
+  cfg.train_first_day = 0;
+  cfg.train_last_day = 5;
+  cfg.max_train_queries = 250;
+  cfg.candidate_sample_queries = 20;
+  cfg.predictor.epochs = 6;
+  cfg.predictor.hidden_dim = 24;
+  return cfg;
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RuntimeConfig rc;
+    rc.seed = 99;
+    runtime = std::make_unique<ProjectRuntime>(small_archetype(1), rc);
+    runtime->simulate_history(/*days=*/6, /*max_queries_per_day=*/60);
+  }
+  std::unique_ptr<ProjectRuntime> runtime;
+};
+
+TEST_F(PipelineFixture, HistorySimulationPopulatesRepository) {
+  EXPECT_GT(runtime->repository().size(), 100u);
+  EXPECT_EQ(runtime->repository().max_day(), 5);
+  for (const warehouse::QueryRecord& r : runtime->repository().records()) {
+    EXPECT_TRUE(r.is_default);
+    EXPECT_GT(r.exec.cpu_cost, 0.0);
+    EXPECT_FALSE(r.exec.stages.empty());
+    EXPECT_EQ(r.knobs, warehouse::PlannerKnobs());
+  }
+  EXPECT_EQ(runtime->cluster_env_history().size(), runtime->repository().size());
+}
+
+TEST_F(PipelineFixture, TrainingBuildsDataAndModel) {
+  LoamDeployment loam(runtime.get(), small_config());
+  loam.train();
+  EXPECT_GT(loam.data().default_plans.size(), 50u);
+  EXPECT_GT(loam.data().candidate_plans.size(), 5u);
+  EXPECT_GT(loam.model().model_bytes(), 0u);
+  EXPECT_GT(loam.train_seconds(), 0.0);
+  // Default plans carry the observed costs.
+  for (const TrainingExample& ex : loam.data().default_plans) {
+    EXPECT_GT(ex.cpu_cost, 0.0);
+    EXPECT_GT(ex.tree.node_count(), 0);
+  }
+}
+
+TEST_F(PipelineFixture, LatencyTargetSwitchesLabels) {
+  LoamConfig cpu_cfg = small_config();
+  LoamDeployment cpu_model(runtime.get(), cpu_cfg);
+  cpu_model.train();
+  LoamConfig lat_cfg = small_config();
+  lat_cfg.cost_target = CostTarget::kLatency;
+  LoamDeployment lat_model(runtime.get(), lat_cfg);
+  lat_model.train();
+  ASSERT_EQ(cpu_model.data().default_plans.size(),
+            lat_model.data().default_plans.size());
+  // Latency labels are seconds (small), CPU labels are cost units (large).
+  double cpu_mean = 0.0, lat_mean = 0.0;
+  for (std::size_t i = 0; i < cpu_model.data().default_plans.size(); ++i) {
+    cpu_mean += cpu_model.data().default_plans[i].cpu_cost;
+    lat_mean += lat_model.data().default_plans[i].cpu_cost;
+  }
+  EXPECT_GT(cpu_mean, 100.0 * lat_mean);
+  EXPECT_GT(lat_mean, 0.0);
+}
+
+TEST_F(PipelineFixture, TrainingCapRespected) {
+  LoamConfig cfg = small_config();
+  cfg.max_train_queries = 40;
+  LoamDeployment loam(runtime.get(), cfg);
+  loam.train();
+  EXPECT_LE(loam.data().default_plans.size(), 40u);
+}
+
+TEST_F(PipelineFixture, OptimizeReturnsValidChoice) {
+  LoamDeployment loam(runtime.get(), small_config());
+  loam.train();
+  const auto queries = runtime->make_queries(6, 6, 5);
+  ASSERT_FALSE(queries.empty());
+  for (const warehouse::Query& q : queries) {
+    const LoamDeployment::Choice choice = loam.optimize(q);
+    ASSERT_FALSE(choice.generation.plans.empty());
+    EXPECT_GE(choice.chosen, 0);
+    EXPECT_LT(choice.chosen, static_cast<int>(choice.generation.plans.size()));
+    ASSERT_EQ(choice.predicted.size(), choice.generation.plans.size());
+    // The chosen plan carries the minimum predicted cost.
+    const double chosen_pred =
+        choice.predicted[static_cast<std::size_t>(choice.chosen)];
+    for (double p : choice.predicted) EXPECT_GE(p + 1e-9, chosen_pred);
+    // All predictions are positive, finite costs.
+    for (double p : choice.predicted) {
+      EXPECT_GT(p, 0.0);
+      EXPECT_TRUE(std::isfinite(p));
+    }
+  }
+}
+
+TEST_F(PipelineFixture, StrategySelectionsAreConsistent) {
+  LoamDeployment loam(runtime.get(), small_config());
+  loam.train();
+  const auto queries = runtime->make_queries(6, 6, 3);
+  PlanExplorer explorer(&runtime->optimizer());
+  for (const warehouse::Query& q : queries) {
+    const CandidateGeneration gen = explorer.explore(q);
+    // select() must agree with select_with_strategy(configured strategy).
+    EXPECT_EQ(loam.select(gen),
+              loam.select_with_strategy(
+                  gen, EnvInferenceStrategy::kRepresentativeMean));
+  }
+}
+
+TEST_F(PipelineFixture, WorkloadSummaryReflectsHistory) {
+  const WorkloadSummary s = summarize_workload(*runtime, 0, 5);
+  ASSERT_EQ(s.queries_per_day.size(), 6u);
+  int total = 0;
+  for (int q : s.queries_per_day) total += q;
+  EXPECT_EQ(static_cast<std::size_t>(total), runtime->repository().size());
+  EXPECT_GE(s.stable_table_ratio, 0.0);
+  EXPECT_LE(s.stable_table_ratio, 1.0);
+}
+
+TEST(PairedReplay, SharedEnvironmentAcrossCandidates) {
+  RuntimeConfig rc;
+  rc.seed = 7;
+  ProjectRuntime runtime(small_archetype(2), rc);
+  const auto queries = runtime.make_queries(0, 0, 3);
+  PlanExplorer explorer(&runtime.optimizer());
+  for (const warehouse::Query& q : queries) {
+    const CandidateGeneration gen = explorer.explore(q);
+    const auto samples = paired_replay(gen.plans, rc.cluster, rc.executor, 4, 11);
+    ASSERT_EQ(samples.size(), gen.plans.size());
+    for (const auto& s : samples) {
+      ASSERT_EQ(s.size(), 4u);
+      for (double c : s) EXPECT_GT(c, 0.0);
+    }
+    // Identical plans under paired replay produce identical costs; we verify
+    // the sharper property that replaying the same plan list twice with the
+    // same seed reproduces every sample.
+    const auto again = paired_replay(gen.plans, rc.cluster, rc.executor, 4, 11);
+    for (std::size_t p = 0; p < samples.size(); ++p) {
+      for (std::size_t r = 0; r < samples[p].size(); ++r) {
+        EXPECT_DOUBLE_EQ(samples[p][r], again[p][r]);
+      }
+    }
+  }
+}
+
+TEST(PairedReplay, OracleNeverAboveAnyFixedChoice) {
+  // Property: for every query, empirical oracle cost <= cost of any fixed
+  // selection (Theorem 1 at the sample level).
+  RuntimeConfig rc;
+  rc.seed = 21;
+  ProjectRuntime runtime(small_archetype(3), rc);
+  const auto queries = runtime.make_queries(0, 0, 6);
+  auto eval = prepare_evaluation(runtime, queries, ExplorerConfig(), 5, 77);
+  for (const EvaluatedQuery& eq : eval) {
+    const double oracle = empirical_oracle_cost(eq.cost_samples);
+    for (std::size_t c = 0; c < eq.mean_cost.size(); ++c) {
+      EXPECT_LE(oracle, eq.mean_cost[c] + 1e-6);
+      EXPECT_GE(empirical_expected_deviance(eq.cost_samples, static_cast<int>(c)),
+                0.0);
+    }
+  }
+}
+
+// Property sweep over seeds: the full pipeline is deterministic given a seed
+// and never produces invalid selections.
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, DeterministicEndToEnd) {
+  const std::uint64_t seed = GetParam();
+  auto run_once = [&] {
+    RuntimeConfig rc;
+    rc.seed = seed;
+    ProjectRuntime runtime(small_archetype(seed), rc);
+    runtime.simulate_history(3, 40);
+    LoamConfig cfg = small_config();
+    cfg.train_last_day = 2;
+    cfg.predictor.epochs = 3;
+    LoamDeployment loam(&runtime, cfg);
+    loam.train();
+    const auto queries = runtime.make_queries(3, 3, 3);
+    std::vector<int> choices;
+    for (const warehouse::Query& q : queries) {
+      choices.push_back(loam.optimize(q).chosen);
+    }
+    return std::make_pair(runtime.repository().size(), choices);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace loam::core

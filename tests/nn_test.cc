@@ -1,0 +1,417 @@
+// Unit tests of the NN substrate, including finite-difference gradient
+// checks for every layer type — the backprop here is hand-written, so the
+// checks are the correctness backbone of all learned components.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/gcn.h"
+#include "nn/layers.h"
+#include "nn/mat.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "nn/tree_conv.h"
+
+namespace loam::nn {
+namespace {
+
+TEST(MatTest, MatmulMatchesManual) {
+  Mat a(2, 3), b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Mat c;
+  matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatTest, TransposedMatmulsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Mat a(4, 3), b(4, 5);
+  a.glorot_init(rng);
+  b.glorot_init(rng);
+  // a^T b via matmul_at_b vs. manual transpose.
+  Mat at(3, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Mat expect, got;
+  matmul(at, b, expect);
+  matmul_at_b(a, b, got);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) EXPECT_NEAR(got.at(i, j), expect.at(i, j), 1e-5);
+  }
+  // a b^T via matmul_a_bt.
+  Mat c(5, 3);
+  c.glorot_init(rng);
+  Mat ct(3, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) ct.at(j, i) = c.at(i, j);
+  }
+  Mat expect2, got2;
+  matmul(a, ct, expect2);
+  matmul_a_bt(a, c, got2);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) EXPECT_NEAR(got2.at(i, j), expect2.at(i, j), 1e-5);
+  }
+}
+
+TEST(MatTest, AccumulateMode) {
+  Mat a(1, 2), b(2, 1), out(1, 1);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  b.at(0, 0) = 3;
+  b.at(1, 0) = 4;
+  out.at(0, 0) = 100;
+  matmul(a, b, out, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 111);
+}
+
+TEST(MatTest, RowBiasAndBiasGrad) {
+  Mat x(2, 3);
+  x.fill(1.0f);
+  Mat bias(1, 3);
+  bias.at(0, 1) = 2.0f;
+  add_row_bias(x, bias);
+  EXPECT_FLOAT_EQ(x.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 0), 1.0f);
+  Mat gb(1, 3);
+  accumulate_bias_grad(x, gb);
+  EXPECT_FLOAT_EQ(gb.at(0, 1), 6.0f);
+}
+
+// -----------------------------------------------------------------------
+// Finite-difference gradient checking machinery.
+// -----------------------------------------------------------------------
+
+// Checks d(scalar loss)/d(param) for every parameter of a module against
+// central differences. `loss` must re-run the full forward pass.
+void check_param_gradients(const std::vector<Parameter*>& params,
+                           const std::function<double()>& loss,
+                           const std::function<void()>& backward,
+                           float tolerance = 2e-2) {
+  for (Parameter* p : params) p->zero_grad();
+  backward();
+  const float eps = 1e-2f;
+  for (Parameter* p : params) {
+    // Probe a handful of coordinates per parameter.
+    const std::size_t n = p->value.size();
+    for (std::size_t probe = 0; probe < std::min<std::size_t>(n, 5); ++probe) {
+      const std::size_t i = (probe * 7919) % n;
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double up = loss();
+      p->value.data()[i] = orig - eps;
+      const double down = loss();
+      p->value.data()[i] = orig;
+      const double fd = (up - down) / (2.0 * eps);
+      const double an = p->grad.data()[i];
+      EXPECT_NEAR(an, fd, tolerance * std::max(1.0, std::abs(fd)))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+Tree make_test_tree(int nodes, int dim, Rng& rng) {
+  Tree t;
+  t.features = Mat(nodes, dim);
+  t.features.glorot_init(rng);
+  t.left.assign(static_cast<std::size_t>(nodes), -1);
+  t.right.assign(static_cast<std::size_t>(nodes), -1);
+  // Left-deep chain with occasional right children: node i has children
+  // i*2+1 / i*2+2 when in range (heap shape).
+  for (int i = 0; i < nodes; ++i) {
+    if (2 * i + 1 < nodes) t.left[static_cast<std::size_t>(i)] = 2 * i + 1;
+    if (2 * i + 2 < nodes) t.right[static_cast<std::size_t>(i)] = 2 * i + 2;
+  }
+  t.root = 0;
+  return t;
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(5);
+  Linear lin("lin", 4, 3, rng);
+  Mat x(2, 4);
+  x.glorot_init(rng);
+  auto loss = [&] {
+    Mat y = lin.forward(x);
+    double s = 0.0;
+    for (int i = 0; i < y.rows(); ++i) {
+      for (int j = 0; j < y.cols(); ++j) s += 0.5 * y.at(i, j) * y.at(i, j);
+    }
+    return s;
+  };
+  auto backward = [&] {
+    Mat y = lin.forward(x);
+    lin.backward(y);  // d(0.5 y^2)/dy = y
+  };
+  check_param_gradients(lin.parameters(), loss, backward);
+}
+
+TEST(GradCheck, TreeConvNet) {
+  Rng rng(6);
+  TreeConvNet::Config cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 8;
+  cfg.embed_dim = 4;
+  cfg.layers = 2;
+  TreeConvNet net(cfg, rng);
+  Tree tree = make_test_tree(7, 6, rng);
+  auto loss = [&] {
+    Mat e = net.forward(tree);
+    double s = 0.0;
+    for (int j = 0; j < e.cols(); ++j) s += 0.5 * e.at(0, j) * e.at(0, j);
+    return s;
+  };
+  auto backward = [&] {
+    Mat e = net.forward(tree);
+    net.backward(e);
+  };
+  check_param_gradients(net.parameters(), loss, backward, 5e-2f);
+}
+
+TEST(GradCheck, GcnNet) {
+  Rng rng(7);
+  GcnNet::Config cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 8;
+  cfg.embed_dim = 4;
+  cfg.layers = 2;
+  GcnNet net(cfg, rng);
+  Tree tree = make_test_tree(6, 6, rng);
+  auto loss = [&] {
+    Mat e = net.forward(tree);
+    double s = 0.0;
+    for (int j = 0; j < e.cols(); ++j) s += 0.5 * e.at(0, j) * e.at(0, j);
+    return s;
+  };
+  auto backward = [&] {
+    Mat e = net.forward(tree);
+    net.backward(e);
+  };
+  check_param_gradients(net.parameters(), loss, backward, 5e-2f);
+}
+
+TEST(GradCheck, TransformerEncoder) {
+  Rng rng(8);
+  TransformerEncoder::Config cfg;
+  cfg.input_dim = 6;
+  cfg.model_dim = 8;
+  cfg.heads = 2;
+  cfg.ffn_dim = 12;
+  cfg.embed_dim = 4;
+  TransformerEncoder net(cfg, rng);
+  Tree tree = make_test_tree(5, 6, rng);
+  auto loss = [&] {
+    Mat e = net.forward(tree);
+    double s = 0.0;
+    for (int j = 0; j < e.cols(); ++j) s += 0.5 * e.at(0, j) * e.at(0, j);
+    return s;
+  };
+  auto backward = [&] {
+    Mat e = net.forward(tree);
+    net.backward(e);
+  };
+  check_param_gradients(net.parameters(), loss, backward, 6e-2f);
+}
+
+TEST(Layers, ReluMasksNegative) {
+  Relu relu;
+  Mat x(1, 3);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 0.0f;
+  x.at(0, 2) = 2.0f;
+  Mat y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+  Mat g(1, 3);
+  g.fill(1.0f);
+  Mat gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 2), 1.0f);
+}
+
+TEST(Layers, GradientReversalNegatesAndScales) {
+  GradientReversal grl;
+  grl.set_lambda(0.5f);
+  Mat x(1, 2);
+  x.at(0, 0) = 3.0f;
+  const Mat& y = grl.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);  // identity forward
+  Mat g(1, 2);
+  g.at(0, 0) = 2.0f;
+  Mat gi = grl.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0), -1.0f);  // -lambda * g
+}
+
+TEST(Layers, SoftmaxRowsSumToOne) {
+  Mat x(2, 3);
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 3;
+  x.at(1, 0) = -5;
+  x.at(1, 1) = 0;
+  x.at(1, 2) = 5;
+  Mat p = row_softmax(x);
+  for (int i = 0; i < 2; ++i) {
+    float s = 0;
+    for (int j = 0; j < 3; ++j) {
+      s += p.at(i, j);
+      EXPECT_GT(p.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-6);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 0));
+}
+
+TEST(Layers, CrossEntropyGradientSumsToZero) {
+  Mat logits(2, 2);
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = -1.0f;
+  logits.at(1, 0) = 0.3f;
+  logits.at(1, 1) = 0.9f;
+  Mat grad;
+  const double loss = softmax_cross_entropy(logits, {0, 1}, grad);
+  EXPECT_GT(loss, 0.0);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(grad.at(i, 0) + grad.at(i, 1), 0.0f, 1e-6);
+  }
+}
+
+TEST(Layers, MseLossAndGradient) {
+  Mat pred(2, 1);
+  pred.at(0, 0) = 1.0f;
+  pred.at(1, 0) = 3.0f;
+  Mat grad;
+  const double loss = mse_loss(pred, {0.0f, 1.0f}, grad);
+  EXPECT_NEAR(loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad.at(0, 0), 2.0 * 1.0 / 2, 1e-6);
+  EXPECT_NEAR(grad.at(1, 0), 2.0 * 2.0 / 2, 1e-6);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 with Adam.
+  Parameter w("w", 1, 4);
+  const float target[] = {1.0f, -2.0f, 0.5f, 3.0f};
+  Adam opt({&w}, {.lr = 0.05});
+  for (int step = 0; step < 500; ++step) {
+    opt.zero_grad();
+    for (int j = 0; j < 4; ++j) {
+      w.grad.at(0, j) = 2.0f * (w.value.at(0, j) - target[j]);
+    }
+    opt.step();
+  }
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(w.value.at(0, j), target[j], 1e-2);
+}
+
+TEST(Optimizer, GradientClippingBoundsUpdate) {
+  Parameter w("w", 1, 2);
+  AdamOptions opts;
+  opts.lr = 1.0;
+  opts.clip_norm = 1.0;
+  Adam opt({&w}, opts);
+  opt.zero_grad();
+  w.grad.at(0, 0) = 1e6f;
+  w.grad.at(0, 1) = 1e6f;
+  opt.step();
+  // With clipping the effective step stays near lr regardless of raw grads.
+  EXPECT_LT(std::abs(w.value.at(0, 0)), 2.0f);
+}
+
+TEST(Optimizer, ParameterAccounting) {
+  Rng rng(9);
+  Linear lin("lin", 10, 5, rng);
+  Adam opt(lin.parameters());
+  EXPECT_EQ(opt.parameter_count(), 10u * 5u + 5u);
+  EXPECT_EQ(opt.parameter_bytes(), (10u * 5u + 5u) * sizeof(float));
+}
+
+TEST(TreeConvTest, MissingChildrenActAsZeros) {
+  Rng rng(10);
+  TreeConvLayer layer("t", 3, 2, rng);
+  // Single node, no children.
+  Mat x(1, 3);
+  x.at(0, 0) = 1.0f;
+  Mat y = layer.forward(x, {-1}, {-1});
+  ASSERT_EQ(y.rows(), 1);
+  // Result must equal x W_self + b exactly (child terms vanish) — verified
+  // by comparing against a two-node tree where the child is all zeros.
+  Mat x2(2, 3);
+  x2.at(0, 0) = 1.0f;
+  TreeConvLayer layer2 = layer;
+  Mat y2 = layer2.forward(x2, {1, -1}, {-1, -1});
+  for (int j = 0; j < 2; ++j) EXPECT_NEAR(y.at(0, j), y2.at(0, j), 1e-6);
+}
+
+TEST(TreeConvTest, PoolingPicksMaxAndRoutesGradient) {
+  DynamicMaxPool pool;
+  Mat x(3, 2);
+  x.at(0, 0) = 1;
+  x.at(1, 0) = 5;
+  x.at(2, 0) = 3;
+  x.at(0, 1) = 9;
+  x.at(1, 1) = 2;
+  x.at(2, 1) = 4;
+  Mat y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 9);
+  Mat g(1, 2);
+  g.at(0, 0) = 1.0f;
+  g.at(0, 1) = 2.0f;
+  Mat gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(gi.at(2, 0), 0.0f);
+}
+
+TEST(GcnTest, AdjacencyIsSymmetricNormalized) {
+  Rng rng(11);
+  Tree tree = make_test_tree(3, 2, rng);
+  const NormalizedAdjacency adj = NormalizedAdjacency::from_tree(tree);
+  // Row sums of D^{-1/2}(A+I)D^{-1/2} equal 1 only for regular graphs, but
+  // symmetry must always hold: entry (i,j) == entry (j,i).
+  std::map<std::pair<int, int>, float> entries;
+  for (std::size_t e = 0; e < adj.src.size(); ++e) {
+    entries[{adj.src[e], adj.dst[e]}] = adj.weight[e];
+  }
+  for (const auto& [key, w] : entries) {
+    auto it = entries.find({key.second, key.first});
+    ASSERT_NE(it, entries.end());
+    EXPECT_FLOAT_EQ(w, it->second);
+  }
+}
+
+TEST(TransformerTest, DepthHeightNormalized) {
+  Rng rng(12);
+  Tree tree = make_test_tree(7, 2, rng);
+  std::vector<float> depth, height;
+  tree_depth_height(tree, depth, height);
+  EXPECT_FLOAT_EQ(depth[0], 0.0f);          // root depth 0
+  EXPECT_GT(height[0], 0.0f);               // root has the max height
+  for (std::size_t i = 0; i < depth.size(); ++i) {
+    EXPECT_LE(depth[i], 1.0f);
+    EXPECT_LE(height[i], 1.0f);
+  }
+}
+
+TEST(Nets, EmbeddingsAreDeterministic) {
+  Rng rng(13);
+  TreeConvNet::Config cfg;
+  cfg.input_dim = 4;
+  cfg.hidden_dim = 6;
+  cfg.embed_dim = 3;
+  TreeConvNet net(cfg, rng);
+  Tree tree = make_test_tree(5, 4, rng);
+  Mat a = net.forward(tree);
+  Mat b = net.forward(tree);
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(a.at(0, j), b.at(0, j));
+}
+
+}  // namespace
+}  // namespace loam::nn

@@ -1,0 +1,252 @@
+// Tests of the adaptive cost predictor: regression quality, the adversarial
+// domain-adaptation objective, the GRL schedule, and the CostModel contract
+// shared with the baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/predictor.h"
+
+namespace loam::core {
+namespace {
+
+// Synthetic "plans": small trees whose cost is a deterministic function of
+// their features, letting us test learning in isolation from the warehouse.
+struct SyntheticData {
+  std::vector<TrainingExample> train;
+  std::vector<nn::Tree> candidates;
+  std::vector<TrainingExample> test;
+
+  static nn::Tree make_tree(Rng& rng, int dim, double* cost_out, bool shifted) {
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    nn::Tree t;
+    t.features = nn::Mat(n, dim);
+    t.left.assign(static_cast<std::size_t>(n), -1);
+    t.right.assign(static_cast<std::size_t>(n), -1);
+    double cost = 50.0;
+    for (int i = 0; i < n; ++i) {
+      if (2 * i + 1 < n) t.left[static_cast<std::size_t>(i)] = 2 * i + 1;
+      if (2 * i + 2 < n) t.right[static_cast<std::size_t>(i)] = 2 * i + 2;
+      for (int j = 0; j < 4; ++j) {
+        const float v = static_cast<float>(rng.uniform(0.0, 1.0));
+        t.features.at(i, j) = v;
+        cost += 40.0 * v * (j + 1);
+      }
+      if (shifted && i == 0) {
+        // Candidate domain: an indicator feature on the root that never
+        // appears in the training distribution (mirrors an op type only the
+        // steering knobs produce).
+        t.features.at(i, dim - 1) = 1.0f;
+      }
+    }
+    t.root = 0;
+    *cost_out = cost;
+    return t;
+  }
+
+  explicit SyntheticData(int dim = 8, int n_train = 300) {
+    Rng rng(404);
+    for (int i = 0; i < n_train; ++i) {
+      TrainingExample ex;
+      double cost = 0.0;
+      ex.tree = make_tree(rng, dim, &cost, false);
+      ex.cpu_cost = cost * rng.lognormal(0.0, 0.05);
+      train.push_back(std::move(ex));
+    }
+    for (int i = 0; i < 60; ++i) {
+      double cost = 0.0;
+      candidates.push_back(make_tree(rng, dim, &cost, true));
+    }
+    for (int i = 0; i < 60; ++i) {
+      TrainingExample ex;
+      double cost = 0.0;
+      ex.tree = make_tree(rng, dim, &cost, false);
+      ex.cpu_cost = cost;
+      test.push_back(std::move(ex));
+    }
+  }
+};
+
+TEST(LogCostScalerTest, RoundTrip) {
+  LogCostScaler s;
+  std::vector<TrainingExample> examples;
+  for (double c : {100.0, 1000.0, 10000.0, 100000.0}) {
+    TrainingExample e;
+    e.cpu_cost = c;
+    examples.push_back(e);
+  }
+  s.fit(examples);
+  for (double c : {150.0, 5000.0, 80000.0}) {
+    EXPECT_NEAR(s.to_cost(s.to_z(c)), c, c * 1e-3);
+  }
+  // z of the geometric center is ~0.
+  EXPECT_NEAR(s.to_z(std::exp(s.mu) - 1.0), 0.0, 1e-6);
+}
+
+TEST(AdaptiveCostPredictor, LearnsSyntheticCostFunction) {
+  SyntheticData data;
+  PredictorConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 24;
+  cfg.tcn_layers = 2;
+  AdaptiveCostPredictor model(8, cfg);
+  model.fit(data.train, data.candidates);
+
+  // Held-out relative error should be small.
+  double rel_err = 0.0;
+  for (const TrainingExample& ex : data.test) {
+    rel_err += std::abs(model.predict(ex.tree) - ex.cpu_cost) / ex.cpu_cost;
+  }
+  rel_err /= static_cast<double>(data.test.size());
+  EXPECT_LT(rel_err, 0.25);
+}
+
+TEST(AdaptiveCostPredictor, RankingOnHeldOutPlans) {
+  SyntheticData data;
+  PredictorConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 24;
+  AdaptiveCostPredictor model(8, cfg);
+  model.fit(data.train, data.candidates);
+  // Pairwise ranking accuracy on test plans with >= 2x cost separation.
+  int correct = 0, total = 0;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    for (std::size_t j = i + 1; j < data.test.size(); ++j) {
+      const double ci = data.test[i].cpu_cost, cj = data.test[j].cpu_cost;
+      if (std::max(ci, cj) < 2.0 * std::min(ci, cj)) continue;
+      ++total;
+      const bool truth = ci < cj;
+      const bool pred = model.predict(data.test[i].tree) < model.predict(data.test[j].tree);
+      correct += truth == pred;
+    }
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(AdaptiveCostPredictor, AdversarialTrainingAlignsDomains) {
+  SyntheticData data;
+  PredictorConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 24;
+  AdaptiveCostPredictor adaptive(8, cfg);
+  adaptive.fit(data.train, data.candidates);
+  // After adversarial training the domain classifier should sit well below
+  // perfect separation (embeddings pushed toward domain invariance).
+  EXPECT_LT(adaptive.diagnostics().final_domain_accuracy, 0.9);
+
+  // And candidate-domain predictions should not explode: each candidate's
+  // predicted cost stays within a multiplicative band of the training range.
+  double max_cost = 0.0, min_cost = 1e300;
+  for (const auto& ex : data.train) {
+    max_cost = std::max(max_cost, ex.cpu_cost);
+    min_cost = std::min(min_cost, ex.cpu_cost);
+  }
+  for (const nn::Tree& t : data.candidates) {
+    EXPECT_LT(adaptive.predict(t), 4.0 * max_cost);
+    EXPECT_GT(adaptive.predict(t), 0.1 * min_cost);
+  }
+}
+
+TEST(AdaptiveCostPredictor, NaVariantSkipsDomainObjective) {
+  SyntheticData data;
+  PredictorConfig cfg;
+  cfg.epochs = 8;
+  cfg.adversarial = false;
+  AdaptiveCostPredictor na(8, cfg);
+  na.fit(data.train, data.candidates);
+  EXPECT_EQ(na.name(), "LOAM-NA");
+  EXPECT_EQ(na.diagnostics().final_domain_accuracy, 0.0);  // never evaluated
+  PredictorConfig acfg = cfg;
+  acfg.adversarial = true;
+  AdaptiveCostPredictor full(8, acfg);
+  EXPECT_EQ(full.name(), "LOAM");
+}
+
+TEST(AdaptiveCostPredictor, DeterministicForFixedSeed) {
+  SyntheticData data(8, 80);
+  PredictorConfig cfg;
+  cfg.epochs = 4;
+  AdaptiveCostPredictor a(8, cfg), b(8, cfg);
+  a.fit(data.train, data.candidates);
+  b.fit(data.train, data.candidates);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(data.test[static_cast<std::size_t>(i)].tree),
+                     b.predict(data.test[static_cast<std::size_t>(i)].tree));
+  }
+}
+
+TEST(AdaptiveCostPredictor, ModelBytesReflectArchitecture) {
+  PredictorConfig small;
+  small.hidden_dim = 16;
+  small.embed_dim = 8;
+  PredictorConfig large;
+  large.hidden_dim = 64;
+  large.embed_dim = 32;
+  AdaptiveCostPredictor a(50, small), b(50, large);
+  EXPECT_GT(b.model_bytes(), a.model_bytes());
+  EXPECT_GT(a.model_bytes(), 1000u);
+}
+
+TEST(AdaptiveCostPredictor, EmbeddingHasConfiguredDim) {
+  SyntheticData data(8, 50);
+  PredictorConfig cfg;
+  cfg.embed_dim = 12;
+  cfg.epochs = 2;
+  AdaptiveCostPredictor model(8, cfg);
+  model.fit(data.train, data.candidates);
+  EXPECT_EQ(model.embed(data.test[0].tree).size(), 12u);
+  const double p = model.domain_probability(data.test[0].tree);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines obey the same CostModel contract.
+// ---------------------------------------------------------------------------
+
+class BaselineContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineContract, LearnsSyntheticCostFunction) {
+  SyntheticData data;
+  BaselineConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 24;
+  std::unique_ptr<CostModel> model;
+  switch (GetParam()) {
+    case 0: model = make_transformer_cost_model(8, cfg); break;
+    case 1: model = make_gcn_cost_model(8, cfg); break;
+    default: model = make_xgboost_cost_model(8, cfg); break;
+  }
+  model->fit(data.train, data.candidates);
+  double rel_err = 0.0;
+  for (const TrainingExample& ex : data.test) {
+    rel_err += std::abs(model->predict(ex.tree) - ex.cpu_cost) / ex.cpu_cost;
+  }
+  rel_err /= static_cast<double>(data.test.size());
+  EXPECT_LT(rel_err, 0.4) << model->name();
+  EXPECT_GT(model->model_bytes(), 0u);
+  EXPECT_FALSE(model->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineContract, ::testing::Values(0, 1, 2));
+
+TEST(PooledFeatures, MeanMaxAndSize) {
+  nn::Tree t;
+  t.features = nn::Mat(2, 3);
+  t.features.at(0, 0) = 1.0f;
+  t.features.at(1, 0) = 3.0f;
+  t.features.at(0, 2) = -2.0f;
+  t.left = {-1, -1};
+  t.right = {-1, -1};
+  const std::vector<float> pooled = pool_tree_features(t);
+  ASSERT_EQ(pooled.size(), 7u);
+  EXPECT_FLOAT_EQ(pooled[0], 2.0f);   // mean of feature 0
+  EXPECT_FLOAT_EQ(pooled[3], 3.0f);   // max of feature 0
+  EXPECT_FLOAT_EQ(pooled[2], -1.0f);  // mean of feature 2
+  EXPECT_FLOAT_EQ(pooled[6], std::log1p(2.0f));
+}
+
+}  // namespace
+}  // namespace loam::core

@@ -1,0 +1,221 @@
+// Cross-module property tests, parameterized over heterogeneous project
+// archetypes: whatever project the generator produces, the optimizer must
+// emit well-formed annotated plans, stage decomposition must partition them
+// at exchange boundaries, execution must be positive and finite, and the
+// encoder must be a pure function of the plan and environment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/encoding.h"
+#include "core/explorer.h"
+#include "warehouse/executor.h"
+#include "warehouse/native_optimizer.h"
+#include "warehouse/stages.h"
+#include "warehouse/workload.h"
+
+namespace loam {
+namespace {
+
+using namespace warehouse;
+
+class ArchetypeProperty : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    const auto pool = sampled_archetypes(12, 2024);
+    archetype = pool[static_cast<std::size_t>(GetParam())];
+    WorkloadGenerator gen(300 + static_cast<std::uint64_t>(GetParam()));
+    project = gen.make_project(archetype);
+    optimizer = std::make_unique<NativeOptimizer>(project.catalog);
+    Rng rng(31 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 10; ++i) {
+      const auto& tmpl = project.templates[static_cast<std::size_t>(i) %
+                                           project.templates.size()];
+      queries.push_back(gen.instantiate(project, tmpl, 0, rng));
+    }
+  }
+
+  ProjectArchetype archetype;
+  Project project;
+  std::unique_ptr<NativeOptimizer> optimizer;
+  std::vector<Query> queries;
+};
+
+TEST_P(ArchetypeProperty, PlansAreWellFormedTrees) {
+  for (const Query& q : queries) {
+    const Plan plan = optimizer->optimize(q);
+    // Exactly one root; every non-root node referenced exactly once.
+    std::vector<int> refs(static_cast<std::size_t>(plan.node_count()), 0);
+    for (const PlanNode& n : plan.nodes()) {
+      if (n.left >= 0) ++refs[static_cast<std::size_t>(n.left)];
+      if (n.right >= 0) ++refs[static_cast<std::size_t>(n.right)];
+    }
+    int roots = 0;
+    for (int i = 0; i < plan.node_count(); ++i) {
+      if (refs[static_cast<std::size_t>(i)] == 0) {
+        ++roots;
+        EXPECT_EQ(i, plan.root());
+      } else {
+        EXPECT_EQ(refs[static_cast<std::size_t>(i)], 1) << "node shared or orphaned";
+      }
+    }
+    EXPECT_EQ(roots, 1);
+    // Postorder covers every node exactly once.
+    const auto order = plan.postorder();
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), plan.node_count());
+  }
+}
+
+TEST_P(ArchetypeProperty, ScansMatchQueryTables) {
+  for (const Query& q : queries) {
+    const Plan plan = optimizer->optimize(q);
+    std::multiset<int> scanned;
+    for (const PlanNode& n : plan.nodes()) {
+      if (n.op == OpType::kTableScan || n.op == OpType::kSpoolRead) {
+        scanned.insert(n.table_id);
+      }
+    }
+    std::multiset<int> expected(q.tables.begin(), q.tables.end());
+    EXPECT_EQ(scanned, expected);
+  }
+}
+
+TEST_P(ArchetypeProperty, CardinalitiesArePositiveAndFinite) {
+  for (const Query& q : queries) {
+    const Plan plan = optimizer->optimize(q);
+    for (const PlanNode& n : plan.nodes()) {
+      EXPECT_GE(n.true_rows, 1.0);
+      EXPECT_GE(n.est_rows, 1.0);
+      EXPECT_TRUE(std::isfinite(n.true_rows));
+      EXPECT_TRUE(std::isfinite(n.est_rows));
+    }
+  }
+}
+
+TEST_P(ArchetypeProperty, StageDecompositionPartitionsNodes) {
+  for (const Query& q : queries) {
+    Plan plan = optimizer->optimize(q);
+    const StageGraph graph = decompose_into_stages(plan);
+    std::size_t assigned = 0;
+    for (const Stage& s : graph.stages) {
+      assigned += s.node_ids.size();
+      EXPECT_GE(s.parallelism, 1);
+      for (int u : s.upstream) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, graph.stage_count());
+        EXPECT_NE(u, s.id);
+      }
+    }
+    EXPECT_EQ(assigned, static_cast<std::size_t>(plan.node_count()));
+    EXPECT_EQ(graph.topological_order().size(),
+              static_cast<std::size_t>(graph.stage_count()));
+  }
+}
+
+TEST_P(ArchetypeProperty, ExecutionIsPositiveFiniteAndEnvConsistent) {
+  ClusterConfig ccfg;
+  ccfg.machines = archetype.cluster_machines;
+  Cluster cluster(ccfg, 5);
+  Executor executor(&cluster);
+  Rng rng(7);
+  for (const Query& q : queries) {
+    Plan plan = optimizer->optimize(q);
+    const ExecutionResult r = executor.execute(plan, rng);
+    EXPECT_GT(r.cpu_cost, 0.0);
+    EXPECT_TRUE(std::isfinite(r.cpu_cost));
+    EXPECT_GT(r.latency_s, 0.0);
+    // Total equals the per-stage sum.
+    double stage_sum = 0.0;
+    for (const StageExecution& s : r.stages) stage_sum += s.cpu_cost;
+    EXPECT_NEAR(stage_sum, r.cpu_cost, 1e-6 * r.cpu_cost);
+    // Plan-average env lies within the convex hull of stage envs.
+    double min_idle = 1.0, max_idle = 0.0;
+    for (const StageExecution& s : r.stages) {
+      min_idle = std::min(min_idle, s.env.cpu_idle);
+      max_idle = std::max(max_idle, s.env.cpu_idle);
+    }
+    EXPECT_GE(r.plan_avg_env.cpu_idle, min_idle - 1e-9);
+    EXPECT_LE(r.plan_avg_env.cpu_idle, max_idle + 1e-9);
+  }
+}
+
+TEST_P(ArchetypeProperty, EncoderIsPureAndBounded) {
+  core::PlanEncoder encoder(&project.catalog);
+  for (const Query& q : queries) {
+    const Plan plan = optimizer->optimize(q);
+    const nn::Tree a = encoder.encode(plan, nullptr, std::nullopt);
+    const nn::Tree b = encoder.encode(plan, nullptr, std::nullopt);
+    ASSERT_EQ(a.node_count(), b.node_count());
+    for (int i = 0; i < a.node_count(); ++i) {
+      for (int j = 0; j < a.features.cols(); ++j) {
+        ASSERT_FLOAT_EQ(a.features.at(i, j), b.features.at(i, j));
+        ASSERT_GE(a.features.at(i, j), 0.0f);
+        ASSERT_LE(a.features.at(i, j), 1.0f);
+      }
+    }
+  }
+}
+
+TEST_P(ArchetypeProperty, ExplorerCandidatesExecutable) {
+  core::PlanExplorer explorer(optimizer.get());
+  ClusterConfig ccfg;
+  ccfg.machines = archetype.cluster_machines;
+  Cluster cluster(ccfg, 11);
+  Executor executor(&cluster);
+  Rng rng(13);
+  for (const Query& q : queries) {
+    const core::CandidateGeneration gen = explorer.explore(q);
+    for (const Plan& p : gen.plans) {
+      Plan copy = p;
+      const ExecutionResult r = executor.execute(copy, rng);
+      EXPECT_GT(r.cpu_cost, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, ArchetypeProperty,
+                         ::testing::Values(0, 2, 4, 6, 8, 10));
+
+// ---------------------------------------------------------------------------
+// Distribution-level property sweeps.
+// ---------------------------------------------------------------------------
+
+class LogNormalSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LogNormalSweep, MleAndQuantileRoundTrips) {
+  const auto [mu, sigma] = GetParam();
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 8000; ++i) samples.push_back(rng.lognormal(mu, sigma));
+  const LogNormal fit = fit_lognormal_mle(samples);
+  EXPECT_NEAR(fit.mu, mu, 0.05 + 0.03 * sigma);
+  EXPECT_NEAR(fit.sigma, sigma, 0.05);
+  // CDF(quantile(p)) == p across the body of the distribution.
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(fit.cdf(fit.quantile(p)), p, 1e-9);
+  }
+  // Sample mean matches the analytic mean.
+  EXPECT_NEAR(mean(samples), fit.mean(), 0.05 * fit.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, LogNormalSweep,
+    ::testing::Values(std::make_pair(0.0, 0.1), std::make_pair(2.0, 0.3),
+                      std::make_pair(5.0, 0.8), std::make_pair(8.0, 1.2)));
+
+class HashDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashDimSweep, MultiSegmentBeatsSingleBucket) {
+  const int n_ids = GetParam();
+  MultiSegmentHashConfig cfg{5, 10};
+  EXPECT_LT(expected_collision_prob_multi(n_ids, cfg),
+            expected_collision_prob_single(n_ids, cfg.dim()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashDimSweep, ::testing::Values(20, 50, 100, 400));
+
+}  // namespace
+}  // namespace loam

@@ -1,0 +1,212 @@
+// Tests of the project selector: Filter rules R1-R3, the Ranker featurizer
+// and model, and the ranking metrics with their closed-form Random baselines
+// (Section 6, Appendix D & E.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace loam::core {
+namespace {
+
+TEST(FilterRules, SummaryMetrics) {
+  WorkloadSummary s;
+  s.queries_per_day = {100, 110, 121};
+  s.stable_table_ratio = 0.5;
+  EXPECT_NEAR(s.n_query(), (100 + 110 + 121) / 3.0, 1e-9);
+  // Day-over-day ratios: 110/100 = 1.1 and 121/110 = 1.1.
+  EXPECT_NEAR(s.query_inc_ratio(), 1.1, 0.01);
+  // Degenerate summaries behave sanely.
+  WorkloadSummary empty;
+  EXPECT_DOUBLE_EQ(empty.n_query(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.query_inc_ratio(), 1.0);
+}
+
+TEST(FilterRules, DefaultThresholdDerivation) {
+  const FilterThresholds t = FilterThresholds::make_default();
+  // r is the smallest decay ratio at which a volume-floor project still
+  // accumulates the training target within 30 days.
+  double total = 0.0, term = t.n0;
+  for (int d = 0; d < 30; ++d) {
+    total += term;
+    term *= t.r;
+  }
+  EXPECT_NEAR(total, t.train_target, 1.0);
+  // Stable workloads must pass R2.
+  EXPECT_LT(t.r, 1.0);
+  WorkloadSummary stable;
+  stable.queries_per_day = {200, 200, 200};
+  stable.stable_table_ratio = 1.0;
+  EXPECT_TRUE(apply_filter(stable, t).pass);
+}
+
+TEST(FilterRules, AllRulesMustPass) {
+  FilterThresholds t;
+  t.n0 = 100;
+  t.r = 1.0;
+  t.theta = 0.2;
+  WorkloadSummary good;
+  good.queries_per_day = {120, 120, 130};
+  good.stable_table_ratio = 0.9;
+  EXPECT_TRUE(apply_filter(good, t).pass);
+
+  WorkloadSummary low_volume = good;
+  low_volume.queries_per_day = {10, 12, 11};
+  const FilterDecision d1 = apply_filter(low_volume, t);
+  EXPECT_FALSE(d1.pass);
+  EXPECT_FALSE(d1.r1);
+
+  WorkloadSummary shrinking = good;
+  shrinking.queries_per_day = {300, 150, 75};
+  const FilterDecision d2 = apply_filter(shrinking, t);
+  EXPECT_FALSE(d2.r2);
+  EXPECT_FALSE(d2.pass);
+
+  WorkloadSummary churny = good;
+  churny.stable_table_ratio = 0.05;
+  const FilterDecision d3 = apply_filter(churny, t);
+  EXPECT_FALSE(d3.r3);
+  EXPECT_FALSE(d3.pass);
+}
+
+TEST(RankerFeatures, DimensionAndRanges) {
+  RankerFeaturizer f;
+  EXPECT_EQ(f.feature_dim(), 1 + 48 + 3 + 1);
+  warehouse::Catalog catalog;
+  warehouse::Table t;
+  t.name = "t";
+  t.row_count = 100000;
+  warehouse::Column c;
+  c.name = "c0";
+  c.ndv = 10;
+  t.columns = {c, c};
+  const int id = catalog.add_table(t);
+
+  warehouse::Plan plan;
+  warehouse::PlanNode scan;
+  scan.op = warehouse::OpType::kTableScan;
+  scan.table_id = id;
+  const int s = plan.add_node(scan);
+  warehouse::PlanNode sink;
+  sink.op = warehouse::OpType::kSink;
+  sink.left = s;
+  plan.set_root(plan.add_node(sink));
+
+  const std::vector<float> feat = f.featurize(plan, catalog, 5000.0);
+  ASSERT_EQ(static_cast<int>(feat.size()), f.feature_dim());
+  for (float v : feat) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 4.0f);
+  }
+  // Structural count feature reflects two operators.
+  EXPECT_NEAR(feat[0], std::log1p(2.0) / std::log(64.0), 1e-6);
+}
+
+TEST(Ranker, LearnsSyntheticImprovementSignal) {
+  // Synthetic: improvement space is a function of one pattern bucket value.
+  Rng rng(8);
+  RankerFeaturizer f;
+  std::vector<RankerExample> train;
+  for (int i = 0; i < 400; ++i) {
+    RankerExample e;
+    e.features.assign(static_cast<std::size_t>(f.feature_dim()), 0.0f);
+    const float x = static_cast<float>(rng.uniform(0.0, 1.0));
+    e.features[5] = x;
+    e.features[20] = static_cast<float>(rng.uniform(0.0, 1.0));  // noise
+    e.improvement_space = 0.4 * x + 0.02;
+    train.push_back(std::move(e));
+  }
+  ProjectRanker ranker;
+  ranker.fit(train);
+  EXPECT_TRUE(ranker.trained());
+  std::vector<float> lo(static_cast<std::size_t>(f.feature_dim()), 0.0f);
+  std::vector<float> hi = lo;
+  lo[5] = 0.1f;
+  hi[5] = 0.9f;
+  EXPECT_GT(ranker.estimate(hi), ranker.estimate(lo) + 0.1);
+}
+
+TEST(Ranker, PeriodicUpdateFoldsInNewEvaluations) {
+  // Section 6: new (P_d, D(M_d)) pairs from deployed projects periodically
+  // refine the Ranker. Start with data covering only half the signal range;
+  // the update supplies the other half and predictions must improve there.
+  Rng rng(9);
+  RankerFeaturizer f;
+  auto make = [&](double x_lo, double x_hi, int n) {
+    std::vector<RankerExample> out;
+    for (int i = 0; i < n; ++i) {
+      RankerExample e;
+      e.features.assign(static_cast<std::size_t>(f.feature_dim()), 0.0f);
+      const double x = rng.uniform(x_lo, x_hi);
+      e.features[7] = static_cast<float>(x);
+      e.improvement_space = 0.5 * x;
+      out.push_back(std::move(e));
+    }
+    return out;
+  };
+  ProjectRanker ranker;
+  ranker.fit(make(0.0, 0.4, 200));
+  EXPECT_EQ(ranker.training_corpus_size(), 200u);
+
+  std::vector<float> probe(static_cast<std::size_t>(f.feature_dim()), 0.0f);
+  probe[7] = 0.9f;
+  const double before = std::abs(ranker.estimate(probe) - 0.45);
+  ranker.update(make(0.4, 1.0, 200));
+  EXPECT_EQ(ranker.training_corpus_size(), 400u);
+  const double after = std::abs(ranker.estimate(probe) - 0.45);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.1);
+}
+
+TEST(Metrics, RecallAtBasics) {
+  const std::vector<double> truth = {0.9, 0.1, 0.5, 0.3};
+  // Perfect scores -> perfect recall at every k.
+  EXPECT_DOUBLE_EQ(recall_at(truth, truth, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(recall_at(truth, truth, 2, 2), 1.0);
+  // Inverted scores: top-1 picks the worst project.
+  const std::vector<double> inverted = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_DOUBLE_EQ(recall_at(inverted, truth, 1, 1), 0.0);
+  // k covering everything recalls everything.
+  EXPECT_DOUBLE_EQ(recall_at(inverted, truth, 4, 2), 1.0);
+}
+
+TEST(Metrics, NdcgBasics) {
+  const std::vector<double> truth = {1.0, 0.2, 0.6};
+  EXPECT_NEAR(ndcg_at(truth, truth, 3), 1.0, 1e-12);
+  const std::vector<double> inverted = {0.2, 1.0, 0.6};
+  const double n = ndcg_at(inverted, truth, 3);
+  EXPECT_GT(n, 0.0);
+  EXPECT_LT(n, 1.0);
+}
+
+TEST(Metrics, RandomExpectationsMatchSimulation) {
+  // Appendix E.2's closed forms vs. a brute-force random-permutation average.
+  Rng rng(11);
+  std::vector<double> truth;
+  for (int i = 0; i < 10; ++i) truth.push_back(rng.uniform(0.0, 1.0));
+  const int k = 3;
+
+  double recall_acc = 0.0, ndcg_acc = 0.0;
+  const int trials = 20000;
+  std::vector<double> scores(truth.size());
+  for (int t = 0; t < trials; ++t) {
+    // Random ranking = random scores.
+    for (double& s : scores) s = rng.uniform(0.0, 1.0);
+    recall_acc += recall_at(scores, truth, k, k);
+    ndcg_acc += ndcg_at(scores, truth, k);
+  }
+  EXPECT_NEAR(recall_acc / trials,
+              expected_random_recall(k, static_cast<int>(truth.size())), 0.01);
+  EXPECT_NEAR(ndcg_acc / trials, expected_random_ndcg(truth, k), 0.01);
+}
+
+TEST(Metrics, RandomRecallIndependentOfN) {
+  EXPECT_DOUBLE_EQ(expected_random_recall(3, 15), 0.2);
+  EXPECT_DOUBLE_EQ(expected_random_recall(5, 15), expected_random_recall(5, 15));
+  EXPECT_DOUBLE_EQ(expected_random_recall(15, 15), 1.0);
+}
+
+}  // namespace
+}  // namespace loam::core

@@ -1,0 +1,186 @@
+// Tests of persistence: NN checkpoints, predictor save/load round trips, and
+// the repository cost-log format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/predictor.h"
+#include "nn/serialize.h"
+#include "warehouse/repository_io.h"
+
+namespace loam {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("loam_test_") + name))
+      .string();
+}
+
+TEST(NnSerialize, RoundTripPreservesValues) {
+  Rng rng(1);
+  nn::Linear a("layer", 6, 4, rng);
+  std::stringstream buffer;
+  const std::size_t bytes = nn::save_parameters(a.parameters(), buffer);
+  EXPECT_GT(bytes, 6u * 4u * sizeof(float));
+
+  nn::Linear b("layer", 6, 4, rng);  // different init
+  nn::load_parameters(b.parameters(), buffer);
+  nn::Mat x(2, 6);
+  x.glorot_init(rng);
+  nn::Mat ya = a.forward(x);
+  nn::Mat yb = b.forward(x);
+  for (int i = 0; i < ya.rows(); ++i) {
+    for (int j = 0; j < ya.cols(); ++j) {
+      EXPECT_FLOAT_EQ(ya.at(i, j), yb.at(i, j));
+    }
+  }
+}
+
+TEST(NnSerialize, RejectsBadMagic) {
+  Rng rng(2);
+  nn::Linear a("layer", 3, 3, rng);
+  std::stringstream buffer;
+  buffer << "definitely not a checkpoint";
+  EXPECT_THROW(nn::load_parameters(a.parameters(), buffer), std::runtime_error);
+}
+
+TEST(NnSerialize, RejectsShapeMismatch) {
+  Rng rng(3);
+  nn::Linear a("layer", 5, 4, rng);
+  std::stringstream buffer;
+  nn::save_parameters(a.parameters(), buffer);
+  nn::Linear wrong("layer", 5, 8, rng);
+  EXPECT_THROW(nn::load_parameters(wrong.parameters(), buffer), std::runtime_error);
+}
+
+TEST(NnSerialize, RejectsNameMismatch) {
+  Rng rng(4);
+  nn::Linear a("alpha", 3, 3, rng);
+  std::stringstream buffer;
+  nn::save_parameters(a.parameters(), buffer);
+  nn::Linear other("beta", 3, 3, rng);
+  EXPECT_THROW(nn::load_parameters(other.parameters(), buffer), std::runtime_error);
+}
+
+TEST(NnSerialize, RejectsTruncation) {
+  Rng rng(5);
+  nn::Linear a("layer", 8, 8, rng);
+  std::stringstream buffer;
+  nn::save_parameters(a.parameters(), buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_THROW(nn::load_parameters(a.parameters(), half), std::runtime_error);
+}
+
+TEST(PredictorCheckpoint, RoundTripReproducesPredictions) {
+  Rng rng(6);
+  const int dim = 10;
+  core::PredictorConfig cfg;
+  cfg.epochs = 3;
+  cfg.hidden_dim = 12;
+  cfg.embed_dim = 6;
+  core::AdaptiveCostPredictor trained(dim, cfg);
+  // Small synthetic fit so the scaler is non-trivial.
+  std::vector<core::TrainingExample> train;
+  for (int i = 0; i < 40; ++i) {
+    core::TrainingExample ex;
+    ex.tree.features = nn::Mat(3, dim);
+    ex.tree.features.glorot_init(rng);
+    ex.tree.left = {1, -1, -1};
+    ex.tree.right = {2, -1, -1};
+    ex.tree.root = 0;
+    ex.cpu_cost = 100.0 + 10.0 * i;
+    train.push_back(std::move(ex));
+  }
+  trained.fit(train, {});
+
+  const std::string path = temp_path("predictor.ckpt");
+  trained.save(path);
+  core::AdaptiveCostPredictor restored(dim, cfg);
+  restored.load(path);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(trained.predict(train[static_cast<std::size_t>(i)].tree),
+                     restored.predict(train[static_cast<std::size_t>(i)].tree));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PredictorCheckpoint, ArchitectureMismatchRejected) {
+  core::PredictorConfig small;
+  small.hidden_dim = 8;
+  small.epochs = 1;
+  core::PredictorConfig large = small;
+  large.hidden_dim = 16;
+  core::AdaptiveCostPredictor a(10, small);
+  const std::string path = temp_path("predictor_shape.ckpt");
+  a.save(path);
+  core::AdaptiveCostPredictor b(10, large);
+  EXPECT_THROW(b.load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CostLog, RoundTrip) {
+  std::vector<warehouse::CostLogRow> rows;
+  for (int i = 0; i < 5; ++i) {
+    warehouse::CostLogRow r;
+    r.template_id = "proj.q" + std::to_string(i);
+    r.param_signature = 1000u + static_cast<std::uint64_t>(i);
+    r.day = i;
+    r.cpu_cost = 12345.678 * (i + 1);
+    r.latency_s = 1.5 * i;
+    r.stages = 3 + i;
+    r.env.cpu_idle = 0.5 + 0.01 * i;
+    r.env.io_wait = 0.05;
+    r.env.load5_norm = 0.3;
+    r.env.mem_usage = 0.6;
+    rows.push_back(std::move(r));
+  }
+  std::stringstream buffer;
+  warehouse::write_cost_log(rows, buffer);
+  const std::vector<warehouse::CostLogRow> back = warehouse::read_cost_log(buffer);
+  ASSERT_EQ(back.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i].template_id, rows[i].template_id);
+    EXPECT_EQ(back[i].param_signature, rows[i].param_signature);
+    EXPECT_EQ(back[i].day, rows[i].day);
+    EXPECT_DOUBLE_EQ(back[i].cpu_cost, rows[i].cpu_cost);
+    EXPECT_DOUBLE_EQ(back[i].env.cpu_idle, rows[i].env.cpu_idle);
+  }
+}
+
+TEST(CostLog, RejectsBadHeaderAndRows) {
+  std::stringstream bad_header("nope\n1\t2\t3\n");
+  EXPECT_THROW(warehouse::read_cost_log(bad_header), std::runtime_error);
+
+  std::stringstream truncated;
+  warehouse::write_cost_log({}, truncated);
+  truncated << "proj.q0\t12\t3\n";  // far too few columns
+  EXPECT_THROW(warehouse::read_cost_log(truncated), std::runtime_error);
+}
+
+TEST(CostLog, FlattensRepository) {
+  warehouse::QueryRepository repo;
+  warehouse::QueryRecord rec;
+  rec.query.template_id = "t.q1";
+  rec.query.param_signature = 42;
+  rec.day = 3;
+  rec.exec.cpu_cost = 999.0;
+  rec.exec.latency_s = 2.0;
+  warehouse::StageExecution stage;
+  stage.stage_id = 0;
+  rec.exec.stages.push_back(stage);
+  repo.log(std::move(rec));
+
+  const auto rows = warehouse::to_cost_log(repo);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].template_id, "t.q1");
+  EXPECT_EQ(rows[0].stages, 1);
+  EXPECT_DOUBLE_EQ(rows[0].cpu_cost, 999.0);
+}
+
+}  // namespace
+}  // namespace loam

@@ -1,0 +1,239 @@
+// Unit tests of the utility layer: RNG, multi-segment hashing, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace loam {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // The child stream must differ from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform() != child.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ZipfBoundsAndSkew) {
+  Rng rng(11);
+  long long ones = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.zipf(100, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    if (v == 1) ++ones;
+  }
+  // Under Zipf(1) over 100 items, rank 1 has probability ~1/H_100 ~= 0.19;
+  // uniform would give 0.01.
+  EXPECT_GT(static_cast<double>(ones) / draws, 0.08);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) acc += static_cast<double>(rng.zipf(100, 0.0));
+  EXPECT_NEAR(acc / draws, 50.5, 2.0);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  const auto idx = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(idx.size(), 20u);
+  std::set<int> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 20u);
+  for (int i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 50);
+  }
+}
+
+TEST(Hash, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(hash64("orders", 1), hash64("orders", 1));
+  EXPECT_NE(hash64("orders", 1), hash64("orders", 2));
+  EXPECT_NE(hash64("orders", 1), hash64("lineitem", 1));
+}
+
+TEST(Hash, MultiSegmentEncodingSetsOneBitPerSegment) {
+  MultiSegmentHashConfig cfg{5, 10};
+  std::vector<float> out(static_cast<std::size_t>(cfg.dim()), 0.0f);
+  encode_identifier("orders", cfg, out);
+  for (int seg = 0; seg < cfg.segments; ++seg) {
+    int bits = 0;
+    for (int i = 0; i < cfg.segment_dim; ++i) {
+      bits += out[static_cast<std::size_t>(seg * cfg.segment_dim + i)] > 0.0f;
+    }
+    EXPECT_EQ(bits, 1) << "segment " << seg;
+  }
+}
+
+TEST(Hash, UnionEncodingPreservesMembers) {
+  MultiSegmentHashConfig cfg{5, 10};
+  std::vector<std::string> ids = {"a.x", "b.y", "c.z"};
+  const auto all = encode_identifier_set(ids, cfg);
+  for (const auto& id : ids) {
+    std::vector<float> one(static_cast<std::size_t>(cfg.dim()), 0.0f);
+    encode_identifier(id, cfg, one);
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      if (one[i] > 0.0f) EXPECT_GT(all[i], 0.0f);
+    }
+  }
+}
+
+// Appendix B.1's claim: multi-segment hashing reliably encodes orders of
+// magnitude more identifiers than single-bucket hashing of the same width.
+TEST(Hash, MultiSegmentCollisionAdvantage) {
+  MultiSegmentHashConfig cfg{5, 10};
+  const double p_single = expected_collision_prob_single(100, cfg.dim());
+  const double p_multi = expected_collision_prob_multi(100, cfg);
+  EXPECT_GT(p_single, 0.9);   // 100 ids in 50 buckets: collisions near-certain
+  EXPECT_LT(p_multi, 0.06);   // 100 ids across 10^5 effective space: rare
+}
+
+TEST(Hash, MultiSegmentEmpiricalDistinctness) {
+  MultiSegmentHashConfig cfg{5, 10};
+  std::set<std::vector<float>> codes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> out(static_cast<std::size_t>(cfg.dim()), 0.0f);
+    encode_identifier("table_" + std::to_string(i), cfg, out);
+    codes.insert(out);
+  }
+  // Expected pairwise-collision count ~ n^2/2 * 1e-5 = 20; allow slack.
+  EXPECT_GT(static_cast<int>(codes.size()), n - 80);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+  EXPECT_NEAR(relative_stddev(xs), 2.138 / 5.0, 1e-3);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_NEAR(percentile(xs, 50), 5.5, 1e-9);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PhiAndInverseRoundTrip) {
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(phi(phi_inverse(p)), p, 1e-7);
+  }
+}
+
+TEST(Stats, LogNormalMoments) {
+  LogNormal d{1.0, 0.5};
+  EXPECT_NEAR(d.mean(), std::exp(1.0 + 0.125), 1e-9);
+  EXPECT_NEAR(d.median(), std::exp(1.0), 1e-9);
+  EXPECT_NEAR(d.cdf(d.median()), 0.5, 1e-9);
+  EXPECT_NEAR(d.quantile(0.5), d.median(), 1e-6);
+}
+
+TEST(Stats, LogNormalPdfIntegratesToOne) {
+  LogNormal d{2.0, 0.7};
+  const double total =
+      integrate([&d](double x) { return d.pdf(x); }, 1e-6, d.quantile(1 - 1e-8), 8192);
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(Stats, MleRecoversLogNormalParameters) {
+  Rng rng(21);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.lognormal(3.0, 0.4));
+  const LogNormal fit = fit_lognormal_mle(samples);
+  EXPECT_NEAR(fit.mu, 3.0, 0.02);
+  EXPECT_NEAR(fit.sigma, 0.4, 0.02);
+}
+
+TEST(Stats, KsTestAcceptsTrueDistribution) {
+  Rng rng(22);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.lognormal(1.0, 0.3));
+  const KsResult r = ks_test_lognormal(samples, fit_lognormal_mle(samples));
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(Stats, KsTestRejectsWrongDistribution) {
+  Rng rng(23);
+  std::vector<double> samples;
+  // Uniform costs are a bad fit for a narrow log-normal.
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniform(1.0, 100.0));
+  const KsResult r = ks_test_lognormal(samples, LogNormal{0.0, 0.1});
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(Stats, QqCorrelationHighForTrueDistribution) {
+  Rng rng(24);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng.lognormal(2.0, 0.5));
+  EXPECT_GT(qq_correlation(samples, fit_lognormal_mle(samples)), 0.99);
+}
+
+TEST(Stats, LogMinMaxNormalizesToUnitRange) {
+  std::vector<double> xs = {1.0, 10.0, 100.0, 1000.0};
+  const LogMinMax n = LogMinMax::fit(xs);
+  EXPECT_NEAR(n.normalize(1.0), 0.0, 1e-9);
+  EXPECT_NEAR(n.normalize(1000.0), 1.0, 1e-9);
+  const double mid = n.normalize(31.6);
+  EXPECT_GT(mid, 0.4);
+  EXPECT_LT(mid, 0.6);
+  // Clamped outside the fitted range.
+  EXPECT_DOUBLE_EQ(n.normalize(1e9), 1.0);
+}
+
+TEST(Stats, IntegrateQuadratic) {
+  const double v = integrate([](double x) { return x * x; }, 0.0, 3.0, 512);
+  EXPECT_NEAR(v, 9.0, 1e-9);
+}
+
+TEST(TablePrinterTest, RendersAlignedRows) {
+  TablePrinter t({"Method", "Cost"});
+  t.add_row({"MaxCompute", TablePrinter::fmt(8438.0, 0)});
+  t.add_row({"LOAM", TablePrinter::fmt(7537.0, 0)});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("MaxCompute"), std::string::npos);
+  EXPECT_NE(out.find("7537"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt_int(1824978), "1,824,978");
+  EXPECT_EQ(TablePrinter::fmt_pct(0.231), "23.1%");
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace loam

@@ -1,0 +1,261 @@
+// Tests of the project/workload generator and the historical repository +
+// flighting substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "warehouse/flighting.h"
+#include "warehouse/native_optimizer.h"
+#include "warehouse/repository.h"
+#include "warehouse/workload.h"
+
+namespace loam::warehouse {
+namespace {
+
+TEST(Workload, ProjectGenerationDeterministic) {
+  WorkloadGenerator g1(9), g2(9);
+  ProjectArchetype a;
+  a.name = "det";
+  a.seed = 3;
+  Project p1 = g1.make_project(a);
+  Project p2 = g2.make_project(a);
+  ASSERT_EQ(p1.catalog.table_count(), p2.catalog.table_count());
+  for (int i = 0; i < p1.catalog.table_count(); ++i) {
+    EXPECT_EQ(p1.catalog.table(i).name, p2.catalog.table(i).name);
+    EXPECT_EQ(p1.catalog.table(i).row_count, p2.catalog.table(i).row_count);
+  }
+  ASSERT_EQ(p1.templates.size(), p2.templates.size());
+  for (std::size_t i = 0; i < p1.templates.size(); ++i) {
+    EXPECT_EQ(p1.templates[i].tables, p2.templates[i].tables);
+  }
+}
+
+TEST(Workload, CatalogRespectsArchetypeShape) {
+  WorkloadGenerator gen(10);
+  ProjectArchetype a;
+  a.name = "shape";
+  a.n_tables = 40;
+  a.temp_table_fraction = 0.3;
+  a.stats_coverage = 0.5;
+  a.seed = 11;
+  Project p = gen.make_project(a);
+  EXPECT_GE(p.catalog.table_count(), 30);
+  int temps = 0, with_stats = 0, snapshots = 0;
+  for (int i = 0; i < p.catalog.table_count(); ++i) {
+    const Table& t = p.catalog.table(i);
+    temps += t.is_temp;
+    snapshots += t.alias_of >= 0;
+    with_stats += p.catalog.stats(i).available;
+    EXPECT_GE(t.row_count, 100);
+    EXPECT_GE(static_cast<int>(t.columns.size()), 3);
+    EXPECT_GE(t.num_partitions, 1);
+    if (t.is_temp) EXPECT_LT(t.lifespan_days(), 30);
+  }
+  EXPECT_GT(temps, 0);
+  EXPECT_GT(with_stats, 5);
+  EXPECT_GT(snapshots, 0);
+}
+
+TEST(Workload, PrimaryKeyColumnHasFullNdv) {
+  WorkloadGenerator gen(12);
+  ProjectArchetype a;
+  a.name = "pk";
+  a.seed = 13;
+  Project p = gen.make_project(a);
+  for (int i = 0; i < p.catalog.table_count(); ++i) {
+    const Table& t = p.catalog.table(i);
+    ASSERT_GT(t.columns.size(), 1u);
+    EXPECT_EQ(t.columns[1].ndv, t.row_count);
+  }
+}
+
+TEST(Workload, TemplatesAreValidQueries) {
+  WorkloadGenerator gen(14);
+  ProjectArchetype a;
+  a.name = "valid";
+  a.seed = 15;
+  a.n_templates = 30;
+  Project p = gen.make_project(a);
+  Rng rng(7);
+  for (const QueryTemplate& t : p.templates) {
+    Query q = gen.instantiate(p, t, 0, rng);
+    EXPECT_FALSE(q.tables.empty());
+    EXPECT_TRUE(q.joins_connected()) << t.id;
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1);  // spanning tree
+    for (const Predicate& pred : q.predicates) {
+      EXPECT_GT(pred.selectivity, 0.0);
+      EXPECT_LE(pred.selectivity, 1.0);
+      EXPECT_GE(q.table_position(pred.table_id), 0);
+    }
+    // All queries compile through the native optimizer.
+    NativeOptimizer opt(p.catalog);
+    EXPECT_NO_THROW(opt.optimize(q));
+  }
+}
+
+TEST(Workload, CanonicalJoinEdgesStableAcrossTemplates) {
+  WorkloadGenerator gen(16);
+  ProjectArchetype a;
+  a.name = "edges";
+  a.seed = 17;
+  a.n_templates = 60;
+  a.n_tables = 10;  // few tables => many repeated pairs
+  Project p = gen.make_project(a);
+  std::map<std::pair<int, int>, std::pair<int, int>> seen;
+  int repeats = 0;
+  for (const QueryTemplate& t : p.templates) {
+    for (const JoinEdge& e : t.joins) {
+      const auto key = std::make_pair(e.left_table, e.right_table);
+      const auto cols = std::make_pair(e.left_column, e.right_column);
+      auto it = seen.find(key);
+      if (it != seen.end()) {
+        ++repeats;
+        EXPECT_EQ(it->second, cols) << "same table pair must reuse its FK edge";
+      } else {
+        seen.emplace(key, cols);
+      }
+    }
+  }
+  EXPECT_GT(repeats, 0) << "test needs repeated pairs to be meaningful";
+}
+
+TEST(Workload, ParameterBindingsVaryAndRecur) {
+  WorkloadGenerator gen(18);
+  ProjectArchetype a;
+  a.name = "params";
+  a.seed = 19;
+  Project p = gen.make_project(a);
+  const QueryTemplate* with_preds = nullptr;
+  for (const QueryTemplate& t : p.templates) {
+    if (!t.pred_slots.empty()) {
+      with_preds = &t;
+      break;
+    }
+  }
+  ASSERT_NE(with_preds, nullptr);
+  Rng rng(20);
+  std::set<std::uint64_t> signatures;
+  for (int i = 0; i < 200; ++i) {
+    signatures.insert(gen.instantiate(p, *with_preds, 0, rng).param_signature);
+  }
+  // Parameters vary but quantization makes bindings recur.
+  EXPECT_GT(signatures.size(), 2u);
+  EXPECT_LT(signatures.size(), 190u);
+}
+
+TEST(Workload, DayWorkloadVolumeFollowsGrowth) {
+  WorkloadGenerator gen(21);
+  ProjectArchetype a;
+  a.name = "vol";
+  a.seed = 22;
+  a.queries_per_day = 100.0;
+  a.daily_growth = 1.1;
+  Project p = gen.make_project(a);
+  Rng rng(23);
+  double early = 0.0, late = 0.0;
+  for (int d = 0; d < 3; ++d) early += static_cast<double>(gen.day_workload(p, d, rng).size());
+  for (int d = 10; d < 13; ++d) late += static_cast<double>(gen.day_workload(p, d, rng).size());
+  EXPECT_GT(late, early * 1.5);
+}
+
+TEST(Workload, TempTemplatesRespectLifespans) {
+  WorkloadGenerator gen(24);
+  ProjectArchetype a;
+  a.name = "temp";
+  a.seed = 25;
+  a.temp_table_fraction = 0.5;
+  a.temp_template_fraction = 0.5;
+  Project p = gen.make_project(a);
+  Rng rng(26);
+  for (int day = 0; day < 20; ++day) {
+    for (const Query& q : gen.day_workload(p, day, rng)) {
+      for (int t : q.tables) {
+        EXPECT_TRUE(p.catalog.table(t).live_on(day))
+            << "query over dropped/not-yet-created table";
+      }
+    }
+  }
+}
+
+TEST(Workload, EvaluationArchetypesMatchPaperRoles) {
+  const auto v = evaluation_archetypes();
+  ASSERT_EQ(v.size(), 5u);
+  // P2 and P5 are the high-improvement-space projects: poor statistics.
+  EXPECT_LT(v[1].stats_coverage, 0.2);
+  EXPECT_LT(v[4].stats_coverage, 0.2);
+  // P3 and P4 have near-complete statistics (small improvement space).
+  EXPECT_GT(v[2].stats_coverage, 0.9);
+  EXPECT_GT(v[3].stats_coverage, 0.9);
+  // P4 is the low-volume project.
+  for (int i : {0, 1, 2, 4}) {
+    EXPECT_GT(v[static_cast<std::size_t>(i)].queries_per_day, v[3].queries_per_day);
+  }
+  // P3 has the widest schema.
+  EXPECT_GT(v[2].n_tables * v[2].avg_columns_per_table,
+            v[0].n_tables * v[0].avg_columns_per_table);
+}
+
+TEST(Workload, SampledArchetypesAreHeterogeneous) {
+  const auto v = sampled_archetypes(30, 77);
+  ASSERT_EQ(v.size(), 30u);
+  std::set<int> table_counts;
+  double min_cov = 1.0, max_cov = 0.0;
+  for (const auto& a : v) {
+    table_counts.insert(a.n_tables);
+    min_cov = std::min(min_cov, a.stats_coverage);
+    max_cov = std::max(max_cov, a.stats_coverage);
+  }
+  EXPECT_GT(table_counts.size(), 15u);
+  EXPECT_LT(min_cov, 0.3);
+  EXPECT_GT(max_cov, 0.7);
+}
+
+TEST(Repository, DayRangeAndDeduplication) {
+  QueryRepository repo;
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 3; ++i) {
+      QueryRecord r;
+      r.day = day;
+      r.query.template_id = "q" + std::to_string(i);
+      r.query.param_signature = static_cast<std::uint64_t>(i % 2);
+      r.exec.cpu_cost = 100.0 * day + i;
+      repo.log(std::move(r));
+    }
+  }
+  EXPECT_EQ(repo.size(), 15u);
+  EXPECT_EQ(repo.on_day(2).size(), 3u);
+  EXPECT_EQ(repo.in_day_range(1, 3).size(), 9u);
+  EXPECT_EQ(repo.max_day(), 4);
+  // 3 distinct (template, param) pairs.
+  EXPECT_EQ(repo.deduplicated(0, 4).size(), 3u);
+  // Dedup keeps the earliest run.
+  EXPECT_EQ(repo.deduplicated(0, 4)[0]->day, 0);
+  EXPECT_EQ(repo.runs_of("q1", 1).size(), 5u);
+}
+
+TEST(Flighting, ReplayIsolatedFromServingCluster) {
+  WorkloadGenerator gen(30);
+  ProjectArchetype a;
+  a.name = "flight";
+  a.seed = 31;
+  Project p = gen.make_project(a);
+  NativeOptimizer opt(p.catalog);
+  Rng rng(32);
+  Query q = gen.instantiate(p, p.templates[0], 0, rng);
+  Plan plan = opt.optimize(q);
+
+  FlightingEnv flighting(ClusterConfig{}, ExecutorConfig{}, 33);
+  const std::vector<double> costs = flighting.replay(plan, 10);
+  ASSERT_EQ(costs.size(), 10u);
+  for (double c : costs) EXPECT_GT(c, 0.0);
+  // Runs differ (fresh environments) but share the same plan: bounded ratio.
+  const double mn = *std::min_element(costs.begin(), costs.end());
+  const double mx = *std::max_element(costs.begin(), costs.end());
+  EXPECT_GT(mx, mn);
+  EXPECT_LT(mx / mn, 10.0);
+  EXPECT_NEAR(flighting.replay_mean(plan, 5),
+              flighting.replay_mean(plan, 5), flighting.replay_mean(plan, 5));
+}
+
+}  // namespace
+}  // namespace loam::warehouse

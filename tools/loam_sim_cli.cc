@@ -1,0 +1,175 @@
+// loam-sim — command-line driver for the simulated warehouse + LOAM.
+//
+// Subcommands:
+//   inspect   <archetype-index>             show a generated project's shape
+//   history   <archetype-index> <days> <out.tsv>
+//                                           simulate production, export cost log
+//   train     <archetype-index> <days> [ckpt-path]
+//                                           train LOAM, print gate report,
+//                                           optionally checkpoint the model
+//   steer     <archetype-index> <n-queries> show steered vs default plans
+//
+// Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
+// sampled population.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/gate.h"
+#include "core/loam.h"
+#include "util/table_printer.h"
+#include "warehouse/repository_io.h"
+
+using namespace loam;
+
+namespace {
+
+warehouse::ProjectArchetype pick_archetype(int index) {
+  if (index < 5) {
+    return warehouse::evaluation_archetypes()[static_cast<std::size_t>(index)];
+  }
+  const auto pool = warehouse::sampled_archetypes(index + 1, 4040);
+  return pool[static_cast<std::size_t>(index)];
+}
+
+int cmd_inspect(int index) {
+  warehouse::WorkloadGenerator gen(17);
+  const warehouse::Project project = gen.make_project(pick_archetype(index));
+  long long rows = 0, columns = 0;
+  int temps = 0, with_stats = 0;
+  for (int t = 0; t < project.catalog.table_count(); ++t) {
+    const warehouse::Table& table = project.catalog.table(t);
+    rows += table.row_count;
+    columns += static_cast<long long>(table.columns.size());
+    temps += table.is_temp;
+    with_stats += project.catalog.stats(t).available;
+  }
+  std::printf("project %s\n", project.name.c_str());
+  TablePrinter t({"property", "value"});
+  t.add_row({"tables", TablePrinter::fmt_int(project.catalog.table_count())});
+  t.add_row({"columns", TablePrinter::fmt_int(columns)});
+  t.add_row({"total rows", TablePrinter::fmt_int(rows)});
+  t.add_row({"temp tables", TablePrinter::fmt_int(temps)});
+  t.add_row({"tables with statistics", TablePrinter::fmt_int(with_stats)});
+  t.add_row({"query templates",
+             TablePrinter::fmt_int(static_cast<long long>(project.templates.size()))});
+  t.print();
+  // Show one template as SQL.
+  Rng rng(3);
+  const warehouse::Query q = gen.instantiate(project, project.templates[0], 0, rng);
+  std::printf("\nexample recurring query (%s):\n%s\n", q.template_id.c_str(),
+              q.to_sql(project.catalog).c_str());
+  return 0;
+}
+
+int cmd_history(int index, int days, const char* out_path) {
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(pick_archetype(index), rc);
+  runtime.simulate_history(days, 200);
+  warehouse::write_cost_log_file(warehouse::to_cost_log(runtime.repository()),
+                                 out_path);
+  std::printf("simulated %d days (%zu queries) -> %s\n", days,
+              runtime.repository().size(), out_path);
+  return 0;
+}
+
+int cmd_train(int index, int days, const char* ckpt) {
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(pick_archetype(index), rc);
+  std::printf("simulating %d days of history...\n", days);
+  runtime.simulate_history(days, 200);
+
+  const core::FilterDecision filter =
+      core::apply_filter(core::summarize_workload(runtime, 0, days - 1));
+  std::printf("filter: n_query=%.0f/day inc=%.2f stable=%.2f -> %s\n",
+              filter.n_query, filter.inc_ratio, filter.stable_ratio,
+              filter.pass ? "PASS" : "FAIL (training challenges likely)");
+
+  core::LoamConfig cfg;
+  cfg.train_first_day = 0;
+  cfg.train_last_day = days - 1;
+  cfg.max_train_queries = 2500;
+  core::LoamDeployment loam(&runtime, cfg);
+  loam.train();
+  std::printf("trained on %zu default plans (+%zu candidates) in %.1fs, model "
+              "%.1f KB\n",
+              loam.data().default_plans.size(), loam.data().candidate_plans.size(),
+              loam.train_seconds(), loam.model().model_bytes() / 1024.0);
+
+  core::DeploymentGateConfig gate_cfg;
+  gate_cfg.sample_queries = 16;
+  const core::DeploymentGateReport report =
+      core::evaluate_deployment(runtime, loam, gate_cfg);
+  std::printf("%s\n", report.to_string().c_str());
+
+  if (ckpt != nullptr) {
+    dynamic_cast<core::AdaptiveCostPredictor&>(loam.model()).save(ckpt);
+    std::printf("checkpoint written to %s\n", ckpt);
+  }
+  return report.approved ? 0 : 2;
+}
+
+int cmd_steer(int index, int n_queries) {
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(pick_archetype(index), rc);
+  runtime.simulate_history(8, 150);
+  core::LoamConfig cfg;
+  cfg.train_first_day = 0;
+  cfg.train_last_day = 7;
+  cfg.max_train_queries = 1200;
+  cfg.predictor.epochs = 10;
+  core::LoamDeployment loam(&runtime, cfg);
+  loam.train();
+
+  warehouse::FlightingEnv flighting(runtime.config().cluster,
+                                    runtime.config().executor, 555);
+  for (const warehouse::Query& q : runtime.make_queries(8, 9, n_queries)) {
+    const core::LoamDeployment::Choice choice = loam.optimize(q);
+    const double def = flighting.replay_mean(
+        choice.generation.plans[static_cast<std::size_t>(
+            choice.generation.default_index)],
+        5);
+    const double steered = flighting.replay_mean(
+        choice.generation.plans[static_cast<std::size_t>(choice.chosen)], 5);
+    std::printf("%-16s %zu candidates | default %.0f | steered %.0f (%+.1f%%) "
+                "[%s]\n",
+                q.template_id.c_str(), choice.generation.plans.size(), def,
+                steered, 100.0 * (steered - def) / def,
+                choice.generation.knobs[static_cast<std::size_t>(choice.chosen)]
+                    .to_string().c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: loam_sim_cli inspect <archetype>\n"
+               "       loam_sim_cli history <archetype> <days> <out.tsv>\n"
+               "       loam_sim_cli train   <archetype> <days> [ckpt]\n"
+               "       loam_sim_cli steer   <archetype> <n-queries>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const int index = std::atoi(argv[2]);
+  if (cmd == "inspect") return cmd_inspect(index);
+  if (cmd == "history" && argc >= 5) {
+    return cmd_history(index, std::atoi(argv[3]), argv[4]);
+  }
+  if (cmd == "train" && argc >= 4) {
+    return cmd_train(index, std::atoi(argv[3]), argc >= 5 ? argv[4] : nullptr);
+  }
+  if (cmd == "steer" && argc >= 4) return cmd_steer(index, std::atoi(argv[3]));
+  usage();
+  return 1;
+}
