@@ -5,7 +5,9 @@
 // features at all), in end-to-end CPU cost and in relative deviance from the
 // oracle model. The best-achievable model's relative deviance stays around
 // ~10% (Theorem 1's intrinsic gap).
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common.h"
 
@@ -19,6 +21,9 @@ int main() {
                          "LOAM-NL", "BestAchievable"});
   TablePrinter dev_tab({"Project", "LOAM", "LOAM-CE", "LOAM-CB", "LOAM-NL",
                         "BestAchievable (M_b)", "MaxCompute (M_d)"});
+  double gen_serial_s = 0.0, gen_parallel_s = 0.0;
+  double rank_serial_s = 0.0, rank_batch_s = 0.0;
+  int pipeline_threads = 0;
 
   for (int p = 0; p < 5; ++p) {
     bench::PreparedProject project = bench::prepare_project(p, scale);
@@ -90,8 +95,74 @@ int main() {
                      TablePrinter::fmt_pct(rel_deviance(model_rows[3].second)),
                      TablePrinter::fmt_pct(rel_deviance(best)),
                      TablePrinter::fmt_pct(rel_deviance(def))});
+    // Serial-vs-parallel optimization pipeline on the first project:
+    // candidate generation with num_threads 1 vs 8, and candidate ranking
+    // with the per-plan predict() loop vs one predict_batch() forward pass.
+    // Both halves return bit-identical results either way.
+    if (p == 0) {
+      core::ExplorerConfig serial_cfg;
+      serial_cfg.num_threads = 1;
+      core::ExplorerConfig parallel_cfg;
+      parallel_cfg.num_threads = 8;
+      core::PlanExplorer serial(&project.runtime->optimizer(), serial_cfg);
+      core::PlanExplorer parallel(&project.runtime->optimizer(), parallel_cfg);
+      pipeline_threads = parallel.num_threads();
+      const int reps = 3;
+      const auto g0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) {
+        for (const core::EvaluatedQuery& eq : eval) serial.explore(eq.query);
+      }
+      const auto g1 = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) {
+        for (const core::EvaluatedQuery& eq : eval) parallel.explore(eq.query);
+      }
+      const auto g2 = std::chrono::steady_clock::now();
+      gen_serial_s = std::chrono::duration<double>(g1 - g0).count();
+      gen_parallel_s = std::chrono::duration<double>(g2 - g1).count();
+
+      // Encode every candidate set once, then time the two scoring paths.
+      core::PlanEncoder encoder(&project.runtime->project().catalog, cfg.encoding);
+      std::vector<const warehouse::Plan*> fit_plans;
+      for (const core::EvaluatedQuery& eq : eval) {
+        for (const warehouse::Plan& plan : eq.generation.plans) fit_plans.push_back(&plan);
+      }
+      encoder.fit_normalizers(fit_plans);
+      std::vector<std::vector<nn::Tree>> batches;
+      for (const core::EvaluatedQuery& eq : eval) {
+        std::vector<nn::Tree> trees;
+        for (const warehouse::Plan& plan : eq.generation.plans) {
+          trees.push_back(encoder.encode(plan, nullptr, std::nullopt));
+        }
+        batches.push_back(std::move(trees));
+      }
+      const core::CostModel& model = env_model.model();
+      const int score_reps = 20;
+      const auto r0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < score_reps; ++r) {
+        for (const std::vector<nn::Tree>& trees : batches) {
+          for (const nn::Tree& t : trees) model.predict(t);
+        }
+      }
+      const auto r1 = std::chrono::steady_clock::now();
+      for (int r = 0; r < score_reps; ++r) {
+        for (const std::vector<nn::Tree>& trees : batches) model.predict_batch(trees);
+      }
+      const auto r2 = std::chrono::steady_clock::now();
+      rank_serial_s = std::chrono::duration<double>(r1 - r0).count();
+      rank_batch_s = std::chrono::duration<double>(r2 - r1).count();
+    }
     std::printf("[%s done]\n", project.name.c_str());
   }
+  std::printf("\nSerial vs parallel optimization pipeline (project 0, %d "
+              "threads, hardware_concurrency=%u):\n",
+              pipeline_threads, std::thread::hardware_concurrency());
+  std::printf("  candidate generation: %.3f s -> %.3f s (speedup %.2fx)\n",
+              gen_serial_s, gen_parallel_s,
+              gen_parallel_s > 0.0 ? gen_serial_s / gen_parallel_s : 0.0);
+  std::printf("  candidate ranking:    %.3f s -> %.3f s (speedup %.2fx, "
+              "per-plan predict vs one batched forward)\n",
+              rank_serial_s, rank_batch_s,
+              rank_batch_s > 0.0 ? rank_serial_s / rank_batch_s : 0.0);
   std::printf("\n(a) E2E CPU cost:\n");
   cost_tab.print();
   std::printf("\n(b) Relative deviance from the oracle model:\n");

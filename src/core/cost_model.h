@@ -32,6 +32,18 @@ class CostModel {
 
   virtual double predict(const nn::Tree& tree) const = 0;
 
+  // Scores a whole candidate set at once, one cost per tree in input order.
+  // The base implementation loops predict(); models with a batched forward
+  // pass override it to encode the set into one matrix batch and run a
+  // single forward per sub-network. Implementations must return the same
+  // values as the per-plan path.
+  virtual std::vector<double> predict_batch(const std::vector<nn::Tree>& trees) const {
+    std::vector<double> out;
+    out.reserve(trees.size());
+    for (const nn::Tree& t : trees) out.push_back(predict(t));
+    return out;
+  }
+
   virtual std::size_t model_bytes() const = 0;
   virtual std::string name() const = 0;
 };

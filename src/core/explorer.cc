@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <thread>
 
 namespace loam::core {
 
@@ -13,7 +14,17 @@ using warehouse::PlannerKnobs;
 using warehouse::Query;
 
 PlanExplorer::PlanExplorer(const warehouse::NativeOptimizer* optimizer, Config config)
-    : optimizer_(optimizer), config_(config) {}
+    : optimizer_(optimizer), config_(config) {
+  num_threads_ = config.num_threads > 0
+                     ? config.num_threads
+                     : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // The pool holds the workers beyond the exploring thread, which always
+  // participates in parallel_for; num_threads == 1 keeps everything on the
+  // caller with no pool at all (the escape hatch back to legacy behavior).
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads_ - 1);
+  }
+}
 
 CandidateGeneration PlanExplorer::explore(const Query& query) const {
   const auto start = std::chrono::steady_clock::now();
@@ -97,9 +108,39 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
     }
   }
 
-  // Optimize every trial and deduplicate by plan signature. Rough costs are
-  // evaluated on a COMMON estimate face (card_scale = 1) so trials that only
-  // deluded their own search face do not get to flatter themselves.
+  // Optimize every trial — concurrently when the pool exists. Trials are
+  // independent: each one reads only the (const) catalog and query and
+  // writes its own result slot; a trial that ever needs randomness must
+  // derive it as Rng(seed).fork(i), never from a shared stream. Rough costs
+  // are evaluated on a COMMON estimate face (card_scale = 1) so trials that
+  // only deluded their own search face do not get to flatter themselves.
+  struct TrialResult {
+    Plan plan;
+    std::uint64_t sig = 0;
+    double rough = 0.0;
+  };
+  std::vector<TrialResult> results(trials.size());
+  auto run_trial = [&](std::size_t i) {
+    TrialResult& r = results[i];
+    Plan plan = optimizer_->optimize(query, trials[i]);
+    r.sig = plan.signature();
+    if (trials[i].card_scale != 1.0) {
+      // Re-annotate on the common face.
+      warehouse::CardEstimator common(optimizer_->catalog(), query, 1.0);
+      common.annotate(plan);
+    }
+    r.rough = optimizer_->rough_cost(plan);
+    r.plan = std::move(plan);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(trials.size(), run_trial);
+  } else {
+    for (std::size_t i = 0; i < trials.size(); ++i) run_trial(i);
+  }
+
+  // Serial merge in trial order: dedup by plan signature exactly as the
+  // legacy loop did, so the candidate set, ordering and costs do not depend
+  // on the thread count.
   struct Candidate {
     Plan plan;
     PlannerKnobs knobs;
@@ -110,18 +151,11 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
   std::set<std::uint64_t> seen;
   double default_rough = 0.0;
   for (std::size_t i = 0; i < trials.size(); ++i) {
-    Plan plan = optimizer_->optimize(query, trials[i]);
-    const std::uint64_t sig = plan.signature();
-    if (!seen.insert(sig).second) continue;
-    if (trials[i].card_scale != 1.0) {
-      // Re-annotate on the common face.
-      warehouse::CardEstimator common(optimizer_->catalog(), query, 1.0);
-      common.annotate(plan);
-    }
+    if (!seen.insert(results[i].sig).second) continue;
     Candidate c;
-    c.rough = optimizer_->rough_cost(plan);
+    c.rough = results[i].rough;
     if (i == 0) default_rough = c.rough;
-    c.plan = std::move(plan);
+    c.plan = std::move(results[i].plan);
     c.knobs = trials[i];
     c.is_default = (i == 0);
     candidates.push_back(std::move(c));
@@ -150,6 +184,7 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
     if (candidates[i].is_default) out.default_index = static_cast<int>(i);
     out.plans.push_back(std::move(candidates[i].plan));
     out.knobs.push_back(candidates[i].knobs);
+    out.rough_costs.push_back(candidates[i].rough);
   }
   out.generation_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

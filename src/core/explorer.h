@@ -6,8 +6,10 @@
 #ifndef LOAM_CORE_EXPLORER_H_
 #define LOAM_CORE_EXPLORER_H_
 
+#include <memory>
 #include <vector>
 
+#include "util/thread_pool.h"
 #include "warehouse/native_optimizer.h"
 
 namespace loam::core {
@@ -15,6 +17,9 @@ namespace loam::core {
 struct CandidateGeneration {
   std::vector<warehouse::Plan> plans;
   std::vector<warehouse::PlannerKnobs> knobs;
+  // Engine rough cost of each kept plan on the common estimate face; the
+  // parallel-determinism property tests compare these bit-for-bit.
+  std::vector<double> rough_costs;
   int default_index = 0;        // position of the default plan in `plans`
   double generation_seconds = 0.0;
   int trials = 0;               // knob settings attempted
@@ -35,6 +40,12 @@ struct ExplorerConfig {
   // pipelines on unsorted inputs, disabled filter pushdown, extreme
   // cardinality scales). Used by ablation studies of the explorer itself.
   bool risky_trials = false;
+  // Worker threads for the independent native-optimizer trials. 0 resolves
+  // to hardware_concurrency; 1 is the exact legacy serial path (no pool is
+  // even constructed). Results are bit-identical for every value: each trial
+  // writes its own slot and the dedup/prune/sort merge runs serially in
+  // trial order.
+  int num_threads = 0;
 };
 
 class PlanExplorer {
@@ -47,10 +58,15 @@ class PlanExplorer {
   CandidateGeneration explore(const warehouse::Query& query) const;
 
   const Config& config() const { return config_; }
+  // Effective trial parallelism (config resolved against the hardware).
+  int num_threads() const { return num_threads_; }
 
  private:
   const warehouse::NativeOptimizer* optimizer_;
   Config config_;
+  int num_threads_ = 1;
+  // Workers beyond the exploring thread itself; null when num_threads_ == 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace loam::core

@@ -185,18 +185,21 @@ int LoamDeployment::select_with_strategy(const CandidateGeneration& generation,
     env = select_env(strategy, env_context_);
   }
   const bool use_env = strategy != EnvInferenceStrategy::kNoEnv;
+  // Encode the whole candidate set and score it with ONE forward pass per
+  // model (predict_batch); argmin ties resolve to the first candidate,
+  // exactly as the per-plan loop did.
+  std::vector<nn::Tree> trees;
+  trees.reserve(generation.plans.size());
+  for (const Plan& plan : generation.plans) {
+    trees.push_back(encoder_.encode(
+        plan, nullptr, use_env ? std::optional<EnvFeatures>(env) : std::nullopt));
+  }
+  std::vector<double> preds = model_->predict_batch(trees);
   int best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
-  std::vector<double> preds;
-  preds.reserve(generation.plans.size());
-  for (std::size_t c = 0; c < generation.plans.size(); ++c) {
-    nn::Tree tree = encoder_.encode(
-        generation.plans[c], nullptr,
-        use_env ? std::optional<EnvFeatures>(env) : std::nullopt);
-    const double cost = model_->predict(tree);
-    preds.push_back(cost);
-    if (cost < best_cost) {
-      best_cost = cost;
+  for (std::size_t c = 0; c < preds.size(); ++c) {
+    if (preds[c] < best_cost) {
+      best_cost = preds[c];
       best = static_cast<int>(c);
     }
   }
@@ -234,10 +237,16 @@ std::vector<std::vector<double>> paired_replay(
     master.advance(rng.uniform(300.0, 3600.0));
     const std::uint64_t run_seed = static_cast<std::uint64_t>(rng.uniform_int(
         0, std::numeric_limits<std::int64_t>::max()));
+    // Per-candidate streams fork off the run seed by index, so the residual
+    // randomness is keyed only by (run, candidate) — candidates can never
+    // interleave draws, and the replay stays reproducible if this loop is
+    // ever parallelized. fork(p) reproduces the historical per-plan
+    // derivation bit-for-bit (see Rng::fork).
+    const Rng run_base(run_seed);
     for (std::size_t p = 0; p < plans.size(); ++p) {
       warehouse::Cluster snapshot = master;
       warehouse::Executor executor(&snapshot, executor_config);
-      Rng run_rng(mix64(run_seed + 0x9e37 * (p + 1)));
+      Rng run_rng = run_base.fork(p);
       Plan copy = plans[p];
       samples[p][static_cast<std::size_t>(r)] = executor.execute(copy, run_rng).cpu_cost;
     }

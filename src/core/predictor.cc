@@ -163,6 +163,22 @@ double AdaptiveCostPredictor::predict(const nn::Tree& tree) const {
   return scaler_.to_cost(static_cast<double>(pred.at(0, 0)));
 }
 
+std::vector<double> AdaptiveCostPredictor::predict_batch(
+    const std::vector<nn::Tree>& trees) const {
+  if (trees.empty()) return {};
+  std::vector<const nn::Tree*> ptrs;
+  ptrs.reserve(trees.size());
+  for (const nn::Tree& t : trees) ptrs.push_back(&t);
+  nn::Mat embs = plan_emb_.forward_batch(ptrs);   // [batch, embed]
+  nn::Mat preds = cost_pred_.forward(embs);       // [batch, 1]
+  std::vector<double> out;
+  out.reserve(trees.size());
+  for (int b = 0; b < preds.rows(); ++b) {
+    out.push_back(scaler_.to_cost(static_cast<double>(preds.at(b, 0))));
+  }
+  return out;
+}
+
 std::vector<float> AdaptiveCostPredictor::embed(const nn::Tree& tree) const {
   nn::Mat emb = plan_emb_.forward(tree);
   auto row = emb.row(0);

@@ -57,6 +57,9 @@ class AdaptiveCostPredictor : public CostModel {
   void fit(const std::vector<TrainingExample>& default_plans,
            const std::vector<nn::Tree>& candidate_plans) override;
   double predict(const nn::Tree& tree) const override;
+  // Batched path: one TCN forest pass + one CostPred pass for the whole
+  // candidate set, bit-identical per row to predict().
+  std::vector<double> predict_batch(const std::vector<nn::Tree>& trees) const override;
   std::size_t model_bytes() const override;
   std::string name() const override {
     return config_.adversarial ? "LOAM" : "LOAM-NA";

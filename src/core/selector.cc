@@ -139,6 +139,11 @@ double ProjectRanker::estimate(const std::vector<float>& features) const {
   return model_.predict(features);
 }
 
+std::vector<double> ProjectRanker::estimate_batch(
+    const gbdt::FeatureMatrix& features) const {
+  return model_.predict_all(features);
+}
+
 double ProjectRanker::estimate_plan(const warehouse::Plan& plan,
                                     const warehouse::Catalog& catalog,
                                     double cpu_cost) const {
@@ -149,10 +154,15 @@ double ProjectRanker::score_project(
     const std::vector<const warehouse::Plan*>& default_plans,
     const warehouse::Catalog& catalog, const std::vector<double>& costs) const {
   if (default_plans.empty()) return 0.0;
-  double acc = 0.0;
+  // Featurize the whole sample, then score it in one batch.
+  gbdt::FeatureMatrix features;
+  features.reserve(default_plans.size());
   for (std::size_t i = 0; i < default_plans.size(); ++i) {
-    acc += estimate_plan(*default_plans[i], catalog, costs.at(i));
+    features.push_back(featurizer_.featurize(*default_plans[i], catalog, costs.at(i)));
   }
+  const std::vector<double> scores = estimate_batch(features);
+  double acc = 0.0;
+  for (double s : scores) acc += s;
   return acc / static_cast<double>(default_plans.size());
 }
 

@@ -106,6 +106,9 @@ class ProjectRanker {
   std::size_t training_corpus_size() const { return corpus_.size(); }
 
   double estimate(const std::vector<float>& features) const;
+  // Batched counterpart: one prediction per feature row, in input order,
+  // identical to calling estimate() row by row.
+  std::vector<double> estimate_batch(const gbdt::FeatureMatrix& features) const;
   double estimate_plan(const warehouse::Plan& plan, const warehouse::Catalog& catalog,
                        double cpu_cost) const;
 

@@ -127,6 +127,58 @@ Mat TreeConvNet::forward(const Tree& tree) {
   return proj_act_.forward(emb);
 }
 
+Mat TreeConvNet::forward_batch(const std::vector<const Tree*>& trees) {
+  if (trees.empty()) return Mat(0, config_.embed_dim);
+
+  // Concatenate the forest: node rows stacked, child indices shifted by each
+  // tree's row offset (missing children stay -1).
+  int total = 0;
+  for (const Tree* t : trees) total += t->node_count();
+  Mat features(total, config_.input_dim);
+  std::vector<int> left(static_cast<std::size_t>(total), -1);
+  std::vector<int> right(static_cast<std::size_t>(total), -1);
+  std::vector<int> offsets;
+  offsets.reserve(trees.size());
+  int at = 0;
+  for (const Tree* t : trees) {
+    offsets.push_back(at);
+    for (int i = 0; i < t->node_count(); ++i) {
+      auto src = t->features.row(i);
+      auto dst = features.row(at + i);
+      std::copy(src.begin(), src.end(), dst.begin());
+      const int l = t->left[static_cast<std::size_t>(i)];
+      const int r = t->right[static_cast<std::size_t>(i)];
+      left[static_cast<std::size_t>(at + i)] = l < 0 ? -1 : l + at;
+      right[static_cast<std::size_t>(at + i)] = r < 0 ? -1 : r + at;
+    }
+    at += t->node_count();
+  }
+
+  Mat h = std::move(features);
+  for (std::size_t l = 0; l < convs_.size(); ++l) {
+    h = convs_[l].forward(h, left, right);
+    h = acts_[l].forward(h);
+  }
+
+  // Per-tree dynamic max pooling, with the same ascending-scan / strict-`>`
+  // semantics as DynamicMaxPool so each row matches the single-tree path.
+  Mat pooled(static_cast<int>(trees.size()), h.cols());
+  for (std::size_t b = 0; b < trees.size(); ++b) {
+    const int begin = offsets[b];
+    const int end = begin + trees[b]->node_count();
+    for (int j = 0; j < h.cols(); ++j) {
+      float best = h.at(begin, j);
+      for (int i = begin + 1; i < end; ++i) {
+        if (h.at(i, j) > best) best = h.at(i, j);
+      }
+      pooled.at(static_cast<int>(b), j) = best;
+    }
+  }
+
+  Mat emb = proj_.forward(pooled);
+  return proj_act_.forward(emb);
+}
+
 void TreeConvNet::backward(const Mat& grad_out) {
   Mat g = proj_act_.backward(grad_out);
   g = proj_.backward(g);

@@ -81,6 +81,15 @@ class TreeConvNet {
   // grad_out is [1, embed_dim]; parameter grads accumulate internally.
   void backward(const Mat& grad_out);
 
+  // Batched inference: packs all trees into one forest (child indices offset
+  // into the concatenated node matrix), runs each convolution ONCE over the
+  // forest, max-pools per tree segment, and projects the whole [batch,
+  // hidden] block through one Linear pass. Row b equals forward(*trees[b])
+  // bit-for-bit — every per-node operation reads only the node's own row and
+  // its children's rows, which stay inside the tree's segment. Inference
+  // only: clobbers the layer caches, so do not interleave with backward().
+  Mat forward_batch(const std::vector<const Tree*>& trees);
+
   std::vector<Parameter*> parameters();
   int embed_dim() const { return config_.embed_dim; }
 

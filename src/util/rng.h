@@ -13,11 +13,13 @@
 #include <random>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace loam {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   // Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
@@ -65,12 +67,28 @@ class Rng {
   // Sample k distinct indices from [0, n).
   std::vector<int> sample_without_replacement(int n, int k);
 
-  // Derive an independent child stream.
+  // Derive an independent child stream by CONSUMING one draw from this
+  // stream. The child therefore depends on how much the parent has already
+  // drawn — fine for a serial fan-out, wrong for concurrent consumers.
   Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  // Derive the `index`-th child stream without touching any state: the child
+  // is keyed only by (construction seed, index). Concurrent trials can each
+  // take fork(i) in any order — or from different threads — and always get
+  // the same stream, which is what makes parallel exploration bit-identical
+  // to the serial path. Distinct indices give decorrelated streams (splitmix
+  // finalizer over the keyed seed).
+  Rng fork(std::uint64_t index) const {
+    return Rng(mix64(seed_ + 0x9e37 * (index + 1)));
+  }
+
+  // The seed this stream was constructed with (forks key off it).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_ = 0;
   std::mt19937_64 engine_;
 };
 

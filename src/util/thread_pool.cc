@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace loam::util {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<std::size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Inline when there is nothing to fan out to, or when already on a worker:
+  // a worker blocking for other workers could deadlock the pool, running the
+  // nested loop inline cannot.
+  if (workers_.empty() || n == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct ForState {
+    std::function<void(std::size_t)> fn;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+
+  // Claim-next-index loop shared by the caller and every helper task. Helpers
+  // arriving after all indices are claimed fall straight through.
+  auto drain = [](const std::shared_ptr<ForState>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1);
+      if (i >= s->n) return;
+      if (!s->failed.load()) {
+        try {
+          s->fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mu);
+          if (!s->error) s->error = std::current_exception();
+          s->failed.store(true);
+        }
+      }
+      if (s->done.fetch_add(1) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    enqueue([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock,
+                       [&] { return state->done.load() == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace loam::util

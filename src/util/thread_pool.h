@@ -1,0 +1,75 @@
+// Fixed-size thread pool used by the optimization-time hot paths (candidate
+// exploration, evaluation replays). Deliberately work-stealing-free: a single
+// locked queue plus an atomic-counter `parallel_for` is enough for the
+// coarse-grained tasks this repo runs (one native-optimizer trial or one
+// replay per item), and it keeps the scheduling order irrelevant to results —
+// every call site writes to per-index slots and merges serially, so outputs
+// are bit-identical to the serial path regardless of worker count.
+//
+// Nested-use contract: `parallel_for` called from inside a pool worker runs
+// its items inline on that worker, so nesting can never deadlock. `submit`
+// may be called from workers freely; blocking on a submitted future from a
+// worker thread is NOT supported (use parallel_for for nested fan-out).
+#ifndef LOAM_UTIL_THREAD_POOL_H_
+#define LOAM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace loam::util {
+
+class ThreadPool {
+ public:
+  // `num_workers` background threads; 0 is valid and makes every operation
+  // run inline on the caller (the degenerate serial pool).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task and returns its future. The task's exception, if any,
+  // is captured in the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Runs fn(0) .. fn(n-1), the caller participating alongside the workers.
+  // Blocks until every index completed. The first exception thrown by any
+  // item is rethrown on the caller once all items have drained; remaining
+  // items are skipped (not run) after a failure.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // True when the current thread is a pool worker (of any pool). Used to run
+  // nested parallel_for calls inline.
+  static bool on_worker_thread();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace loam::util
+
+#endif  // LOAM_UTIL_THREAD_POOL_H_

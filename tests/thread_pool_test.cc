@@ -1,0 +1,131 @@
+// Tests of the work-stealing-free thread pool: task completion via futures,
+// exception propagation out of parallel_for, zero-task and single-thread
+// edge cases, and deadlock-freedom of nested submission. The ctest
+// registration runs this binary under --gtest_repeat so scheduling races get
+// many chances to surface (and so the TSan build sees varied interleavings).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace loam::util {
+namespace {
+
+TEST(ThreadPool, SubmittedTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitCapturesTaskException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("trial 13 failed");
+                        }),
+      std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+  EXPECT_LE(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  // The degenerate serial pool: everything executes on the caller.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, SingleWorkerCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(32, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Workers running an outer loop item issue an inner parallel_for on the
+  // same pool; the inner loop must run inline on the worker instead of
+  // waiting for pool capacity that may never free up.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes) {
+  // Tasks submitted from inside worker tasks must still drain (no waiting on
+  // their futures from the worker — the destructor drains the queue before
+  // joining, so everything has run once the pool is gone).
+  std::atomic<int> nested{0};
+  {
+    ThreadPool pool(2);
+    auto outer = pool.submit([&] {
+      for (int i = 0; i < 4; ++i) {
+        pool.submit([&nested] { nested.fetch_add(1); });
+      }
+      return 1;
+    });
+    EXPECT_EQ(outer.get(), 1);
+  }
+  EXPECT_EQ(nested.load(), 4);
+}
+
+TEST(ThreadPool, ManyMoreItemsThanWorkers) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  const std::size_t n = 5000;
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n * (n - 1) / 2));
+}
+
+}  // namespace
+}  // namespace loam::util

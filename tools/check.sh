@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI-style verification: build and test the tree twice —
+#   1. Release (the tier-1 configuration), full ctest suite;
+#   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), full ctest suite.
+# The TSan pass is what certifies the parallel explorer and the thread pool
+# free of data races; the determinism property tests (explorer_parallel_test)
+# run under both configurations.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== Release build + tests =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}"
+ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
+echo "== ThreadSanitizer build + tests =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
+
+echo "== check.sh: all configurations green =="
