@@ -1,12 +1,26 @@
 // Micro-benchmarks (google-benchmark) of the hot paths behind the Section
 // 7.2.1 overhead numbers: plan vectorization, TCN inference, candidate
 // generation, GBDT prediction, native optimization and stage decomposition.
+//
+// `--nn-core-only` instead runs the dense-math-core section: blocked GEMM
+// and fused layer ops against in-TU replicas of the pre-optimization kernels,
+// plus a serial-vs-parallel training comparison, emitting BENCH_nn_core.json
+// (override the path with --nn-core-json=PATH). tools/check.sh runs this as
+// the Release perf smoke test.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/baselines.h"
 #include "core/encoding.h"
 #include "core/explorer.h"
 #include "core/predictor.h"
+#include "nn/layers.h"
+#include "nn/mat.h"
 #include "warehouse/executor.h"
 #include "warehouse/native_optimizer.h"
 #include "warehouse/stages.h"
@@ -111,4 +125,244 @@ BENCHMARK(BM_SimulatedExecution);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// Dense-math-core section (--nn-core-only)
+// ---------------------------------------------------------------------------
+namespace nn_core {
+
+using nn::Mat;
+
+// Replicas of the pre-optimization kernels, verbatim: branchy zero-skip
+// i-k-j matmul and the unfused Linear pattern (matmul, add_row_bias, then a
+// separate ReLU pass allocating a fresh Mat). Compiled in this TU at the
+// project's plain Release flags — exactly how the originals were built.
+void naive_matmul(const Mat& a, const Mat& b, Mat& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) out = Mat(m, n);
+  out.zero();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* orow = out.data() + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+Mat naive_linear_relu(const Mat& x, const Mat& w, const Mat& bias) {
+  Mat pre;
+  naive_matmul(x, w, pre);
+  nn::add_row_bias(pre, bias);
+  Mat post(pre.rows(), pre.cols());  // the old Relu::forward allocated
+  for (int i = 0; i < pre.rows(); ++i) {
+    for (int j = 0; j < pre.cols(); ++j) {
+      const float v = pre.at(i, j);
+      post.at(i, j) = v > 0.0f ? v : 0.0f;
+    }
+  }
+  return post;
+}
+
+Mat random_mat(int rows, int cols, Rng& rng, double sparsity = 0.0) {
+  Mat m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (sparsity > 0.0 && rng.uniform(0.0, 1.0) < sparsity) continue;
+      m.at(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+// Best-of-`reps` wall time per call, each rep amortized over enough
+// iterations to make the clock quantization negligible.
+template <typename F>
+double best_ns_per_call(F&& f, int iters, int reps = 5) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) f();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+struct GemmRow {
+  int m, k, n;
+  double naive_ns, blocked_ns, naive_gflops, blocked_gflops, speedup;
+};
+
+GemmRow bench_gemm(int m, int k, int n, Rng& rng) {
+  const Mat a = random_mat(m, k, rng);
+  const Mat b = random_mat(k, n, rng);
+  Mat out_naive, out_blocked;
+  naive_matmul(a, b, out_naive);            // pre-size once, as in steady state
+  nn::matmul(a, b, out_blocked);
+  const double flops = 2.0 * m * k * n;
+  const int iters = std::max(20, static_cast<int>(2e8 / flops));
+  GemmRow row{m, k, n, 0, 0, 0, 0, 0};
+  row.naive_ns = best_ns_per_call([&] { naive_matmul(a, b, out_naive); }, iters);
+  row.blocked_ns = best_ns_per_call([&] { nn::matmul(a, b, out_blocked); }, iters);
+  row.naive_gflops = flops / row.naive_ns;
+  row.blocked_gflops = flops / row.blocked_ns;
+  row.speedup = row.naive_ns / row.blocked_ns;
+  return row;
+}
+
+struct TrainResult {
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+TrainResult bench_training() {
+  Rng rng(604);
+  const int dim = 24;
+  std::vector<core::TrainingExample> train;
+  std::vector<nn::Tree> candidates;
+  for (int i = 0; i < 96; ++i) {
+    core::TrainingExample ex;
+    const int nodes = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    ex.tree.features = random_mat(nodes, dim, rng, /*sparsity=*/0.5);
+    ex.tree.left.assign(static_cast<std::size_t>(nodes), -1);
+    ex.tree.right.assign(static_cast<std::size_t>(nodes), -1);
+    for (int v = 0; 2 * v + 1 < nodes; ++v) {
+      ex.tree.left[static_cast<std::size_t>(v)] = 2 * v + 1;
+      if (2 * v + 2 < nodes) ex.tree.right[static_cast<std::size_t>(v)] = 2 * v + 2;
+    }
+    ex.cpu_cost = 100.0 + 50.0 * rng.uniform(0.0, 1.0);
+    if (i % 3 == 0) candidates.push_back(ex.tree);
+    train.push_back(std::move(ex));
+  }
+
+  auto run = [&](int num_threads, std::vector<float>& weights) {
+    core::PredictorConfig cfg;
+    cfg.epochs = 6;
+    cfg.hidden_dim = 32;
+    cfg.num_threads = num_threads;
+    core::AdaptiveCostPredictor model(dim, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    model.fit(train, candidates);
+    const auto t1 = std::chrono::steady_clock::now();
+    weights.clear();
+    for (const nn::Parameter* p : model.parameters()) {
+      weights.insert(weights.end(), p->value.data(),
+                     p->value.data() + p->value.size());
+    }
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  TrainResult r;
+  std::vector<float> w_serial, w_parallel;
+  r.serial_seconds = run(1, w_serial);
+  r.parallel_seconds = run(0, w_parallel);  // 0 = hardware_concurrency
+  r.speedup = r.serial_seconds / r.parallel_seconds;
+  r.bit_identical =
+      w_serial.size() == w_parallel.size() &&
+      std::memcmp(w_serial.data(), w_parallel.data(),
+                  w_serial.size() * sizeof(float)) == 0;
+  return r;
+}
+
+int run_nn_core(const std::string& json_path) {
+  Rng rng(911);
+
+  // predict_batch shapes: [batch*nodes, dim] x [dim, hidden] packed-forest
+  // GEMMs, the projection, and a larger forest.
+  const int shapes[][3] = {{256, 64, 64}, {64, 64, 64}, {256, 64, 32},
+                           {1024, 64, 64}, {33, 24, 48}};
+  std::vector<GemmRow> rows;
+  std::printf("== GEMM: blocked vs pre-optimization naive ==\n");
+  std::printf("%8s %6s %6s | %10s %10s | %8s %8s | %7s\n", "m", "k", "n",
+              "naive ns", "blocked ns", "naive", "blocked", "speedup");
+  for (const auto& s : shapes) {
+    GemmRow row = bench_gemm(s[0], s[1], s[2], rng);
+    std::printf("%8d %6d %6d | %10.0f %10.0f | %6.2fGF %6.2fGF | %6.2fx\n",
+                row.m, row.k, row.n, row.naive_ns, row.blocked_ns,
+                row.naive_gflops, row.blocked_gflops, row.speedup);
+    rows.push_back(row);
+  }
+
+  // Fused Linear(bias+ReLU) against the unfused three-pass pattern.
+  const Mat x = random_mat(256, 64, rng);
+  Mat w = random_mat(64, 64, rng);
+  Mat bias = random_mat(1, 64, rng);
+  Mat y;
+  const double fused_naive_ns =
+      best_ns_per_call([&] { Mat r = naive_linear_relu(x, w, bias); }, 200);
+  const double fused_ns = best_ns_per_call(
+      [&] {
+        nn::linear_bias_act(x, w, bias, nn::Activation::kRelu, 0.01f, y,
+                            nullptr);
+      },
+      200);
+  const double fused_speedup = fused_naive_ns / fused_ns;
+  std::printf("\n== Fused linear+bias+ReLU (256x64x64) ==\n");
+  std::printf("unfused %.0f ns, fused %.0f ns, speedup %.2fx\n",
+              fused_naive_ns, fused_ns, fused_speedup);
+
+  std::printf("\n== Training: serial vs data-parallel shards ==\n");
+  const TrainResult train = bench_training();
+  std::printf("serial %.3fs, parallel %.3fs, speedup %.2fx, bit_identical %s\n",
+              train.serial_seconds, train.parallel_seconds, train.speedup,
+              train.bit_identical ? "true" : "false");
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"gemm\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GemmRow& r = rows[i];
+    json << "    {\"m\": " << r.m << ", \"k\": " << r.k << ", \"n\": " << r.n
+         << ", \"naive_ns\": " << r.naive_ns
+         << ", \"blocked_ns\": " << r.blocked_ns
+         << ", \"naive_gflops\": " << r.naive_gflops
+         << ", \"blocked_gflops\": " << r.blocked_gflops
+         << ", \"speedup\": " << r.speedup << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"fused_linear\": {\"unfused_ns\": " << fused_naive_ns
+       << ", \"fused_ns\": " << fused_ns << ", \"speedup\": " << fused_speedup
+       << "},\n";
+  json << "  \"training\": {\"serial_seconds\": " << train.serial_seconds
+       << ", \"parallel_seconds\": " << train.parallel_seconds
+       << ", \"speedup\": " << train.speedup << ", \"bit_identical\": "
+       << (train.bit_identical ? "true" : "false") << "}\n";
+  json << "}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (!train.bit_identical) {
+    std::fprintf(stderr, "FAIL: parallel training is not bit-identical\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace nn_core
+
+int main(int argc, char** argv) {
+  bool nn_core_only = false;
+  std::string json_path = "BENCH_nn_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
+    if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
+      json_path = argv[i] + 15;
+    }
+  }
+  if (nn_core_only) return nn_core::run_nn_core(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,11 +6,33 @@
 #include <fstream>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "nn/serialize.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace loam::core {
+
+namespace {
+
+// Minibatches are always decomposed into this many gradient shards — a model
+// constant, NOT the thread count — so the floating-point reduction tree is
+// the same no matter how many threads execute the shards. Batch item b goes
+// to shard b % kGradShards; shards reduce into the master gradients in
+// ascending shard order. That is what makes trained weights bit-identical
+// for any num_threads.
+constexpr int kGradShards = 8;
+
+int resolve_threads(int requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, requested);
+}
+
+}  // namespace
 
 void LogCostScaler::fit(const std::vector<TrainingExample>& examples) {
   if (examples.empty()) return;
@@ -39,7 +61,8 @@ AdaptiveCostPredictor::AdaptiveCostPredictor(int input_dim, PredictorConfig conf
   tcn.layers = config.tcn_layers;
   plan_emb_ = nn::TreeConvNet(tcn, rng);
   cost_pred_ = nn::Linear("cost_pred", config.embed_dim, 1, rng);
-  dom_fc1_ = nn::Linear("dom_fc1", config.embed_dim, config.domain_hidden, rng);
+  dom_fc1_ = nn::Linear("dom_fc1", config.embed_dim, config.domain_hidden, rng,
+                        nn::Activation::kRelu);
   dom_fc2_ = nn::Linear("dom_fc2", config.domain_hidden, 2, rng);
 
   all_params_ = plan_emb_.parameters();
@@ -70,16 +93,56 @@ void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plan
   // Running loss magnitudes used to auto-balance w_c and w_d (Eq. 1).
   double ema_cost = 1.0, ema_dom = 1.0;
 
+  // Data-parallel training state. Each gradient shard gets a full replica of
+  // the network: values are synced from the master before every batch,
+  // gradients and diagnostics accumulate shard-locally, and the shards are
+  // reduced into the master in ascending shard order after the batch. The
+  // shard decomposition is fixed (kGradShards), so the result does not
+  // depend on how many threads execute the shards.
+  struct Shard {
+    nn::TreeConvNet plan_emb;
+    nn::Linear cost_pred;
+    nn::Linear dom_fc1;
+    nn::Linear dom_fc2;
+    nn::GradientReversal grl;
+    std::vector<nn::Parameter*> params;  // same order as all_params_
+    double cost_loss = 0.0;
+    double dom_loss = 0.0;
+    int dom_correct = 0;
+    int dom_total = 0;
+  };
+  std::vector<Shard> shards(kGradShards);
+  for (Shard& s : shards) {
+    s.plan_emb = plan_emb_;
+    s.cost_pred = cost_pred_;
+    s.dom_fc1 = dom_fc1_;
+    s.dom_fc2 = dom_fc2_;
+    s.params = s.plan_emb.parameters();
+    for (auto* layer : {&s.cost_pred, &s.dom_fc1, &s.dom_fc2}) {
+      for (nn::Parameter* p : layer->parameters()) s.params.push_back(p);
+    }
+  }
+
+  const int num_threads = resolve_threads(config_.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1) {
+    // The caller participates in parallel_for, so nt threads = nt-1 workers.
+    pool = std::make_unique<util::ThreadPool>(num_threads - 1);
+  }
+
+  std::vector<int> cand_idx;  // candidate draws, pre-drawn serially per batch
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
     const double progress = static_cast<double>(epoch) / std::max(1, config_.epochs - 1);
     const double lambda = adversarial ? grl_lambda(progress) : 0.0;
+    grl_.set_lambda(static_cast<float>(lambda));
+    for (Shard& s : shards) s.grl.set_lambda(static_cast<float>(lambda));
 
     double epoch_cost_loss = 0.0, epoch_dom_loss = 0.0;
     int dom_correct = 0, dom_total = 0;
 
     for (std::size_t pos = 0; pos < order.size(); pos += config_.batch_size) {
-      optimizer_->zero_grad();
       const std::size_t end =
           std::min(order.size(), pos + static_cast<std::size_t>(config_.batch_size));
       const int batch = static_cast<int>(end - pos);
@@ -87,54 +150,97 @@ void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plan
       // Balance the two loss terms by their running magnitudes.
       const double w_d =
           std::clamp(0.5 * ema_cost / std::max(1e-6, ema_dom), 0.02, 10.0);
-      grl_.set_lambda(static_cast<float>(lambda));
 
-      for (std::size_t i = pos; i < end; ++i) {
-        const TrainingExample& ex =
-            default_plans[static_cast<std::size_t>(order[i])];
-        nn::Mat emb = plan_emb_.forward(ex.tree);
-        nn::Mat pred = cost_pred_.forward(emb);
-
-        nn::Mat grad_pred;
-        const double z = scaler_.to_z(ex.cpu_cost);
-        epoch_cost_loss += nn::mse_loss(pred, {static_cast<float>(z)}, grad_pred);
-        grad_pred.scale_inplace(1.0f / static_cast<float>(batch));
-        nn::Mat grad_emb = cost_pred_.backward(grad_pred);
-
-        if (adversarial) {
-          // Domain path, label 0 = default plan.
-          nn::Mat logits = dom_fc2_.forward(dom_act_.forward(
-              dom_fc1_.forward(grl_.forward(emb))));
-          nn::Mat grad_logits;
-          epoch_dom_loss += nn::softmax_cross_entropy(logits, {0}, grad_logits);
-          dom_correct += logits.at(0, 0) > logits.at(0, 1) ? 1 : 0;
-          ++dom_total;
-          grad_logits.scale_inplace(static_cast<float>(w_d / batch));
-          nn::Mat grad_dom = grl_.backward(dom_fc1_.backward(
-              dom_act_.backward(dom_fc2_.backward(grad_logits))));
-          grad_emb.add_inplace(grad_dom);
+      // Candidate draws come from the single master Rng, before the shards
+      // fan out, so the stream never depends on shard execution order (and
+      // matches what the historical serial loop drew).
+      cand_idx.clear();
+      if (adversarial) {
+        for (int i = 0; i < batch; ++i) {
+          cand_idx.push_back(static_cast<int>(rng.uniform_int(
+              0, static_cast<std::int64_t>(candidate_plans.size()) - 1)));
         }
-        plan_emb_.backward(grad_emb);
       }
 
-      if (adversarial) {
-        // Candidate-plan half of the domain objective (label 1). The plans
-        // are never executed — only their embeddings matter.
-        for (int i = 0; i < batch; ++i) {
-          const nn::Tree& tree = candidate_plans[static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<std::int64_t>(candidate_plans.size()) - 1))];
-          nn::Mat emb = plan_emb_.forward(tree);
-          nn::Mat logits = dom_fc2_.forward(dom_act_.forward(
-              dom_fc1_.forward(grl_.forward(emb))));
-          nn::Mat grad_logits;
-          epoch_dom_loss += nn::softmax_cross_entropy(logits, {1}, grad_logits);
-          dom_correct += logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
-          ++dom_total;
-          grad_logits.scale_inplace(static_cast<float>(w_d / batch));
-          nn::Mat grad_emb = grl_.backward(dom_fc1_.backward(
-              dom_act_.backward(dom_fc2_.backward(grad_logits))));
-          plan_emb_.backward(grad_emb);
+      for (Shard& s : shards) {
+        for (std::size_t p = 0; p < s.params.size(); ++p) {
+          s.params[p]->value = all_params_[p]->value;
+          s.params[p]->grad.zero();
         }
+        s.cost_loss = 0.0;
+        s.dom_loss = 0.0;
+        s.dom_correct = 0;
+        s.dom_total = 0;
+      }
+
+      auto run_shard = [&](std::size_t si) {
+        Shard& sh = shards[si];
+        for (int bi = static_cast<int>(si); bi < batch; bi += kGradShards) {
+          const TrainingExample& ex = default_plans[static_cast<std::size_t>(
+              order[pos + static_cast<std::size_t>(bi)])];
+          nn::Mat emb = sh.plan_emb.forward(ex.tree);
+          nn::Mat pred = sh.cost_pred.forward(emb);
+
+          nn::Mat grad_pred;
+          const double z = scaler_.to_z(ex.cpu_cost);
+          sh.cost_loss += nn::mse_loss(pred, {static_cast<float>(z)}, grad_pred);
+          grad_pred.scale_inplace(1.0f / static_cast<float>(batch));
+          nn::Mat grad_emb = sh.cost_pred.backward(grad_pred);
+
+          if (adversarial) {
+            // Domain path, label 0 = default plan.
+            nn::Mat logits =
+                sh.dom_fc2.forward(sh.dom_fc1.forward(sh.grl.forward(emb)));
+            nn::Mat grad_logits;
+            sh.dom_loss += nn::softmax_cross_entropy(logits, {0}, grad_logits);
+            sh.dom_correct += logits.at(0, 0) > logits.at(0, 1) ? 1 : 0;
+            ++sh.dom_total;
+            grad_logits.scale_inplace(static_cast<float>(w_d / batch));
+            nn::Mat grad_dom =
+                sh.grl.backward(sh.dom_fc1.backward(sh.dom_fc2.backward(grad_logits)));
+            grad_emb.add_inplace(grad_dom);
+          }
+          sh.plan_emb.backward(grad_emb);
+        }
+
+        if (adversarial) {
+          // Candidate-plan half of the domain objective (label 1). The plans
+          // are never executed — only their embeddings matter.
+          for (int bi = static_cast<int>(si); bi < batch; bi += kGradShards) {
+            const nn::Tree& tree =
+                candidate_plans[static_cast<std::size_t>(cand_idx[static_cast<std::size_t>(bi)])];
+            nn::Mat emb = sh.plan_emb.forward(tree);
+            nn::Mat logits =
+                sh.dom_fc2.forward(sh.dom_fc1.forward(sh.grl.forward(emb)));
+            nn::Mat grad_logits;
+            sh.dom_loss += nn::softmax_cross_entropy(logits, {1}, grad_logits);
+            sh.dom_correct += logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
+            ++sh.dom_total;
+            grad_logits.scale_inplace(static_cast<float>(w_d / batch));
+            nn::Mat grad_emb =
+                sh.grl.backward(sh.dom_fc1.backward(sh.dom_fc2.backward(grad_logits)));
+            sh.plan_emb.backward(grad_emb);
+          }
+        }
+      };
+
+      if (pool) {
+        pool->parallel_for(static_cast<std::size_t>(kGradShards), run_shard);
+      } else {
+        for (std::size_t si = 0; si < kGradShards; ++si) run_shard(si);
+      }
+
+      // Fixed-order reduction: shard 0 first, shard kGradShards-1 last, for
+      // gradients and diagnostics alike.
+      optimizer_->zero_grad();
+      for (const Shard& s : shards) {
+        for (std::size_t p = 0; p < s.params.size(); ++p) {
+          all_params_[p]->grad.add_inplace(s.params[p]->grad);
+        }
+        epoch_cost_loss += s.cost_loss;
+        epoch_dom_loss += s.dom_loss;
+        dom_correct += s.dom_correct;
+        dom_total += s.dom_total;
       }
       optimizer_->step();
     }
@@ -170,7 +276,8 @@ std::vector<double> AdaptiveCostPredictor::predict_batch(
   ptrs.reserve(trees.size());
   for (const nn::Tree& t : trees) ptrs.push_back(&t);
   nn::Mat embs = plan_emb_.forward_batch(ptrs);   // [batch, embed]
-  nn::Mat preds = cost_pred_.forward(embs);       // [batch, 1]
+  nn::Mat preds;
+  cost_pred_.infer_into(embs, preds);             // [batch, 1], cache-free
   std::vector<double> out;
   out.reserve(trees.size());
   for (int b = 0; b < preds.rows(); ++b) {
@@ -187,8 +294,7 @@ std::vector<float> AdaptiveCostPredictor::embed(const nn::Tree& tree) const {
 
 double AdaptiveCostPredictor::domain_probability(const nn::Tree& tree) const {
   nn::Mat emb = plan_emb_.forward(tree);
-  nn::Mat logits =
-      dom_fc2_.forward(dom_act_.forward(dom_fc1_.forward(grl_.forward(emb))));
+  nn::Mat logits = dom_fc2_.forward(dom_fc1_.forward(grl_.forward(emb)));
   const nn::Mat probs = nn::row_softmax(logits);
   return static_cast<double>(probs.at(0, 1));
 }

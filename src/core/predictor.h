@@ -40,6 +40,11 @@ struct PredictorConfig {
   double lr_decay = 0.99;  // exponential decay 0.99 per epoch
   bool adversarial = true;
   std::uint64_t seed = 7;
+  // Training threads: 1 = serial (no pool), 0 = hardware_concurrency, same
+  // convention as ExplorerConfig. A THROUGHPUT knob only: minibatches are
+  // always decomposed into the same fixed set of gradient shards and reduced
+  // in shard order, so trained weights are bit-identical for every value.
+  int num_threads = 1;
 };
 
 struct TrainingDiagnostics {
@@ -73,6 +78,9 @@ class AdaptiveCostPredictor : public CostModel {
 
   const TrainingDiagnostics& diagnostics() const { return diagnostics_; }
   const LogCostScaler& scaler() const { return scaler_; }
+  // All trainable parameters in registration order (exposed so tests can
+  // assert bit-identity of trained weights across thread counts).
+  const std::vector<nn::Parameter*>& parameters() const { return all_params_; }
 
   // Checkpointing: persists the target scaler and every parameter; load
   // verifies architecture compatibility (names and shapes).
@@ -88,8 +96,7 @@ class AdaptiveCostPredictor : public CostModel {
   mutable nn::TreeConvNet plan_emb_;
   mutable nn::Linear cost_pred_;
   nn::GradientReversal grl_;
-  mutable nn::Linear dom_fc1_;
-  mutable nn::Relu dom_act_;
+  mutable nn::Linear dom_fc1_;  // carries the fused ReLU
   mutable nn::Linear dom_fc2_;
   std::unique_ptr<nn::Adam> optimizer_;
   std::vector<nn::Parameter*> all_params_;

@@ -121,6 +121,10 @@ class ProjectRanker {
   const RankerFeaturizer& featurizer() const { return featurizer_; }
   bool trained() const { return model_.trained(); }
 
+  // Threads for the GBDT split search during fit/update (1 = serial, 0 =
+  // hardware_concurrency). Bit-identical models for every value.
+  void set_num_threads(int num_threads) { model_.set_num_threads(num_threads); }
+
  private:
   RankerFeaturizer featurizer_;
   gbdt::GbdtRegressor model_;

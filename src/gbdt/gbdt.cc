@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 namespace loam::gbdt {
 
@@ -16,12 +17,33 @@ double structure_score(double g, double h, double lambda) {
   return g * g / (h + lambda);
 }
 
+int resolve_threads(int requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, requested);
+}
+
+// Nodes with fewer rows than this search their splits serially — the sort
+// per feature is too small to amortize pool dispatch. Depends only on the
+// node's row count, so the serial/parallel decision is deterministic.
+constexpr std::size_t kParallelSplitMinRows = 64;
+
 }  // namespace
 
 void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
   trees_.clear();
   const std::size_t n = x.size();
   if (n == 0) return;
+
+  const int num_threads = resolve_threads(params_.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1) {
+    // The caller participates in parallel_for, so nt threads = nt-1 workers.
+    pool = std::make_unique<util::ThreadPool>(num_threads - 1);
+  }
+  pool_ = pool.get();
   base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
 
   std::vector<double> pred(n, base_score_);
@@ -48,6 +70,7 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
       pred[i] += params_.learning_rate * predict_tree(tree, x[i]);
     }
   }
+  pool_ = nullptr;
 }
 
 void GbdtRegressor::build_tree(Tree& tree, const FeatureMatrix& x,
@@ -81,38 +104,32 @@ int GbdtRegressor::build_node(Tree& tree, const FeatureMatrix& x,
   }
 
   const int n_features = static_cast<int>(x[0].size());
+
+  // Per-feature search: every feature computes its best split independently
+  // (fresh row sort per feature, so results do not depend on any shared
+  // buffer's prior order), then the winners merge serially in ascending
+  // feature order with a strict `>` — identical whether the searches ran on
+  // one thread or many.
+  std::vector<SplitCandidate> cands(static_cast<std::size_t>(n_features));
+  auto search = [&](std::size_t f) {
+    cands[f] = best_split_for_feature(x, grad, hess, rows, static_cast<int>(f),
+                                      g_total, h_total);
+  };
+  if (pool_ != nullptr && rows.size() >= kParallelSplitMinRows) {
+    pool_->parallel_for(static_cast<std::size_t>(n_features), search);
+  } else {
+    for (std::size_t f = 0; f < static_cast<std::size_t>(n_features); ++f) search(f);
+  }
+
   double best_gain = params_.gamma;
   int best_feature = -1;
   float best_threshold = 0.0f;
-
-  std::vector<int> sorted = rows;
   for (int f = 0; f < n_features; ++f) {
-    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
-      return x[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
-             x[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
-    });
-    double gl = 0.0, hl = 0.0;
-    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
-      const int r = sorted[i];
-      gl += grad[static_cast<std::size_t>(r)];
-      hl += hess[static_cast<std::size_t>(r)];
-      const float xv = x[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)];
-      const float xn = x[static_cast<std::size_t>(sorted[i + 1])][static_cast<std::size_t>(f)];
-      if (xv == xn) continue;  // can only split between distinct values
-      const double gr = g_total - gl, hr = h_total - hl;
-      if (hl < params_.min_child_weight || hr < params_.min_child_weight) continue;
-      if (static_cast<int>(i) + 1 < params_.min_samples_leaf ||
-          static_cast<int>(sorted.size() - i - 1) < params_.min_samples_leaf) {
-        continue;
-      }
-      const double gain = 0.5 * (structure_score(gl, hl, params_.lambda) +
-                                 structure_score(gr, hr, params_.lambda) -
-                                 structure_score(g_total, h_total, params_.lambda));
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5f * (xv + xn);
-      }
+    const SplitCandidate& c = cands[static_cast<std::size_t>(f)];
+    if (c.valid && c.gain > best_gain) {
+      best_gain = c.gain;
+      best_feature = f;
+      best_threshold = c.threshold;
     }
   }
 
@@ -139,6 +156,43 @@ int GbdtRegressor::build_node(Tree& tree, const FeatureMatrix& x,
   node.right = right;
   node.gain = best_gain;
   return node_id;
+}
+
+GbdtRegressor::SplitCandidate GbdtRegressor::best_split_for_feature(
+    const FeatureMatrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<int>& rows, int f,
+    double g_total, double h_total) const {
+  std::vector<int> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    return x[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+           x[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+  });
+  SplitCandidate best;
+  best.gain = params_.gamma;
+  double gl = 0.0, hl = 0.0;
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    const int r = sorted[i];
+    gl += grad[static_cast<std::size_t>(r)];
+    hl += hess[static_cast<std::size_t>(r)];
+    const float xv = x[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)];
+    const float xn = x[static_cast<std::size_t>(sorted[i + 1])][static_cast<std::size_t>(f)];
+    if (xv == xn) continue;  // can only split between distinct values
+    const double gr = g_total - gl, hr = h_total - hl;
+    if (hl < params_.min_child_weight || hr < params_.min_child_weight) continue;
+    if (static_cast<int>(i) + 1 < params_.min_samples_leaf ||
+        static_cast<int>(sorted.size() - i - 1) < params_.min_samples_leaf) {
+      continue;
+    }
+    const double gain = 0.5 * (structure_score(gl, hl, params_.lambda) +
+                               structure_score(gr, hr, params_.lambda) -
+                               structure_score(g_total, h_total, params_.lambda));
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.threshold = 0.5f * (xv + xn);
+      best.valid = true;
+    }
+  }
+  return best;
 }
 
 double GbdtRegressor::predict_tree(const Tree& tree,

@@ -10,10 +10,12 @@
 #define LOAM_GBDT_GBDT_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace loam::gbdt {
 
@@ -27,6 +29,12 @@ struct GbdtParams {
   int min_samples_leaf = 2;
   double subsample = 1.0;        // row subsampling per tree
   std::uint64_t seed = 17;
+  // Threads for the per-node split search: 1 = serial (no pool), 0 =
+  // hardware_concurrency. A throughput knob only — every feature's best
+  // split is computed independently (from a fresh per-feature row sort) and
+  // merged in ascending feature order, so the fitted model is bit-identical
+  // for every thread count.
+  int num_threads = 1;
 };
 
 // A dense feature matrix: rows are samples.
@@ -39,6 +47,8 @@ class GbdtRegressor {
   void fit(const FeatureMatrix& x, std::span<const double> y);
   double predict(std::span<const float> features) const;
   std::vector<double> predict_all(const FeatureMatrix& x) const;
+
+  void set_num_threads(int num_threads) { params_.num_threads = num_threads; }
 
   bool trained() const { return !trees_.empty(); }
   int tree_count() const { return static_cast<int>(trees_.size()); }
@@ -60,15 +70,28 @@ class GbdtRegressor {
     std::vector<Node> nodes;
   };
 
+  struct SplitCandidate {
+    double gain = 0.0;
+    float threshold = 0.0f;
+    bool valid = false;
+  };
+
   void build_tree(Tree& tree, const FeatureMatrix& x, std::vector<double>& grad,
                   std::vector<double>& hess, const std::vector<int>& rows, Rng& rng);
   int build_node(Tree& tree, const FeatureMatrix& x, const std::vector<double>& grad,
                  const std::vector<double>& hess, std::vector<int> rows, int depth);
+  // Exact greedy best split of `rows` on feature f (fresh presort per call).
+  SplitCandidate best_split_for_feature(const FeatureMatrix& x,
+                                        const std::vector<double>& grad,
+                                        const std::vector<double>& hess,
+                                        const std::vector<int>& rows, int f,
+                                        double g_total, double h_total) const;
   double predict_tree(const Tree& tree, std::span<const float> features) const;
 
   GbdtParams params_;
   std::vector<Tree> trees_;
   double base_score_ = 0.0;
+  util::ThreadPool* pool_ = nullptr;  // alive only during fit()
 };
 
 }  // namespace loam::gbdt

@@ -34,39 +34,56 @@ NormalizedAdjacency NormalizedAdjacency::from_tree(const Tree& tree) {
   return a;
 }
 
-Mat NormalizedAdjacency::apply(const Mat& x) const {
-  Mat y(x.rows(), x.cols());
+void NormalizedAdjacency::apply_into(const Mat& x, Mat& y) const {
+  y.resize(x.rows(), x.cols());
+  y.zero();
   for (std::size_t e = 0; e < src.size(); ++e) {
     const float w = weight[e];
     auto xs = x.row(dst[e]);
     auto yd = y.row(src[e]);
     for (std::size_t j = 0; j < yd.size(); ++j) yd[j] += w * xs[j];
   }
+}
+
+Mat NormalizedAdjacency::apply(const Mat& x) const {
+  Mat y;
+  apply_into(x, y);
   return y;
 }
 
-GcnLayer::GcnLayer(const std::string& name, int in, int out, Rng& rng)
-    : w_(name + ".w", in, out), b_(name + ".b", 1, out) {
+GcnLayer::GcnLayer(const std::string& name, int in, int out, Rng& rng,
+                   Activation act)
+    : w_(name + ".w", in, out), b_(name + ".b", 1, out), act_(act) {
   w_.value.glorot_init(rng);
   b_.value.zero();
 }
 
 Mat GcnLayer::forward(const Mat& x, const NormalizedAdjacency& adj) {
-  adj_cache_ = &adj;
-  hx_cache_ = adj.apply(x);
   Mat y;
-  matmul(hx_cache_, w_.value, y);
-  add_row_bias(y, b_.value);
+  forward_into(x, adj, y);
   return y;
 }
 
+void GcnLayer::forward_into(const Mat& x, const NormalizedAdjacency& adj,
+                            Mat& y) {
+  adj_cache_ = &adj;
+  adj.apply_into(x, hx_cache_);
+  matmul(hx_cache_, w_.value, y);
+  add_bias_activate(y, b_.value, act_, /*slope=*/0.0f,
+                    act_ == Activation::kNone ? nullptr : &mask_);
+}
+
 Mat GcnLayer::backward(const Mat& grad_out) {
-  matmul_at_b(hx_cache_, grad_out, w_.grad, /*accumulate=*/true);
-  accumulate_bias_grad(grad_out, b_.grad);
-  Mat gh;
-  matmul_a_bt(grad_out, w_.value, gh);
+  const Mat* g = &grad_out;
+  if (act_ != Activation::kNone) {
+    gpre_ = grad_out;
+    gpre_.mul_inplace(mask_);
+    g = &gpre_;
+  }
+  matmul_at_b_bias_acc(hx_cache_, *g, w_.grad, b_.grad);
+  matmul_a_bt(*g, w_.value, ghx_);
   // Â is symmetric, so the adjoint is another application of Â.
-  return adj_cache_->apply(gh);
+  return adj_cache_->apply(ghx_);
 }
 
 std::vector<Parameter*> GcnLayer::parameters() { return {&w_, &b_}; }
@@ -74,8 +91,9 @@ std::vector<Parameter*> GcnLayer::parameters() { return {&w_, &b_}; }
 GcnNet::GcnNet(const Config& config, Rng& rng) : config_(config) {
   int in = config.input_dim;
   for (int l = 0; l < config.layers; ++l) {
-    layers_.emplace_back("gcn" + std::to_string(l), in, config.hidden_dim, rng);
-    acts_.emplace_back();
+    // ReLU fused into each layer's bias sweep.
+    layers_.emplace_back("gcn" + std::to_string(l), in, config.hidden_dim, rng,
+                         Activation::kRelu);
     in = config.hidden_dim;
   }
   proj_ = Linear("gcn.proj", config.hidden_dim, config.embed_dim, rng);
@@ -84,15 +102,21 @@ GcnNet::GcnNet(const Config& config, Rng& rng) : config_(config) {
 Mat GcnNet::forward(const Tree& tree) {
   adj_ = NormalizedAdjacency::from_tree(tree);
   node_count_ = tree.node_count();
-  Mat h = tree.features;
+  Workspace& ws = Workspace::tls();
+  Scratch h0(ws, node_count_, config_.hidden_dim);
+  Scratch h1(ws, node_count_, config_.hidden_dim);
+  Mat* cur = &*h0;
+  Mat* next = &*h1;
+  const Mat* h = &tree.features;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    h = layers_[l].forward(h, adj_);
-    h = acts_[l].forward(h);
+    layers_[l].forward_into(*h, adj_, *cur);
+    h = cur;
+    std::swap(cur, next);
   }
   // Mean pooling over nodes.
-  Mat pooled(1, h.cols());
-  for (int i = 0; i < h.rows(); ++i) {
-    for (int j = 0; j < h.cols(); ++j) pooled.at(0, j) += h.at(i, j);
+  Mat pooled(1, h->cols());
+  for (int i = 0; i < h->rows(); ++i) {
+    for (int j = 0; j < h->cols(); ++j) pooled.at(0, j) += h->at(i, j);
   }
   pooled.scale_inplace(1.0f / static_cast<float>(node_count_));
   return proj_.forward(pooled);
@@ -108,7 +132,6 @@ void GcnNet::backward(const Mat& grad_out) {
     }
   }
   for (std::size_t l = layers_.size(); l-- > 0;) {
-    gn = acts_[l].backward(gn);
     gn = layers_[l].backward(gn);
   }
 }

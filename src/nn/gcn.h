@@ -26,14 +26,20 @@ struct NormalizedAdjacency {
 
   // y = Â x (or Â^T x, identical here since Â is symmetric).
   Mat apply(const Mat& x) const;
+  // Same product into a caller-provided (typically workspace) Mat.
+  void apply_into(const Mat& x, Mat& y) const;
 };
 
+// One GCN layer, optionally with its activation fused into the bias sweep
+// (default kNone preserves the historical plain layer).
 class GcnLayer {
  public:
   GcnLayer() = default;
-  GcnLayer(const std::string& name, int in, int out, Rng& rng);
+  GcnLayer(const std::string& name, int in, int out, Rng& rng,
+           Activation act = Activation::kNone);
 
   Mat forward(const Mat& x, const NormalizedAdjacency& adj);
+  void forward_into(const Mat& x, const NormalizedAdjacency& adj, Mat& y);
   Mat backward(const Mat& grad_out);
 
   std::vector<Parameter*> parameters();
@@ -41,7 +47,11 @@ class GcnLayer {
  private:
   Parameter w_;
   Parameter b_;
+  Activation act_ = Activation::kNone;
   Mat hx_cache_;  // Â x
+  Mat mask_;      // fused-activation derivative factors
+  Mat gpre_;      // grad_out ⊙ mask scratch
+  Mat ghx_;       // grad wrt Â x scratch
   const NormalizedAdjacency* adj_cache_ = nullptr;
 };
 
@@ -66,7 +76,6 @@ class GcnNet {
  private:
   Config config_;
   std::vector<GcnLayer> layers_;
-  std::vector<Relu> acts_;
   Linear proj_;
   NormalizedAdjacency adj_;  // cached per forward pass
   int node_count_ = 0;

@@ -5,25 +5,95 @@
 
 namespace loam::nn {
 
-Linear::Linear(const std::string& name, int in, int out, Rng& rng)
-    : w_(name + ".w", in, out), b_(name + ".b", 1, out) {
+void add_bias_activate(Mat& y, const Mat& bias, Activation act, float slope,
+                       Mat* mask) {
+  assert(bias.rows() == 1 && bias.cols() == y.cols());
+  const int n = y.cols();
+  const float* b = bias.data();
+  if (mask != nullptr && act != Activation::kNone) mask->resize(y.rows(), n);
+  for (int i = 0; i < y.rows(); ++i) {
+    float* row = y.data() + static_cast<std::size_t>(i) * n;
+    switch (act) {
+      case Activation::kNone:
+        for (int j = 0; j < n; ++j) row[j] += b[j];
+        break;
+      case Activation::kRelu: {
+        float* mrow = mask != nullptr
+                          ? mask->data() + static_cast<std::size_t>(i) * n
+                          : nullptr;
+        for (int j = 0; j < n; ++j) {
+          const float v = row[j] + b[j];
+          const bool pos = v > 0.0f;
+          row[j] = pos ? v : 0.0f;
+          if (mrow != nullptr) mrow[j] = pos ? 1.0f : 0.0f;
+        }
+        break;
+      }
+      case Activation::kLeakyRelu: {
+        float* mrow = mask != nullptr
+                          ? mask->data() + static_cast<std::size_t>(i) * n
+                          : nullptr;
+        for (int j = 0; j < n; ++j) {
+          const float v = row[j] + b[j];
+          const bool neg = v < 0.0f;
+          row[j] = neg ? v * slope : v;
+          if (mrow != nullptr) mrow[j] = neg ? slope : 1.0f;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void linear_bias_act(const Mat& x, const Mat& w, const Mat& bias,
+                     Activation act, float slope, Mat& y, Mat* mask,
+                     bool skip_zeros) {
+  matmul(x, w, y, /*accumulate=*/false, skip_zeros);
+  add_bias_activate(y, bias, act, slope, mask);
+}
+
+void linear_bias_act_backward(const Mat& x, const Mat& w, const Mat& grad_out,
+                              const Mat* mask, Mat& grad_pre_scratch,
+                              Mat& w_grad, Mat& bias_grad, Mat& grad_in) {
+  const Mat* g = &grad_out;
+  if (mask != nullptr) {
+    grad_pre_scratch = grad_out;  // copy-assign reuses the scratch's storage
+    grad_pre_scratch.mul_inplace(*mask);
+    g = &grad_pre_scratch;
+  }
+  matmul_at_b_bias_acc(x, *g, w_grad, bias_grad);
+  matmul_a_bt(*g, w, grad_in);
+}
+
+Linear::Linear(const std::string& name, int in, int out, Rng& rng,
+               Activation act, float slope)
+    : w_(name + ".w", in, out), b_(name + ".b", 1, out),
+      act_(act), slope_(slope) {
   w_.value.glorot_init(rng);
   b_.value.zero();
 }
 
 Mat Linear::forward(const Mat& x) {
-  x_cache_ = x;
   Mat y;
-  matmul(x, w_.value, y);
-  add_row_bias(y, b_.value);
+  forward_into(x, y);
   return y;
 }
 
+void Linear::forward_into(const Mat& x, Mat& y) {
+  x_cache_ = x;
+  linear_bias_act(x, w_.value, b_.value, act_, slope_, y,
+                  act_ == Activation::kNone ? nullptr : &mask_);
+}
+
+void Linear::infer_into(const Mat& x, Mat& y) const {
+  linear_bias_act(x, w_.value, b_.value, act_, slope_, y, /*mask=*/nullptr);
+}
+
 Mat Linear::backward(const Mat& grad_out) {
-  matmul_at_b(x_cache_, grad_out, w_.grad, /*accumulate=*/true);
-  accumulate_bias_grad(grad_out, b_.grad);
   Mat grad_in;
-  matmul_a_bt(grad_out, w_.value, grad_in);
+  linear_bias_act_backward(x_cache_, w_.value, grad_out,
+                           act_ == Activation::kNone ? nullptr : &mask_,
+                           gpre_, w_.grad, b_.grad, grad_in);
   return grad_in;
 }
 
@@ -46,9 +116,7 @@ Mat Relu::forward(const Mat& x) {
 
 Mat Relu::backward(const Mat& grad_out) const {
   Mat g = grad_out;
-  for (int i = 0; i < g.rows(); ++i) {
-    for (int j = 0; j < g.cols(); ++j) g.at(i, j) *= mask_.at(i, j);
-  }
+  g.mul_inplace(mask_);
   return g;
 }
 
@@ -91,18 +159,22 @@ double mse_loss(const Mat& pred, const std::vector<float>& target, Mat& grad_out
   return loss / n;
 }
 
+void row_softmax_inplace(Mat& x) {
+  for (int i = 0; i < x.rows(); ++i) {
+    float mx = x.at(i, 0);
+    for (int j = 1; j < x.cols(); ++j) mx = std::max(mx, x.at(i, j));
+    float sum = 0.0f;
+    for (int j = 0; j < x.cols(); ++j) {
+      x.at(i, j) = std::exp(x.at(i, j) - mx);
+      sum += x.at(i, j);
+    }
+    for (int j = 0; j < x.cols(); ++j) x.at(i, j) /= sum;
+  }
+}
+
 Mat row_softmax(const Mat& x) {
   Mat y = x;
-  for (int i = 0; i < y.rows(); ++i) {
-    float mx = y.at(i, 0);
-    for (int j = 1; j < y.cols(); ++j) mx = std::max(mx, y.at(i, j));
-    float sum = 0.0f;
-    for (int j = 0; j < y.cols(); ++j) {
-      y.at(i, j) = std::exp(y.at(i, j) - mx);
-      sum += y.at(i, j);
-    }
-    for (int j = 0; j < y.cols(); ++j) y.at(i, j) /= sum;
-  }
+  row_softmax_inplace(y);
   return y;
 }
 

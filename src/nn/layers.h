@@ -6,6 +6,16 @@
 // layer caches what it needs in forward() and produces input gradients in
 // backward(), accumulating parameter gradients into Parameter::grad. This
 // keeps backprop auditable, which matters more here than generality.
+//
+// Dense-math fast path: Linear can fuse its activation (Activation enum), in
+// which case forward runs GEMM -> one combined bias+activation sweep instead
+// of GEMM -> bias pass -> separate activation-layer pass, and backward folds
+// the activation mask and the bias column-sum into the gradient GEMMs. The
+// fused ops are bit-identical to the unfused Linear + Relu/LeakyRelu
+// composition (pinned by tests/mat_kernel_test.cc), because the bias add and
+// activation are applied only after each output element's accumulation chain
+// is complete. The standalone Relu/LeakyRelu classes remain for call sites
+// that need an activation without a Linear in front.
 #ifndef LOAM_NN_LAYERS_H_
 #define LOAM_NN_LAYERS_H_
 
@@ -31,24 +41,60 @@ struct Parameter {
   std::size_t count() const { return value.size(); }
 };
 
-// Fully connected layer: y = x W + b, x is [batch, in].
+enum class Activation { kNone, kRelu, kLeakyRelu };
+
+// One fused sweep: y += bias per row, then activation in place. When mask is
+// non-null it is resized to y's shape and receives d(act)/d(pre) factors
+// (1/0 for ReLU with the same strict >0 cut as the Relu class, 1/slope for
+// LeakyRelu with the strict <0 cut of the LeakyRelu class).
+void add_bias_activate(Mat& y, const Mat& bias, Activation act, float slope,
+                       Mat* mask);
+
+// y = act(x W + bias). GEMM followed by the single fused bias+activation
+// sweep; skip_zeros routes the GEMM through the sparse input path.
+void linear_bias_act(const Mat& x, const Mat& w, const Mat& bias,
+                     Activation act, float slope, Mat& y, Mat* mask,
+                     bool skip_zeros = false);
+
+// Backward of linear_bias_act given the gradient w.r.t. the post-activation
+// output. grad_pre = grad_out ⊙ mask (written into grad_pre_scratch; pass
+// mask == nullptr for identity, in which case the scratch is unused), then
+//   w_grad += x^T grad_pre   and   bias_grad += colsum(grad_pre)
+// in one fused pass, and grad_in = grad_pre W^T.
+void linear_bias_act_backward(const Mat& x, const Mat& w, const Mat& grad_out,
+                              const Mat* mask, Mat& grad_pre_scratch,
+                              Mat& w_grad, Mat& bias_grad, Mat& grad_in);
+
+// Fully connected layer: y = act(x W + b), x is [batch, in]. The default
+// activation is kNone, which preserves the historical plain-affine Linear.
 class Linear {
  public:
   Linear() = default;
-  Linear(const std::string& name, int in, int out, Rng& rng);
+  Linear(const std::string& name, int in, int out, Rng& rng,
+         Activation act = Activation::kNone, float slope = 0.01f);
 
   Mat forward(const Mat& x);
+  // Forward into a caller-provided (typically workspace) Mat.
+  void forward_into(const Mat& x, Mat& y);
+  // Inference-only forward: no caches touched, usable from const contexts
+  // and concurrently from several threads on a shared layer.
+  void infer_into(const Mat& x, Mat& y) const;
   // Returns gradient w.r.t. the input; accumulates into parameter grads.
   Mat backward(const Mat& grad_out);
 
   std::vector<Parameter*> parameters();
   int in_dim() const { return w_.value.rows(); }
   int out_dim() const { return w_.value.cols(); }
+  Activation activation() const { return act_; }
 
  private:
   Parameter w_;
   Parameter b_;
+  Activation act_ = Activation::kNone;
+  float slope_ = 0.01f;
   Mat x_cache_;
+  Mat mask_;   // d(act)/d(pre) from the last forward (fused activations only)
+  Mat gpre_;   // scratch for grad_out ⊙ mask in backward
 };
 
 class Relu {
@@ -104,6 +150,8 @@ double softmax_cross_entropy(const Mat& logits, const std::vector<int>& labels,
 
 // Softmax over each row (used by attention and exposed for tests).
 Mat row_softmax(const Mat& x);
+// In-place variant: saves the copy when the caller owns the buffer.
+void row_softmax_inplace(Mat& x);
 
 }  // namespace loam::nn
 

@@ -1,9 +1,19 @@
-// Minimal dense float32 matrix used by the hand-rolled NN library.
+// Minimal dense float32 matrix used by the hand-rolled NN library, plus the
+// blocked/vectorized GEMM kernels every layer is built from.
 //
-// The predictors in this repo are small (tens of thousands of parameters), so
-// a straightforward row-major matrix with cache-friendly matmul loops is all
-// the "tensor framework" the reproduction needs. Everything is
-// deterministic: initialization draws from an explicitly seeded Rng.
+// The predictors in this repo are small (tens of thousands of parameters),
+// but PR 1's batched inference hands the kernels [batch*nodes, hidden]
+// matrices, so the matmuls are register-blocked and cache-tiled: contiguous
+// inner loops over restrict-qualified pointers that the compiler
+// auto-vectorizes, with 2-row x 4-k micro-kernels amortizing the output-row
+// load/store traffic.
+//
+// Determinism contract: every kernel accumulates each output element with a
+// SINGLE accumulator in ascending-k order — exactly the association of the
+// naive triple loop — so blocked results are bit-identical to the reference
+// implementation (pinned to 0 ULP by tests/mat_kernel_test.cc), and
+// bit-identical across block sizes, tile sizes and call sites. Initialization
+// draws from an explicitly seeded Rng.
 #ifndef LOAM_NN_MAT_H_
 #define LOAM_NN_MAT_H_
 
@@ -26,6 +36,18 @@ class Mat {
   int cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  // Elements the backing store can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
+
+  // Reshapes to rows x cols, reusing the existing allocation whenever its
+  // capacity suffices (the Mat(m, n) replacement pattern freed and
+  // reallocated on every shape change). Contents are unspecified afterwards —
+  // callers that need zeros must call zero().
+  void resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
 
   float& at(int r, int c) {
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
@@ -56,6 +78,8 @@ class Mat {
 
   // this += other (shapes must match).
   void add_inplace(const Mat& other);
+  // this *= other elementwise (shapes must match).
+  void mul_inplace(const Mat& other);
   // this *= s.
   void scale_inplace(float s);
 
@@ -68,12 +92,21 @@ class Mat {
 };
 
 // out = a * b. Shapes: [m,k] x [k,n] -> [m,n]. `accumulate` adds into out
-// instead of overwriting.
-void matmul(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
+// instead of overwriting. `skip_zeros` opts into the sparse row-skip path
+// (branch on every a element) — profitable ONLY for genuinely sparse inputs
+// such as the one-hot-heavy plan-feature layer; dense hidden activations must
+// use the default blocked kernel. Both paths produce bit-identical results.
+void matmul(const Mat& a, const Mat& b, Mat& out, bool accumulate = false,
+            bool skip_zeros = false);
 // out = a^T * b. Shapes: [k,m]^T x [k,n] -> [m,n].
 void matmul_at_b(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
 // out = a * b^T. Shapes: [m,k] x [n,k]^T -> [m,n].
 void matmul_a_bt(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
+
+// Fused backward pass over g [m,n]: w_grad += a^T g AND bias_grad += column
+// sums of g in a single sweep (g rows are read once instead of twice).
+// bias_grad is 1 x n. Bit-identical to matmul_at_b + accumulate_bias_grad.
+void matmul_at_b_bias_acc(const Mat& a, const Mat& g, Mat& w_grad, Mat& bias_grad);
 
 // Adds bias (a 1 x n Mat) to every row of x.
 void add_row_bias(Mat& x, const Mat& bias);

@@ -13,13 +13,14 @@ AttentionHead::AttentionHead(const std::string& name, int model_dim, int head_di
       scale_(1.0f / std::sqrt(static_cast<float>(head_dim))) {}
 
 Mat AttentionHead::forward(const Mat& x) {
-  q_ = wq_.forward(x);
-  k_ = wk_.forward(x);
-  v_ = wv_.forward(x);
-  Mat scores;
-  matmul_a_bt(q_, k_, scores);
-  scores.scale_inplace(scale_);
-  probs_ = row_softmax(scores);
+  // forward_into + in-place softmax keep q/k/v/probs in the same member
+  // buffers across calls — no per-call score/prob allocation.
+  wq_.forward_into(x, q_);
+  wk_.forward_into(x, k_);
+  wv_.forward_into(x, v_);
+  matmul_a_bt(q_, k_, probs_);
+  probs_.scale_inplace(scale_);
+  row_softmax_inplace(probs_);
   Mat out;
   matmul(probs_, v_, out);
   return out;
@@ -91,49 +92,53 @@ TransformerEncoder::TransformerEncoder(const Config& config, Rng& rng)
     heads_.emplace_back("tf.head" + std::to_string(h), config.model_dim, head_dim, rng);
   }
   attn_out_ = Linear("tf.attn_out", head_dim * config.heads, config.model_dim, rng);
-  ffn1_ = Linear("tf.ffn1", config.model_dim, config.ffn_dim, rng);
+  ffn1_ = Linear("tf.ffn1", config.model_dim, config.ffn_dim, rng,
+                 Activation::kRelu);
   ffn2_ = Linear("tf.ffn2", config.ffn_dim, config.model_dim, rng);
   pool_proj_ = Linear("tf.pool", config.model_dim, config.embed_dim, rng);
 }
 
 Mat TransformerEncoder::forward(const Tree& tree) {
   node_count_ = tree.node_count();
+  Workspace& ws = Workspace::tls();
   // Augment features with structural channels.
   std::vector<float> depth, height;
   tree_depth_height(tree, depth, height);
-  Mat aug(node_count_, tree.features.cols() + 2);
+  Scratch aug(ws, node_count_, tree.features.cols() + 2);
   for (int i = 0; i < node_count_; ++i) {
     auto src = tree.features.row(i);
-    auto dst = aug.row(i);
+    auto dst = aug->row(i);
     std::copy(src.begin(), src.end(), dst.begin());
     dst[src.size()] = depth[static_cast<std::size_t>(i)];
     dst[src.size() + 1] = height[static_cast<std::size_t>(i)];
   }
-  x0_ = input_proj_.forward(aug);
+  x0_ = input_proj_.forward(*aug);
   // Multi-head attention, concatenated heads.
   const int head_dim = config_.model_dim / config_.heads;
-  Mat concat(node_count_, head_dim * config_.heads);
+  Scratch concat(ws, node_count_, head_dim * config_.heads);
   for (std::size_t h = 0; h < heads_.size(); ++h) {
     Mat ho = heads_[h].forward(x0_);
     for (int i = 0; i < node_count_; ++i) {
       for (int j = 0; j < head_dim; ++j) {
-        concat.at(i, static_cast<int>(h) * head_dim + j) = ho.at(i, j);
+        concat->at(i, static_cast<int>(h) * head_dim + j) = ho.at(i, j);
       }
     }
   }
-  Mat attn = attn_out_.forward(concat);
+  Mat attn = attn_out_.forward(*concat);
   x1_ = x0_;
   x1_.add_inplace(attn);  // residual 1
-  Mat f = ffn2_.forward(ffn_act_.forward(ffn1_.forward(x1_)));
-  Mat x2 = x1_;
-  x2.add_inplace(f);  // residual 2
+  Mat f = ffn2_.forward(ffn1_.forward(x1_));  // ffn1_ applies the fused ReLU
+  Scratch x2(ws, node_count_, x1_.cols());
+  *x2 = x1_;
+  x2->add_inplace(f);  // residual 2
   // Mean pool.
-  Mat pooled(1, x2.cols());
+  Scratch pooled(ws, 1, x2->cols());
+  pooled->zero();
   for (int i = 0; i < node_count_; ++i) {
-    for (int j = 0; j < x2.cols(); ++j) pooled.at(0, j) += x2.at(i, j);
+    for (int j = 0; j < x2->cols(); ++j) pooled->at(0, j) += x2->at(i, j);
   }
-  pooled.scale_inplace(1.0f / static_cast<float>(std::max(1, node_count_)));
-  return pool_proj_.forward(pooled);
+  pooled->scale_inplace(1.0f / static_cast<float>(std::max(1, node_count_)));
+  return pool_proj_.forward(*pooled);
 }
 
 void TransformerEncoder::backward(const Mat& grad_out) {
@@ -145,8 +150,9 @@ void TransformerEncoder::backward(const Mat& grad_out) {
       gx2.at(i, j) = g.at(0, j) / static_cast<float>(std::max(1, node_count_));
     }
   }
-  // Residual 2: gradient flows to both x1 and the FFN branch.
-  Mat gf = ffn1_.backward(ffn_act_.backward(ffn2_.backward(gx2)));
+  // Residual 2: gradient flows to both x1 and the FFN branch (the fused
+  // ReLU's mask is applied inside ffn1_.backward).
+  Mat gf = ffn1_.backward(ffn2_.backward(gx2));
   Mat gx1 = gx2;
   gx1.add_inplace(gf);
   // Residual 1: to x0 and the attention branch.

@@ -29,7 +29,7 @@ class AttentionHead {
 
  private:
   Linear wq_, wk_, wv_;
-  Mat q_, k_, v_, probs_;
+  Mat q_, k_, v_, probs_;  // member buffers double as call-to-call scratch
   float scale_ = 1.0f;
 };
 
@@ -59,8 +59,7 @@ class TransformerEncoder {
   Linear input_proj_;
   std::vector<AttentionHead> heads_;
   Linear attn_out_;
-  Linear ffn1_, ffn2_;
-  Relu ffn_act_;
+  Linear ffn1_, ffn2_;  // ffn1_ carries the fused ReLU
   Linear pool_proj_;
   // Caches.
   int node_count_ = 0;

@@ -1,29 +1,37 @@
 #include "nn/tree_conv.h"
 
+#include <algorithm>
+
 namespace loam::nn {
 
 namespace {
 
 // Builds the gathered child-feature matrix: row i = x[child(i)] or zeros.
-Mat gather_children(const Mat& x, const std::vector<int>& child) {
-  Mat out(x.rows(), x.cols());
+// Writes every row (zero-fill for missing children), so `out` may come from
+// a workspace with unspecified contents.
+void gather_children_into(const Mat& x, const std::vector<int>& child, Mat& out) {
+  out.resize(x.rows(), x.cols());
   for (int i = 0; i < x.rows(); ++i) {
     const int c = child[static_cast<std::size_t>(i)];
-    if (c < 0) continue;
-    auto src = x.row(c);
     auto dst = out.row(i);
-    std::copy(src.begin(), src.end(), dst.begin());
+    if (c < 0) {
+      std::fill(dst.begin(), dst.end(), 0.0f);
+    } else {
+      auto src = x.row(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
   }
-  return out;
 }
 
 }  // namespace
 
-TreeConvLayer::TreeConvLayer(const std::string& name, int in, int out, Rng& rng)
+TreeConvLayer::TreeConvLayer(const std::string& name, int in, int out, Rng& rng,
+                             Activation act, float slope, bool sparse_input)
     : w_self_(name + ".w_self", in, out),
       w_left_(name + ".w_left", in, out),
       w_right_(name + ".w_right", in, out),
-      b_(name + ".b", 1, out) {
+      b_(name + ".b", 1, out),
+      act_(act), slope_(slope), sparse_input_(sparse_input) {
   w_self_.value.glorot_init(rng);
   w_left_.value.glorot_init(rng);
   w_right_.value.glorot_init(rng);
@@ -32,43 +40,66 @@ TreeConvLayer::TreeConvLayer(const std::string& name, int in, int out, Rng& rng)
 
 Mat TreeConvLayer::forward(const Mat& x, const std::vector<int>& left,
                            const std::vector<int>& right) {
-  x_cache_ = x;
-  left_cache_ = left;
-  right_cache_ = right;
-  x_left_cache_ = gather_children(x, left);
-  x_right_cache_ = gather_children(x, right);
   Mat y;
-  matmul(x, w_self_.value, y);
-  matmul(x_left_cache_, w_left_.value, y, /*accumulate=*/true);
-  matmul(x_right_cache_, w_right_.value, y, /*accumulate=*/true);
-  add_row_bias(y, b_.value);
+  forward_into(x, left, right, y);
   return y;
 }
 
+void TreeConvLayer::forward_into(const Mat& x, const std::vector<int>& left,
+                                 const std::vector<int>& right, Mat& y) {
+  x_cache_ = x;
+  left_cache_ = left;
+  right_cache_ = right;
+  gather_children_into(x, left, x_left_cache_);
+  gather_children_into(x, right, x_right_cache_);
+  matmul(x, w_self_.value, y, /*accumulate=*/false, sparse_input_);
+  matmul(x_left_cache_, w_left_.value, y, /*accumulate=*/true, sparse_input_);
+  matmul(x_right_cache_, w_right_.value, y, /*accumulate=*/true, sparse_input_);
+  add_bias_activate(y, b_.value, act_, slope_,
+                    act_ == Activation::kNone ? nullptr : &mask_);
+}
+
+void TreeConvLayer::infer_into(const Mat& x, const std::vector<int>& left,
+                               const std::vector<int>& right, Mat& y,
+                               Workspace& ws) const {
+  Scratch xl(ws, x.rows(), x.cols());
+  Scratch xr(ws, x.rows(), x.cols());
+  gather_children_into(x, left, *xl);
+  gather_children_into(x, right, *xr);
+  matmul(x, w_self_.value, y, /*accumulate=*/false, sparse_input_);
+  matmul(*xl, w_left_.value, y, /*accumulate=*/true, sparse_input_);
+  matmul(*xr, w_right_.value, y, /*accumulate=*/true, sparse_input_);
+  add_bias_activate(y, b_.value, act_, slope_, /*mask=*/nullptr);
+}
+
 Mat TreeConvLayer::backward(const Mat& grad_out) {
-  matmul_at_b(x_cache_, grad_out, w_self_.grad, /*accumulate=*/true);
-  matmul_at_b(x_left_cache_, grad_out, w_left_.grad, /*accumulate=*/true);
-  matmul_at_b(x_right_cache_, grad_out, w_right_.grad, /*accumulate=*/true);
-  accumulate_bias_grad(grad_out, b_.grad);
+  const Mat* g = &grad_out;
+  if (act_ != Activation::kNone) {
+    gpre_ = grad_out;
+    gpre_.mul_inplace(mask_);
+    g = &gpre_;
+  }
+  // Bias column-sum rides the w_self gradient pass.
+  matmul_at_b_bias_acc(x_cache_, *g, w_self_.grad, b_.grad);
+  matmul_at_b(x_left_cache_, *g, w_left_.grad, /*accumulate=*/true);
+  matmul_at_b(x_right_cache_, *g, w_right_.grad, /*accumulate=*/true);
 
   Mat grad_in;
-  matmul_a_bt(grad_out, w_self_.value, grad_in);
+  matmul_a_bt(*g, w_self_.value, grad_in);
   // Child contributions scatter back through the gather.
-  Mat g_left;
-  matmul_a_bt(grad_out, w_left_.value, g_left);
-  Mat g_right;
-  matmul_a_bt(grad_out, w_right_.value, g_right);
+  matmul_a_bt(*g, w_left_.value, gl_);
+  matmul_a_bt(*g, w_right_.value, gr_);
   for (int i = 0; i < grad_in.rows(); ++i) {
     const int l = left_cache_[static_cast<std::size_t>(i)];
     if (l >= 0) {
       auto dst = grad_in.row(l);
-      auto src = g_left.row(i);
+      auto src = gl_.row(i);
       for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
     }
     const int r = right_cache_[static_cast<std::size_t>(i)];
     if (r >= 0) {
       auto dst = grad_in.row(r);
-      auto src = g_right.row(i);
+      auto src = gr_.row(i);
       for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
     }
   }
@@ -109,32 +140,42 @@ Mat DynamicMaxPool::backward(const Mat& grad_out) const {
 TreeConvNet::TreeConvNet(const Config& config, Rng& rng) : config_(config) {
   int in = config.input_dim;
   for (int l = 0; l < config.layers; ++l) {
-    convs_.emplace_back("tcn" + std::to_string(l), in, config.hidden_dim, rng);
-    acts_.emplace_back(0.01f);
+    // Plan features are one-hot-heavy, so only the layer reading them keeps
+    // the sparse zero-skip GEMM; dense hidden activations take the blocked
+    // kernels. The LeakyReLU is fused into each convolution.
+    convs_.emplace_back("tcn" + std::to_string(l), in, config.hidden_dim, rng,
+                        Activation::kLeakyRelu, 0.01f, /*sparse_input=*/l == 0);
     in = config.hidden_dim;
   }
-  proj_ = Linear("tcn.proj", config.hidden_dim, config.embed_dim, rng);
+  proj_ = Linear("tcn.proj", config.hidden_dim, config.embed_dim, rng,
+                 Activation::kRelu);
 }
 
 Mat TreeConvNet::forward(const Tree& tree) {
-  Mat h = tree.features;
+  Workspace& ws = Workspace::tls();
+  Scratch h0(ws, tree.node_count(), config_.hidden_dim);
+  Scratch h1(ws, tree.node_count(), config_.hidden_dim);
+  Mat* cur = &*h0;
+  Mat* next = &*h1;
+  const Mat* x = &tree.features;
   for (std::size_t l = 0; l < convs_.size(); ++l) {
-    h = convs_[l].forward(h, tree.left, tree.right);
-    h = acts_[l].forward(h);
+    convs_[l].forward_into(*x, tree.left, tree.right, *cur);
+    x = cur;
+    std::swap(cur, next);
   }
-  Mat pooled = pool_.forward(h);
-  Mat emb = proj_.forward(pooled);
-  return proj_act_.forward(emb);
+  Mat pooled = pool_.forward(*x);
+  return proj_.forward(pooled);
 }
 
-Mat TreeConvNet::forward_batch(const std::vector<const Tree*>& trees) {
+Mat TreeConvNet::forward_batch(const std::vector<const Tree*>& trees) const {
   if (trees.empty()) return Mat(0, config_.embed_dim);
+  Workspace& ws = Workspace::tls();
 
   // Concatenate the forest: node rows stacked, child indices shifted by each
   // tree's row offset (missing children stay -1).
   int total = 0;
   for (const Tree* t : trees) total += t->node_count();
-  Mat features(total, config_.input_dim);
+  Scratch features(ws, total, config_.input_dim);
   std::vector<int> left(static_cast<std::size_t>(total), -1);
   std::vector<int> right(static_cast<std::size_t>(total), -1);
   std::vector<int> offsets;
@@ -144,7 +185,7 @@ Mat TreeConvNet::forward_batch(const std::vector<const Tree*>& trees) {
     offsets.push_back(at);
     for (int i = 0; i < t->node_count(); ++i) {
       auto src = t->features.row(i);
-      auto dst = features.row(at + i);
+      auto dst = features->row(at + i);
       std::copy(src.begin(), src.end(), dst.begin());
       const int l = t->left[static_cast<std::size_t>(i)];
       const int r = t->right[static_cast<std::size_t>(i)];
@@ -154,37 +195,41 @@ Mat TreeConvNet::forward_batch(const std::vector<const Tree*>& trees) {
     at += t->node_count();
   }
 
-  Mat h = std::move(features);
+  Scratch h0(ws, total, config_.hidden_dim);
+  Scratch h1(ws, total, config_.hidden_dim);
+  Mat* cur = &*h0;
+  Mat* next = &*h1;
+  const Mat* h = &*features;
   for (std::size_t l = 0; l < convs_.size(); ++l) {
-    h = convs_[l].forward(h, left, right);
-    h = acts_[l].forward(h);
+    convs_[l].infer_into(*h, left, right, *cur, ws);
+    h = cur;
+    std::swap(cur, next);
   }
 
   // Per-tree dynamic max pooling, with the same ascending-scan / strict-`>`
   // semantics as DynamicMaxPool so each row matches the single-tree path.
-  Mat pooled(static_cast<int>(trees.size()), h.cols());
+  Scratch pooled(ws, static_cast<int>(trees.size()), h->cols());
   for (std::size_t b = 0; b < trees.size(); ++b) {
     const int begin = offsets[b];
     const int end = begin + trees[b]->node_count();
-    for (int j = 0; j < h.cols(); ++j) {
-      float best = h.at(begin, j);
+    for (int j = 0; j < h->cols(); ++j) {
+      float best = h->at(begin, j);
       for (int i = begin + 1; i < end; ++i) {
-        if (h.at(i, j) > best) best = h.at(i, j);
+        if (h->at(i, j) > best) best = h->at(i, j);
       }
-      pooled.at(static_cast<int>(b), j) = best;
+      pooled->at(static_cast<int>(b), j) = best;
     }
   }
 
-  Mat emb = proj_.forward(pooled);
-  return proj_act_.forward(emb);
+  Mat emb;
+  proj_.infer_into(*pooled, emb);
+  return emb;
 }
 
 void TreeConvNet::backward(const Mat& grad_out) {
-  Mat g = proj_act_.backward(grad_out);
-  g = proj_.backward(g);
+  Mat g = proj_.backward(grad_out);
   g = pool_.backward(g);
   for (std::size_t l = convs_.size(); l-- > 0;) {
-    g = acts_[l].backward(g);
     g = convs_[l].backward(g);
   }
 }

@@ -3,12 +3,20 @@
 // Bao/Neo: each convolution filter looks at a node and its two children and
 // aggregates information upward; stacking layers widens each node's receptive
 // subtree; dynamic max-pooling collapses the tree into a fixed-size vector.
+//
+// Fast path: convolution layers fuse their activation (bias+LeakyReLU in the
+// same sweep that finishes the GEMM accumulation), the first layer opts into
+// the sparse zero-skip GEMM (plan features are one-hot-heavy), and both
+// forward paths stage intermediates in the thread-local Workspace instead of
+// allocating per call. forward_batch is const and cache-free, so a shared
+// net can serve batches from several threads concurrently.
 #ifndef LOAM_NN_TREE_CONV_H_
 #define LOAM_NN_TREE_CONV_H_
 
 #include <vector>
 
 #include "nn/layers.h"
+#include "nn/workspace.h"
 
 namespace loam::nn {
 
@@ -25,14 +33,27 @@ struct Tree {
 };
 
 // One triangular tree-convolution layer:
-//   y[i] = x[i] W_self + x[left(i)] W_left + x[right(i)] W_right + b
+//   y[i] = act(x[i] W_self + x[left(i)] W_left + x[right(i)] W_right + b)
+// The default activation is kNone (the historical plain convolution);
+// sparse_input routes the three GEMMs through the zero-skip path and should
+// be set only on the layer that consumes raw plan features.
 class TreeConvLayer {
  public:
   TreeConvLayer() = default;
-  TreeConvLayer(const std::string& name, int in, int out, Rng& rng);
+  TreeConvLayer(const std::string& name, int in, int out, Rng& rng,
+                Activation act = Activation::kNone, float slope = 0.01f,
+                bool sparse_input = false);
 
   // X is [n_nodes, in]; returns [n_nodes, out].
   Mat forward(const Mat& x, const std::vector<int>& left, const std::vector<int>& right);
+  // Forward into a caller-provided (typically workspace) Mat, caching for
+  // backward.
+  void forward_into(const Mat& x, const std::vector<int>& left,
+                    const std::vector<int>& right, Mat& y);
+  // Inference-only forward: gathers child features into workspace scratch,
+  // touches no caches; usable concurrently on a shared layer.
+  void infer_into(const Mat& x, const std::vector<int>& left,
+                  const std::vector<int>& right, Mat& y, Workspace& ws) const;
   Mat backward(const Mat& grad_out);
 
   std::vector<Parameter*> parameters();
@@ -43,12 +64,19 @@ class TreeConvLayer {
   Parameter w_left_;
   Parameter w_right_;
   Parameter b_;
+  Activation act_ = Activation::kNone;
+  float slope_ = 0.01f;
+  bool sparse_input_ = false;
   // Caches for backward.
   Mat x_cache_;
   Mat x_left_cache_;
   Mat x_right_cache_;
   std::vector<int> left_cache_;
   std::vector<int> right_cache_;
+  Mat mask_;   // fused-activation derivative factors
+  Mat gpre_;   // grad_out ⊙ mask scratch
+  Mat gl_;     // child-gradient scratch (left)
+  Mat gr_;     // child-gradient scratch (right)
 };
 
 // Dynamic max pooling over tree nodes: [n_nodes, d] -> [1, d].
@@ -62,8 +90,9 @@ class DynamicMaxPool {
   int rows_ = 0;
 };
 
-// The full PlanEmb tower: `layers` tree convolutions with LeakyReLU,
-// max-pool, then a fully connected projection to the embedding size.
+// The full PlanEmb tower: `layers` tree convolutions with LeakyReLU (fused
+// into the convolution layers), max-pool, then a fully connected projection
+// (fused ReLU) to the embedding size.
 class TreeConvNet {
  public:
   struct Config {
@@ -86,9 +115,10 @@ class TreeConvNet {
   // forest, max-pools per tree segment, and projects the whole [batch,
   // hidden] block through one Linear pass. Row b equals forward(*trees[b])
   // bit-for-bit — every per-node operation reads only the node's own row and
-  // its children's rows, which stay inside the tree's segment. Inference
-  // only: clobbers the layer caches, so do not interleave with backward().
-  Mat forward_batch(const std::vector<const Tree*>& trees);
+  // its children's rows, which stay inside the tree's segment. All scratch
+  // comes from the calling thread's Workspace; no layer caches are touched,
+  // so concurrent calls on a shared net are safe.
+  Mat forward_batch(const std::vector<const Tree*>& trees) const;
 
   std::vector<Parameter*> parameters();
   int embed_dim() const { return config_.embed_dim; }
@@ -96,10 +126,8 @@ class TreeConvNet {
  private:
   Config config_;
   std::vector<TreeConvLayer> convs_;
-  std::vector<LeakyRelu> acts_;
   DynamicMaxPool pool_;
   Linear proj_;
-  Relu proj_act_;
 };
 
 }  // namespace loam::nn

@@ -1,0 +1,38 @@
+#include "nn/workspace.h"
+
+#include <cstddef>
+
+namespace loam::nn {
+
+Mat Workspace::borrow(int rows, int cols) {
+  const std::size_t need =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  std::size_t best = pool_.size();
+  bool best_fits = false;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const std::size_t cap = pool_[i].capacity();
+    const bool fits = cap >= need;
+    if (best == pool_.size() ||
+        (fits && (!best_fits || cap < pool_[best].capacity())) ||
+        (!fits && !best_fits && cap > pool_[best].capacity())) {
+      best = i;
+      best_fits = fits;
+    }
+  }
+  Mat m;
+  if (best < pool_.size()) {
+    m = std::move(pool_[best]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  m.resize(rows, cols);
+  return m;
+}
+
+void Workspace::give_back(Mat&& m) { pool_.push_back(std::move(m)); }
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace loam::nn

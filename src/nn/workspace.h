@@ -1,0 +1,75 @@
+// Scratch-Mat arena. predict_batch's packed forwards used to allocate every
+// intermediate (gathered child features, hidden activations, pooled rows,
+// attention buffers) with a fresh Mat per call; the Workspace keeps those
+// buffers alive between calls so steady-state inference does no heap
+// allocation at all.
+//
+// Lifetime rules:
+//   * borrow() hands out a Mat of the requested shape whose CONTENTS ARE
+//     UNSPECIFIED — callers must overwrite every element they read (the
+//     kernels' !accumulate paths and the gather/pack routines already do).
+//   * Every borrow must be matched by a give_back(); use the RAII Scratch
+//     wrapper so early returns and exceptions cannot leak buffers. Nested
+//     borrows are fine; buffers return to the pool in destructor order.
+//   * Workspace::tls() is the per-thread arena. Each thread — including
+//     util::ThreadPool workers during sharded training — gets its own pool,
+//     so workspace reuse needs no locking and is invisible to TSan.
+#ifndef LOAM_NN_WORKSPACE_H_
+#define LOAM_NN_WORKSPACE_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/mat.h"
+
+namespace loam::nn {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Returns a rows x cols Mat with unspecified contents. Picks the pooled
+  // buffer whose capacity fits best (smallest sufficient, else largest) so
+  // repeated shapes converge to zero reallocation.
+  Mat borrow(int rows, int cols);
+
+  // Returns a borrowed Mat to the pool. Accepts any Mat — the arena only
+  // cares about reclaiming the allocation.
+  void give_back(Mat&& m);
+
+  // Buffers currently parked in the pool (for tests/introspection).
+  std::size_t pooled() const { return pool_.size(); }
+
+  // The calling thread's arena.
+  static Workspace& tls();
+
+ private:
+  std::vector<Mat> pool_;
+};
+
+// RAII borrow: `Scratch h(ws, n, d);` then use `*h` / `h->`.
+class Scratch {
+ public:
+  Scratch(Workspace& ws, int rows, int cols)
+      : ws_(&ws), mat_(ws.borrow(rows, cols)) {}
+  ~Scratch() {
+    if (ws_ != nullptr) ws_->give_back(std::move(mat_));
+  }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  Mat& operator*() { return mat_; }
+  Mat* operator->() { return &mat_; }
+  const Mat& operator*() const { return mat_; }
+  const Mat* operator->() const { return &mat_; }
+
+ private:
+  Workspace* ws_;
+  Mat mat_;
+};
+
+}  // namespace loam::nn
+
+#endif  // LOAM_NN_WORKSPACE_H_

@@ -104,6 +104,36 @@ TEST(Gbdt, DeterministicForFixedSeed) {
   }
 }
 
+TEST(Gbdt, ParallelSplitSearchBitIdenticalToSerial) {
+  // num_threads is a throughput knob only: each feature's best split comes
+  // from a fresh per-feature sort and the winners merge serially in ascending
+  // feature order, so the fitted forest must match the serial one bit for bit.
+  Rng rng(31);
+  FeatureMatrix x = make_features(400, 8, rng);  // large nodes → parallel path
+  std::vector<double> y;
+  for (const auto& row : x) {
+    y.push_back(2.0 * row[0] - std::abs(row[3]) + 0.25 * row[5] * row[5]);
+  }
+  GbdtParams params;
+  params.n_trees = 25;
+  params.max_depth = 5;
+  std::vector<std::vector<double>> preds;
+  for (int nt : {1, 2, 8}) {
+    GbdtParams p = params;
+    p.num_threads = nt;
+    GbdtRegressor model(p);
+    model.fit(x, y);
+    preds.push_back(model.predict_all(x));
+    EXPECT_EQ(model.tree_count(), params.n_trees);
+  }
+  for (std::size_t run = 1; run < preds.size(); ++run) {
+    ASSERT_EQ(preds[run].size(), preds[0].size());
+    for (std::size_t i = 0; i < preds[0].size(); ++i) {
+      ASSERT_EQ(preds[run][i], preds[0][i]) << "row " << i << " run " << run;
+    }
+  }
+}
+
 TEST(Gbdt, FeatureImportanceIdentifiesSignal) {
   Rng rng(6);
   FeatureMatrix x = make_features(600, 5, rng);

@@ -1,0 +1,372 @@
+// Kernel-parity suite for the blocked dense-math core. The contract under
+// test: every blocked/fused kernel is bit-identical (0 ULP) to a naive
+// reference written with the canonical association — a single accumulator
+// per output element, ascending-k — across ragged shapes that exercise all
+// remainder paths of the 2x4 micro-kernels. Also pins the Mat::resize
+// storage-reuse semantics and the Workspace arena's borrow/give_back reuse.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/mat.h"
+#include "nn/tree_conv.h"
+#include "nn/workspace.h"
+#include "util/rng.h"
+
+namespace loam::nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference kernels: plain triple loops, one accumulator per output element,
+// ascending k. No zero-skip, no blocking — the semantic ground truth.
+// ---------------------------------------------------------------------------
+
+Mat ref_matmul(const Mat& a, const Mat& b) {
+  Mat out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float t = 0.0f;
+      for (int kk = 0; kk < a.cols(); ++kk) t += a.at(i, kk) * b.at(kk, j);
+      out.at(i, j) = t;
+    }
+  }
+  return out;
+}
+
+Mat ref_matmul_at_b(const Mat& a, const Mat& b) {
+  Mat out(a.cols(), b.cols());
+  for (int i = 0; i < a.cols(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float t = 0.0f;
+      for (int kk = 0; kk < a.rows(); ++kk) t += a.at(kk, i) * b.at(kk, j);
+      out.at(i, j) = t;
+    }
+  }
+  return out;
+}
+
+Mat ref_matmul_a_bt(const Mat& a, const Mat& b) {
+  Mat out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      float t = 0.0f;
+      for (int kk = 0; kk < a.cols(); ++kk) t += a.at(i, kk) * b.at(j, kk);
+      out.at(i, j) = t;
+    }
+  }
+  return out;
+}
+
+Mat random_mat(int rows, int cols, Rng& rng, double sparsity = 0.0) {
+  Mat m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (sparsity > 0.0 && rng.uniform(0.0, 1.0) < sparsity) continue;
+      m.at(i, j) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+  }
+  return m;
+}
+
+void expect_same_bits(const Mat& got, const Mat& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (int i = 0; i < got.rows(); ++i) {
+    for (int j = 0; j < got.cols(); ++j) {
+      // EXPECT_EQ on floats is exact — 0 ULP tolerance.
+      EXPECT_EQ(got.at(i, j), want.at(i, j))
+          << what << " differs at (" << i << "," << j << ")";
+    }
+  }
+}
+
+// Ragged sizes covering every remainder combination of the 2-row x 4-k
+// (and 4-j) blocking, plus shapes past the 256-column cache tile.
+struct Shape { int m, k, n; };
+const Shape kShapes[] = {
+    {1, 1, 1},  {1, 4, 3},   {2, 5, 2},   {3, 3, 3},   {5, 7, 5},
+    {4, 8, 4},  {7, 13, 9},  {16, 16, 16}, {17, 31, 33}, {64, 64, 64},
+    {65, 63, 1}, {1, 64, 65}, {33, 5, 257}, {2, 300, 19},
+};
+
+TEST(MatKernel, MatmulMatchesReferenceBitExact) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.m, s.k, rng);
+    const Mat b = random_mat(s.k, s.n, rng);
+    Mat out;
+    matmul(a, b, out);
+    expect_same_bits(out, ref_matmul(a, b), "matmul");
+  }
+}
+
+TEST(MatKernel, MatmulAtBMatchesReferenceBitExact) {
+  Rng rng(102);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.k, s.m, rng);  // out = a^T b is [m, n]
+    const Mat b = random_mat(s.k, s.n, rng);
+    Mat out;
+    matmul_at_b(a, b, out);
+    expect_same_bits(out, ref_matmul_at_b(a, b), "matmul_at_b");
+  }
+}
+
+TEST(MatKernel, MatmulABtMatchesReferenceBitExact) {
+  Rng rng(103);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.m, s.k, rng);
+    const Mat b = random_mat(s.n, s.k, rng);
+    Mat out;
+    matmul_a_bt(a, b, out);
+    expect_same_bits(out, ref_matmul_a_bt(a, b), "matmul_a_bt");
+  }
+}
+
+TEST(MatKernel, AccumulateAddsOnTopOfExistingValues) {
+  Rng rng(104);
+  for (const Shape& s : {Shape{3, 5, 7}, Shape{17, 9, 33}}) {
+    const Mat a = random_mat(s.m, s.k, rng);
+    const Mat b = random_mat(s.k, s.n, rng);
+    Mat base = random_mat(s.m, s.n, rng);
+
+    // Accumulate mode extends the single per-element chain: the existing
+    // value is the first term, then products in ascending k.
+    Mat want = base;
+    for (int i = 0; i < s.m; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        float t = want.at(i, j);
+        for (int kk = 0; kk < s.k; ++kk) t += a.at(i, kk) * b.at(kk, j);
+        want.at(i, j) = t;
+      }
+    }
+    Mat out = base;
+    matmul(a, b, out, /*accumulate=*/true);
+    expect_same_bits(out, want, "matmul accumulate");
+  }
+}
+
+TEST(MatKernel, AccumulateIntoWrongShapeBehavesLikeFreshMat) {
+  Rng rng(105);
+  const Mat a = random_mat(6, 4, rng);
+  const Mat b = random_mat(4, 5, rng);
+  Mat out = random_mat(3, 3, rng);  // wrong shape, non-zero contents
+  matmul(a, b, out, /*accumulate=*/true);
+  expect_same_bits(out, ref_matmul(a, b), "accumulate after reshape");
+}
+
+TEST(MatKernel, SparseSkipPathIsBitIdenticalToDense) {
+  // The zero-skip path is an opt-in for sparse inputs; skipping a zero lane
+  // must equal adding its (±0) products. Exercised with ~70% zeros the way
+  // the one-hot plan-feature layer produces them.
+  Rng rng(106);
+  for (const Shape& s : {Shape{9, 40, 16}, Shape{33, 19, 48}}) {
+    const Mat a = random_mat(s.m, s.k, rng, /*sparsity=*/0.7);
+    const Mat b = random_mat(s.k, s.n, rng);
+    Mat dense, sparse;
+    matmul(a, b, dense, /*accumulate=*/false, /*skip_zeros=*/false);
+    matmul(a, b, sparse, /*accumulate=*/false, /*skip_zeros=*/true);
+    expect_same_bits(sparse, dense, "skip_zeros");
+  }
+}
+
+TEST(MatKernel, FusedAtBBiasAccEqualsUnfusedPair) {
+  Rng rng(107);
+  for (const Shape& s : {Shape{5, 11, 3}, Shape{32, 48, 16}}) {
+    const Mat a = random_mat(s.k, s.m, rng);
+    const Mat g = random_mat(s.k, s.n, rng);
+    Mat w_grad = random_mat(s.m, s.n, rng);  // pre-existing accumulation
+    Mat b_grad = random_mat(1, s.n, rng);
+    Mat w_want = w_grad;
+    Mat b_want = b_grad;
+    matmul_at_b(a, g, w_want, /*accumulate=*/true);
+    accumulate_bias_grad(g, b_want);
+
+    matmul_at_b_bias_acc(a, g, w_grad, b_grad);
+    expect_same_bits(w_grad, w_want, "fused w_grad");
+    expect_same_bits(b_grad, b_want, "fused bias_grad");
+  }
+}
+
+TEST(MatKernel, FusedLinearBiasActEqualsUnfusedSequence) {
+  Rng rng(108);
+  const Mat x = random_mat(13, 24, rng);
+  Mat w = random_mat(24, 10, rng);
+  Mat bias = random_mat(1, 10, rng);
+
+  for (Activation act :
+       {Activation::kNone, Activation::kRelu, Activation::kLeakyRelu}) {
+    Mat want = ref_matmul(x, w);
+    add_row_bias(want, bias);
+    Mat want_mask(want.rows(), want.cols());
+    for (int i = 0; i < want.rows(); ++i) {
+      for (int j = 0; j < want.cols(); ++j) {
+        float& v = want.at(i, j);
+        switch (act) {
+          case Activation::kNone:
+            want_mask.at(i, j) = 1.0f;
+            break;
+          case Activation::kRelu:
+            want_mask.at(i, j) = v > 0.0f ? 1.0f : 0.0f;
+            if (!(v > 0.0f)) v = 0.0f;
+            break;
+          case Activation::kLeakyRelu:
+            want_mask.at(i, j) = v < 0.0f ? 0.01f : 1.0f;
+            if (v < 0.0f) v *= 0.01f;
+            break;
+        }
+      }
+    }
+    Mat y, mask;
+    linear_bias_act(x, w, bias, act, 0.01f, y, &mask);
+    expect_same_bits(y, want, "fused forward");
+    if (act != Activation::kNone) {
+      expect_same_bits(mask, want_mask, "fused mask");
+    }
+  }
+}
+
+TEST(MatKernel, FusedBackwardEqualsUnfusedSequence) {
+  Rng rng(109);
+  const Mat x = random_mat(9, 14, rng);
+  const Mat w = random_mat(14, 6, rng);
+  const Mat bias = random_mat(1, 6, rng);
+  Mat y, mask;
+  linear_bias_act(x, w, bias, Activation::kRelu, 0.01f, y, &mask);
+  const Mat grad_out = random_mat(9, 6, rng);
+
+  // Unfused: mask multiply, then the three separate gradient ops.
+  Mat gpre_want = grad_out;
+  gpre_want.mul_inplace(mask);
+  Mat w_grad_want(14, 6), b_grad_want(1, 6), grad_in_want;
+  matmul_at_b(x, gpre_want, w_grad_want, /*accumulate=*/true);
+  accumulate_bias_grad(gpre_want, b_grad_want);
+  matmul_a_bt(gpre_want, w, grad_in_want);
+
+  Mat w_grad(14, 6), b_grad(1, 6), grad_in, scratch;
+  linear_bias_act_backward(x, w, grad_out, &mask, scratch, w_grad, b_grad,
+                           grad_in);
+  expect_same_bits(w_grad, w_grad_want, "backward w_grad");
+  expect_same_bits(b_grad, b_grad_want, "backward bias_grad");
+  expect_same_bits(grad_in, grad_in_want, "backward grad_in");
+}
+
+TEST(MatKernel, FusedLinearLayerEqualsLinearPlusRelu) {
+  Rng rng(110);
+  Rng rng_a(42), rng_b(42);  // identical weight initialization
+  Linear fused("l", 12, 7, rng_a, Activation::kRelu);
+  Linear plain("l", 12, 7, rng_b);
+  Relu relu;
+  const Mat x = random_mat(5, 12, rng);
+  Mat got = fused.forward(x);
+  Mat want = relu.forward(plain.forward(x));
+  expect_same_bits(got, want, "Linear fused ReLU");
+}
+
+TEST(MatKernel, FusedTreeConvLayerEqualsUnfusedPlusLeakyRelu) {
+  Rng rng(111);
+  Rng rng_a(43), rng_b(43);
+  TreeConvLayer fused("c", 6, 8, rng_a, Activation::kLeakyRelu, 0.01f,
+                      /*sparse_input=*/true);
+  TreeConvLayer plain("c", 6, 8, rng_b);
+  LeakyRelu act(0.01f);
+  const Mat x = random_mat(7, 6, rng, /*sparsity=*/0.5);
+  const std::vector<int> left = {1, 3, -1, -1, -1, -1, -1};
+  const std::vector<int> right = {2, 4, 5, -1, -1, -1, 6};
+  Mat got = fused.forward(x, left, right);
+  Mat want = act.forward(plain.forward(x, left, right));
+  expect_same_bits(got, want, "TreeConvLayer fused LeakyReLU");
+}
+
+TEST(MatResize, ReusesStorageWhenCapacitySuffices) {
+  Mat m(10, 12);
+  const float* before = m.data();
+  const std::size_t cap = m.capacity();
+  m.resize(6, 20);  // 120 <= 120: same allocation
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 6);
+  EXPECT_EQ(m.cols(), 20);
+  m.resize(2, 3);  // shrink: still the same allocation
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(MatResize, RepeatedMatmulIntoSameOutDoesNotReallocate) {
+  Rng rng(112);
+  const Mat a = random_mat(8, 6, rng);
+  const Mat b = random_mat(6, 10, rng);
+  Mat out;
+  matmul(a, b, out);
+  const float* data = out.data();
+  for (int rep = 0; rep < 5; ++rep) {
+    matmul(a, b, out);
+    EXPECT_EQ(out.data(), data) << "matmul reallocated a same-shape output";
+  }
+  expect_same_bits(out, ref_matmul(a, b), "repeated matmul");
+}
+
+TEST(Workspace, BorrowGiveBackReusesBuffers) {
+  Workspace ws;
+  Mat m1 = ws.borrow(16, 16);
+  const float* p1 = m1.data();
+  ws.give_back(std::move(m1));
+  EXPECT_EQ(ws.pooled(), 1u);
+  // Same-or-smaller request gets the pooled allocation back.
+  Mat m2 = ws.borrow(8, 8);
+  EXPECT_EQ(m2.data(), p1);
+  ws.give_back(std::move(m2));
+}
+
+TEST(Workspace, ScratchReturnsOnScopeExit) {
+  Workspace ws;
+  {
+    Scratch s(ws, 4, 4);
+    s->fill(1.0f);
+    EXPECT_EQ(ws.pooled(), 0u);
+    Scratch nested(ws, 2, 2);  // nested borrow takes a second buffer
+    EXPECT_EQ(ws.pooled(), 0u);
+  }
+  EXPECT_EQ(ws.pooled(), 2u);
+}
+
+TEST(Workspace, TlsArenaKeepsPredictionsAllocationFreeAndStable) {
+  // Two identical TreeConvNet batch passes through the thread-local arena
+  // agree bit-for-bit (borrowed buffers carry stale contents by design; every
+  // consumer must fully overwrite them).
+  Rng rng(113);
+  TreeConvNet::Config cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 16;
+  cfg.embed_dim = 8;
+  cfg.layers = 2;
+  TreeConvNet net(cfg, rng);
+  std::vector<nn::Tree> trees;
+  for (int t = 0; t < 5; ++t) {
+    nn::Tree tree;
+    const int n = 1 + t;
+    tree.features = random_mat(n, 6, rng, /*sparsity=*/0.5);
+    tree.left.assign(static_cast<std::size_t>(n), -1);
+    tree.right.assign(static_cast<std::size_t>(n), -1);
+    for (int i = 0; 2 * i + 1 < n; ++i) {
+      tree.left[static_cast<std::size_t>(i)] = 2 * i + 1;
+      if (2 * i + 2 < n) tree.right[static_cast<std::size_t>(i)] = 2 * i + 2;
+    }
+    trees.push_back(std::move(tree));
+  }
+  std::vector<const Tree*> ptrs;
+  for (const auto& t : trees) ptrs.push_back(&t);
+  const Mat first = net.forward_batch(ptrs);
+  const Mat second = net.forward_batch(ptrs);
+  expect_same_bits(second, first, "forward_batch repeatability");
+  // And each row still equals the single-tree path.
+  for (std::size_t b = 0; b < trees.size(); ++b) {
+    Mat single = net.forward(trees[b]);
+    for (int j = 0; j < single.cols(); ++j) {
+      EXPECT_EQ(first.at(static_cast<int>(b), j), single.at(0, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loam::nn

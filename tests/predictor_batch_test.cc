@@ -115,6 +115,37 @@ TEST_F(PredictorBatch, BatchedScoringIsRepeatable) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
+TEST_F(PredictorBatch, TrainingBitIdenticalAcrossThreadCounts) {
+  // Sharded data-parallel training is a throughput knob only: minibatches
+  // decompose over a FIXED shard count and gradients reduce in shard order,
+  // so the fitted weights are bit-identical for every num_threads. Candidate
+  // plans are passed so the adversarial (GRL + DomClf) path is exercised too.
+  std::vector<std::vector<float>> weights_by_run;
+  for (int nt : {1, 2, 8}) {
+    PredictorConfig cfg;
+    cfg.epochs = 4;
+    cfg.hidden_dim = 16;
+    cfg.num_threads = nt;
+    AdaptiveCostPredictor model(kDim, cfg);
+    model.fit(train_, probes_);
+    std::vector<float> flat;
+    for (const nn::Parameter* p : model.parameters()) {
+      flat.insert(flat.end(), p->value.data(),
+                  p->value.data() + p->value.size());
+    }
+    weights_by_run.push_back(std::move(flat));
+  }
+  ASSERT_EQ(weights_by_run.size(), 3u);
+  for (std::size_t run = 1; run < weights_by_run.size(); ++run) {
+    ASSERT_EQ(weights_by_run[run].size(), weights_by_run[0].size());
+    for (std::size_t i = 0; i < weights_by_run[0].size(); ++i) {
+      // EXPECT_EQ on floats: exact bitwise agreement, not a tolerance.
+      ASSERT_EQ(weights_by_run[run][i], weights_by_run[0][i])
+          << "weight " << i << " differs between num_threads=1 and run " << run;
+    }
+  }
+}
+
 TEST_F(PredictorBatch, BaselineDefaultBatchEqualsPerPlan) {
   // Baselines inherit CostModel::predict_batch's loop-over-predict default;
   // the contract (same values, input order) must hold for them too.

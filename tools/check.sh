@@ -17,6 +17,13 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 
+echo "== Dense-math core perf smoke (BENCH_nn_core.json) =="
+# Blocked GEMM vs in-binary naive replicas + serial-vs-parallel training;
+# exits non-zero if parallel training is not bit-identical to serial.
+./build-release/bench/bench_micro --nn-core-only \
+  --nn-core-json=build-release/BENCH_nn_core.json
+test -s build-release/BENCH_nn_core.json
+
 echo "== ThreadSanitizer build + tests =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}"
