@@ -5,6 +5,8 @@
 #include <set>
 #include <thread>
 
+#include "obs/obs.h"
+
 namespace loam::core {
 
 using warehouse::Flag;
@@ -27,6 +29,22 @@ PlanExplorer::PlanExplorer(const warehouse::NativeOptimizer* optimizer, Config c
 }
 
 CandidateGeneration PlanExplorer::explore(const Query& query) const {
+  // Handles are registered once; recording below is branch-gated relaxed
+  // atomics and never feeds back into plan selection.
+  static obs::Counter* const c_explores =
+      obs::Registry::instance().counter("loam.explorer.explores");
+  static obs::Counter* const c_trials =
+      obs::Registry::instance().counter("loam.explorer.trials");
+  static obs::Counter* const c_kept =
+      obs::Registry::instance().counter("loam.explorer.candidates_kept");
+  static obs::Counter* const c_pruned =
+      obs::Registry::instance().counter("loam.explorer.candidates_pruned");
+  static obs::Histogram* const h_seconds = obs::Registry::instance().histogram(
+      "loam.explorer.explore_seconds",
+      obs::Histogram::exponential_bounds(1e-5, 4.0, 10));
+  obs::Span span(obs::Cat::kExplorer, "explore");
+  obs::ScopedTimer timer(h_seconds);
+
   const auto start = std::chrono::steady_clock::now();
 
   // Expert-curated trial list (Section 3: the six flags were "selected by
@@ -121,6 +139,10 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
   };
   std::vector<TrialResult> results(trials.size());
   auto run_trial = [&](std::size_t i) {
+    // Per-flag-set timing: the trial index deterministically identifies the
+    // knob setting within this query's trial list.
+    obs::Span trial_span(obs::Cat::kExplorer, "optimize_trial",
+                         static_cast<std::int64_t>(i));
     TrialResult& r = results[i];
     Plan plan = optimizer_->optimize(query, trials[i]);
     r.sig = plan.signature();
@@ -188,6 +210,10 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
   }
   out.generation_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  c_explores->add();
+  c_trials->add(trials.size());
+  c_kept->add(out.plans.size());
+  c_pruned->add(trials.size() - out.plans.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/obs.h"
+
 namespace loam::core {
 
 std::string DeploymentGateReport::to_string() const {
@@ -14,9 +16,34 @@ std::string DeploymentGateReport::to_string() const {
   return buf;
 }
 
+std::string DeploymentGateReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("approved", approved);
+  w.kv("queries", queries);
+  w.kv("improved", improved);
+  w.kv("regressed", regressed);
+  w.kv("default_cost", default_cost);
+  w.kv("model_cost", model_cost);
+  w.kv("gain", gain);
+  w.end_object();
+  return w.str();
+}
+
 DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
                                          const LoamDeployment& deployment,
                                          DeploymentGateConfig config) {
+  static obs::Counter* const c_evals =
+      obs::Registry::instance().counter("loam.gate.evaluations");
+  static obs::Counter* const c_approved =
+      obs::Registry::instance().counter("loam.gate.approvals");
+  static obs::Counter* const c_rejected =
+      obs::Registry::instance().counter("loam.gate.rejections");
+  static obs::Counter* const c_improved =
+      obs::Registry::instance().counter("loam.gate.improved_queries");
+  static obs::Counter* const c_regressed =
+      obs::Registry::instance().counter("loam.gate.regressed_queries");
+  obs::Span span(obs::Cat::kGate, "evaluate_deployment");
   DeploymentGateReport report;
   const int day = deployment.config().train_last_day + 1;
   const std::vector<warehouse::Query> queries =
@@ -48,6 +75,10 @@ DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
       static_cast<int>(config.max_regression_ratio *
                        std::max(1, report.improved));
   report.approved = report.queries > 0 && cost_ok && ratio_ok;
+  c_evals->add();
+  (report.approved ? c_approved : c_rejected)->add();
+  c_improved->add(static_cast<std::uint64_t>(report.improved));
+  c_regressed->add(static_cast<std::uint64_t>(report.regressed));
   return report;
 }
 

@@ -34,6 +34,7 @@ struct DeploymentGateReport {
   double gain = 0.0;  // relative cost reduction (negative = regression)
 
   std::string to_string() const;
+  std::string to_json() const;
 };
 
 // Samples fresh queries from the project's workload for the days immediately

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace loam::core {
 
 using warehouse::EnvFeatures;
@@ -107,6 +109,9 @@ LoamDeployment::LoamDeployment(ProjectRuntime* runtime, LoamConfig config,
 }
 
 void LoamDeployment::train() {
+  static obs::Gauge* const g_train_seconds =
+      obs::Registry::instance().gauge("loam.pipeline.train_seconds");
+  obs::Span span(obs::Cat::kPipeline, "train");
   const auto start = std::chrono::steady_clock::now();
   const warehouse::QueryRepository& repo = runtime_->repository();
 
@@ -165,6 +170,7 @@ void LoamDeployment::train() {
   model_->fit(data_.default_plans, data_.candidate_plans);
   train_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  g_train_seconds->set(train_seconds_);
 }
 
 int LoamDeployment::select(const CandidateGeneration& generation,
@@ -175,6 +181,12 @@ int LoamDeployment::select(const CandidateGeneration& generation,
 int LoamDeployment::select_with_strategy(const CandidateGeneration& generation,
                                          EnvInferenceStrategy strategy,
                                          std::vector<double>* predictions) const {
+  static obs::Counter* const c_default =
+      obs::Registry::instance().counter("loam.pipeline.selected_default");
+  static obs::Counter* const c_steered =
+      obs::Registry::instance().counter("loam.pipeline.selected_steered");
+  obs::Span span(obs::Cat::kPipeline, "select",
+                 static_cast<std::int64_t>(generation.plans.size()));
   EnvFeatures env;
   if (strategy == EnvInferenceStrategy::kClusterInstant) {
     EnvContext ctx = env_context_;
@@ -204,10 +216,19 @@ int LoamDeployment::select_with_strategy(const CandidateGeneration& generation,
     }
   }
   if (predictions != nullptr) *predictions = std::move(preds);
+  (best == generation.default_index ? c_default : c_steered)->add();
   return best;
 }
 
 LoamDeployment::Choice LoamDeployment::optimize(const Query& query) const {
+  static obs::Counter* const c_queries =
+      obs::Registry::instance().counter("loam.pipeline.queries_optimized");
+  static obs::Histogram* const h_seconds = obs::Registry::instance().histogram(
+      "loam.pipeline.optimize_seconds",
+      obs::Histogram::exponential_bounds(1e-4, 2.0, 14));
+  obs::Span span(obs::Cat::kPipeline, "optimize");
+  obs::ScopedTimer timer(h_seconds);
+  c_queries->add();
   Choice choice;
   choice.generation = explorer_.explore(query);
   const auto start = std::chrono::steady_clock::now();
@@ -225,6 +246,11 @@ std::vector<std::vector<double>> paired_replay(
     const std::vector<Plan>& plans, const warehouse::ClusterConfig& cluster_config,
     const warehouse::ExecutorConfig& executor_config, int runs,
     std::uint64_t seed) {
+  static obs::Counter* const c_replays =
+      obs::Registry::instance().counter("loam.flighting.replays");
+  obs::Span span(obs::Cat::kFlighting, "paired_replay",
+                 static_cast<std::int64_t>(plans.size()));
+  c_replays->add(plans.size() * static_cast<std::size_t>(std::max(0, runs)));
   std::vector<std::vector<double>> samples(
       plans.size(), std::vector<double>(static_cast<std::size_t>(runs), 0.0));
   warehouse::Cluster master(cluster_config, seed ^ 0x3a57e5ull);

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "nn/serialize.h"
+#include "obs/obs.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -51,6 +52,18 @@ double LogCostScaler::to_cost(double z) const {
   return std::expm1(std::clamp(z * sd + mu, -30.0, 30.0));
 }
 
+std::string TrainingDiagnostics::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("final_cost_loss", final_cost_loss);
+  w.kv("final_domain_loss", final_domain_loss);
+  w.kv("final_domain_accuracy", final_domain_accuracy);
+  w.kv("train_seconds", train_seconds);
+  w.kv("epochs_run", epochs_run);
+  w.end_object();
+  return w.str();
+}
+
 AdaptiveCostPredictor::AdaptiveCostPredictor(int input_dim, PredictorConfig config)
     : config_(config) {
   Rng rng(config.seed);
@@ -80,8 +93,20 @@ double AdaptiveCostPredictor::grl_lambda(double progress) {
 
 void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plans,
                                 const std::vector<nn::Tree>& candidate_plans) {
+  static obs::Counter* const c_fits =
+      obs::Registry::instance().counter("loam.predictor.fit_calls");
+  static obs::Counter* const c_epochs =
+      obs::Registry::instance().counter("loam.predictor.fit_epochs");
+  static obs::Counter* const c_examples =
+      obs::Registry::instance().counter("loam.predictor.fit_examples");
+  static obs::Gauge* const g_cost_loss =
+      obs::Registry::instance().gauge("loam.predictor.last_cost_loss");
+  obs::Span fit_span(obs::Cat::kPredictor, "fit",
+                     static_cast<std::int64_t>(default_plans.size()));
   const auto start = std::chrono::steady_clock::now();
   if (default_plans.empty()) return;
+  c_fits->add();
+  c_examples->add(default_plans.size());
   scaler_.fit(default_plans);
 
   Rng rng(config_.seed ^ 0xabcdefull);
@@ -133,6 +158,7 @@ void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plan
   std::vector<int> cand_idx;  // candidate draws, pre-drawn serially per batch
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::Span epoch_span(obs::Cat::kPredictor, "fit_epoch", epoch);
     rng.shuffle(order);
     const double progress = static_cast<double>(epoch) / std::max(1, config_.epochs - 1);
     const double lambda = adversarial ? grl_lambda(progress) : 0.0;
@@ -258,6 +284,8 @@ void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plan
     }
     optimizer_->decay_lr(config_.lr_decay);
     diagnostics_.epochs_run = epoch + 1;
+    c_epochs->add();
+    g_cost_loss->set(diagnostics_.final_cost_loss);
   }
   diagnostics_.train_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -272,6 +300,19 @@ double AdaptiveCostPredictor::predict(const nn::Tree& tree) const {
 std::vector<double> AdaptiveCostPredictor::predict_batch(
     const std::vector<nn::Tree>& trees) const {
   if (trees.empty()) return {};
+  static obs::Counter* const c_calls =
+      obs::Registry::instance().counter("loam.predictor.predict_batch_calls");
+  static obs::Histogram* const h_seconds = obs::Registry::instance().histogram(
+      "loam.predictor.predict_batch_seconds",
+      obs::Histogram::exponential_bounds(1e-6, 4.0, 10));
+  static obs::Histogram* const h_size = obs::Registry::instance().histogram(
+      "loam.predictor.predict_batch_size",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 10));
+  obs::Span span(obs::Cat::kPredictor, "predict_batch",
+                 static_cast<std::int64_t>(trees.size()));
+  obs::ScopedTimer timer(h_seconds);
+  c_calls->add();
+  h_size->observe(static_cast<double>(trees.size()));
   std::vector<const nn::Tree*> ptrs;
   ptrs.reserve(trees.size());
   for (const nn::Tree& t : trees) ptrs.push_back(&t);

@@ -18,6 +18,7 @@
 #define LOAM_CORE_PREDICTOR_H_
 
 #include <memory>
+#include <string>
 
 #include "core/cost_model.h"
 #include "nn/layers.h"
@@ -53,6 +54,8 @@ struct TrainingDiagnostics {
   double final_domain_accuracy = 0.0;  // of DomClf on the last epoch
   double train_seconds = 0.0;
   int epochs_run = 0;
+
+  std::string to_json() const;
 };
 
 class AdaptiveCostPredictor : public CostModel {

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "obs/obs.h"
 #include "util/hash.h"
 
 namespace loam::core {
@@ -51,6 +52,10 @@ FilterThresholds FilterThresholds::make_default() {
 
 FilterDecision apply_filter(const WorkloadSummary& summary,
                             const FilterThresholds& thresholds) {
+  static obs::Counter* const c_pass =
+      obs::Registry::instance().counter("loam.selector.filter_pass");
+  static obs::Counter* const c_reject =
+      obs::Registry::instance().counter("loam.selector.filter_reject");
   FilterDecision d;
   d.n_query = summary.n_query();
   d.inc_ratio = summary.query_inc_ratio();
@@ -59,7 +64,22 @@ FilterDecision apply_filter(const WorkloadSummary& summary,
   d.r2 = d.inc_ratio >= thresholds.r;
   d.r3 = d.stable_ratio >= thresholds.theta;
   d.pass = d.r1 && d.r2 && d.r3;
+  (d.pass ? c_pass : c_reject)->add();
   return d;
+}
+
+std::string FilterDecision::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("pass", pass);
+  w.kv("r1", r1);
+  w.kv("r2", r2);
+  w.kv("r3", r3);
+  w.kv("n_query", n_query);
+  w.kv("inc_ratio", inc_ratio);
+  w.kv("stable_ratio", stable_ratio);
+  w.end_object();
+  return w.str();
 }
 
 // ---------------------------------------------------------------------------

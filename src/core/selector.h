@@ -55,6 +55,8 @@ struct FilterDecision {
   bool pass = false;
   bool r1 = false, r2 = false, r3 = false;
   double n_query = 0.0, inc_ratio = 0.0, stable_ratio = 0.0;
+
+  std::string to_json() const;
 };
 
 FilterDecision apply_filter(const WorkloadSummary& summary,

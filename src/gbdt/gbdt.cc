@@ -5,6 +5,8 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/obs.h"
+
 namespace loam::gbdt {
 
 namespace {
@@ -33,9 +35,15 @@ constexpr std::size_t kParallelSplitMinRows = 64;
 }  // namespace
 
 void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
+  static obs::Counter* const c_fits =
+      obs::Registry::instance().counter("loam.gbdt.fits");
+  static obs::Counter* const c_trees =
+      obs::Registry::instance().counter("loam.gbdt.trees");
+  obs::Span span(obs::Cat::kGbdt, "fit", static_cast<std::int64_t>(x.size()));
   trees_.clear();
   const std::size_t n = x.size();
   if (n == 0) return;
+  c_fits->add();
 
   const int num_threads = resolve_threads(params_.num_threads);
   std::unique_ptr<util::ThreadPool> pool;
@@ -63,7 +71,11 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
     }
 
     Tree tree;
-    build_tree(tree, x, grad, hess, rows, rng);
+    {
+      obs::Span tree_span(obs::Cat::kGbdt, "build_tree", t);
+      build_tree(tree, x, grad, hess, rows, rng);
+    }
+    c_trees->add();
     trees_.push_back(tree);
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -215,6 +227,9 @@ double GbdtRegressor::predict(std::span<const float> features) const {
 }
 
 std::vector<double> GbdtRegressor::predict_all(const FeatureMatrix& x) const {
+  static obs::Counter* const c_preds =
+      obs::Registry::instance().counter("loam.gbdt.batch_predictions");
+  c_preds->add(x.size());
   std::vector<double> out;
   out.reserve(x.size());
   for (const auto& row : x) out.push_back(predict(row));

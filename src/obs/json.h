@@ -1,0 +1,146 @@
+// Minimal hand-rolled JSON writer shared by every export path: the metrics
+// snapshot, the Chrome-trace drain, BENCH_obs.json, and the report structs'
+// to_json() methods (DeploymentGateReport, FilterDecision,
+// TrainingDiagnostics). Streaming, comma-managed, escape-correct; the only
+// deliberate deviation from RFC 8259 is that non-finite doubles serialize as
+// null (JSON has no NaN/Inf literal).
+#ifndef LOAM_OBS_JSON_H_
+#define LOAM_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loam::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ += '{';
+    frames_.push_back({true});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    frames_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    out_ += '[';
+    frames_.push_back({true});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    frames_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    prefix();
+    write_string(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    prefix();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null() {
+    prefix();
+    out_ += "null";
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  struct Frame {
+    bool first;
+  };
+
+  void prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (frames_.empty()) return;
+    if (!frames_.back().first) out_ += ',';
+    frames_.back().first = false;
+  }
+
+  void write_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> frames_;
+  bool after_key_ = false;
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_JSON_H_

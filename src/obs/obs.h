@@ -1,0 +1,17 @@
+// loam::obs — the observability layer: metrics registry (counters, gauges,
+// fixed-bucket histograms), RAII scoped tracing with Chrome-trace export, and
+// the shared JSON writer. One include for instrumented sites.
+//
+// Everything is compiled in but off by default: with metrics and tracing
+// disabled (the test/bench default) every instrumented site costs one branch
+// on a relaxed atomic flag. Enable with set_metrics_enabled(true) /
+// set_tracing_enabled(true) — loam_sim_cli does so when --metrics-out /
+// --trace-out are passed. Metric catalog and usage: docs/OBSERVABILITY.md.
+#ifndef LOAM_OBS_OBS_H_
+#define LOAM_OBS_OBS_H_
+
+#include "obs/json.h"      // IWYU pragma: export
+#include "obs/registry.h"  // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export
+
+#endif  // LOAM_OBS_OBS_H_

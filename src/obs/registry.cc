@@ -1,0 +1,204 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace loam::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(edge);
+    edge *= factor;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double step,
+                                             int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(start + step * i);
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+[[noreturn]] void kind_mismatch(const std::string& name) {
+  std::fprintf(stderr,
+               "obs::Registry: metric '%s' re-registered as a different kind\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kCounter) kind_mismatch(name);
+    return e.counter;
+  }
+  Counter& c = counters_.emplace_back();
+  index_[name] = entries_.size();
+  entries_.push_back({name, MetricKind::kCounter, &c, nullptr, nullptr});
+  return &c;
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kGauge) kind_mismatch(name);
+    return e.gauge;
+  }
+  Gauge& g = gauges_.emplace_back();
+  index_[name] = entries_.size();
+  entries_.push_back({name, MetricKind::kGauge, nullptr, &g, nullptr});
+  return &g;
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kHistogram) kind_mismatch(name);
+    return e.histogram;
+  }
+  Histogram& h = histograms_.emplace_back(std::move(bounds));
+  index_[name] = entries_.size();
+  entries_.push_back({name, MetricKind::kHistogram, nullptr, nullptr, &h});
+  return &h;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot m;
+    m.name = e.name;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        m.count = e.histogram->count();
+        m.value = e.histogram->sum();
+        m.bounds = e.histogram->bounds();
+        m.buckets.reserve(m.bounds.size() + 1);
+        for (std::size_t b = 0; b <= m.bounds.size(); ++b) {
+          m.buckets.push_back(e.histogram->bucket_count(b));
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) c.reset();
+  for (Gauge& g : gauges_) g.reset();
+  for (Histogram& h : histograms_) h.reset();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+const MetricSnapshot* RegistrySnapshot::find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics");
+  w.begin_array();
+  for (const MetricSnapshot& m : metrics) {
+    w.begin_object();
+    w.kv("name", m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        w.kv("type", "counter");
+        w.kv("value", m.count);
+        break;
+      case MetricKind::kGauge:
+        w.kv("type", "gauge");
+        w.kv("value", m.value);
+        break;
+      case MetricKind::kHistogram:
+        w.kv("type", "histogram");
+        w.kv("count", m.count);
+        w.kv("sum", m.value);
+        w.key("buckets");
+        w.begin_array();
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          w.begin_object();
+          if (b < m.bounds.size()) {
+            w.kv("le", m.bounds[b]);
+          } else {
+            w.kv("le", "inf");
+          }
+          w.kv("count", m.buckets[b]);
+          w.end_object();
+        }
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace loam::obs

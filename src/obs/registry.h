@@ -1,0 +1,184 @@
+// Process-wide metrics registry: lock-cheap counters, gauges, and
+// fixed-bucket histograms behind pointer-stable handles.
+//
+// The contract with hot paths:
+//   * A site obtains its handle ONCE (typically a function-local static) —
+//     registration takes the registry mutex, but only on first execution.
+//   * Recording is one relaxed-atomic operation guarded by a single branch on
+//     the global enable flag. With metrics disabled (the default — tests and
+//     benchmarks run this way), every site costs exactly that branch.
+//   * Recording never allocates, never locks, and never touches any RNG
+//     stream, so instrumentation cannot perturb the bit-identity guarantees
+//     of the parallel explorer / data-parallel trainer.
+//
+// snapshot() copies every registered metric under the registration mutex (a
+// consistent pass over relaxed loads) and serializes to JSON via
+// obs::JsonWriter. Naming convention: loam.<layer>.<name> — see
+// docs/OBSERVABILITY.md for the catalog.
+#ifndef LOAM_OBS_REGISTRY_H_
+#define LOAM_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loam::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+// The one branch every disabled site pays.
+inline bool metrics_on() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline bool tracing_on() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+void set_tracing_enabled(bool on);
+
+// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (metrics_on()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (metrics_on()) {
+      bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+    }
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // 0 is the bit pattern of +0.0, so the default reads as 0.0.
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+// Fixed-bucket latency/size histogram: `bounds` are ascending inclusive upper
+// edges, plus an implicit +inf overflow bucket. Bucket search is a linear
+// scan (bounds are short by design); count/sum accumulate alongside.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    if (!metrics_on()) return;
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // CAS add: std::atomic<double>::fetch_add is C++20 but this spelling is
+    // portable to every libstdc++/libc++ the project targets.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // b in [0, bounds().size()]; the last index is the +inf overflow bucket.
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  // start, start*factor, start*factor^2, ... (`count` edges).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+  // start, start+step, ... (`count` edges).
+  static std::vector<double> linear_bounds(double start, double step, int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value, or histogram observation count
+  double value = 0.0;       // gauge value, or histogram sum
+  std::vector<double> bounds;          // histograms only
+  std::vector<std::uint64_t> buckets;  // histograms only (bounds.size() + 1)
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;  // registration order
+
+  const MetricSnapshot* find(std::string_view name) const;
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Idempotent: re-registering a name returns the original handle (a
+  // histogram's bounds are fixed by its first registration). Registering an
+  // existing name as a different kind is a programming error and aborts.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  RegistrySnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+  // Zeroes every metric, keeping registrations and handles valid. Callers
+  // must ensure no concurrent recording expects exact totals across a reset.
+  void reset();
+  std::size_t size() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  // deques: pointer stability across growth — handles never dangle.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;               // registration order
+  std::map<std::string, std::size_t> index_;  // name -> entries_ position
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_REGISTRY_H_

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace loam::obs {
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kExplorer: return "explorer";
+    case Cat::kPredictor: return "predictor";
+    case Cat::kGbdt: return "gbdt";
+    case Cat::kGate: return "gate";
+    case Cat::kFlighting: return "flighting";
+    case Cat::kFuxi: return "fuxi";
+    case Cat::kExecutor: return "executor";
+    case Cat::kPipeline: return "pipeline";
+  }
+  return "unknown";
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (!ring) {
+    ring = std::make_shared<Ring>(next_tid_.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(ring);
+  }
+  return *ring;
+}
+
+void Tracer::record(const char* name, Cat cat, std::int64_t start_ns,
+                    std::int64_t dur_ns, std::int64_t arg) {
+  Ring& ring = local_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Slot& s = ring.slots[h % kRingCapacity];
+  // Single-writer seqlock: odd sequence marks the slot in flux so a
+  // concurrent drain discards whatever it reads.
+  const std::uint64_t sq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(sq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.name.store(name, std::memory_order_relaxed);
+  s.cat.store(static_cast<std::uint8_t>(cat), std::memory_order_relaxed);
+  s.start_ns.store(start_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.seq.store(sq + 2, std::memory_order_release);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::drain() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, kRingCapacity);
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& s = ring->slots[i % kRingCapacity];
+      const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;
+      TraceEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.cat = static_cast<Cat>(s.cat.load(std::memory_order_relaxed));
+      e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      e.arg = s.arg.load(std::memory_order_relaxed);
+      e.tid = ring->tid;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != s1 || e.name == nullptr) {
+        continue;  // caught mid-overwrite — skip
+      }
+      out.push_back(e);
+    }
+  }
+  // Oldest first; at equal starts, enclosing (longer) spans come first so
+  // viewers nest children correctly.
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> events = drain();
+  JsonWriter w;
+  w.begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", cat_name(e.cat));
+    w.kv("ph", "X");
+    // Chrome trace timestamps are microseconds.
+    w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.arg >= 0) {
+      w.key("args");
+      w.begin_object();
+      w.kv("v", e.arg);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+    if (h > kRingCapacity) total += h - kRingCapacity;
+  }
+  return total;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace loam::obs

@@ -1,0 +1,159 @@
+// Scoped tracing: RAII obs::Span timers writing complete ("ph":"X") events
+// into per-thread ring buffers, drained into Chrome trace_event JSON that
+// chrome://tracing and Perfetto load directly.
+//
+// Hot-path contract (mirrors the registry's):
+//   * A disabled span costs one branch on the tracing flag; nothing else.
+//   * An enabled span costs two steady_clock reads plus a handful of relaxed
+//     atomic stores into the calling thread's own ring — no locks, no
+//     allocation (after the thread's first event), no RNG interaction.
+//   * Memory is bounded: each recording thread owns one fixed-capacity ring;
+//     overflow overwrites the oldest events and is surfaced via dropped().
+//
+// Concurrency: each ring slot is a tiny single-writer seqlock (writer bumps
+// the slot's sequence to odd, publishes the fields as relaxed atomics, then
+// bumps to even with release). drain() validates the sequence around its
+// reads and simply skips slots caught mid-write, so a drain taken while
+// other threads keep recording is safe — and TSan-clean, because every field
+// involved is atomic.
+#ifndef LOAM_OBS_TRACE_H_
+#define LOAM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace loam::obs {
+
+// Span categories — the "cat" field in the Chrome trace. One per
+// instrumented layer.
+enum class Cat : std::uint8_t {
+  kExplorer = 0,
+  kPredictor,
+  kGbdt,
+  kGate,
+  kFlighting,
+  kFuxi,
+  kExecutor,
+  kPipeline,
+};
+inline constexpr int kCatCount = 8;
+const char* cat_name(Cat cat);
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string supplied by the span site
+  Cat cat = Cat::kExplorer;
+  std::uint32_t tid = 0;       // tracer-assigned thread index
+  std::int64_t start_ns = 0;   // relative to the process trace epoch
+  std::int64_t dur_ns = 0;
+  std::int64_t arg = -1;       // optional payload (trial index, batch size…)
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+  // Nanoseconds since the process trace epoch (first call).
+  static std::int64_t now_ns();
+
+  // Records one complete event into the calling thread's ring.
+  void record(const char* name, Cat cat, std::int64_t start_ns,
+              std::int64_t dur_ns, std::int64_t arg = -1);
+
+  // Copies the resident events of every ring, oldest first (sorted by start
+  // time). Safe concurrently with recording; mid-write slots are skipped.
+  std::vector<TraceEvent> drain() const;
+  // Chrome trace_event JSON: a top-level array of "ph":"X" events,
+  // loadable by chrome://tracing and ui.perfetto.dev.
+  std::string to_chrome_json() const;
+
+  // Events recorded since the last reset (resident + evicted).
+  std::uint64_t recorded() const;
+  // Events evicted by ring overflow since the last reset.
+  std::uint64_t dropped() const;
+  // Empties every ring. Requires no concurrent recording.
+  void reset();
+
+  static constexpr std::size_t kRingCapacity = 8192;  // per recording thread
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = being written
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint8_t> cat{0};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> dur_ns{0};
+    std::atomic<std::int64_t> arg{-1};
+  };
+  struct Ring {
+    explicit Ring(std::uint32_t tid_in) : slots(kRingCapacity), tid(tid_in) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  // total events ever pushed
+    std::uint32_t tid;
+  };
+
+  Tracer() = default;
+  Ring& local_ring();
+
+  mutable std::mutex mu_;
+  // shared_ptrs keep rings of exited threads alive for the final drain.
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+// RAII scoped timer emitting one trace event on destruction. `name` must be
+// a string with static storage duration (the ring stores the pointer).
+class Span {
+ public:
+  Span(Cat cat, const char* name, std::int64_t arg = -1)
+      : name_(tracing_on() ? name : nullptr), cat_(cat), arg_(arg) {
+    if (name_ != nullptr) start_ns_ = Tracer::now_ns();
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      const std::int64_t end_ns = Tracer::now_ns();
+      Tracer::instance().record(name_, cat_, start_ns_, end_ns - start_ns_,
+                                arg_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  Cat cat_;
+  std::int64_t arg_;
+  std::int64_t start_ns_ = 0;
+};
+
+// RAII timer observing elapsed SECONDS into a histogram at scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(metrics_on() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ns_ = Tracer::now_ns();
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(1e-9 *
+                     static_cast<double>(Tracer::now_ns() - start_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_TRACE_H_

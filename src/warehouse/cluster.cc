@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace loam::warehouse {
 
 Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
@@ -19,6 +21,9 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
 }
 
 void Cluster::tick() {
+  static obs::Counter* const c_ticks =
+      obs::Registry::instance().counter("loam.cluster.ticks");
+  c_ticks->add();
   now_s_ += config_.metric_period_s;
   const double phase = 2.0 * M_PI * now_s_ / config_.seconds_per_day;
   const double diurnal = config_.diurnal_amplitude * std::sin(phase);

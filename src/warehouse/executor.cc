@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace loam::warehouse {
 
 double operator_work(const Plan& plan, const PlanNode& node,
@@ -66,6 +68,20 @@ Executor::Executor(Cluster* cluster, ExecutorConfig config)
     : cluster_(cluster), config_(config) {}
 
 ExecutionResult Executor::execute(Plan& plan, Rng& rng) {
+  static obs::Counter* const c_queries =
+      obs::Registry::instance().counter("loam.executor.queries");
+  static obs::Counter* const c_stages =
+      obs::Registry::instance().counter("loam.executor.stages");
+  static obs::Histogram* const h_stage_cost =
+      obs::Registry::instance().histogram(
+          "loam.executor.stage_cpu_cost",
+          obs::Histogram::exponential_bounds(10.0, 10.0, 8));
+  static obs::Histogram* const h_stage_wait =
+      obs::Registry::instance().histogram(
+          "loam.executor.stage_wait_seconds",
+          obs::Histogram::exponential_bounds(0.01, 2.0, 12));
+  obs::Span span(obs::Cat::kExecutor, "execute");
+  c_queries->add();
   ExecutionResult result;
   StageGraph graph = decompose_into_stages(plan, config_.stage_config);
   if (graph.stage_count() == 0) return result;
@@ -128,6 +144,10 @@ ExecutionResult Executor::execute(Plan& plan, Rng& rng) {
       start = std::max(start, finish[static_cast<std::size_t>(u)]);
     }
     finish[static_cast<std::size_t>(sid)] = start + stage_time;
+
+    c_stages->add();
+    h_stage_cost->observe(cost);
+    h_stage_wait->observe(start);  // time blocked on upstream stages
 
     // The cluster keeps moving while the stage runs.
     cluster_->advance(std::min(stage_time, 120.0));

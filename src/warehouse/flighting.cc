@@ -1,5 +1,7 @@
 #include "warehouse/flighting.h"
 
+#include "obs/obs.h"
+
 namespace loam::warehouse {
 
 FlightingEnv::FlightingEnv(ClusterConfig cluster_config,
@@ -9,6 +11,10 @@ FlightingEnv::FlightingEnv(ClusterConfig cluster_config,
       rng_(seed) {}
 
 ExecutionResult FlightingEnv::replay_once(const Plan& plan) {
+  static obs::Counter* const c_replays =
+      obs::Registry::instance().counter("loam.flighting.env_replays");
+  obs::Span span(obs::Cat::kFlighting, "replay");
+  c_replays->add();
   // Decorrelate consecutive replays: let the cluster drift for a random
   // interval before launching.
   cluster_.advance(rng_.uniform(120.0, 1200.0));

@@ -2,10 +2,21 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace loam::warehouse {
 
 std::vector<int> FuxiScheduler::allocate(const Cluster& cluster, int instances,
                                          Rng& rng) const {
+  static obs::Counter* const c_allocations =
+      obs::Registry::instance().counter("loam.fuxi.allocations");
+  static obs::Counter* const c_instances =
+      obs::Registry::instance().counter("loam.fuxi.instances");
+  static obs::Histogram* const h_busy = obs::Registry::instance().histogram(
+      "loam.fuxi.machine_busy", obs::Histogram::linear_bounds(0.1, 0.1, 9));
+  obs::Span span(obs::Cat::kFuxi, "allocate", instances);
+  c_allocations->add();
+  c_instances->add(static_cast<std::uint64_t>(std::max(0, instances)));
   // Softmax over idleness: weight_m = exp(bias * (1 - busy_m)).
   const int n = cluster.size();
   std::vector<double> weights(static_cast<std::size_t>(n));
@@ -27,6 +38,7 @@ std::vector<int> FuxiScheduler::allocate(const Cluster& cluster, int instances,
         break;
       }
     }
+    h_busy->observe(cluster.busyness(pick));  // load sample of the chosen machine
     out.push_back(pick);
   }
   return out;

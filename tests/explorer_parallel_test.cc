@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/explorer.h"
+#include "obs/obs.h"
 #include "warehouse/workload.h"
 
 namespace loam::core {
@@ -122,6 +123,32 @@ TEST(ExplorerParallel, DefaultConfigResolvesHardwareConcurrency) {
     const warehouse::Query q = fx.query(t);
     expect_identical(legacy.explore(q), defaulted.explore(q), "default-vs-1");
   }
+}
+
+TEST(ExplorerParallel, ObsEnabledLeavesResultsBitIdentical) {
+  // Instrumentation (metrics + tracing) reads clocks and bumps atomics but
+  // never draws from an RNG stream, so candidate sets are bit-identical with
+  // the full obs stack on — serial and parallel alike.
+  Fixture fx(29, /*stats_coverage=*/0.4);
+  for (int threads : {1, 4}) {
+    ExplorerConfig cfg;
+    cfg.num_threads = threads;
+    cfg.risky_trials = true;
+    PlanExplorer explorer(fx.optimizer.get(), cfg);
+    for (int t = 0; t < 4; ++t) {
+      const warehouse::Query q = fx.query(t);
+      obs::set_metrics_enabled(false);
+      obs::set_tracing_enabled(false);
+      const CandidateGeneration plain = explorer.explore(q);
+      obs::set_metrics_enabled(true);
+      obs::set_tracing_enabled(true);
+      const CandidateGeneration traced = explorer.explore(q);
+      obs::set_metrics_enabled(false);
+      obs::set_tracing_enabled(false);
+      expect_identical(plain, traced, threads == 1 ? "obs-serial" : "obs-parallel");
+    }
+  }
+  obs::Tracer::instance().reset();
 }
 
 TEST(ExplorerParallel, RoughCostsAlignWithPlans) {

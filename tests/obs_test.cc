@@ -1,0 +1,364 @@
+// loam::obs contract tests: registry semantics (gated recording, idempotent
+// registration, histogram bucketing), snapshot consistency under concurrent
+// writers, span ring-buffer overflow behavior, Chrome-trace JSON
+// well-formedness, and the no-perturbation guarantee — enabling metrics and
+// tracing must leave trained predictor weights bit-identical.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.h"
+#include "obs/obs.h"
+#include "util/rng.h"
+
+namespace loam::obs {
+namespace {
+
+// Every test must leave the process-wide flags disabled (other suites in
+// this binary assume the default-off state).
+struct ObsGuard {
+  ~ObsGuard() {
+    set_metrics_enabled(false);
+    set_tracing_enabled(false);
+  }
+};
+
+// Minimal structural JSON checker: tokenizes strings (with escapes) and
+// verifies bracket balance plus the comma placement rules JSON requires. The
+// CI smoke (tools/check.sh) additionally validates exported files with
+// python3 -m json.tool; this keeps the property testable without a parser.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  char prev = 0;  // last structural character
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        prev = '"';
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[':
+        if (prev == '}' || prev == ']' || prev == '"') return false;
+        stack.push_back(c);
+        prev = c;
+        break;
+      case '}': case ']':
+        if (stack.empty()) return false;
+        if (prev == ',') return false;  // trailing comma
+        if (c == '}' && stack.back() != '{') return false;
+        if (c == ']' && stack.back() != '[') return false;
+        stack.pop_back();
+        prev = c;
+        break;
+      case ',':
+        if (prev == ',' || prev == '{' || prev == '[') return false;
+        prev = c;
+        break;
+      case ':': prev = c; break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) prev = 'v';
+        break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(JsonWriter, NestingEscapingAndNonFinite) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("plain", "ab");
+  w.kv("escaped", "q\"b\\s\nt\tc\x01");
+  w.kv("int", -3);
+  w.kv("flag", true);
+  w.key("nan");
+  w.value(std::nan(""));
+  w.key("arr");
+  w.begin_array();
+  w.value(1.5);
+  w.null();
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const std::string s = w.str();
+  EXPECT_TRUE(json_well_formed(s)) << s;
+  EXPECT_NE(s.find("\"escaped\":\"q\\\"b\\\\s\\nt\\tc\\u0001\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"nan\":null"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"arr\":[1.5,null,{}]"), std::string::npos) << s;
+}
+
+TEST(Registry, DisabledRecordingIsANoOp) {
+  ObsGuard guard;
+  Registry& reg = Registry::instance();
+  Counter* c = reg.counter("test.noop.counter");
+  Gauge* g = reg.gauge("test.noop.gauge");
+  Histogram* h = reg.histogram("test.noop.hist", {1.0, 2.0});
+  c->reset(); g->reset(); h->reset();
+
+  set_metrics_enabled(false);
+  c->add(5);
+  g->set(3.25);
+  h->observe(1.5);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+
+  set_metrics_enabled(true);
+  c->add(5);
+  g->set(3.25);
+  h->observe(1.5);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(g->value(), 3.25);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(Registry, RegistrationIsIdempotentAndPointerStable) {
+  Registry& reg = Registry::instance();
+  Counter* a = reg.counter("test.idem.counter");
+  // Register enough other metrics to force any non-stable storage to move.
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("test.idem.filler." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("test.idem.counter"), a);
+  Histogram* h = reg.histogram("test.idem.hist", {1.0});
+  EXPECT_EQ(reg.histogram("test.idem.hist", {99.0}), h);  // bounds fixed by first
+  EXPECT_EQ(h->bounds().size(), 1u);
+  EXPECT_EQ(h->bounds()[0], 1.0);
+}
+
+TEST(Registry, HistogramBucketsAndBoundHelpers) {
+  ObsGuard guard;
+  Registry& reg = Registry::instance();
+  Histogram* h = reg.histogram("test.buckets.hist", {1.0, 10.0, 100.0});
+  h->reset();
+  set_metrics_enabled(true);
+  for (double v : {0.5, 1.0, 5.0, 10.0, 99.0, 1000.0}) h->observe(v);
+  // Inclusive upper edges: 1.0 lands in bucket 0, 10.0 in bucket 1.
+  EXPECT_EQ(h->bucket_count(0), 2u);   // 0.5, 1.0
+  EXPECT_EQ(h->bucket_count(1), 2u);   // 5.0, 10.0
+  EXPECT_EQ(h->bucket_count(2), 1u);   // 99.0
+  EXPECT_EQ(h->bucket_count(3), 1u);   // 1000.0 -> +inf overflow
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 5.0 + 10.0 + 99.0 + 1000.0);
+
+  const auto exp = Histogram::exponential_bounds(1.0, 4.0, 3);
+  ASSERT_EQ(exp.size(), 3u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[1], 4.0);
+  EXPECT_DOUBLE_EQ(exp[2], 16.0);
+  const auto lin = Histogram::linear_bounds(0.5, 0.25, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[1], 0.75);
+}
+
+TEST(Registry, SnapshotSeesConsistentTotalsUnderConcurrentWriters) {
+  ObsGuard guard;
+  Registry& reg = Registry::instance();
+  Counter* c = reg.counter("test.mt.counter");
+  Histogram* h = reg.histogram("test.mt.hist", Histogram::exponential_bounds(1.0, 2.0, 6));
+  c->reset();
+  h->reset();
+  set_metrics_enabled(true);
+
+  constexpr int kThreads = 4, kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->add();
+        h->observe(static_cast<double>(1 + (t + i) % 40));
+      }
+    });
+  }
+  // Snapshots taken mid-flight must be internally sane (monotone count,
+  // buckets summing to count at the histogram level is only guaranteed at
+  // quiescence; here we check monotonicity and no torn names).
+  std::uint64_t last = 0;
+  for (int probe = 0; probe < 50; ++probe) {
+    const RegistrySnapshot snap = reg.snapshot();
+    const MetricSnapshot* mc = snap.find("test.mt.counter");
+    ASSERT_NE(mc, nullptr);
+    EXPECT_GE(mc->count, last);
+    last = mc->count;
+  }
+  for (auto& w : workers) w.join();
+
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* mc = snap.find("test.mt.counter");
+  const MetricSnapshot* mh = snap.find("test.mt.hist");
+  ASSERT_NE(mc, nullptr);
+  ASSERT_NE(mh, nullptr);
+  EXPECT_EQ(mc->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(mh->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : mh->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, mh->count);
+  EXPECT_TRUE(json_well_formed(snap.to_json()));
+}
+
+TEST(Tracer, SpanRingOverflowIsBoundedAndCounted) {
+  ObsGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.reset();
+  set_tracing_enabled(true);
+  const std::uint64_t before = tracer.recorded();
+  const std::size_t total = Tracer::kRingCapacity + 500;
+  for (std::size_t i = 0; i < total; ++i) {
+    Span span(Cat::kExplorer, "overflow_span", static_cast<std::int64_t>(i));
+  }
+  set_tracing_enabled(false);
+  EXPECT_EQ(tracer.recorded() - before, total);
+  EXPECT_GE(tracer.dropped(), 500u);  // at least the overflow beyond capacity
+  const std::vector<TraceEvent> events = tracer.drain();
+  EXPECT_LE(events.size(), Tracer::kRingCapacity);
+  EXPECT_FALSE(events.empty());
+  // Drain keeps the NEWEST events: the last recorded arg must be present.
+  bool saw_last = false;
+  for (const TraceEvent& e : events) {
+    if (e.arg == static_cast<std::int64_t>(total - 1)) saw_last = true;
+  }
+  EXPECT_TRUE(saw_last);
+  tracer.reset();
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  ObsGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.reset();
+  set_tracing_enabled(false);
+  const std::uint64_t before = tracer.recorded();
+  for (int i = 0; i < 100; ++i) {
+    Span span(Cat::kGate, "disabled_span");
+  }
+  EXPECT_EQ(tracer.recorded(), before);
+}
+
+TEST(Tracer, ChromeTraceJsonIsWellFormedWithCategories) {
+  ObsGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.reset();
+  set_tracing_enabled(true);
+  {
+    Span a(Cat::kExplorer, "outer", 7);
+    Span b(Cat::kPredictor, "inner");
+  }
+  { Span s(Cat::kGate, "gate_span"); }
+  { Span s(Cat::kFuxi, "fuxi_span"); }
+  { Span s(Cat::kExecutor, "exec_span"); }
+  { Span s(Cat::kFlighting, "flight_span"); }
+  set_tracing_enabled(false);
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  for (const char* cat :
+       {"\"explorer\"", "\"predictor\"", "\"gate\"", "\"fuxi\"", "\"executor\"",
+        "\"flighting\""}) {
+    EXPECT_NE(json.find(cat), std::string::npos) << cat;
+  }
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":7}"), std::string::npos);
+
+  // Events drain oldest-first; at equal starts the enclosing span leads.
+  const std::vector<TraceEvent> events = tracer.drain();
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+  tracer.reset();
+}
+
+TEST(Tracer, ConcurrentRecordingAndDrainingIsSafe) {
+  ObsGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.reset();
+  set_tracing_enabled(true);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        Span span(Cat::kGbdt, "mt_span", i);
+      }
+    });
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    const std::vector<TraceEvent> events = tracer.drain();
+    for (const TraceEvent& e : events) {
+      ASSERT_NE(e.name, nullptr);
+      EXPECT_GE(e.dur_ns, 0);
+    }
+  }
+  for (auto& w : writers) w.join();
+  set_tracing_enabled(false);
+  EXPECT_GE(tracer.recorded(), 15000u);
+  tracer.reset();
+}
+
+// The acceptance-critical property: turning the full obs stack on must not
+// perturb training — instrumentation only reads clocks and bumps atomics,
+// never an RNG stream — so fitted weights are bit-identical.
+TEST(ObsDeterminism, PredictorWeightsBitIdenticalWithObsEnabled) {
+  ObsGuard guard;
+  const int dim = 12;
+  Rng rng(42);
+  std::vector<core::TrainingExample> train;
+  std::vector<nn::Tree> candidates;
+  for (int i = 0; i < 24; ++i) {
+    core::TrainingExample ex;
+    const int nodes = 3;
+    ex.tree.features = nn::Mat(nodes, dim);
+    for (int r = 0; r < nodes; ++r) {
+      for (int c = 0; c < dim; ++c) {
+        ex.tree.features.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+    }
+    ex.tree.left = {1, -1, -1};
+    ex.tree.right = {2, -1, -1};
+    ex.cpu_cost = 50.0 + 10.0 * rng.uniform(0.0, 1.0);
+    if (i % 4 == 0) candidates.push_back(ex.tree);
+    train.push_back(std::move(ex));
+  }
+
+  auto fit_weights = [&](bool obs_on) {
+    set_metrics_enabled(obs_on);
+    set_tracing_enabled(obs_on);
+    core::PredictorConfig cfg;
+    cfg.epochs = 4;
+    cfg.hidden_dim = 16;
+    cfg.embed_dim = 8;
+    core::AdaptiveCostPredictor model(dim, cfg);
+    model.fit(train, candidates);
+    set_metrics_enabled(false);
+    set_tracing_enabled(false);
+    std::vector<float> weights;
+    for (const nn::Parameter* p : model.parameters()) {
+      weights.insert(weights.end(), p->value.data(),
+                     p->value.data() + p->value.size());
+    }
+    return weights;
+  };
+
+  const std::vector<float> off = fit_weights(false);
+  const std::vector<float> on = fit_weights(true);
+  ASSERT_EQ(off.size(), on.size());
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(std::memcmp(off.data(), on.data(), off.size() * sizeof(float)), 0);
+  Tracer::instance().reset();
+}
+
+}  // namespace
+}  // namespace loam::obs

@@ -2,31 +2,65 @@
 # CI-style verification: build and test the tree twice —
 #   1. Release (the tier-1 configuration), full ctest suite;
 #   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), full ctest suite.
-# The TSan pass is what certifies the parallel explorer and the thread pool
-# free of data races; the determinism property tests (explorer_parallel_test)
-# run under both configurations.
+# The TSan pass is what certifies the parallel explorer, the thread pool and
+# the obs tracing rings free of data races; the determinism property tests
+# (explorer_parallel_test) and obs_test run under both configurations.
+#
+# Between the two builds, three Release smoke steps run:
+#   - dense-math core perf (BENCH_nn_core.json, fails on non-bit-identity);
+#   - obs overhead (BENCH_obs.json, fails if disabled sites cost > 50 ns);
+#   - CLI observability export (--metrics-out/--trace-out JSON validated with
+#     python3 -m json.tool, trace summarized by tools/trace_summary.py).
 #
 # Usage: tools/check.sh [jobs]
+# Environment:
+#   CHECK_JOBS       parallelism when no [jobs] argument is given
+#                    (default: nproc)
+#   BUILD_DIR        Release build directory (default: build-release)
+#   TSAN_BUILD_DIR   TSan build directory   (default: build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+JOBS="${1:-${CHECK_JOBS:-$(nproc)}}"
+BUILD_DIR="${BUILD_DIR:-build-release}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
 echo "== Release build + tests =="
-cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}"
-ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== Dense-math core perf smoke (BENCH_nn_core.json) =="
 # Blocked GEMM vs in-binary naive replicas + serial-vs-parallel training;
 # exits non-zero if parallel training is not bit-identical to serial.
-./build-release/bench/bench_micro --nn-core-only \
-  --nn-core-json=build-release/BENCH_nn_core.json
-test -s build-release/BENCH_nn_core.json
+"./${BUILD_DIR}/bench/bench_micro" --nn-core-only \
+  --nn-core-json="${BUILD_DIR}/BENCH_nn_core.json"
+test -s "${BUILD_DIR}/BENCH_nn_core.json"
+
+echo "== Observability overhead smoke (BENCH_obs.json) =="
+# Disabled sites must stay in the nanoseconds (the one-branch contract).
+"./${BUILD_DIR}/bench/bench_micro" --obs-overhead \
+  --obs-json="${BUILD_DIR}/BENCH_obs.json"
+python3 -m json.tool "${BUILD_DIR}/BENCH_obs.json" > /dev/null
+
+echo "== Observability export smoke (loam_sim_cli --metrics-out/--trace-out) =="
+# train exits 2 when the deployment gate rejects the model; for this smoke
+# both 0 and 2 mean the pipeline ran end to end.
+rc=0
+"./${BUILD_DIR}/tools/loam_sim_cli" train 1 4 \
+  --metrics-out="${BUILD_DIR}/obs_metrics.json" \
+  --trace-out="${BUILD_DIR}/obs_trace.json" || rc=$?
+if [[ "${rc}" != 0 && "${rc}" != 2 ]]; then
+  echo "loam_sim_cli train failed with ${rc}" >&2
+  exit "${rc}"
+fi
+python3 -m json.tool "${BUILD_DIR}/obs_metrics.json" > /dev/null
+python3 -m json.tool "${BUILD_DIR}/obs_trace.json" > /dev/null
+python3 tools/trace_summary.py "${BUILD_DIR}/obs_trace.json" --top 10
 
 echo "== ThreadSanitizer build + tests =="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
+cmake -B "${TSAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== check.sh: all configurations green =="

@@ -11,13 +11,21 @@
 //
 // Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
 // sampled population.
+//
+// Global flags (any position):
+//   --metrics-out=<path>  enable metrics; write the registry JSON on exit
+//   --trace-out=<path>    enable tracing; write Chrome trace_event JSON on
+//                         exit (load in chrome://tracing or ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/gate.h"
 #include "core/loam.h"
+#include "obs/obs.h"
 #include "util/table_printer.h"
 #include "warehouse/repository_io.h"
 
@@ -150,26 +158,70 @@ void usage() {
                "usage: loam_sim_cli inspect <archetype>\n"
                "       loam_sim_cli history <archetype> <days> <out.tsv>\n"
                "       loam_sim_cli train   <archetype> <days> [ckpt]\n"
-               "       loam_sim_cli steer   <archetype> <n-queries>\n");
+               "       loam_sim_cli steer   <archetype> <n-queries>\n"
+               "global flags: --metrics-out=<path> --trace-out=<path>\n");
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content << '\n';
+  return out.good();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
+  const int nargs = static_cast<int>(args.size());
+  int rc = 1;
+  if (nargs < 3) {
     usage();
     return 1;
   }
-  const std::string cmd = argv[1];
-  const int index = std::atoi(argv[2]);
-  if (cmd == "inspect") return cmd_inspect(index);
-  if (cmd == "history" && argc >= 5) {
-    return cmd_history(index, std::atoi(argv[3]), argv[4]);
+  const std::string cmd = args[1];
+  const int index = std::atoi(args[2]);
+  if (cmd == "inspect") {
+    rc = cmd_inspect(index);
+  } else if (cmd == "history" && nargs >= 5) {
+    rc = cmd_history(index, std::atoi(args[3]), args[4]);
+  } else if (cmd == "train" && nargs >= 4) {
+    rc = cmd_train(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr);
+  } else if (cmd == "steer" && nargs >= 4) {
+    rc = cmd_steer(index, std::atoi(args[3]));
+  } else {
+    usage();
+    return 1;
   }
-  if (cmd == "train" && argc >= 4) {
-    return cmd_train(index, std::atoi(argv[3]), argc >= 5 ? argv[4] : nullptr);
+
+  if (!metrics_out.empty()) {
+    if (!write_file(metrics_out, obs::Registry::instance().to_json())) return 1;
+    std::printf("metrics written to %s (%zu series)\n", metrics_out.c_str(),
+                obs::Registry::instance().size());
   }
-  if (cmd == "steer" && argc >= 4) return cmd_steer(index, std::atoi(argv[3]));
-  usage();
-  return 1;
+  if (!trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (!write_file(trace_out, tracer.to_chrome_json())) return 1;
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  return rc;
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event JSON produced by loam's obs layer.
+
+Reads the top-level array of complete ("ph":"X") events that loam_sim_cli
+--trace-out (or obs::Tracer::to_chrome_json) writes, and prints the top-N
+span names by total and by self time. Self time subtracts the time covered
+by same-thread spans strictly nested inside an event, so a parent that only
+waits on instrumented children shows up near zero.
+
+Usage: tools/trace_summary.py TRACE.json [--top N]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):  # tolerate the {"traceEvents": [...]} wrapper
+        data = data.get("traceEvents", [])
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a trace_event array")
+    events = []
+    for e in data:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        events.append(
+            {
+                "name": e.get("name", "?"),
+                "cat": e.get("cat", "?"),
+                "tid": e.get("tid", 0),
+                "ts": float(e.get("ts", 0.0)),
+                "dur": float(e.get("dur", 0.0)),
+            }
+        )
+    return events
+
+
+def self_times(events):
+    """Per-event self time: duration minus time covered by nested same-thread
+    spans. Events are complete spans, so containment is by time interval."""
+    by_tid = defaultdict(list)
+    for e in events:
+        by_tid[e["tid"]].append(e)
+    selfs = {}
+    for tid_events in by_tid.values():
+        # Parents first: earlier start, then longer duration.
+        tid_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # enclosing spans, innermost last
+        for e in tid_events:
+            end = e["ts"] + e["dur"]
+            while stack and stack[-1]["end"] <= e["ts"]:
+                stack.pop()
+            if stack and end <= stack[-1]["end"]:
+                # Direct parent loses this child's whole duration.
+                stack[-1]["child_time"] += e["dur"]
+            entry = {"event": id(e), "end": end, "child_time": 0.0}
+            selfs[id(e)] = entry
+            stack.append(entry)
+    return {k: v for k, v in selfs.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="rows to print per table (default 15)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no complete events")
+        return
+
+    selfs = self_times(events)
+    total = defaultdict(lambda: [0, 0.0, 0.0])  # name -> [count, total, self]
+    for e in events:
+        row = total[f"{e['cat']}:{e['name']}"]
+        row[0] += 1
+        row[1] += e["dur"]
+        entry = selfs[id(e)]
+        row[2] += max(0.0, e["dur"] - entry["child_time"])
+
+    span_us = sum(r[1] for r in total.values())
+    print(f"{len(events)} events, {len(total)} distinct spans, "
+          f"{span_us / 1e6:.3f} s total span time\n")
+
+    def table(title, key_index):
+        print(title)
+        print(f"  {'span':<40} {'count':>8} {'total ms':>10} {'self ms':>10}")
+        ranked = sorted(total.items(), key=lambda kv: -kv[1][key_index])
+        for name, (count, tot, self_t) in ranked[: args.top]:
+            print(f"  {name:<40} {count:>8} {tot / 1e3:>10.2f} {self_t / 1e3:>10.2f}")
+        print()
+
+    table("top spans by TOTAL time:", 1)
+    table("top spans by SELF time:", 2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
