@@ -16,14 +16,25 @@
 //
 // `--obs-report` enables metrics for the google-benchmark run and dumps the
 // registry deltas as JSON afterwards.
+//
+// `--serve` runs the online-serving section: a live OptimizerService fed a
+// sequential request stream while model versions hot-swap underneath it,
+// emitting BENCH_serve.json (path override: --serve-json=PATH) with p50/p99
+// request latency and the swap pause observed by the swapping thread.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <string>
+#include <thread>
 
 #include "core/baselines.h"
 #include "core/encoding.h"
@@ -32,6 +43,7 @@
 #include "nn/layers.h"
 #include "nn/mat.h"
 #include "obs/obs.h"
+#include "serve/service.h"
 #include "warehouse/executor.h"
 #include "warehouse/native_optimizer.h"
 #include "warehouse/stages.h"
@@ -496,12 +508,138 @@ int run_obs_overhead(const std::string& json_path) {
 
 }  // namespace obs_bench
 
+// ---------------------------------------------------------------------------
+// Online-serving section (--serve)
+// ---------------------------------------------------------------------------
+namespace serve_bench {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+int run_serve(const std::string& json_path) {
+  namespace fs = std::filesystem;
+  using clock = std::chrono::steady_clock;
+
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(warehouse::evaluation_archetypes()[1], rc);
+  runtime.simulate_history(3, 80);
+
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("loam_bench_serve_" + std::to_string(::getpid()))).string();
+  fs::remove_all(dir);
+  serve::ServeConfig cfg;
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.registry_root = dir + "/registry";
+  cfg.journal_path = dir + "/feedback.jnl";
+
+  serve::OptimizerService service(&runtime, cfg);
+  service.start();
+  // Two registry versions to ping-pong between. Untrained weights serve the
+  // same inference path as trained ones; this measures serving, not quality.
+  serve::ModelVersionMeta meta;
+  meta.approved = true;
+  for (int v = 0; v < 2; ++v) {
+    service.publish_and_swap(
+        std::make_unique<core::AdaptiveCostPredictor>(
+            service.encoder().feature_dim(), cfg.predictor),
+        meta);
+  }
+
+  std::vector<warehouse::Query> queries = runtime.make_queries(3, 6, 160);
+  std::vector<double> latencies(queries.size(), 0.0);
+  std::vector<int> batch_sizes(queries.size(), 0);
+  std::atomic<bool> done{false};
+  std::thread submitter([&] {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const serve::ServeDecision d = service.optimize(queries[i]);
+      latencies[i] = d.total_seconds;
+      batch_sizes[i] = d.batch_size;
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Hot-swap continuously under the request stream; each sample is the full
+  // pause the swapping thread observes (snapshot lookup + atomic exchange).
+  std::vector<double> swap_us;
+  int version = 1;
+  while (!done.load(std::memory_order_acquire)) {
+    const auto t0 = clock::now();
+    service.swap_to_version(version);
+    const auto t1 = clock::now();
+    swap_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    version = 3 - version;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  submitter.join();
+  service.stop();
+
+  const double p50_ms = 1e3 * percentile(latencies, 0.50);
+  const double p99_ms = 1e3 * percentile(latencies, 0.99);
+  double batch_sum = 0.0;
+  for (const int b : batch_sizes) batch_sum += b;
+  const double swap_mean_us =
+      swap_us.empty() ? 0.0
+                      : std::accumulate(swap_us.begin(), swap_us.end(), 0.0) /
+                            static_cast<double>(swap_us.size());
+  const double swap_p99_us = percentile(swap_us, 0.99);
+  const double swap_max_us =
+      swap_us.empty() ? 0.0 : *std::max_element(swap_us.begin(), swap_us.end());
+
+  std::printf("== online serving under continuous hot-swap ==\n");
+  std::printf("requests %zu | latency p50 %.3f ms p99 %.3f ms | mean batch %.2f\n",
+              queries.size(), p50_ms, p99_ms,
+              batch_sum / static_cast<double>(queries.size()));
+  std::printf("swaps %zu | pause mean %.2f us p99 %.2f us max %.2f us\n",
+              swap_us.size(), swap_mean_us, swap_p99_us, swap_max_us);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"requests\": " << queries.size() << ",\n"
+       << "  \"latency_ms\": {\"p50\": " << p50_ms << ", \"p99\": " << p99_ms
+       << "},\n"
+       << "  \"mean_batch_size\": "
+       << batch_sum / static_cast<double>(queries.size()) << ",\n"
+       << "  \"swaps\": " << swap_us.size() << ",\n"
+       << "  \"swap_pause_us\": {\"mean\": " << swap_mean_us
+       << ", \"p99\": " << swap_p99_us << ", \"max\": " << swap_max_us
+       << "}\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  fs::remove_all(dir);
+
+  // Sanity floor: a swap is a pointer exchange; if it ever costs more than a
+  // millisecond something is holding swap_mu_ across slow work.
+  if (swap_max_us > 1000.0) {
+    std::fprintf(stderr, "FAIL: max swap pause %.1f us exceeds 1 ms\n",
+                 swap_max_us);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace serve_bench
+
 int main(int argc, char** argv) {
   bool nn_core_only = false;
   bool obs_overhead = false;
   bool obs_report = false;
+  bool serve = false;
   std::string json_path = "BENCH_nn_core.json";
   std::string obs_json_path = "BENCH_obs.json";
+  std::string serve_json_path = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
     if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
@@ -512,9 +650,14 @@ int main(int argc, char** argv) {
       obs_json_path = argv[i] + 11;
     }
     if (std::strcmp(argv[i], "--obs-report") == 0) obs_report = true;
+    if (std::strcmp(argv[i], "--serve") == 0) serve = true;
+    if (std::strncmp(argv[i], "--serve-json=", 13) == 0) {
+      serve_json_path = argv[i] + 13;
+    }
   }
   if (nn_core_only) return nn_core::run_nn_core(json_path);
   if (obs_overhead) return obs_bench::run_obs_overhead(obs_json_path);
+  if (serve) return serve_bench::run_serve(serve_json_path);
   if (obs_report) {
     obs::set_metrics_enabled(true);
     // Strip the flag so google-benchmark does not reject it.

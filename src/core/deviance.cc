@@ -139,4 +139,46 @@ double empirical_oracle_cost(const std::vector<std::vector<double>>& samples) {
   return runs > 0 ? acc / static_cast<double>(runs) : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// OnlineDevianceMonitor
+// ---------------------------------------------------------------------------
+
+OnlineDevianceMonitor::OnlineDevianceMonitor(Config config)
+    : config_(config),
+      ring_(static_cast<std::size_t>(std::max(1, config.window)), 0.0) {}
+
+void OnlineDevianceMonitor::observe(double predicted_cost, double observed_cost) {
+  // Guard the logs: costs are positive by construction, but a defensive floor
+  // keeps a pathological zero-prediction from poisoning the window with inf.
+  const double pred = std::max(predicted_cost, 1e-12);
+  const double obs = std::max(observed_cost, 1e-12);
+  const double overrun = std::max(0.0, std::log(obs) - std::log(pred));
+  if (count_ >= ring_.size()) sum_ -= ring_[next_];
+  ring_[next_] = overrun;
+  sum_ += overrun;
+  next_ = (next_ + 1) % ring_.size();
+  ++count_;
+}
+
+double OnlineDevianceMonitor::mean_overrun() const {
+  const std::size_t n = std::min(count_, ring_.size());
+  return n > 0 ? sum_ / static_cast<double>(n) : 0.0;
+}
+
+int OnlineDevianceMonitor::samples() const {
+  return static_cast<int>(std::min(count_, ring_.size()));
+}
+
+bool OnlineDevianceMonitor::regressed() const {
+  return samples() >= config_.min_samples &&
+         mean_overrun() > config_.max_mean_overrun;
+}
+
+void OnlineDevianceMonitor::reset() {
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  next_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
 }  // namespace loam::core

@@ -56,6 +56,57 @@ double empirical_expected_deviance(const std::vector<std::vector<double>>& sampl
                                    int selected);
 double empirical_oracle_cost(const std::vector<std::vector<double>>& samples);
 
+// ---------------------------------------------------------------------------
+// Online deviance monitor (serving-time regression detection)
+// ---------------------------------------------------------------------------
+//
+// At serving time only the selected plan executes, so the full candidate
+// deviance of Eq. (2) is unobservable. What IS observable per request is the
+// realized one-sided log deviance of the served plan against the model's own
+// prediction, overrun = max(0, log C_obs - log C_pred): a healthy predictor
+// keeps it near the residual noise floor (costs are log-normal, Fig. 15), a
+// regressed or corrupted model both mispredicts and picks bad plans, pushing
+// the windowed mean far above it. loam::serve uses this monitor to trigger
+// automatic rollback to the previous registry version.
+struct OnlineDevianceConfig {
+  int window = 64;        // sliding window of most recent observations
+  int min_samples = 24;   // no verdict before this many observations
+  // Regression verdict threshold on the windowed mean overrun. log-space:
+  // 0.5 means the served plans run ~65% over prediction on average.
+  double max_mean_overrun = 0.5;
+};
+
+class OnlineDevianceMonitor {
+ public:
+  using Config = OnlineDevianceConfig;
+
+  explicit OnlineDevianceMonitor(Config config = Config());
+
+  // Records one served request: the model's predicted cost for the chosen
+  // plan and the cost the execution actually realized.
+  void observe(double predicted_cost, double observed_cost);
+
+  // Windowed mean of max(0, log(observed) - log(predicted)).
+  double mean_overrun() const;
+  // Observations currently inside the window.
+  int samples() const;
+  // True when enough samples are present and the mean overrun exceeds the
+  // threshold.
+  bool regressed() const;
+  // Forgets all observations (called after every model swap: a fresh model
+  // must not inherit its predecessor's deviance history).
+  void reset();
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<double> ring_;  // window_ overrun values, oldest overwritten
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;     // total observations since reset
+  double sum_ = 0.0;          // running sum of the resident window
+};
+
 }  // namespace loam::core
 
 #endif  // LOAM_CORE_DEVIANCE_H_

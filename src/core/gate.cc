@@ -33,6 +33,20 @@ std::string DeploymentGateReport::to_json() const {
 DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
                                          const LoamDeployment& deployment,
                                          DeploymentGateConfig config) {
+  return evaluate_selection(
+      runtime,
+      [&deployment](const CandidateGeneration& gen) {
+        return deployment.select(gen);
+      },
+      deployment.config().explorer, deployment.config().train_last_day + 1,
+      config);
+}
+
+DeploymentGateReport evaluate_selection(
+    ProjectRuntime& runtime,
+    const std::function<int(const CandidateGeneration&)>& select,
+    const PlanExplorer::Config& explorer_config, int first_day,
+    DeploymentGateConfig config) {
   static obs::Counter* const c_evals =
       obs::Registry::instance().counter("loam.gate.evaluations");
   static obs::Counter* const c_approved =
@@ -45,16 +59,14 @@ DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
       obs::Registry::instance().counter("loam.gate.regressed_queries");
   obs::Span span(obs::Cat::kGate, "evaluate_deployment");
   DeploymentGateReport report;
-  const int day = deployment.config().train_last_day + 1;
   const std::vector<warehouse::Query> queries =
-      runtime.make_queries(day, day + 2, config.sample_queries);
+      runtime.make_queries(first_day, first_day + 2, config.sample_queries);
   const std::vector<EvaluatedQuery> eval = prepare_evaluation(
-      runtime, queries, deployment.config().explorer, config.replay_runs,
-      config.seed);
+      runtime, queries, explorer_config, config.replay_runs, config.seed);
 
   double default_total = 0.0, model_total = 0.0;
   for (const EvaluatedQuery& eq : eval) {
-    const int choice = deployment.select(eq.generation);
+    const int choice = select(eq.generation);
     const double d = eq.mean_cost.at(static_cast<std::size_t>(eq.default_index));
     const double m = eq.mean_cost.at(static_cast<std::size_t>(choice));
     default_total += d;

@@ -6,6 +6,7 @@
 #ifndef LOAM_CORE_GATE_H_
 #define LOAM_CORE_GATE_H_
 
+#include <functional>
 #include <string>
 
 #include "core/loam.h"
@@ -44,6 +45,18 @@ DeploymentGateReport evaluate_deployment(ProjectRuntime& runtime,
                                          const LoamDeployment& deployment,
                                          DeploymentGateConfig config =
                                              DeploymentGateConfig());
+
+// Generalized gate: evaluates ANY candidate-selection policy (given the
+// candidate generation, return the index it would serve) on queries sampled
+// from `first_day .. first_day+2`. This is the entry point the loam::serve
+// retrain loop pushes freshly fitted models through before promoting them —
+// same sampling, flighting replays, and approval thresholds as the offline
+// deployment gate.
+DeploymentGateReport evaluate_selection(
+    ProjectRuntime& runtime,
+    const std::function<int(const CandidateGeneration&)>& select,
+    const PlanExplorer::Config& explorer_config, int first_day,
+    DeploymentGateConfig config = DeploymentGateConfig());
 
 }  // namespace loam::core
 

@@ -6,40 +6,70 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace loam::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'O', 'A', 'M', 'N', 'N', '1', '\0'};
+constexpr char kMagicV1[8] = {'L', 'O', 'A', 'M', 'N', 'N', '1', '\0'};
+constexpr char kMagicV2[8] = {'L', 'O', 'A', 'M', 'N', 'N', '2', '\0'};
 
-void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+// Streams checkpoint bytes while accumulating the running CRC-32 of
+// everything written after the magic (the v2 footer input).
+struct CrcWriter {
+  std::ostream& out;
+  std::uint32_t crc = 0;
 
-std::uint32_t read_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw std::runtime_error("checkpoint truncated");
-  return v;
-}
+  void write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    crc = crc32(data, size, crc);
+  }
+  void u32(std::uint32_t v) { write(&v, sizeof(v)); }
+};
+
+// Mirror of CrcWriter for loading: `checked` is false for v1 files, which
+// carry no footer.
+struct CrcReader {
+  std::istream& in;
+  bool checked = true;
+  std::uint32_t crc = 0;
+
+  void read(void* data, std::size_t size, const char* what) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in) throw std::runtime_error(std::string("checkpoint truncated in ") + what);
+    if (checked) crc = crc32(data, size, crc);
+  }
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    read(&v, sizeof(v), what);
+    return v;
+  }
+};
 
 }  // namespace
 
 std::size_t save_parameters(const std::vector<Parameter*>& params,
                             std::ostream& out) {
-  std::size_t bytes = sizeof(kMagic);
-  out.write(kMagic, sizeof(kMagic));
-  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  std::size_t bytes = sizeof(kMagicV2);
+  out.write(kMagicV2, sizeof(kMagicV2));
+  CrcWriter w{out};
+  w.u32(static_cast<std::uint32_t>(params.size()));
   bytes += 4;
   for (const Parameter* p : params) {
-    write_u32(out, static_cast<std::uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    write_u32(out, static_cast<std::uint32_t>(p->value.rows()));
-    write_u32(out, static_cast<std::uint32_t>(p->value.cols()));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    w.u32(static_cast<std::uint32_t>(p->name.size()));
+    w.write(p->name.data(), p->name.size());
+    w.u32(static_cast<std::uint32_t>(p->value.rows()));
+    w.u32(static_cast<std::uint32_t>(p->value.cols()));
+    w.write(p->value.data(), p->value.size() * sizeof(float));
     bytes += 12 + p->name.size() + p->value.size() * sizeof(float);
   }
+  // Footer: CRC of every byte after the magic. Written raw (not through the
+  // CrcWriter) — the checksum does not checksum itself.
+  const std::uint32_t crc = w.crc;
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes += sizeof(crc);
   if (!out) throw std::runtime_error("checkpoint write failed");
   return bytes;
 }
@@ -47,30 +77,39 @@ std::size_t save_parameters(const std::vector<Parameter*>& params,
 void load_parameters(const std::vector<Parameter*>& params, std::istream& in) {
   char magic[8] = {};
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool v2 = in && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  const bool v1 = in && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  if (!v1 && !v2) {
     throw std::runtime_error("not a LOAM checkpoint (bad magic)");
   }
-  const std::uint32_t count = read_u32(in);
+  CrcReader r{in, /*checked=*/v2};
+  const std::uint32_t count = r.u32("header");
   if (count != params.size()) {
     throw std::runtime_error("checkpoint parameter count mismatch");
   }
   for (Parameter* p : params) {
-    const std::uint32_t name_len = read_u32(in);
+    const std::uint32_t name_len = r.u32(p->name.c_str());
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in || name != p->name) {
+    r.read(name.data(), name_len, p->name.c_str());
+    if (name != p->name) {
       throw std::runtime_error("checkpoint parameter name mismatch: expected '" +
                                p->name + "' got '" + name + "'");
     }
-    const std::uint32_t rows = read_u32(in);
-    const std::uint32_t cols = read_u32(in);
+    const std::uint32_t rows = r.u32(p->name.c_str());
+    const std::uint32_t cols = r.u32(p->name.c_str());
     if (rows != static_cast<std::uint32_t>(p->value.rows()) ||
         cols != static_cast<std::uint32_t>(p->value.cols())) {
       throw std::runtime_error("checkpoint shape mismatch for " + p->name);
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("checkpoint truncated in " + p->name);
+    r.read(p->value.data(), p->value.size() * sizeof(float), p->name.c_str());
+  }
+  if (v2) {
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) throw std::runtime_error("checkpoint truncated (missing checksum footer)");
+    if (stored != r.crc) {
+      throw std::runtime_error("checkpoint checksum mismatch (corrupted content)");
+    }
   }
 }
 

@@ -1,11 +1,16 @@
 // Parameter (de)serialization: a small, versioned binary format for model
 // checkpoints. Used to persist trained predictors between the offline
-// training phase and serving, and by the Fig. 9(b) footprint accounting.
+// training phase and serving, by the model registry of loam::serve, and by
+// the Fig. 9(b) footprint accounting.
 //
-// Format: magic "LOAMNN1\0", u32 parameter count, then per parameter:
-// u32 name length, name bytes, u32 rows, u32 cols, rows*cols f32 values.
-// Loading verifies that names and shapes match the target registry, so a
-// checkpoint can never be silently applied to a different architecture.
+// Format (v2): magic "LOAMNN2\0", u32 parameter count, then per parameter:
+// u32 name length, name bytes, u32 rows, u32 cols, rows*cols f32 values;
+// finally a u32 CRC-32 footer over every byte after the magic. A truncated
+// or bit-flipped checkpoint fails loudly at load instead of steering
+// production with a silently wrong model. v1 files ("LOAMNN1\0", no footer)
+// still load. Loading also verifies that names and shapes match the target
+// registry, so a checkpoint can never be silently applied to a different
+// architecture.
 #ifndef LOAM_NN_SERIALIZE_H_
 #define LOAM_NN_SERIALIZE_H_
 

@@ -17,6 +17,7 @@ const char* cat_name(Cat cat) {
     case Cat::kFuxi: return "fuxi";
     case Cat::kExecutor: return "executor";
     case Cat::kPipeline: return "pipeline";
+    case Cat::kServe: return "serve";
   }
   return "unknown";
 }

@@ -41,8 +41,9 @@ enum class Cat : std::uint8_t {
   kFuxi,
   kExecutor,
   kPipeline,
+  kServe,
 };
-inline constexpr int kCatCount = 8;
+inline constexpr int kCatCount = 9;
 const char* cat_name(Cat cat);
 
 struct TraceEvent {

@@ -1,0 +1,277 @@
+#include "serve/journal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "util/hash.h"
+
+namespace loam::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'A', 'M', 'J', 'N', 'L', '1'};
+
+void put_bytes(std::string& buf, const void* data, std::size_t size) {
+  buf.append(static_cast<const char*>(data), size);
+}
+template <typename T>
+void put(std::string& buf, T v) {
+  put_bytes(buf, &v, sizeof(v));
+}
+
+// Reads a POD out of a byte span, advancing the cursor; false on underflow.
+struct PayloadReader {
+  const char* p;
+  std::size_t left;
+
+  bool bytes(void* out, std::size_t size) {
+    if (size > left) return false;
+    std::memcpy(out, p, size);
+    p += size;
+    left -= size;
+    return true;
+  }
+  template <typename T>
+  bool get(T& out) {
+    return bytes(&out, sizeof(T));
+  }
+};
+
+std::string encode_payload(const FeedbackRecord& record) {
+  std::string buf;
+  put(buf, static_cast<std::uint8_t>(record.kind));
+  put(buf, static_cast<std::int32_t>(record.day));
+  if (record.kind == FeedbackRecord::Kind::kExecuted) {
+    put(buf, record.cpu_cost);
+  }
+  const nn::Tree& t = record.tree;
+  put(buf, static_cast<std::int32_t>(t.root));
+  put(buf, static_cast<std::uint32_t>(t.node_count()));
+  put(buf, static_cast<std::uint32_t>(t.features.cols()));
+  for (int i = 0; i < t.node_count(); ++i) {
+    put(buf, static_cast<std::int32_t>(t.left[static_cast<std::size_t>(i)]));
+    put(buf, static_cast<std::int32_t>(t.right[static_cast<std::size_t>(i)]));
+  }
+  put_bytes(buf, t.features.data(), t.features.size() * sizeof(float));
+  return buf;
+}
+
+bool decode_payload(const std::string& payload, int feature_dim,
+                    FeedbackRecord& out) {
+  PayloadReader r{payload.data(), payload.size()};
+  std::uint8_t kind = 0;
+  std::int32_t day = 0;
+  if (!r.get(kind) || kind > 1 || !r.get(day)) return false;
+  out.kind = static_cast<FeedbackRecord::Kind>(kind);
+  out.day = day;
+  out.cpu_cost = 0.0;
+  if (out.kind == FeedbackRecord::Kind::kExecuted && !r.get(out.cpu_cost)) {
+    return false;
+  }
+  std::int32_t root = 0;
+  std::uint32_t nodes = 0, cols = 0;
+  if (!r.get(root) || !r.get(nodes) || !r.get(cols)) return false;
+  if (cols != static_cast<std::uint32_t>(feature_dim) || nodes == 0 ||
+      nodes > (1u << 20)) {
+    return false;
+  }
+  out.tree.root = root;
+  out.tree.left.resize(nodes);
+  out.tree.right.resize(nodes);
+  out.tree.features.resize(static_cast<int>(nodes), static_cast<int>(cols));
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    std::int32_t l = 0, rr = 0;
+    if (!r.get(l) || !r.get(rr)) return false;
+    out.tree.left[i] = l;
+    out.tree.right[i] = rr;
+  }
+  if (!r.bytes(out.tree.features.data(),
+               out.tree.features.size() * sizeof(float))) {
+    return false;
+  }
+  return r.left == 0;
+}
+
+// Scans frames from `in` (positioned after the header), invoking `fn` on each
+// valid record. Returns the offset of the first invalid byte (i.e. the size
+// the file should be truncated to, counted from file start).
+template <typename Fn>
+std::uint64_t scan_frames(std::istream& in, std::uint64_t start_offset,
+                          int feature_dim, Fn&& fn) {
+  std::uint64_t good_end = start_offset;
+  for (;;) {
+    std::uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in) break;
+    if (len == 0 || len > (1u << 28)) break;
+    std::string payload(len, '\0');
+    in.read(payload.data(), len);
+    if (!in) break;
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) break;
+    if (stored != crc32(payload.data(), payload.size())) break;
+    FeedbackRecord record;
+    if (!decode_payload(payload, feature_dim, record)) break;
+    good_end += sizeof(len) + len + sizeof(stored);
+    fn(std::move(record));
+  }
+  return good_end;
+}
+
+int read_header(std::istream& in) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LOAM feedback journal (bad magic)");
+  }
+  std::uint32_t dim = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in) throw std::runtime_error("feedback journal header truncated");
+  return static_cast<int>(dim);
+}
+
+constexpr std::uint64_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint32_t);
+
+}  // namespace
+
+FeedbackJournal::FeedbackJournal(std::string path, int feature_dim)
+    : path_(std::move(path)), feature_dim_(feature_dim) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  if (std::filesystem::exists(path_) &&
+      std::filesystem::file_size(path_) > 0) {
+    scan_and_recover();
+  } else {
+    std::ofstream header(path_, std::ios::binary | std::ios::trunc);
+    if (!header) throw std::runtime_error("cannot create journal " + path_);
+    header.write(kMagic, sizeof(kMagic));
+    const std::uint32_t dim = static_cast<std::uint32_t>(feature_dim_);
+    header.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    header.flush();
+    bytes_ = kHeaderBytes;
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) throw std::runtime_error("cannot open journal " + path_ + " for append");
+}
+
+void FeedbackJournal::scan_and_recover() {
+  std::uint64_t good_end = 0;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open journal " + path_);
+    const int dim = read_header(in);
+    if (dim != feature_dim_) {
+      throw std::runtime_error(
+          "journal feature_dim mismatch in " + path_ + ": file has " +
+          std::to_string(dim) + ", encoder produces " +
+          std::to_string(feature_dim_));
+    }
+    good_end = scan_frames(in, kHeaderBytes, feature_dim_,
+                           [this](FeedbackRecord&& r) {
+                             ++records_;
+                             if (r.kind == FeedbackRecord::Kind::kExecuted) {
+                               ++executed_records_;
+                             }
+                             if (r.day > max_day_) max_day_ = r.day;
+                           });
+  }
+  const std::uint64_t size = std::filesystem::file_size(path_);
+  if (size > good_end) {
+    // Torn tail from an interrupted append: drop it and resume cleanly.
+    truncated_bytes_ = size - good_end;
+    std::filesystem::resize_file(path_, good_end);
+  }
+  bytes_ = good_end;
+}
+
+void FeedbackJournal::append(const FeedbackRecord& record) {
+  static obs::Counter* const c_records =
+      obs::Registry::instance().counter("loam.serve.journal_records");
+  static obs::Counter* const c_bytes =
+      obs::Registry::instance().counter("loam.serve.journal_bytes");
+  obs::Span span(obs::Cat::kServe, "journal_append");
+  const std::string payload = encode_payload(record);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out_.flush();
+  if (!out_) throw std::runtime_error("journal append failed: " + path_);
+  ++records_;
+  if (record.kind == FeedbackRecord::Kind::kExecuted) ++executed_records_;
+  if (record.day > max_day_) max_day_ = record.day;
+  bytes_ += sizeof(len) + payload.size() + sizeof(crc);
+  c_records->add();
+  c_bytes->add(sizeof(len) + payload.size() + sizeof(crc));
+}
+
+std::vector<FeedbackRecord> FeedbackJournal::read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open journal " + path);
+  const int dim = read_header(in);
+  std::vector<FeedbackRecord> out;
+  scan_frames(in, kHeaderBytes, dim,
+              [&out](FeedbackRecord&& r) { out.push_back(std::move(r)); });
+  return out;
+}
+
+core::TrainingData FeedbackJournal::replay(int max_executed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeedbackRecord> all = read_all(path_);
+  core::TrainingData data;
+  std::size_t executed = 0;
+  for (const FeedbackRecord& r : all) {
+    executed += r.kind == FeedbackRecord::Kind::kExecuted;
+  }
+  // Keep the most recent `max_executed` executed records (and every
+  // candidate record — they are cheap and unexecuted by definition).
+  std::size_t skip = 0;
+  if (max_executed > 0 && executed > static_cast<std::size_t>(max_executed)) {
+    skip = executed - static_cast<std::size_t>(max_executed);
+  }
+  for (FeedbackRecord& r : all) {
+    if (r.kind == FeedbackRecord::Kind::kExecuted) {
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
+      core::TrainingExample ex;
+      ex.tree = std::move(r.tree);
+      ex.cpu_cost = r.cpu_cost;
+      data.default_plans.push_back(std::move(ex));
+    } else {
+      data.candidate_plans.push_back(std::move(r.tree));
+    }
+  }
+  return data;
+}
+
+std::uint64_t FeedbackJournal::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::uint64_t FeedbackJournal::executed_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_records_;
+}
+
+std::uint64_t FeedbackJournal::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int FeedbackJournal::max_day() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_day_;
+}
+
+}  // namespace loam::serve

@@ -1,0 +1,92 @@
+// Execution-feedback journal: the append-only, crash-recoverable log that
+// turns serving into a continuous source of training data (the Bao-style
+// feedback loop the one-shot batch pipeline lacked).
+//
+// Every served request that executes appends one `kExecuted` record — the
+// served plan's encoded feature tree (with the stage environments it actually
+// experienced) plus the realized CPU cost — and a few `kCandidate` records:
+// unexecuted candidate trees encoded under the representative environment,
+// feeding the domain-adversarial half of Eq. (1) at retrain time. replay()
+// reconstructs exactly the `core::TrainingData` shape the offline pipeline
+// trains from.
+//
+// On-disk format:
+//   header: magic "LOAMJNL1", u32 feature_dim
+//   record frame: u32 payload_len, payload bytes, u32 crc32(payload)
+//   payload: u8 kind, i32 day, f64 cpu_cost (kExecuted only), then the tree:
+//            i32 root, u32 nodes, u32 cols, nodes * (i32 left, i32 right),
+//            nodes*cols f32 features
+//
+// Crash recovery: opening for append scans every frame; the first frame that
+// is truncated or fails its CRC marks a torn tail — the file is truncated
+// back to the last whole record and appending resumes from there. A torn
+// tail can therefore never corrupt training data, only lose the final
+// in-flight record.
+#ifndef LOAM_SERVE_JOURNAL_H_
+#define LOAM_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/loam.h"
+
+namespace loam::serve {
+
+struct FeedbackRecord {
+  enum class Kind : std::uint8_t { kExecuted = 0, kCandidate = 1 };
+
+  Kind kind = Kind::kExecuted;
+  int day = 0;
+  double cpu_cost = 0.0;  // kExecuted only
+  nn::Tree tree;
+};
+
+class FeedbackJournal {
+ public:
+  // Opens `path` for append, creating it (with a fresh header) if absent.
+  // An existing journal is scanned: its feature_dim must match, valid
+  // records are counted, and a torn tail is truncated away. Throws
+  // std::runtime_error on an unreadable header or feature_dim mismatch.
+  FeedbackJournal(std::string path, int feature_dim);
+
+  // Appends one record and flushes the frame to disk.
+  void append(const FeedbackRecord& record);
+
+  // Reads every valid record (stopping cleanly at a torn tail).
+  static std::vector<FeedbackRecord> read_all(const std::string& path);
+
+  // Replays the journal into the offline training shape: kExecuted records
+  // become default_plans (tree + cost), kCandidate records candidate_plans.
+  // `max_executed` caps the executed records (0 = unlimited), keeping the
+  // most RECENT ones — the retrain loop trains on the freshest feedback.
+  core::TrainingData replay(int max_executed = 0) const;
+
+  const std::string& path() const { return path_; }
+  int feature_dim() const { return feature_dim_; }
+  std::uint64_t records() const;           // valid records on disk
+  std::uint64_t executed_records() const;  // kExecuted subset
+  std::uint64_t bytes() const;             // current file size
+  int max_day() const;                     // latest day seen, -1 when empty
+  // Bytes discarded by torn-tail truncation during open (0 = clean file).
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+ private:
+  void scan_and_recover();
+
+  std::string path_;
+  int feature_dim_ = 0;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+  std::uint64_t executed_records_ = 0;
+  std::uint64_t bytes_ = 0;
+  int max_day_ = -1;
+  std::uint64_t truncated_bytes_ = 0;
+};
+
+}  // namespace loam::serve
+
+#endif  // LOAM_SERVE_JOURNAL_H_

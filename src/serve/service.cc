@@ -1,0 +1,589 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace loam::serve {
+
+using core::AdaptiveCostPredictor;
+using core::CandidateGeneration;
+using warehouse::EnvFeatures;
+using warehouse::Query;
+using warehouse::QueryRecord;
+
+namespace {
+
+std::shared_ptr<const ModelSnapshot> fallback_snapshot() {
+  return std::make_shared<const ModelSnapshot>();
+}
+
+}  // namespace
+
+OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
+                                   ServeConfig config)
+    : runtime_(runtime),
+      config_(std::move(config)),
+      encoder_(&runtime->project().catalog, config_.encoding),
+      explorer_(&runtime->optimizer(), config_.explorer),
+      journal_(config_.journal_path, [this] {
+        // Normalizers and the environment context come from the project's
+        // history BEFORE the journal opens, so a fresh journal is stamped
+        // with the final feature_dim.
+        const warehouse::QueryRepository& repo = runtime_->repository();
+        if (!repo.records().empty()) {
+          std::vector<const warehouse::Plan*> plans;
+          plans.reserve(repo.records().size());
+          for (const QueryRecord& r : repo.records()) plans.push_back(&r.plan);
+          encoder_.fit_normalizers(plans);
+          env_context_ = core::build_env_context(
+              repo, runtime_->cluster_env_history(), runtime_->cluster());
+        }
+        return encoder_.feature_dim();
+      }()),
+      registry_(config_.registry_root),
+      monitor_(config_.monitor),
+      retrain_pool_(1) {
+  // Restart continuity: resume serving the latest approved registry version;
+  // cold registries start on the native fallback.
+  std::shared_ptr<const ModelSnapshot> initial = fallback_snapshot();
+  if (const auto meta = registry_.latest_approved()) {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    initial = snapshot_for(*meta);
+  }
+  slot_.exchange(std::move(initial));
+  static obs::Gauge* const g_version =
+      obs::Registry::instance().gauge("loam.serve.active_version");
+  g_version->set(active_version());
+}
+
+OptimizerService::~OptimizerService() { stop(); }
+
+void OptimizerService::start() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!stop_) return;  // already running
+  }
+  if (config_.bootstrap_from_history && journal_.records() == 0 &&
+      !runtime_->repository().records().empty()) {
+    bootstrap_journal();
+  }
+  if (config_.bootstrap_train && active_version() < 0) {
+    retrain_sync();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = false;
+  }
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+void OptimizerService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // A scheduled retrain may still be running on the pool; wait it out so
+  // stop() returns with the service fully quiescent.
+  while (retrain_inflight_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission + batching
+// ---------------------------------------------------------------------------
+
+bool OptimizerService::try_submit(Query query, std::future<ServeDecision>* out) {
+  static obs::Counter* const c_admitted =
+      obs::Registry::instance().counter("loam.serve.requests_admitted");
+  static obs::Counter* const c_rejected =
+      obs::Registry::instance().counter("loam.serve.requests_rejected");
+  if (out == nullptr) return false;
+  Pending pending;
+  pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.query = std::move(query);
+  pending.enqueue_ns = obs::Tracer::now_ns();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_ || queue_.size() >= config_.queue_capacity) {
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected->add();
+      return false;
+    }
+    *out = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  c_admitted->add();
+  return true;
+}
+
+ServeDecision OptimizerService::optimize(Query query) {
+  std::future<ServeDecision> future;
+  if (!try_submit(std::move(query), &future)) {
+    throw std::runtime_error("OptimizerService: queue full or service stopped");
+  }
+  return future.get();
+}
+
+void OptimizerService::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      // Linger briefly so closely spaced requests coalesce into one
+      // predict_batch call instead of each paying a forward pass.
+      if (static_cast<int>(queue_.size()) < config_.max_batch && !stop_ &&
+          config_.batch_linger_us > 0) {
+        queue_cv_.wait_for(
+            lock, std::chrono::microseconds(config_.batch_linger_us),
+            [this] {
+              return stop_ ||
+                     static_cast<int>(queue_.size()) >= config_.max_batch;
+            });
+      }
+      const std::size_t n = std::min<std::size_t>(
+          queue_.size(), static_cast<std::size_t>(std::max(1, config_.max_batch)));
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+std::vector<nn::Tree> OptimizerService::encode_candidates(
+    const CandidateGeneration& generation) const {
+  const bool use_env = config_.encoding.include_env;
+  const EnvFeatures rep = env_context_.representative;
+  std::vector<nn::Tree> trees;
+  trees.reserve(generation.plans.size());
+  for (const warehouse::Plan& plan : generation.plans) {
+    trees.push_back(encoder_.encode(
+        plan, nullptr,
+        use_env ? std::optional<EnvFeatures>(rep) : std::nullopt));
+  }
+  return trees;
+}
+
+int OptimizerService::argmin(const std::vector<double>& v) {
+  int best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+void OptimizerService::process_batch(std::vector<Pending> batch) {
+  static obs::Counter* const c_batches =
+      obs::Registry::instance().counter("loam.serve.batches");
+  static obs::Counter* const c_fallback =
+      obs::Registry::instance().counter("loam.serve.fallback_decisions");
+  static obs::Histogram* const h_batch = obs::Registry::instance().histogram(
+      "loam.serve.batch_size", obs::Histogram::linear_bounds(1.0, 1.0, 16));
+  static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
+      "loam.serve.request_seconds",
+      obs::Histogram::exponential_bounds(1e-4, 2.0, 16));
+  obs::Span span(obs::Cat::kServe, "batch",
+                 static_cast<std::int64_t>(batch.size()));
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  c_batches->add();
+  h_batch->observe(static_cast<double>(batch.size()));
+
+  // ONE snapshot per batch: every request in it is served by exactly this
+  // registry version, however many swaps land while the batch is in flight.
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      slot_.load();
+  const std::int64_t pickup_ns = obs::Tracer::now_ns();
+
+  // Explore + encode per request, then score the union of all candidate sets
+  // with a single predict_batch call.
+  std::vector<ServeDecision> decisions(batch.size());
+  std::vector<std::size_t> offsets(batch.size() + 1, 0);
+  std::vector<nn::Tree> flat;
+  bool failed_any = false;
+  std::vector<bool> failed(batch.size(), false);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ServeDecision& d = decisions[i];
+    d.request_id = batch[i].id;
+    d.submit_day = batch[i].query.submit_day;
+    d.batch_size = static_cast<int>(batch.size());
+    d.queue_seconds = 1e-9 * static_cast<double>(pickup_ns - batch[i].enqueue_ns);
+    try {
+      d.generation = explorer_.explore(batch[i].query);
+      if (snapshot->model != nullptr) {
+        std::vector<nn::Tree> trees = encode_candidates(d.generation);
+        for (nn::Tree& t : trees) flat.push_back(std::move(t));
+      }
+    } catch (...) {
+      failed[i] = true;
+      failed_any = true;
+      batch[i].promise.set_exception(std::current_exception());
+    }
+    offsets[i + 1] = flat.size();
+  }
+
+  std::vector<double> all_preds;
+  if (snapshot->model != nullptr && !flat.empty()) {
+    all_preds = snapshot->model->predict_batch(flat);
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (failed_any && failed[i]) continue;
+    ServeDecision& d = decisions[i];
+    if (snapshot->model != nullptr) {
+      d.model_version = snapshot->version;
+      d.predicted.assign(all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+                         all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+      d.chosen = argmin(d.predicted);
+      d.predicted_cost =
+          d.predicted.empty() ? 0.0
+                              : d.predicted[static_cast<std::size_t>(d.chosen)];
+    } else {
+      // Native-optimizer fallback: serve the default plan.
+      d.model_version = -1;
+      d.chosen = d.generation.default_index;
+      n_fallback_.fetch_add(1, std::memory_order_relaxed);
+      c_fallback->add();
+    }
+    d.total_seconds =
+        1e-9 * static_cast<double>(obs::Tracer::now_ns() - batch[i].enqueue_ns);
+    h_latency->observe(d.total_seconds);
+    batch[i].promise.set_value(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feedback + monitoring + rollback
+// ---------------------------------------------------------------------------
+
+void OptimizerService::record_feedback(const ServeDecision& decision,
+                                       const warehouse::ExecutionResult& exec) {
+  static obs::Counter* const c_feedback =
+      obs::Registry::instance().counter("loam.serve.feedback_records");
+  obs::Span span(obs::Cat::kServe, "feedback");
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  c_feedback->add();
+
+  // Journal the executed plan with the environments its stages actually saw
+  // (the same encoding the offline trainer uses for default plans).
+  const warehouse::Plan& plan =
+      decision.generation.plans.at(static_cast<std::size_t>(decision.chosen));
+  std::vector<EnvFeatures> stage_envs(exec.stages.size());
+  for (const warehouse::StageExecution& s : exec.stages) {
+    if (s.stage_id >= 0) stage_envs[static_cast<std::size_t>(s.stage_id)] = s.env;
+  }
+  FeedbackRecord record;
+  record.kind = FeedbackRecord::Kind::kExecuted;
+  record.day = decision.submit_day;
+  record.cpu_cost = exec.cpu_cost;
+  record.tree = encoder_.encode(plan, &stage_envs, std::nullopt);
+  journal_.append(record);
+
+  // A few unexecuted candidates keep the adversarial half of Eq. (1) fed.
+  int added = 0;
+  for (std::size_t c = 0; c < decision.generation.plans.size() &&
+                          added < config_.candidate_records_per_request;
+       ++c) {
+    if (static_cast<int>(c) == decision.chosen ||
+        static_cast<int>(c) == decision.generation.default_index) {
+      continue;
+    }
+    FeedbackRecord cand;
+    cand.kind = FeedbackRecord::Kind::kCandidate;
+    cand.day = decision.submit_day;
+    cand.tree = encoder_.encode(
+        decision.generation.plans[c], nullptr,
+        config_.encoding.include_env
+            ? std::optional<EnvFeatures>(env_context_.representative)
+            : std::nullopt);
+    journal_.append(cand);
+    ++added;
+  }
+
+  // Deviance monitoring — only feedback attributable to the CURRENTLY active
+  // version may trigger its rollback; stale feedback from an already-swapped
+  // model is journaled but not held against the new one.
+  bool trigger = false;
+  if (decision.model_version >= 0 &&
+      decision.model_version == active_version()) {
+    static obs::Gauge* const g_overrun =
+        obs::Registry::instance().gauge("loam.serve.monitor_mean_overrun");
+    std::lock_guard<std::mutex> mlock(monitor_mu_);
+    monitor_.observe(decision.predicted_cost, exec.cpu_cost);
+    g_overrun->set(monitor_.mean_overrun());
+    trigger = monitor_.regressed();
+  }
+  if (trigger) rollback(decision.model_version);
+
+  // Retraining cadence: every retrain_min_new_records executed records, one
+  // background retrain (never more than one in flight).
+  if (config_.auto_retrain &&
+      ++executed_since_retrain_ >= config_.retrain_min_new_records) {
+    executed_since_retrain_ = 0;
+    if (!retrain_inflight_.exchange(true, std::memory_order_acq_rel)) {
+      retrain_pool_.submit([this] { retrain_task(); });
+    }
+  }
+}
+
+void OptimizerService::rollback(int bad_version) {
+  static obs::Counter* const c_rollbacks =
+      obs::Registry::instance().counter("loam.serve.rollbacks");
+  obs::Span span(obs::Cat::kServe, "rollback");
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const std::shared_ptr<const ModelSnapshot> current =
+      slot_.load();
+  if (current->version != bad_version) return;  // raced with another swap
+  registry_.mark_rolled_back(bad_version);
+  loaded_.erase(bad_version);
+  std::shared_ptr<const ModelSnapshot> next = fallback_snapshot();
+  if (const auto prev = registry_.latest_approved()) {
+    next = snapshot_for(*prev);
+  }
+  swap_snapshot(std::move(next));
+  n_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  c_rollbacks->add();
+  std::lock_guard<std::mutex> mlock(monitor_mu_);
+  monitor_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Retraining
+// ---------------------------------------------------------------------------
+
+void OptimizerService::retrain_task() {
+  try {
+    retrain_sync();
+  } catch (...) {
+    // A failed background retrain must never take the serving path down; the
+    // journal keeps the data and the next cadence tick tries again.
+  }
+  retrain_inflight_.store(false, std::memory_order_release);
+}
+
+bool OptimizerService::retrain_sync() {
+  static obs::Counter* const c_retrains =
+      obs::Registry::instance().counter("loam.serve.retrains");
+  static obs::Counter* const c_approved =
+      obs::Registry::instance().counter("loam.serve.retrain_approved");
+  static obs::Counter* const c_rejected =
+      obs::Registry::instance().counter("loam.serve.retrain_rejected");
+  static obs::Histogram* const h_seconds = obs::Registry::instance().histogram(
+      "loam.serve.retrain_seconds",
+      obs::Histogram::exponential_bounds(0.01, 2.0, 16));
+  obs::Span span(obs::Cat::kServe, "retrain");
+  obs::ScopedTimer timer(h_seconds);
+
+  core::TrainingData data = journal_.replay(config_.max_journal_examples);
+  if (static_cast<int>(data.default_plans.size()) < config_.min_train_examples) {
+    n_retrain_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  const int next_version = registry_.next_version();
+  core::PredictorConfig pc = config_.predictor;
+  // Distinct, reproducible initialization per version.
+  pc.seed = config_.predictor.seed ^
+            mix64(config_.seed + static_cast<std::uint64_t>(next_version));
+  auto model = std::make_unique<AdaptiveCostPredictor>(encoder_.feature_dim(), pc);
+  model->fit(data.default_plans, data.candidate_plans);
+
+  // Flighting gate on queries strictly after the training watermark.
+  const int first_day = std::max(0, journal_.max_day()) + 1;
+  core::DeploymentGateConfig gc = config_.gate;
+  gc.seed = config_.gate.seed + static_cast<std::uint64_t>(next_version);
+  const AdaptiveCostPredictor* raw = model.get();
+  core::DeploymentGateReport report;
+  {
+    // make_queries consumes the runtime's RNG stream: serialize access.
+    std::lock_guard<std::mutex> lock(runtime_mu_);
+    report = core::evaluate_selection(
+        *runtime_,
+        [this, raw](const CandidateGeneration& gen) {
+          return argmin(raw->predict_batch(encode_candidates(gen)));
+        },
+        config_.explorer, first_day, gc);
+  }
+  n_retrains_.fetch_add(1, std::memory_order_relaxed);
+  c_retrains->add();
+
+  ModelVersionMeta meta;
+  meta.watermark_day = journal_.max_day();
+  meta.journal_records = journal_.executed_records();
+  meta.approved = report.approved;
+  meta.gate_gain = report.gain;
+  meta.gate_json = report.to_json();
+  if (report.approved) {
+    publish_and_swap(std::move(model), meta);
+    n_retrain_approved_.fetch_add(1, std::memory_order_relaxed);
+    c_approved->add();
+    return true;
+  }
+  // Rejected candidates are still published (approved = false) so the
+  // registry keeps the complete audit trail; they are never served.
+  registry_.publish(*model, meta);
+  n_retrain_rejected_.fetch_add(1, std::memory_order_relaxed);
+  c_rejected->add();
+  return false;
+}
+
+void OptimizerService::bootstrap_journal() {
+  obs::Span span(obs::Cat::kServe, "bootstrap_journal");
+  const warehouse::QueryRepository& repo = runtime_->repository();
+  std::vector<const QueryRecord*> records =
+      repo.deduplicated(0, repo.max_day());
+  if (static_cast<int>(records.size()) > config_.max_journal_examples) {
+    records.resize(static_cast<std::size_t>(config_.max_journal_examples));
+  }
+  for (const QueryRecord* r : records) {
+    std::vector<EnvFeatures> stage_envs(r->exec.stages.size());
+    for (const warehouse::StageExecution& s : r->exec.stages) {
+      if (s.stage_id >= 0) stage_envs[static_cast<std::size_t>(s.stage_id)] = s.env;
+    }
+    FeedbackRecord record;
+    record.kind = FeedbackRecord::Kind::kExecuted;
+    record.day = r->day;
+    record.cpu_cost = r->exec.cpu_cost;
+    record.tree = encoder_.encode(r->plan, &stage_envs, std::nullopt);
+    journal_.append(record);
+  }
+  // Candidate records for a sample of history queries (generated, never
+  // executed), so even the bootstrap retrain trains domain-adversarially.
+  const int sample = std::min<int>(config_.bootstrap_candidate_queries,
+                                   static_cast<int>(records.size()));
+  for (int i = 0; i < sample; ++i) {
+    const QueryRecord* r = records[static_cast<std::size_t>(i)];
+    const CandidateGeneration gen = explorer_.explore(r->query);
+    int added = 0;
+    for (std::size_t c = 0; c < gen.plans.size() &&
+                            added < config_.candidate_records_per_request;
+         ++c) {
+      if (static_cast<int>(c) == gen.default_index) continue;
+      FeedbackRecord cand;
+      cand.kind = FeedbackRecord::Kind::kCandidate;
+      cand.day = r->day;
+      cand.tree = encoder_.encode(
+          gen.plans[c], nullptr,
+          config_.encoding.include_env
+              ? std::optional<EnvFeatures>(env_context_.representative)
+              : std::nullopt);
+      journal_.append(cand);
+      ++added;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Swapping
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const ModelSnapshot> OptimizerService::snapshot_for(
+    const ModelVersionMeta& meta) {
+  const auto it = loaded_.find(meta.version);
+  if (it != loaded_.end()) return it->second;
+  auto model = std::make_unique<AdaptiveCostPredictor>(encoder_.feature_dim(),
+                                                       config_.predictor);
+  model->load(meta.checkpoint_path);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->version = meta.version;
+  snap->model = std::shared_ptr<const core::CostModel>(model.release());
+  loaded_[meta.version] = snap;
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> OptimizerService::swap_snapshot(
+    std::shared_ptr<const ModelSnapshot> next) {
+  static obs::Counter* const c_swaps =
+      obs::Registry::instance().counter("loam.serve.swaps");
+  static obs::Gauge* const g_version =
+      obs::Registry::instance().gauge("loam.serve.active_version");
+  static obs::Histogram* const h_pause = obs::Registry::instance().histogram(
+      "loam.serve.swap_pause_seconds",
+      obs::Histogram::exponential_bounds(1e-8, 4.0, 14));
+  const int version = next->version;
+  const std::int64_t t0 = obs::Tracer::now_ns();
+  const std::shared_ptr<const ModelSnapshot> prev =
+      slot_.exchange(std::move(next));
+  const std::int64_t pause_ns = obs::Tracer::now_ns() - t0;
+  h_pause->observe(1e-9 * static_cast<double>(pause_ns));
+  c_swaps->add();
+  g_version->set(version);
+  n_swaps_.fetch_add(1, std::memory_order_relaxed);
+  return prev;
+}
+
+int OptimizerService::publish_and_swap(
+    std::unique_ptr<AdaptiveCostPredictor> model, ModelVersionMeta meta) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  meta = registry_.publish(*model, meta);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->version = meta.version;
+  snap->model = std::shared_ptr<const core::CostModel>(model.release());
+  loaded_[meta.version] = snap;
+  if (meta.approved) {
+    swap_snapshot(std::move(snap));
+    std::lock_guard<std::mutex> mlock(monitor_mu_);
+    monitor_.reset();
+  }
+  return meta.version;
+}
+
+void OptimizerService::swap_to_version(int version) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const auto meta = registry_.find(version);
+  if (!meta) {
+    throw std::runtime_error("registry has no version " + std::to_string(version));
+  }
+  swap_snapshot(snapshot_for(*meta));
+  std::lock_guard<std::mutex> mlock(monitor_mu_);
+  monitor_.reset();
+}
+
+void OptimizerService::swap_to_fallback() {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  swap_snapshot(fallback_snapshot());
+  std::lock_guard<std::mutex> mlock(monitor_mu_);
+  monitor_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+int OptimizerService::active_version() const {
+  return slot_.load()->version;
+}
+
+double OptimizerService::monitor_mean_overrun() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_.mean_overrun();
+}
+
+OptimizerService::Stats OptimizerService::stats() const {
+  Stats s;
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.rejected = n_rejected_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.fallback_decisions = n_fallback_.load(std::memory_order_relaxed);
+  s.swaps = n_swaps_.load(std::memory_order_relaxed);
+  s.rollbacks = n_rollbacks_.load(std::memory_order_relaxed);
+  s.retrains = n_retrains_.load(std::memory_order_relaxed);
+  s.retrain_approved = n_retrain_approved_.load(std::memory_order_relaxed);
+  s.retrain_rejected = n_retrain_rejected_.load(std::memory_order_relaxed);
+  s.retrain_skipped = n_retrain_skipped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace loam::serve

@@ -1,0 +1,263 @@
+// loam::serve — the long-lived optimizer service (the serving/training-
+// lifecycle half of the stack).
+//
+// One OptimizerService per project hosts the full learned-optimizer
+// lifecycle the offline pipeline only runs once:
+//
+//   * Admission & coalescing — requests enter a bounded queue; a dedicated
+//     batcher thread drains up to `max_batch` of them (lingering briefly to
+//     let a batch fill), explores candidates per request, and scores the
+//     UNION of every request's candidates with one predict_batch call, so
+//     concurrent requests share inference batches instead of paying one
+//     forward pass each.
+//   * Versioned serving — the active model is an immutable ModelSnapshot
+//     behind a std::atomic<std::shared_ptr>: readers acquire it wait-free at
+//     batch start, every request in a batch is served by exactly one
+//     registry version, and a hot-swap is a single pointer store that never
+//     stalls in-flight work. Snapshots come from the durable ModelRegistry.
+//   * Feedback & monitoring — record_feedback() appends each execution
+//     outcome to the crash-recoverable FeedbackJournal and feeds the
+//     core::OnlineDevianceMonitor; when the monitor detects regression the
+//     service auto-rolls back to the previous approved registry version (or
+//     to the native optimizer when none remains) and durably marks the bad
+//     version so it is never re-promoted.
+//   * Continuous retraining — every `retrain_min_new_records` executed
+//     feedback records, a background task on the retrain pool replays the
+//     journal into TrainingData, fits a fresh AdaptiveCostPredictor, pushes
+//     it through the flighting DeploymentGate (core::evaluate_selection),
+//     publishes the result to the registry (approved or not — a full audit
+//     trail), and hot-swaps on approval.
+//
+// With no approved model the service serves the native optimizer's default
+// plan — the paper's Section-3 fallback — so it can be started cold and
+// bootstrap itself entirely from its own feedback.
+#ifndef LOAM_SERVE_SERVICE_H_
+#define LOAM_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deviance.h"
+#include "core/gate.h"
+#include "core/loam.h"
+#include "serve/journal.h"
+#include "serve/registry.h"
+#include "util/thread_pool.h"
+
+namespace loam::serve {
+
+// Immutable view of "the model serving right now". version -1 with a null
+// model is the native-optimizer fallback snapshot.
+struct ModelSnapshot {
+  int version = -1;
+  std::shared_ptr<const core::CostModel> model;
+};
+
+struct ServeConfig {
+  // Admission / batching.
+  std::size_t queue_capacity = 256;
+  int max_batch = 8;         // requests coalesced into one inference batch
+  int batch_linger_us = 200; // how long a non-full batch waits for company
+
+  // Feedback / retraining.
+  bool bootstrap_from_history = true;  // seed the journal from the repository
+  bool bootstrap_train = true;         // synchronous initial retrain on start()
+  bool auto_retrain = true;            // schedule retrains from feedback volume
+  int retrain_min_new_records = 64;    // executed records between retrains
+  int min_train_examples = 40;         // below this a retrain is skipped
+  int max_journal_examples = 4000;     // freshest executed records per retrain
+  int candidate_records_per_request = 2;
+  int bootstrap_candidate_queries = 40;  // history queries explored for
+                                         // candidate records during bootstrap
+
+  core::PredictorConfig predictor;
+  core::EncodingConfig encoding;
+  core::PlanExplorer::Config explorer;
+  core::DeploymentGateConfig gate;
+  core::OnlineDevianceMonitor::Config monitor;
+
+  std::string registry_root = "loam_registry";
+  std::string journal_path = "loam_feedback.jnl";
+  std::uint64_t seed = 0x5eedbeefull;
+};
+
+struct ServeDecision {
+  std::uint64_t request_id = 0;
+  int submit_day = 0;
+  core::CandidateGeneration generation;
+  int chosen = 0;
+  int model_version = -1;       // registry version that served this request;
+                                // -1 = native-optimizer fallback
+  double predicted_cost = 0.0;  // model's cost for the chosen plan (0 if fallback)
+  std::vector<double> predicted;  // per-candidate predictions (empty if fallback)
+  int batch_size = 0;           // requests that shared this inference batch
+  double queue_seconds = 0.0;   // admission -> batch pickup
+  double total_seconds = 0.0;   // admission -> decision ready
+};
+
+class OptimizerService {
+ public:
+  OptimizerService(core::ProjectRuntime* runtime, ServeConfig config);
+  ~OptimizerService();
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  // Bootstraps (journal seeding + optional initial train) and launches the
+  // batcher thread. Idempotent.
+  void start();
+  // Drains the queue, completes any in-flight retrain, joins threads.
+  void stop();
+
+  // Non-blocking admission; false (and no future) when the queue is full or
+  // the service is stopped.
+  bool try_submit(warehouse::Query query, std::future<ServeDecision>* out);
+  // Blocking convenience: admit + wait. Throws std::runtime_error when the
+  // queue is full.
+  ServeDecision optimize(warehouse::Query query);
+
+  // Reports the execution outcome of a served decision: journals the
+  // feedback, updates the deviance monitor (possibly triggering rollback),
+  // and schedules a retrain when enough new feedback accumulated.
+  void record_feedback(const ServeDecision& decision,
+                       const warehouse::ExecutionResult& exec);
+
+  // Synchronous retrain: journal -> fit -> deployment gate -> publish;
+  // hot-swaps and returns true when the gate approves. Also the bootstrap
+  // path. Thread-safe with serving.
+  bool retrain_sync();
+
+  // Publishes `model` to the registry with `meta` (version assigned by the
+  // registry) and, when meta.approved, hot-swaps to it. Returns the assigned
+  // version. Exposed for tests and operational tooling (manual promotion).
+  int publish_and_swap(std::unique_ptr<core::AdaptiveCostPredictor> model,
+                       ModelVersionMeta meta);
+  // Hot-swaps to a registry version (loading its checkpoint if needed), or
+  // to the native fallback with swap_to_fallback().
+  void swap_to_version(int version);
+  void swap_to_fallback();
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t rejected = 0;       // bounded-queue admission failures
+    std::uint64_t batches = 0;
+    std::uint64_t fallback_decisions = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t retrains = 0;        // attempts that reached the gate
+    std::uint64_t retrain_approved = 0;
+    std::uint64_t retrain_rejected = 0;
+    std::uint64_t retrain_skipped = 0;  // not enough journal data
+  };
+  Stats stats() const;
+
+  // Version currently serving (-1 = native fallback).
+  int active_version() const;
+  double monitor_mean_overrun() const;
+
+  FeedbackJournal& journal() { return journal_; }
+  ModelRegistry& registry() { return registry_; }
+  const core::PlanEncoder& encoder() const { return encoder_; }
+  const core::EnvContext& env_context() const { return env_context_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    warehouse::Query query;
+    std::promise<ServeDecision> promise;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  void batcher_loop();
+  void process_batch(std::vector<Pending> batch);
+  // Encodes a candidate set under the representative environment.
+  std::vector<nn::Tree> encode_candidates(
+      const core::CandidateGeneration& generation) const;
+  static int argmin(const std::vector<double>& v);
+
+  void bootstrap_journal();
+  void retrain_task();
+  // Swap + bookkeeping; returns the previously active snapshot.
+  std::shared_ptr<const ModelSnapshot> swap_snapshot(
+      std::shared_ptr<const ModelSnapshot> next);
+  // Loads a checkpointed version into memory (no-op if cached).
+  std::shared_ptr<const ModelSnapshot> snapshot_for(const ModelVersionMeta& meta);
+  void rollback(int bad_version);
+
+  core::ProjectRuntime* runtime_;
+  ServeConfig config_;
+  core::PlanEncoder encoder_;
+  core::PlanExplorer explorer_;
+  core::EnvContext env_context_;
+  FeedbackJournal journal_;
+  ModelRegistry registry_;
+
+  // Active model slot. A mutex whose critical section is a shared_ptr copy,
+  // NOT std::atomic<shared_ptr>: libstdc++ 12 implements the latter with a
+  // lock-bit spinlock whose load-side unlock is memory_order_relaxed, which
+  // leaves the internal pointer read formally unsynchronized with the next
+  // swap's write — TSan flags it, correctly per the C++ memory model. The
+  // mutex is uncontended (one load per batch) and the swap pause stays in
+  // the microseconds (asserted by bench_micro --serve). Leaf lock: neither
+  // method touches anything else, so it nests under every other mutex.
+  class SnapshotSlot {
+   public:
+    std::shared_ptr<const ModelSnapshot> load() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return snap_;
+    }
+    // Installs `next`, returning the previously active snapshot.
+    std::shared_ptr<const ModelSnapshot> exchange(
+        std::shared_ptr<const ModelSnapshot> next) {
+      std::lock_guard<std::mutex> lock(mu_);
+      snap_.swap(next);
+      return next;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const ModelSnapshot> snap_;
+  };
+  SnapshotSlot slot_;
+
+  // Lock hierarchy (outer to inner): queue_mu_ | feedback_mu_ -> swap_mu_ ->
+  // monitor_mu_ -> slot_. The journal and registry carry their own leaf
+  // mutexes.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = true;  // start() flips to false
+  std::thread batcher_;
+
+  std::mutex feedback_mu_;
+  int executed_since_retrain_ = 0;
+
+  std::mutex swap_mu_;
+  std::map<int, std::shared_ptr<const ModelSnapshot>> loaded_;  // version cache
+
+  mutable std::mutex monitor_mu_;
+  core::OnlineDevianceMonitor monitor_;
+
+  std::mutex runtime_mu_;  // guards runtime_->make_queries (shared RNG)
+
+  util::ThreadPool retrain_pool_;  // one worker: the background retrain loop
+  std::atomic<bool> retrain_inflight_{false};
+
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> n_requests_{0}, n_rejected_{0}, n_batches_{0},
+      n_fallback_{0}, n_swaps_{0}, n_rollbacks_{0}, n_retrains_{0},
+      n_retrain_approved_{0}, n_retrain_rejected_{0}, n_retrain_skipped_{0};
+};
+
+}  // namespace loam::serve
+
+#endif  // LOAM_SERVE_SERVICE_H_

@@ -1,5 +1,6 @@
 #include "util/hash.h"
 
+#include <array>
 #include <cmath>
 
 namespace loam {
@@ -46,6 +47,27 @@ double expected_collision_prob_single(int n, int dim) {
     p_all_distinct *= std::max(0.0, 1.0 - static_cast<double>(i) / dim);
   }
   return 1.0 - p_all_distinct;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  // Table generated once, on first use (256 entries, 1 KiB).
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 double expected_collision_prob_multi(int n, const MultiSegmentHashConfig& config) {

@@ -51,6 +51,12 @@ std::vector<float> encode_identifier_set(std::span<const std::string> ids,
 double expected_collision_prob_single(int n, int dim);
 double expected_collision_prob_multi(int n, const MultiSegmentHashConfig& config);
 
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the content
+// checksum of NN checkpoint footers (nn::serialize v2) and of every
+// feedback-journal record frame. `crc` chains incremental updates: pass the
+// previous return value to continue a running checksum over split buffers.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
 }  // namespace loam
 
 #endif  // LOAM_UTIL_HASH_H_

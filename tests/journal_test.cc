@@ -1,0 +1,195 @@
+// Tests of the execution-feedback journal: round-trip fidelity, torn-tail
+// crash recovery, CRC rejection of mid-file corruption, and replay into the
+// exact TrainingData shape the offline trainer consumes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/journal.h"
+
+namespace loam::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kDim = 6;
+
+std::string temp_path(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("loam_journal_test_" + tag + "_" +
+                      std::to_string(::getpid()) + ".jnl");
+  fs::remove(p);
+  return p.string();
+}
+
+// Deterministic synthetic tree: `n` nodes in a left-leaning chain, features
+// derived from (seed, node, col).
+nn::Tree make_tree(int n, int seed) {
+  nn::Tree t;
+  t.features.resize(n, kDim);
+  t.left.assign(static_cast<std::size_t>(n), -1);
+  t.right.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i + 1 < n; ++i) t.left[static_cast<std::size_t>(i)] = i + 1;
+  t.root = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < kDim; ++c) {
+      t.features.at(i, c) = static_cast<float>(seed + i * kDim + c) * 0.25f;
+    }
+  }
+  return t;
+}
+
+FeedbackRecord make_record(int i) {
+  FeedbackRecord r;
+  r.kind = i % 3 == 2 ? FeedbackRecord::Kind::kCandidate
+                      : FeedbackRecord::Kind::kExecuted;
+  r.day = i / 4;
+  r.cpu_cost = r.kind == FeedbackRecord::Kind::kExecuted ? 1000.0 + i : 0.0;
+  r.tree = make_tree(2 + i % 4, i);
+  return r;
+}
+
+void expect_trees_equal(const nn::Tree& a, const nn::Tree& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.features.cols(), b.features.cols());
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.left, b.left);
+  EXPECT_EQ(a.right, b.right);
+  for (int i = 0; i < a.node_count(); ++i) {
+    for (int c = 0; c < a.features.cols(); ++c) {
+      EXPECT_EQ(a.features.at(i, c), b.features.at(i, c));
+    }
+  }
+}
+
+TEST(FeedbackJournal, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip");
+  constexpr int kN = 17;
+  {
+    FeedbackJournal journal(path, kDim);
+    for (int i = 0; i < kN; ++i) journal.append(make_record(i));
+    EXPECT_EQ(journal.records(), kN);
+    EXPECT_EQ(journal.max_day(), (kN - 1) / 4);
+  }
+  const std::vector<FeedbackRecord> back = FeedbackJournal::read_all(path);
+  ASSERT_EQ(back.size(), kN);
+  for (int i = 0; i < kN; ++i) {
+    const FeedbackRecord want = make_record(i);
+    EXPECT_EQ(back[static_cast<std::size_t>(i)].kind, want.kind);
+    EXPECT_EQ(back[static_cast<std::size_t>(i)].day, want.day);
+    EXPECT_EQ(back[static_cast<std::size_t>(i)].cpu_cost, want.cpu_cost);
+    expect_trees_equal(back[static_cast<std::size_t>(i)].tree, want.tree);
+  }
+  fs::remove(path);
+}
+
+TEST(FeedbackJournal, TornTailIsTruncatedAndAppendResumes) {
+  const std::string path = temp_path("torn");
+  constexpr int kN = 9;
+  {
+    FeedbackJournal journal(path, kDim);
+    for (int i = 0; i < kN; ++i) journal.append(make_record(i));
+  }
+  const auto clean_size = fs::file_size(path);
+  {
+    // Simulate a crash mid-append: a frame header promising more bytes than
+    // were ever written.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::uint32_t len = 1000;
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write("partial payload", 15);
+  }
+  ASSERT_GT(fs::file_size(path), clean_size);
+
+  FeedbackJournal recovered(path, kDim);
+  EXPECT_EQ(recovered.records(), kN);
+  EXPECT_GT(recovered.truncated_bytes(), 0u);
+  EXPECT_EQ(fs::file_size(path), clean_size);
+
+  // The journal keeps accepting appends after recovery.
+  recovered.append(make_record(kN));
+  const std::vector<FeedbackRecord> back = FeedbackJournal::read_all(path);
+  ASSERT_EQ(back.size(), kN + 1);
+  expect_trees_equal(back.back().tree, make_record(kN).tree);
+  fs::remove(path);
+}
+
+TEST(FeedbackJournal, CorruptedFrameStopsTheScan) {
+  const std::string path = temp_path("corrupt");
+  constexpr int kN = 8;
+  std::uint64_t bytes_after_3 = 0;
+  {
+    FeedbackJournal journal(path, kDim);
+    for (int i = 0; i < 3; ++i) journal.append(make_record(i));
+    bytes_after_3 = journal.bytes();
+    for (int i = 3; i < kN; ++i) journal.append(make_record(i));
+  }
+  {
+    // Flip one payload byte of the 4th record: its CRC must reject it, and
+    // everything after it is unreachable (append-only log semantics).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(bytes_after_3) + 6);
+    char b = 0;
+    f.seekg(static_cast<std::streamoff>(bytes_after_3) + 6);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(bytes_after_3) + 6);
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(FeedbackJournal::read_all(path).size(), 3u);
+  FeedbackJournal recovered(path, kDim);
+  EXPECT_EQ(recovered.records(), 3u);
+  EXPECT_EQ(recovered.bytes(), bytes_after_3);
+  fs::remove(path);
+}
+
+TEST(FeedbackJournal, ReplayRebuildsIdenticalTrainingData) {
+  const std::string path = temp_path("replay");
+  constexpr int kN = 15;
+  FeedbackJournal journal(path, kDim);
+  for (int i = 0; i < kN; ++i) journal.append(make_record(i));
+
+  const core::TrainingData data = journal.replay();
+  std::size_t executed = 0, candidates = 0;
+  for (int i = 0; i < kN; ++i) {
+    const FeedbackRecord want = make_record(i);
+    if (want.kind == FeedbackRecord::Kind::kExecuted) {
+      ASSERT_LT(executed, data.default_plans.size());
+      EXPECT_EQ(data.default_plans[executed].cpu_cost, want.cpu_cost);
+      expect_trees_equal(data.default_plans[executed].tree, want.tree);
+      ++executed;
+    } else {
+      ASSERT_LT(candidates, data.candidate_plans.size());
+      expect_trees_equal(data.candidate_plans[candidates], want.tree);
+      ++candidates;
+    }
+  }
+  EXPECT_EQ(data.default_plans.size(), executed);
+  EXPECT_EQ(data.candidate_plans.size(), candidates);
+  EXPECT_EQ(journal.executed_records(), executed);
+
+  // Capped replay keeps the most RECENT executed records.
+  const core::TrainingData fresh = journal.replay(3);
+  ASSERT_EQ(fresh.default_plans.size(), 3u);
+  EXPECT_EQ(fresh.default_plans.back().cpu_cost,
+            data.default_plans.back().cpu_cost);
+  EXPECT_EQ(fresh.candidate_plans.size(), data.candidate_plans.size());
+  fs::remove(path);
+}
+
+TEST(FeedbackJournal, ReopenRequiresMatchingFeatureDim) {
+  const std::string path = temp_path("dim");
+  { FeedbackJournal journal(path, kDim); }
+  EXPECT_NO_THROW(FeedbackJournal(path, kDim));
+  EXPECT_THROW(FeedbackJournal(path, kDim + 1), std::runtime_error);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace loam::serve

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "core/predictor.h"
 #include "nn/serialize.h"
+#include "util/hash.h"
 #include "warehouse/repository_io.h"
 
 namespace loam {
@@ -74,6 +77,72 @@ TEST(NnSerialize, RejectsTruncation) {
   data.resize(data.size() / 2);
   std::stringstream half(data);
   EXPECT_THROW(nn::load_parameters(a.parameters(), half), std::runtime_error);
+}
+
+TEST(NnSerialize, WritesV2MagicWithCrcFooter) {
+  Rng rng(7);
+  nn::Linear a("layer", 4, 4, rng);
+  std::stringstream buffer;
+  const std::size_t bytes = nn::save_parameters(a.parameters(), buffer);
+  const std::string data = buffer.str();
+  ASSERT_EQ(data.size(), bytes);
+  ASSERT_GE(data.size(), 12u);
+  EXPECT_EQ(data.substr(0, 7), "LOAMNN2");
+  // Footer = CRC-32 of everything after the 8-byte magic.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, data.data() + data.size() - 4, 4);
+  EXPECT_EQ(stored, crc32(data.data() + 8, data.size() - 12));
+}
+
+TEST(NnSerialize, DetectsSingleBitCorruption) {
+  Rng rng(8);
+  nn::Linear a("layer", 6, 4, rng);
+  std::stringstream buffer;
+  nn::save_parameters(a.parameters(), buffer);
+  std::string data = buffer.str();
+  // Flip one bit inside the float payload (just before the 4-byte footer):
+  // every structural check (magic, count, names, shapes) still passes, so
+  // only the checksum can catch it.
+  data[data.size() - 5] ^= 0x01;
+  std::stringstream corrupt(data);
+  nn::Linear b("layer", 6, 4, rng);
+  EXPECT_THROW(nn::load_parameters(b.parameters(), corrupt), std::runtime_error);
+}
+
+TEST(NnSerialize, StillLoadsLegacyV1Checkpoints) {
+  Rng rng(9);
+  nn::Linear a("layer", 3, 2, rng);
+  // Hand-write the v1 layout: "LOAMNN1\0" magic, u32 count, then per
+  // parameter u32 name_len | name | u32 rows | u32 cols | floats. No footer.
+  std::stringstream buffer;
+  const auto put_u32 = [&buffer](std::uint32_t v) {
+    buffer.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const char magic_v1[8] = {'L', 'O', 'A', 'M', 'N', 'N', '1', '\0'};
+  buffer.write(magic_v1, sizeof(magic_v1));
+  const std::vector<nn::Parameter*> params = a.parameters();
+  put_u32(static_cast<std::uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    put_u32(static_cast<std::uint32_t>(p->name.size()));
+    buffer.write(p->name.data(),
+                 static_cast<std::streamsize>(p->name.size()));
+    put_u32(static_cast<std::uint32_t>(p->value.rows()));
+    put_u32(static_cast<std::uint32_t>(p->value.cols()));
+    buffer.write(reinterpret_cast<const char*>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+
+  nn::Linear b("layer", 3, 2, rng);  // different init
+  nn::load_parameters(b.parameters(), buffer);
+  nn::Mat x(2, 3);
+  x.glorot_init(rng);
+  nn::Mat ya = a.forward(x);
+  nn::Mat yb = b.forward(x);
+  for (int i = 0; i < ya.rows(); ++i) {
+    for (int j = 0; j < ya.cols(); ++j) {
+      EXPECT_FLOAT_EQ(ya.at(i, j), yb.at(i, j));
+    }
+  }
 }
 
 TEST(PredictorCheckpoint, RoundTripReproducesPredictions) {

@@ -1,0 +1,347 @@
+// Tests of the online optimizer service: native fallback, bootstrap +
+// gated promotion, hot-swap safety under concurrent serving (the TSan gate
+// certifies this suite), deviance-triggered rollback, and restart
+// continuity from the durable registry + journal.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "warehouse/flighting.h"
+
+namespace loam::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ServeFixture {
+  std::unique_ptr<core::ProjectRuntime> runtime;
+  std::string root;
+
+  explicit ServeFixture(const std::string& tag) {
+    warehouse::ProjectArchetype a;
+    a.name = "serve";
+    a.seed = 5;
+    a.n_tables = 14;
+    a.n_templates = 8;
+    a.queries_per_day = 50.0;
+    a.stats_coverage = 0.15;
+    a.cluster_machines = 24;
+    core::RuntimeConfig rc;
+    rc.seed = 31;
+    runtime = std::make_unique<core::ProjectRuntime>(a, rc);
+    runtime->simulate_history(5, 50);
+    root = (fs::temp_directory_path() /
+            ("loam_serve_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(root);
+    fs::create_directories(root);
+  }
+  ~ServeFixture() { fs::remove_all(root); }
+
+  // Small everything: tiny predictor, short gate, low thresholds — the suite
+  // runs inside the tier-1 budget (and again under TSan).
+  ServeConfig config() const {
+    ServeConfig cfg;
+    cfg.predictor.epochs = 4;
+    cfg.predictor.hidden_dim = 16;
+    cfg.predictor.embed_dim = 16;
+    cfg.predictor.tcn_layers = 2;
+    cfg.gate.sample_queries = 6;
+    cfg.gate.replay_runs = 2;
+    cfg.min_train_examples = 20;
+    cfg.bootstrap_candidate_queries = 10;
+    cfg.batch_linger_us = 100;
+    cfg.registry_root = root + "/registry";
+    cfg.journal_path = root + "/feedback.jnl";
+    return cfg;
+  }
+
+  // Ground truth for record_feedback: replay the served plan in flighting.
+  warehouse::ExecutionResult execute(const warehouse::Plan& plan,
+                                     std::uint64_t seed) const {
+    warehouse::FlightingEnv env(runtime->config().cluster,
+                                runtime->config().executor, seed);
+    return env.replay_once(plan);
+  }
+};
+
+std::unique_ptr<core::AdaptiveCostPredictor> untrained_model(
+    const OptimizerService& service) {
+  return std::make_unique<core::AdaptiveCostPredictor>(
+      service.encoder().feature_dim(), service.config().predictor);
+}
+
+ModelVersionMeta approved_meta() {
+  ModelVersionMeta meta;
+  meta.approved = true;
+  return meta;
+}
+
+TEST(OptimizerService, NativeFallbackServesDefaultPlans) {
+  ServeFixture fx("fallback");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  OptimizerService service(fx.runtime.get(), cfg);
+
+  // Before start() admission is closed.
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 5, 4);
+  ASSERT_GE(queries.size(), 2u);
+  std::future<ServeDecision> future;
+  EXPECT_FALSE(service.try_submit(queries[0], &future));
+  EXPECT_THROW(service.optimize(queries[0]), std::runtime_error);
+  EXPECT_GE(service.stats().rejected, 2u);
+
+  service.start();
+  EXPECT_EQ(service.active_version(), -1);
+  for (const warehouse::Query& q : queries) {
+    const ServeDecision d = service.optimize(q);
+    EXPECT_EQ(d.model_version, -1);
+    EXPECT_EQ(d.chosen, d.generation.default_index);
+    EXPECT_TRUE(d.predicted.empty());
+    EXPECT_GE(d.batch_size, 1);
+  }
+  const OptimizerService::Stats stats = service.stats();
+  EXPECT_EQ(stats.fallback_decisions, queries.size());
+  EXPECT_GE(stats.batches, 1u);
+
+  // An empty journal is below min_train_examples: retrain skips, no version.
+  EXPECT_FALSE(service.retrain_sync());
+  EXPECT_EQ(service.stats().retrain_skipped, 1u);
+  EXPECT_EQ(service.active_version(), -1);
+  service.stop();
+}
+
+TEST(OptimizerService, BootstrapTrainsGatesAndPromotes) {
+  ServeFixture fx("bootstrap");
+  ServeConfig cfg = fx.config();
+  cfg.auto_retrain = false;
+  // Lenient gate: this test exercises the promotion plumbing, not the
+  // model's quality.
+  cfg.gate.max_regression = 1e9;
+  cfg.gate.max_regression_ratio = 1e9;
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+
+  EXPECT_GT(service.journal().records(), 0u);
+  EXPECT_GT(service.journal().executed_records(), 0u);
+  ASSERT_EQ(service.active_version(), 1);
+  const OptimizerService::Stats stats = service.stats();
+  EXPECT_EQ(stats.retrains, 1u);
+  EXPECT_EQ(stats.retrain_approved, 1u);
+  EXPECT_GE(stats.swaps, 1u);
+
+  const auto meta = service.registry().latest_approved();
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->version, 1);
+  EXPECT_TRUE(meta->approved);
+  EXPECT_EQ(meta->watermark_day, 4);  // history covers days 0..4
+  EXPECT_GT(meta->journal_records, 0u);
+  EXPECT_FALSE(meta->gate_json.empty());
+  EXPECT_TRUE(fs::exists(meta->checkpoint_path));
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(8, 8, 3);
+  for (const warehouse::Query& q : queries) {
+    const ServeDecision d = service.optimize(q);
+    EXPECT_EQ(d.model_version, 1);
+    ASSERT_EQ(d.predicted.size(), d.generation.plans.size());
+    EXPECT_GE(d.chosen, 0);
+    EXPECT_LT(d.chosen, static_cast<int>(d.generation.plans.size()));
+    // Feedback flows back into the journal.
+    const std::uint64_t before = service.journal().executed_records();
+    service.record_feedback(d, fx.execute(d.generation.plans[d.chosen], 99));
+    EXPECT_EQ(service.journal().executed_records(), before + 1);
+  }
+  service.stop();
+}
+
+TEST(OptimizerService, GateRejectionKeepsFallbackButAuditsVersion) {
+  ServeFixture fx("reject");
+  ServeConfig cfg = fx.config();
+  cfg.auto_retrain = false;
+  cfg.gate.max_regression = -0.99;  // demand an impossible 99% gain
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+
+  EXPECT_EQ(service.active_version(), -1);
+  EXPECT_EQ(service.stats().retrain_rejected, 1u);
+  EXPECT_FALSE(service.registry().latest_approved().has_value());
+  // The rejected model is still in the registry for auditing.
+  const std::vector<ModelVersionMeta> versions = service.registry().versions();
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_FALSE(versions[0].approved);
+  EXPECT_TRUE(fs::exists(versions[0].checkpoint_path));
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(8, 8, 2);
+  for (const warehouse::Query& q : queries) {
+    EXPECT_EQ(service.optimize(q).model_version, -1);
+  }
+  service.stop();
+}
+
+TEST(OptimizerService, HotSwapStressEveryRequestServedByExactlyOneVersion) {
+  ServeFixture fx("swapstress");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.max_batch = 4;
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+
+  ModelVersionMeta m1;  // v1 stays promotable for the swap loop
+  m1.approved = true;
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), m1), 1);
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), approved_meta()),
+            2);
+
+  // Pre-generate all queries on the main thread: make_queries mutates the
+  // runtime's RNG and must not race the submitters.
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 7, 24);
+  ASSERT_GE(queries.size(), 8u);
+  const std::size_t half = queries.size() / 2;
+
+  std::atomic<bool> swapping{true};
+  std::vector<ServeDecision> decisions(queries.size());
+  auto submitter = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      decisions[i] = service.optimize(queries[i]);
+    }
+  };
+  std::thread swapper([&] {
+    int k = 0;
+    while (swapping.load(std::memory_order_relaxed)) {
+      switch (k++ % 3) {
+        case 0: service.swap_to_version(1); break;
+        case 1: service.swap_to_version(2); break;
+        default: service.swap_to_fallback(); break;
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread a(submitter, 0, half);
+  std::thread b(submitter, half, queries.size());
+  a.join();
+  b.join();
+  swapping.store(false, std::memory_order_relaxed);
+  swapper.join();
+
+  for (const ServeDecision& d : decisions) {
+    // Exactly one registry version (or the fallback) served each request,
+    // and the decision payload is internally consistent with it.
+    EXPECT_TRUE(d.model_version == -1 || d.model_version == 1 ||
+                d.model_version == 2);
+    if (d.model_version >= 0) {
+      EXPECT_EQ(d.predicted.size(), d.generation.plans.size());
+    } else {
+      EXPECT_TRUE(d.predicted.empty());
+      EXPECT_EQ(d.chosen, d.generation.default_index);
+    }
+    EXPECT_GE(d.chosen, 0);
+    EXPECT_LT(d.chosen, static_cast<int>(d.generation.plans.size()));
+  }
+  const OptimizerService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, queries.size());
+  EXPECT_GE(stats.swaps, 2u);
+  service.stop();
+}
+
+TEST(OptimizerService, DevianceRollbackStepsDownThroughVersions) {
+  ServeFixture fx("rollback");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.monitor.window = 8;
+  cfg.monitor.min_samples = 3;
+  cfg.monitor.max_mean_overrun = 0.5;
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+
+  // Two approved versions of an UNTRAINED predictor: its unfitted scaler
+  // predicts costs near 1 while real executions land orders of magnitude
+  // higher, so the one-sided log overrun trips the monitor deterministically.
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), approved_meta()),
+            1);
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), approved_meta()),
+            2);
+  ASSERT_EQ(service.active_version(), 2);
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 8, 40);
+  ASSERT_GE(queries.size(), 10u);
+  std::size_t i = 0;
+  // Phase 1: regress v2 -> automatic step-down to the previous approved v1.
+  while (service.active_version() == 2 && i < queries.size()) {
+    const ServeDecision d = service.optimize(queries[i]);
+    service.record_feedback(d, fx.execute(d.generation.plans[d.chosen], 7 + i));
+    ++i;
+  }
+  ASSERT_EQ(service.active_version(), 1);
+  EXPECT_EQ(service.stats().rollbacks, 1u);
+  ASSERT_TRUE(service.registry().find(2).has_value());
+  EXPECT_TRUE(service.registry().find(2)->rolled_back);
+
+  // Phase 2: v1 is as bad -> final fallback to the native optimizer.
+  while (service.active_version() == 1 && i < queries.size()) {
+    const ServeDecision d = service.optimize(queries[i]);
+    service.record_feedback(d, fx.execute(d.generation.plans[d.chosen], 7 + i));
+    ++i;
+  }
+  ASSERT_EQ(service.active_version(), -1);
+  EXPECT_EQ(service.stats().rollbacks, 2u);
+  EXPECT_TRUE(service.registry().find(1)->rolled_back);
+  EXPECT_FALSE(service.registry().latest_approved().has_value());
+
+  // Rolled-back versions stay demoted; serving continues on the fallback.
+  const ServeDecision d = service.optimize(queries.at(i));
+  EXPECT_EQ(d.model_version, -1);
+  EXPECT_EQ(d.chosen, d.generation.default_index);
+  service.stop();
+}
+
+TEST(OptimizerService, RestartResumesLatestApprovedAndJournal) {
+  ServeFixture fx("restart");
+  ServeConfig cfg = fx.config();
+  cfg.auto_retrain = false;
+  cfg.gate.max_regression = 1e9;
+  cfg.gate.max_regression_ratio = 1e9;
+
+  std::uint64_t journal_records = 0;
+  {
+    OptimizerService service(fx.runtime.get(), cfg);
+    service.start();
+    ASSERT_EQ(service.active_version(), 1);
+    journal_records = service.journal().records();
+    ASSERT_GT(journal_records, 0u);
+    service.stop();
+  }
+  // A restarted service finds the approved version in the registry and the
+  // feedback in the journal: no re-bootstrap, no retrain, model hot from
+  // the checkpoint.
+  OptimizerService service(fx.runtime.get(), cfg);
+  EXPECT_EQ(service.active_version(), 1);
+  service.start();
+  EXPECT_EQ(service.active_version(), 1);
+  EXPECT_EQ(service.stats().retrains, 0u);
+  EXPECT_EQ(service.journal().records(), journal_records);
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(9, 9, 2);
+  for (const warehouse::Query& q : queries) {
+    const ServeDecision d = service.optimize(q);
+    EXPECT_EQ(d.model_version, 1);
+    EXPECT_EQ(d.predicted.size(), d.generation.plans.size());
+  }
+  service.stop();
+}
+
+}  // namespace
+}  // namespace loam::serve

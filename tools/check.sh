@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# CI-style verification: build and test the tree twice —
+# CI-style verification: build and test the tree three times —
 #   1. Release (the tier-1 configuration), full ctest suite;
-#   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), full ctest suite.
-# The TSan pass is what certifies the parallel explorer, the thread pool and
-# the obs tracing rings free of data races; the determinism property tests
-# (explorer_parallel_test) and obs_test run under both configurations.
+#   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), full ctest suite;
+#   3. ASan+UBSan (-DLOAM_SANITIZE=address+undefined), full ctest suite.
+# The TSan pass is what certifies the parallel explorer, the thread pool, the
+# obs tracing rings, and the loam::serve hot-swap path free of data races; the
+# ASan+UBSan pass catches lifetime and UB bugs in the journal/registry binary
+# IO. The determinism property tests run under every configuration.
 #
-# Between the two builds, three Release smoke steps run:
+# Between the builds, Release smoke steps run:
 #   - dense-math core perf (BENCH_nn_core.json, fails on non-bit-identity);
 #   - obs overhead (BENCH_obs.json, fails if disabled sites cost > 50 ns);
 #   - CLI observability export (--metrics-out/--trace-out JSON validated with
-#     python3 -m json.tool, trace summarized by tools/trace_summary.py).
+#     python3 -m json.tool, trace summarized by tools/trace_summary.py);
+#   - CLI flag hygiene (an unknown flag must fail with usage, not be ignored);
+#   - serving soak (loam_sim_cli serve) and serving latency/swap-pause bench
+#     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms).
 #
 # Usage: tools/check.sh [jobs]
 # Environment:
@@ -18,12 +23,14 @@
 #                    (default: nproc)
 #   BUILD_DIR        Release build directory (default: build-release)
 #   TSAN_BUILD_DIR   TSan build directory   (default: build-tsan)
+#   ASAN_BUILD_DIR   ASan+UBSan build directory (default: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-${CHECK_JOBS:-$(nproc)}}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 
 echo "== Release build + tests =="
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -58,9 +65,35 @@ python3 -m json.tool "${BUILD_DIR}/obs_metrics.json" > /dev/null
 python3 -m json.tool "${BUILD_DIR}/obs_trace.json" > /dev/null
 python3 tools/trace_summary.py "${BUILD_DIR}/obs_trace.json" --top 10
 
+echo "== CLI flag hygiene smoke (unknown flag must be rejected) =="
+rc=0
+"./${BUILD_DIR}/tools/loam_sim_cli" inspect 1 --definitely-not-a-flag \
+  > /dev/null 2>&1 || rc=$?
+if [[ "${rc}" == 0 ]]; then
+  echo "loam_sim_cli accepted an unknown flag (expected non-zero exit)" >&2
+  exit 1
+fi
+
+echo "== Serving soak smoke (loam_sim_cli serve) =="
+rm -rf "${BUILD_DIR}/serve_state"
+"./${BUILD_DIR}/tools/loam_sim_cli" serve 1 48 "${BUILD_DIR}/serve_state"
+test -s "${BUILD_DIR}/serve_state/feedback.jnl"
+
+echo "== Serving latency/hot-swap bench (BENCH_serve.json) =="
+# Submits a request stream while hot-swapping model versions; exits non-zero
+# if any swap pauses the request path for more than 1 ms.
+"./${BUILD_DIR}/bench/bench_micro" --serve \
+  --serve-json="${BUILD_DIR}/BENCH_serve.json"
+python3 -m json.tool "${BUILD_DIR}/BENCH_serve.json" > /dev/null
+
 echo "== ThreadSanitizer build + tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== ASan+UBSan build + tests =="
+cmake -B "${ASAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=address+undefined
+cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${ASAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== check.sh: all configurations green =="

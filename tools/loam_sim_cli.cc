@@ -8,6 +8,13 @@
 //                                           train LOAM, print gate report,
 //                                           optionally checkpoint the model
 //   steer     <archetype-index> <n-queries> show steered vs default plans
+//   serve     <archetype-index> <n-requests> [state-dir]
+//                                           run the online optimizer service:
+//                                           bootstrap from history, serve a
+//                                           request stream with execution
+//                                           feedback, print latency + version
+//                                           stats (state-dir holds the model
+//                                           registry and feedback journal)
 //
 // Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
 // sampled population.
@@ -16,16 +23,21 @@
 //   --metrics-out=<path>  enable metrics; write the registry JSON on exit
 //   --trace-out=<path>    enable tracing; write Chrome trace_event JSON on
 //                         exit (load in chrome://tracing or ui.perfetto.dev)
+//
+// Unknown `--flags` are rejected with usage and a non-zero exit.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/gate.h"
 #include "core/loam.h"
 #include "obs/obs.h"
+#include "serve/service.h"
 #include "util/table_printer.h"
 #include "warehouse/repository_io.h"
 
@@ -153,12 +165,105 @@ int cmd_steer(int index, int n_queries) {
   return 0;
 }
 
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+int cmd_serve(int index, int n_requests, const char* state_dir) {
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(pick_archetype(index), rc);
+  std::printf("simulating 5 days of history...\n");
+  runtime.simulate_history(5, 150);
+
+  const std::string dir = state_dir != nullptr ? state_dir : "loam_serve_state";
+  serve::ServeConfig cfg;
+  cfg.registry_root = dir + "/registry";
+  cfg.journal_path = dir + "/feedback.jnl";
+  cfg.predictor.epochs = 10;
+  cfg.gate.sample_queries = 12;
+  cfg.retrain_min_new_records = std::max(16, n_requests / 2);
+
+  // The request stream is pre-generated: make_queries consumes the runtime's
+  // RNG, which the service's retrain gate also draws from.
+  std::vector<warehouse::Query> requests = runtime.make_queries(5, 8, n_requests);
+
+  serve::OptimizerService service(&runtime, cfg);
+  service.start();
+  std::printf("service up: journal %llu records, active version %d\n",
+              static_cast<unsigned long long>(service.journal().records()),
+              service.active_version());
+
+  warehouse::FlightingEnv production(runtime.config().cluster,
+                                     runtime.config().executor, 555);
+  std::vector<double> latencies;
+  std::map<int, int> served_by_version;
+  double model_cost = 0.0, default_cost = 0.0;
+  for (const warehouse::Query& q : requests) {
+    const serve::ServeDecision d = service.optimize(q);
+    latencies.push_back(d.total_seconds);
+    ++served_by_version[d.model_version];
+    const warehouse::ExecutionResult exec = production.replay_once(
+        d.generation.plans[static_cast<std::size_t>(d.chosen)]);
+    model_cost += exec.cpu_cost;
+    default_cost += production.replay_once(
+        d.generation.plans[static_cast<std::size_t>(d.generation.default_index)])
+        .cpu_cost;
+    service.record_feedback(d, exec);
+  }
+  service.stop();
+
+  const serve::OptimizerService::Stats stats = service.stats();
+  TablePrinter t({"metric", "value"});
+  t.add_row({"requests served", TablePrinter::fmt_int(stats.requests)});
+  t.add_row({"inference batches", TablePrinter::fmt_int(stats.batches)});
+  t.add_row({"p50 latency (ms)",
+             fmt_double(1e3 * percentile(latencies, 0.50), 3)});
+  t.add_row({"p99 latency (ms)",
+             fmt_double(1e3 * percentile(latencies, 0.99), 3)});
+  t.add_row({"hot swaps", TablePrinter::fmt_int(stats.swaps)});
+  t.add_row({"rollbacks", TablePrinter::fmt_int(stats.rollbacks)});
+  t.add_row({"retrains (approved/rejected)",
+             TablePrinter::fmt_int(stats.retrain_approved) + "/" +
+                 TablePrinter::fmt_int(stats.retrain_rejected)});
+  t.add_row({"journal records",
+             TablePrinter::fmt_int(service.journal().records())});
+  t.add_row({"served cost vs default (%)",
+             fmt_double(
+                 default_cost > 0.0
+                     ? 100.0 * (model_cost - default_cost) / default_cost
+                     : 0.0,
+                 2)});
+  t.print();
+  for (const auto& [version, count] : served_by_version) {
+    if (version < 0) {
+      std::printf("  served by native fallback: %d\n", count);
+    } else {
+      std::printf("  served by model v%d: %d\n", version, count);
+    }
+  }
+  std::printf("state in %s (registry %zu versions)\n", dir.c_str(),
+              service.registry().versions().size());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: loam_sim_cli inspect <archetype>\n"
                "       loam_sim_cli history <archetype> <days> <out.tsv>\n"
                "       loam_sim_cli train   <archetype> <days> [ckpt]\n"
                "       loam_sim_cli steer   <archetype> <n-queries>\n"
+               "       loam_sim_cli serve   <archetype> <n-requests> [state-dir]\n"
                "global flags: --metrics-out=<path> --trace-out=<path>\n");
 }
 
@@ -182,6 +287,10 @@ int main(int argc, char** argv) {
       metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage();
+      return 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -205,6 +314,8 @@ int main(int argc, char** argv) {
     rc = cmd_train(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr);
   } else if (cmd == "steer" && nargs >= 4) {
     rc = cmd_steer(index, std::atoi(args[3]));
+  } else if (cmd == "serve" && nargs >= 4) {
+    rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr);
   } else {
     usage();
     return 1;
