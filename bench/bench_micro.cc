@@ -21,6 +21,15 @@
 // sequential request stream while model versions hot-swap underneath it,
 // emitting BENCH_serve.json (path override: --serve-json=PATH) with p50/p99
 // request latency and the swap pause observed by the swapping thread.
+//
+// `--cache` runs the memoized-inference section (loam::cache): a paired
+// uncached-vs-cached selection sweep over one candidate corpus (asserting
+// bit-identical choices and predictions), a cold-vs-warm serve soak with the
+// cross-request cache's hit rates, and a serial-vs-parallel gate-replay
+// timing, emitting BENCH_cache.json (path override: --cache-json=PATH).
+// Exits nonzero when any cached result diverges from its uncached twin or
+// the warm selection speedup falls below 1.5x — tools/check.sh runs this as
+// the cache perf smoke test.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -632,14 +641,233 @@ int run_serve(const std::string& json_path) {
 
 }  // namespace serve_bench
 
+// ---------------------------------------------------------------------------
+// Memoized-inference section (--cache)
+// ---------------------------------------------------------------------------
+namespace cache_bench {
+
+using bench_clock = std::chrono::steady_clock;
+
+double ms_between(bench_clock::time_point a, bench_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int run_cache(const std::string& json_path) {
+  namespace fs = std::filesystem;
+
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(warehouse::evaluation_archetypes()[1], rc);
+  runtime.simulate_history(3, 80);
+
+  core::LoamConfig base;
+  base.train_first_day = 0;
+  base.train_last_day = 2;
+  base.max_train_queries = 300;
+  base.candidate_sample_queries = 20;
+  base.predictor.epochs = 5;
+  core::LoamConfig cached_cfg = base;
+  cached_cfg.cache.enabled = true;
+  core::LoamConfig plain_cfg = base;
+  plain_cfg.cache.enabled = false;
+
+  core::LoamDeployment cached(&runtime, cached_cfg);
+  core::LoamDeployment plain(&runtime, plain_cfg);
+  cached.train();
+  plain.train();
+
+  // One shared candidate corpus: selection is what the cache accelerates,
+  // and sharing the generations keeps the comparison paired.
+  core::PlanExplorer::Config ec;
+  ec.num_threads = 1;
+  core::PlanExplorer explorer(&runtime.optimizer(), ec);
+  std::vector<warehouse::Query> queries = runtime.make_queries(3, 5, 48);
+  std::vector<core::CandidateGeneration> gens;
+  gens.reserve(queries.size());
+  std::size_t candidates = 0;
+  for (const warehouse::Query& q : queries) {
+    gens.push_back(explorer.explore(q));
+    candidates += gens.back().plans.size();
+  }
+
+  // Pass 1: the uncached baseline (encode + forward for every candidate).
+  std::vector<int> sel_plain(gens.size());
+  std::vector<std::vector<double>> pred_plain(gens.size());
+  auto t0 = bench_clock::now();
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    sel_plain[i] = plain.select(gens[i], &pred_plain[i]);
+  }
+  auto t1 = bench_clock::now();
+  // Pass 2: cold cached run — misses everywhere, pays the put overhead.
+  std::vector<int> sel_cold(gens.size());
+  std::vector<std::vector<double>> pred_cold(gens.size());
+  auto t2 = bench_clock::now();
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    sel_cold[i] = cached.select(gens[i], &pred_cold[i]);
+  }
+  auto t3 = bench_clock::now();
+  // Pass 3: warm cached run — the steady state of a production explorer
+  // revisiting shared subtrees and repeated candidate sets.
+  std::vector<int> sel_warm(gens.size());
+  std::vector<std::vector<double>> pred_warm(gens.size());
+  auto t4 = bench_clock::now();
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    sel_warm[i] = cached.select(gens[i], &pred_warm[i]);
+  }
+  auto t5 = bench_clock::now();
+
+  const double uncached_ms = ms_between(t0, t1);
+  const double cold_ms = ms_between(t2, t3);
+  const double warm_ms = ms_between(t4, t5);
+  const double warm_speedup = warm_ms > 0.0 ? uncached_ms / warm_ms : 0.0;
+
+  bool select_identical = true;
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    if (sel_plain[i] != sel_cold[i] || sel_plain[i] != sel_warm[i] ||
+        pred_plain[i] != pred_cold[i] || pred_plain[i] != pred_warm[i]) {
+      select_identical = false;
+      std::fprintf(stderr, "FAIL: cached selection diverges on query %zu\n", i);
+    }
+  }
+  const cache::CacheStats score_st = cached.inference_cache().score_stats();
+  const cache::CacheStats enc_st = cached.inference_cache().encoding_stats();
+
+  std::printf("== memoized selection: uncached vs cold vs warm ==\n");
+  std::printf(
+      "%zu queries, %zu candidates | uncached %.2f ms | cold %.2f ms | warm "
+      "%.2f ms | warm speedup %.2fx\n",
+      gens.size(), candidates, uncached_ms, cold_ms, warm_ms, warm_speedup);
+  std::printf("score cache: hit rate %.3f | encoding cache: hit rate %.3f\n",
+              score_st.hit_rate(), enc_st.hit_rate());
+
+  // Cold-vs-warm serve soak: the cross-request cache inside a live service.
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("loam_bench_cache_" + std::to_string(::getpid()))).string();
+  fs::remove_all(dir);
+  serve::ServeConfig scfg;
+  scfg.bootstrap_from_history = false;
+  scfg.bootstrap_train = false;
+  scfg.auto_retrain = false;
+  scfg.registry_root = dir + "/registry";
+  scfg.journal_path = dir + "/feedback.jnl";
+  serve::OptimizerService service(&runtime, scfg);
+  service.start();
+  serve::ModelVersionMeta meta;
+  meta.approved = true;
+  service.publish_and_swap(
+      std::make_unique<core::AdaptiveCostPredictor>(
+          service.encoder().feature_dim(), scfg.predictor),
+      meta);
+
+  std::vector<warehouse::Query> soak = runtime.make_queries(6, 7, 64);
+  std::vector<double> cold_lat, warm_lat;
+  cold_lat.reserve(soak.size());
+  warm_lat.reserve(soak.size());
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<double>& lat = pass == 0 ? cold_lat : warm_lat;
+    for (const warehouse::Query& q : soak) {
+      const serve::ServeDecision d = service.optimize(q);
+      lat.push_back(d.total_seconds);
+    }
+  }
+  const cache::CacheStats serve_score = service.inference_cache().score_stats();
+  const cache::CacheStats serve_enc = service.inference_cache().encoding_stats();
+  service.stop();
+  fs::remove_all(dir);
+
+  const double cold_p50 = 1e3 * serve_bench::percentile(cold_lat, 0.50);
+  const double cold_p99 = 1e3 * serve_bench::percentile(cold_lat, 0.99);
+  const double warm_p50 = 1e3 * serve_bench::percentile(warm_lat, 0.50);
+  const double warm_p99 = 1e3 * serve_bench::percentile(warm_lat, 0.99);
+  std::printf("== serve soak: cold vs warm request stream ==\n");
+  std::printf(
+      "cold p50 %.3f ms p99 %.3f ms | warm p50 %.3f ms p99 %.3f ms | score "
+      "hit rate %.3f | encoding hit rate %.3f\n",
+      cold_p50, cold_p99, warm_p50, warm_p99, serve_score.hit_rate(),
+      serve_enc.hit_rate());
+
+  // Gate replay: the serial loop vs the ThreadPool grid at 8 threads. The
+  // speedup scales with physical cores; hardware_concurrency is recorded so
+  // single-core CI numbers read as what they are.
+  std::vector<warehouse::Query> gate_queries = runtime.make_queries(3, 4, 10);
+  auto g0 = bench_clock::now();
+  const auto replay_serial =
+      core::prepare_evaluation(runtime, gate_queries, ec, 5, 4242, 1);
+  auto g1 = bench_clock::now();
+  const auto replay_parallel =
+      core::prepare_evaluation(runtime, gate_queries, ec, 5, 4242, 8);
+  auto g2 = bench_clock::now();
+  const double replay_serial_ms = ms_between(g0, g1);
+  const double replay_parallel_ms = ms_between(g1, g2);
+  const double replay_speedup =
+      replay_parallel_ms > 0.0 ? replay_serial_ms / replay_parallel_ms : 0.0;
+  bool replay_identical = replay_serial.size() == replay_parallel.size();
+  for (std::size_t i = 0; replay_identical && i < replay_serial.size(); ++i) {
+    replay_identical = replay_serial[i].default_index ==
+                           replay_parallel[i].default_index &&
+                       replay_serial[i].cost_samples ==
+                           replay_parallel[i].cost_samples;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("== gate replay: serial vs 8 threads (%u cores) ==\n", cores);
+  std::printf("serial %.2f ms | parallel %.2f ms | speedup %.2fx | identical %s\n",
+              replay_serial_ms, replay_parallel_ms, replay_speedup,
+              replay_identical ? "yes" : "NO");
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"selection\": {\"queries\": " << gens.size()
+       << ", \"candidates\": " << candidates
+       << ", \"uncached_ms\": " << uncached_ms
+       << ", \"cold_ms\": " << cold_ms << ", \"warm_ms\": " << warm_ms
+       << ", \"warm_speedup\": " << warm_speedup
+       << ", \"bit_identical\": " << (select_identical ? "true" : "false")
+       << ",\n"
+       << "    \"score_hit_rate\": " << score_st.hit_rate()
+       << ", \"encoding_hit_rate\": " << enc_st.hit_rate() << "},\n"
+       << "  \"serve_soak\": {\"requests_per_pass\": " << soak.size()
+       << ", \"cold_ms\": {\"p50\": " << cold_p50 << ", \"p99\": " << cold_p99
+       << "}, \"warm_ms\": {\"p50\": " << warm_p50
+       << ", \"p99\": " << warm_p99
+       << "}, \"score_hit_rate\": " << serve_score.hit_rate()
+       << ", \"encoding_hit_rate\": " << serve_enc.hit_rate() << "},\n"
+       << "  \"gate_replay\": {\"queries\": " << gate_queries.size()
+       << ", \"runs\": 5, \"serial_ms\": " << replay_serial_ms
+       << ", \"parallel_ms\": " << replay_parallel_ms
+       << ", \"threads\": 8, \"speedup\": " << replay_speedup
+       << ", \"bit_identical\": " << (replay_identical ? "true" : "false")
+       << ", \"hardware_concurrency\": " << cores << "}\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!select_identical || !replay_identical) {
+    std::fprintf(stderr, "FAIL: cached/parallel results diverge from serial\n");
+    return 1;
+  }
+  if (warm_speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: warm selection speedup %.2fx below 1.5x\n",
+                 warm_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cache_bench
+
 int main(int argc, char** argv) {
   bool nn_core_only = false;
   bool obs_overhead = false;
   bool obs_report = false;
   bool serve = false;
+  bool cache = false;
   std::string json_path = "BENCH_nn_core.json";
   std::string obs_json_path = "BENCH_obs.json";
   std::string serve_json_path = "BENCH_serve.json";
+  std::string cache_json_path = "BENCH_cache.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
     if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
@@ -654,10 +882,15 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--serve-json=", 13) == 0) {
       serve_json_path = argv[i] + 13;
     }
+    if (std::strcmp(argv[i], "--cache") == 0) cache = true;
+    if (std::strncmp(argv[i], "--cache-json=", 13) == 0) {
+      cache_json_path = argv[i] + 13;
+    }
   }
   if (nn_core_only) return nn_core::run_nn_core(json_path);
   if (obs_overhead) return obs_bench::run_obs_overhead(obs_json_path);
   if (serve) return serve_bench::run_serve(serve_json_path);
+  if (cache) return cache_bench::run_cache(cache_json_path);
   if (obs_report) {
     obs::set_metrics_enabled(true);
     // Strip the flag so google-benchmark does not reject it.

@@ -44,6 +44,18 @@ class CostModel {
     return out;
   }
 
+  // Pointer form of predict_batch, for callers whose trees already live
+  // elsewhere (e.g. shared_ptr encodings handed out by loam::cache) — scoring
+  // a mixed cached/fresh batch then needs no deep Tree copies. Same contract:
+  // one cost per tree, input order, values identical to predict().
+  virtual std::vector<double> predict_batch_ptrs(
+      const std::vector<const nn::Tree*>& trees) const {
+    std::vector<double> out;
+    out.reserve(trees.size());
+    for (const nn::Tree* t : trees) out.push_back(predict(*t));
+    return out;
+  }
+
   virtual std::size_t model_bytes() const = 0;
   virtual std::string name() const = 0;
 };

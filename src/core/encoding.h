@@ -21,9 +21,12 @@
 #ifndef LOAM_CORE_ENCODING_H_
 #define LOAM_CORE_ENCODING_H_
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "cache/lru.h"
 #include "nn/tree_conv.h"
 #include "util/hash.h"
 #include "util/stats.h"
@@ -38,6 +41,13 @@ struct EncodingConfig {
   MultiSegmentHashConfig column_hash{5, 8};
   // LOAM-NL ablation: drop the environment block entirely.
   bool include_env = true;
+  // Node-row memo: capacity of the per-node attribute-row cache (0 = off).
+  // Plans within one workload share most of their subtrees (same scans, same
+  // join edges under different orders), so the attribute prefix of a node's
+  // feature row — everything except the environment block — is recomputed
+  // constantly. Rows are keyed on every attribute the prefix reads, making
+  // hits bit-identical to recomputation.
+  std::size_t row_cache_capacity = 0;
 };
 
 class PlanEncoder {
@@ -77,12 +87,26 @@ class PlanEncoder {
   };
   Layout layout() const { return layout_; }
 
+  // Always-on counters of the node-row memo (all zero when disabled).
+  cache::CacheStats row_cache_stats() const;
+
  private:
+  // Fills the attribute prefix [0, layout_.env) of one node's feature row;
+  // the environment block is appended by encode() itself (it depends on the
+  // call's env arguments, which the row memo must not capture).
+  void encode_attr_row(const warehouse::PlanNode& node, std::span<float> row) const;
+  static std::uint64_t node_row_key(const warehouse::PlanNode& node);
+
   const warehouse::Catalog* catalog_;
   EncodingConfig config_;
   Layout layout_;
   LogMinMax partitions_norm_;
   LogMinMax columns_norm_;
+  // unique_ptr keeps the encoder movable-in-place while making accidental
+  // copies (which would fork the memo) a compile error. Cleared whenever the
+  // normalizers are refit — the rows they produced are stale after that.
+  mutable std::unique_ptr<cache::ShardedLru<std::shared_ptr<const std::vector<float>>>>
+      row_cache_;
 };
 
 }  // namespace loam::core

@@ -145,12 +145,15 @@ CandidateGeneration PlanExplorer::explore(const Query& query) const {
                          static_cast<std::int64_t>(i));
     TrialResult& r = results[i];
     Plan plan = optimizer_->optimize(query, trials[i]);
-    r.sig = plan.signature();
     if (trials[i].card_scale != 1.0) {
       // Re-annotate on the common face.
       warehouse::CardEstimator common(optimizer_->catalog(), query, 1.0);
       common.annotate(plan);
     }
+    // Signatures cover the (bucketized) estimate annotations, so they must
+    // be taken on the common face — otherwise two structurally identical
+    // plans found under different card scales would defeat dedup.
+    r.sig = plan.signature();
     r.rough = optimizer_->rough_cost(plan);
     r.plan = std::move(plan);
   };

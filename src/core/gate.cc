@@ -61,8 +61,9 @@ DeploymentGateReport evaluate_selection(
   DeploymentGateReport report;
   const std::vector<warehouse::Query> queries =
       runtime.make_queries(first_day, first_day + 2, config.sample_queries);
-  const std::vector<EvaluatedQuery> eval = prepare_evaluation(
-      runtime, queries, explorer_config, config.replay_runs, config.seed);
+  const std::vector<EvaluatedQuery> eval =
+      prepare_evaluation(runtime, queries, explorer_config, config.replay_runs,
+                         config.seed, config.replay_threads);
 
   double default_total = 0.0, model_total = 0.0;
   for (const EvaluatedQuery& eq : eval) {

@@ -23,6 +23,12 @@ struct DeploymentGateConfig {
   // more than this factor.
   double max_regression_ratio = 1.0;
   std::uint64_t seed = 4711;
+  // Flighting replay threads for the gate's explore+replay sweep
+  // (prepare_evaluation): 1 = the legacy serial loop, 0 = hardware
+  // concurrency. A throughput knob only — verdicts are bit-identical at any
+  // value (replay seeds are derived per query index, never from shared
+  // stream state).
+  int replay_threads = 0;
 };
 
 struct DeploymentGateReport {

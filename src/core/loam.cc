@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <thread>
 
 #include "obs/obs.h"
+#include "util/thread_pool.h"
 
 namespace loam::core {
 
@@ -95,13 +97,31 @@ WorkloadSummary summarize_workload(const ProjectRuntime& runtime, int first_day,
 // LoamDeployment
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// The encoder's node-row memo follows the deployment's cache switch: rows
+// repeat massively across a workload's plans, and memoized rows are
+// bit-identical to recomputed ones, so there is no reason to configure it
+// separately.
+EncodingConfig with_row_cache(EncodingConfig enc, const cache::CacheConfig& cc) {
+  if (cc.enabled && enc.row_cache_capacity == 0) {
+    enc.row_cache_capacity = cc.encoding_capacity;
+  }
+  if (!cc.enabled) enc.row_cache_capacity = 0;
+  return enc;
+}
+
+}  // namespace
+
 LoamDeployment::LoamDeployment(ProjectRuntime* runtime, LoamConfig config,
                                std::unique_ptr<CostModel> model)
     : runtime_(runtime),
       config_(config),
-      encoder_(&runtime->project().catalog, config.encoding),
+      encoder_(&runtime->project().catalog,
+               with_row_cache(config.encoding, config.cache)),
       explorer_(&runtime->optimizer(), config.explorer),
-      model_(std::move(model)) {
+      model_(std::move(model)),
+      infer_cache_("deploy", config.cache) {
   if (model_ == nullptr) {
     model_ = std::make_unique<AdaptiveCostPredictor>(encoder_.feature_dim(),
                                                      config_.predictor);
@@ -168,6 +188,11 @@ void LoamDeployment::train() {
   }
 
   model_->fit(data_.default_plans, data_.candidate_plans);
+  // The model changed: bump the epoch so every cached score key goes stale
+  // structurally. The encoder also changed (normalizers were refit), which
+  // epoch keying does NOT cover — drop the memo tables outright.
+  ++model_epoch_;
+  infer_cache_.clear();
   train_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   g_train_seconds->set(train_seconds_);
@@ -197,16 +222,69 @@ int LoamDeployment::select_with_strategy(const CandidateGeneration& generation,
     env = select_env(strategy, env_context_);
   }
   const bool use_env = strategy != EnvInferenceStrategy::kNoEnv;
-  // Encode the whole candidate set and score it with ONE forward pass per
-  // model (predict_batch); argmin ties resolve to the first candidate,
-  // exactly as the per-plan loop did.
-  std::vector<nn::Tree> trees;
-  trees.reserve(generation.plans.size());
-  for (const Plan& plan : generation.plans) {
-    trees.push_back(encoder_.encode(
-        plan, nullptr, use_env ? std::optional<EnvFeatures>(env) : std::nullopt));
+  // Encode the candidate set and score it with ONE forward pass per model;
+  // argmin ties resolve to the first candidate, exactly as the per-plan loop
+  // did. With the inference cache on, candidates whose (signature, env,
+  // epoch) score is memoized skip both steps, and candidates whose encoding
+  // is memoized skip featurization; only the misses enter the batch. Both
+  // shortcuts are bit-exact — encode() and predict_batch are deterministic
+  // per row, independent of batch composition — so the selected index never
+  // depends on cache state.
+  const std::optional<EnvFeatures> enc_env =
+      use_env ? std::optional<EnvFeatures>(env) : std::nullopt;
+  const std::size_t n = generation.plans.size();
+  std::vector<double> preds(n, 0.0);
+  if (!infer_cache_.enabled()) {
+    std::vector<nn::Tree> trees;
+    trees.reserve(n);
+    for (const Plan& plan : generation.plans) {
+      trees.push_back(encoder_.encode(plan, nullptr, enc_env));
+    }
+    preds = model_->predict_batch(trees);
+  } else {
+    const double env_vals[4] = {env.cpu_idle, env.io_wait, env.load5_norm,
+                                env.mem_usage};
+    // The no-env encoding reads none of the four values; give it its own
+    // fingerprint so it cannot alias an all-zero environment (harmless — the
+    // rows would match — but pointlessly shared).
+    const std::uint64_t env_fp =
+        use_env ? cache::fingerprint(env_vals) : 0x9e1debull;
+    std::vector<std::uint64_t> plan_keys(n, 0);
+    std::vector<std::size_t> miss_idx;
+    std::vector<std::shared_ptr<const nn::Tree>> miss_trees;
+    for (std::size_t i = 0; i < n; ++i) {
+      plan_keys[i] = generation.plans[i].signature();
+      const std::uint64_t skey =
+          cache::InferenceCache::score_key(plan_keys[i], env_fp, model_epoch_);
+      if (std::optional<double> hit = infer_cache_.get_score(skey);
+          hit.has_value()) {
+        preds[i] = *hit;
+        continue;
+      }
+      const std::uint64_t ekey =
+          cache::InferenceCache::encoding_key(plan_keys[i], env_fp);
+      std::shared_ptr<const nn::Tree> tree = infer_cache_.get_encoding(ekey);
+      if (tree == nullptr) {
+        tree = std::make_shared<const nn::Tree>(
+            encoder_.encode(generation.plans[i], nullptr, enc_env));
+        infer_cache_.put_encoding(ekey, tree);
+      }
+      miss_idx.push_back(i);
+      miss_trees.push_back(std::move(tree));
+    }
+    if (!miss_idx.empty()) {
+      std::vector<const nn::Tree*> ptrs;
+      ptrs.reserve(miss_trees.size());
+      for (const auto& t : miss_trees) ptrs.push_back(t.get());
+      const std::vector<double> fresh = model_->predict_batch_ptrs(ptrs);
+      for (std::size_t j = 0; j < miss_idx.size(); ++j) {
+        preds[miss_idx[j]] = fresh[j];
+        infer_cache_.put_score(cache::InferenceCache::score_key(
+                                   plan_keys[miss_idx[j]], env_fp, model_epoch_),
+                               fresh[j]);
+      }
+    }
   }
-  std::vector<double> preds = model_->predict_batch(trees);
   int best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < preds.size(); ++c) {
@@ -242,67 +320,49 @@ LoamDeployment::Choice LoamDeployment::optimize(const Query& query) const {
 // Evaluation harness
 // ---------------------------------------------------------------------------
 
-std::vector<std::vector<double>> paired_replay(
-    const std::vector<Plan>& plans, const warehouse::ClusterConfig& cluster_config,
-    const warehouse::ExecutorConfig& executor_config, int runs,
-    std::uint64_t seed) {
-  static obs::Counter* const c_replays =
-      obs::Registry::instance().counter("loam.flighting.replays");
-  obs::Span span(obs::Cat::kFlighting, "paired_replay",
-                 static_cast<std::int64_t>(plans.size()));
-  c_replays->add(plans.size() * static_cast<std::size_t>(std::max(0, runs)));
-  std::vector<std::vector<double>> samples(
-      plans.size(), std::vector<double>(static_cast<std::size_t>(runs), 0.0));
-  warehouse::Cluster master(cluster_config, seed ^ 0x3a57e5ull);
-  Rng rng(seed);
-  for (int r = 0; r < runs; ++r) {
-    // One realized environment e: every candidate executes against an
-    // identical cluster snapshot. Scheduling and execution noise stay
-    // independent across candidates — e determines the environment, not the
-    // residual randomness (this is the independence Lemma 1 assumes).
-    master.advance(rng.uniform(300.0, 3600.0));
-    const std::uint64_t run_seed = static_cast<std::uint64_t>(rng.uniform_int(
-        0, std::numeric_limits<std::int64_t>::max()));
-    // Per-candidate streams fork off the run seed by index, so the residual
-    // randomness is keyed only by (run, candidate) — candidates can never
-    // interleave draws, and the replay stays reproducible if this loop is
-    // ever parallelized. fork(p) reproduces the historical per-plan
-    // derivation bit-for-bit (see Rng::fork).
-    const Rng run_base(run_seed);
-    for (std::size_t p = 0; p < plans.size(); ++p) {
-      warehouse::Cluster snapshot = master;
-      warehouse::Executor executor(&snapshot, executor_config);
-      Rng run_rng = run_base.fork(p);
-      Plan copy = plans[p];
-      samples[p][static_cast<std::size_t>(r)] = executor.execute(copy, run_rng).cpu_cost;
-    }
-  }
-  return samples;
-}
-
 std::vector<EvaluatedQuery> prepare_evaluation(
     ProjectRuntime& runtime, const std::vector<Query>& test_queries,
-    const PlanExplorer::Config& explorer_config, int runs, std::uint64_t seed) {
-  PlanExplorer explorer(&runtime.optimizer(), explorer_config);
+    const PlanExplorer::Config& explorer_config, int runs, std::uint64_t seed,
+    int num_threads) {
   warehouse::ClusterConfig cluster_config = runtime.config().cluster;
   cluster_config.machines = runtime.project().archetype.cluster_machines;
-  std::vector<EvaluatedQuery> out;
-  out.reserve(test_queries.size());
-  std::uint64_t salt = seed;
-  for (const Query& q : test_queries) {
-    EvaluatedQuery eq;
-    eq.query = q;
-    eq.generation = explorer.explore(q);
+  std::vector<EvaluatedQuery> out(test_queries.size());
+  // Query i's replay seed is derived by index — the exact values the legacy
+  // serial loop drew with its running ++salt — so the verdicts downstream
+  // cannot depend on scheduling.
+  auto eval_query = [&](const PlanExplorer& explorer, std::size_t i) {
+    EvaluatedQuery& eq = out[i];
+    eq.query = test_queries[i];
+    eq.generation = explorer.explore(eq.query);
     eq.default_index = eq.generation.default_index;
-    eq.cost_samples = paired_replay(eq.generation.plans, cluster_config,
-                                    runtime.config().executor, runs, ++salt);
+    eq.cost_samples =
+        warehouse::paired_replay(eq.generation.plans, cluster_config,
+                                 runtime.config().executor, runs, seed + 1 + i);
     eq.mean_cost.reserve(eq.cost_samples.size());
     for (const auto& s : eq.cost_samples) {
       double acc = 0.0;
       for (double c : s) acc += c;
       eq.mean_cost.push_back(s.empty() ? 0.0 : acc / static_cast<double>(s.size()));
     }
-    out.push_back(std::move(eq));
+  };
+  const int threads =
+      num_threads > 0
+          ? num_threads
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (threads <= 1 || test_queries.size() <= 1) {
+    PlanExplorer explorer(&runtime.optimizer(), explorer_config);
+    for (std::size_t i = 0; i < test_queries.size(); ++i) eval_query(explorer, i);
+  } else {
+    // Workers share one serial-configured explorer (explore() is const and
+    // candidate sets are invariant to the explorer's own thread count, so
+    // outer parallelism replaces inner without changing any output); the
+    // pool's workers plus the calling thread give `threads` lanes.
+    PlanExplorer::Config serial_cfg = explorer_config;
+    serial_cfg.num_threads = 1;
+    PlanExplorer explorer(&runtime.optimizer(), serial_cfg);
+    util::ThreadPool pool(threads - 1);
+    pool.parallel_for(test_queries.size(),
+                      [&](std::size_t i) { eval_query(explorer, i); });
   }
   return out;
 }

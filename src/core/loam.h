@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/cache.h"
 #include "core/baselines.h"
 #include "core/encoding.h"
 #include "core/explorer.h"
@@ -90,6 +91,10 @@ struct LoamConfig {
   // Queries sampled from the training window whose candidate plans feed the
   // domain-adversarial objective (generated, never executed).
   int candidate_sample_queries = 150;
+  // Memoized inference (loam::cache): encoded-plan + score caches on the
+  // selection path, plus the encoder's node-row memo. Purely a performance
+  // knob — selections are bit-identical with caching disabled.
+  cache::CacheConfig cache;
 };
 
 // Training corpus shared by LOAM and all baselines.
@@ -134,6 +139,11 @@ class LoamDeployment {
   const EnvContext& env_context() const { return env_context_; }
   const LoamConfig& config() const { return config_; }
   double train_seconds() const { return train_seconds_; }
+  // Score/encoding memo of the selection path (exposed for tests + bench).
+  const cache::InferenceCache& inference_cache() const { return infer_cache_; }
+  // Local model epoch: bumped by every (re)train so score keys from an older
+  // model can never hit again.
+  std::int64_t model_epoch() const { return model_epoch_; }
 
  private:
   ProjectRuntime* runtime_;
@@ -144,6 +154,10 @@ class LoamDeployment {
   TrainingData data_;
   EnvContext env_context_;
   double train_seconds_ = 0.0;
+  // Thread-safe internally; mutable because select() is logically const —
+  // memo contents never change what is selected.
+  mutable cache::InferenceCache infer_cache_;
+  std::int64_t model_epoch_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -162,16 +176,19 @@ struct EvaluatedQuery {
   int default_index = 0;
 };
 
-// Replays every plan `runs` times under paired environments.
-std::vector<std::vector<double>> paired_replay(
-    const std::vector<warehouse::Plan>& plans,
-    const warehouse::ClusterConfig& cluster_config,
-    const warehouse::ExecutorConfig& executor_config, int runs,
-    std::uint64_t seed);
+// Replays every plan `runs` times under paired environments. Lives with the
+// flighting substrate it drives (warehouse::paired_replay); re-exported here
+// for the evaluation drivers.
+using warehouse::paired_replay;
 
+// Explores + replays every test query. `num_threads` parallelizes over
+// queries (1 = the legacy serial loop, 0 = hardware concurrency); per-query
+// seeds are derived by index so the result — and therefore every gate
+// verdict computed from it — is bit-identical at any thread count.
 std::vector<EvaluatedQuery> prepare_evaluation(
     ProjectRuntime& runtime, const std::vector<warehouse::Query>& test_queries,
-    const PlanExplorer::Config& explorer_config, int runs, std::uint64_t seed);
+    const PlanExplorer::Config& explorer_config, int runs, std::uint64_t seed,
+    int num_threads = 1);
 
 }  // namespace loam::core
 

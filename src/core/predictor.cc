@@ -299,7 +299,15 @@ double AdaptiveCostPredictor::predict(const nn::Tree& tree) const {
 
 std::vector<double> AdaptiveCostPredictor::predict_batch(
     const std::vector<nn::Tree>& trees) const {
-  if (trees.empty()) return {};
+  std::vector<const nn::Tree*> ptrs;
+  ptrs.reserve(trees.size());
+  for (const nn::Tree& t : trees) ptrs.push_back(&t);
+  return predict_batch_ptrs(ptrs);
+}
+
+std::vector<double> AdaptiveCostPredictor::predict_batch_ptrs(
+    const std::vector<const nn::Tree*>& ptrs) const {
+  if (ptrs.empty()) return {};
   static obs::Counter* const c_calls =
       obs::Registry::instance().counter("loam.predictor.predict_batch_calls");
   static obs::Histogram* const h_seconds = obs::Registry::instance().histogram(
@@ -309,18 +317,15 @@ std::vector<double> AdaptiveCostPredictor::predict_batch(
       "loam.predictor.predict_batch_size",
       obs::Histogram::exponential_bounds(1.0, 2.0, 10));
   obs::Span span(obs::Cat::kPredictor, "predict_batch",
-                 static_cast<std::int64_t>(trees.size()));
+                 static_cast<std::int64_t>(ptrs.size()));
   obs::ScopedTimer timer(h_seconds);
   c_calls->add();
-  h_size->observe(static_cast<double>(trees.size()));
-  std::vector<const nn::Tree*> ptrs;
-  ptrs.reserve(trees.size());
-  for (const nn::Tree& t : trees) ptrs.push_back(&t);
+  h_size->observe(static_cast<double>(ptrs.size()));
   nn::Mat embs = plan_emb_.forward_batch(ptrs);   // [batch, embed]
   nn::Mat preds;
   cost_pred_.infer_into(embs, preds);             // [batch, 1], cache-free
   std::vector<double> out;
-  out.reserve(trees.size());
+  out.reserve(ptrs.size());
   for (int b = 0; b < preds.rows(); ++b) {
     out.push_back(scaler_.to_cost(static_cast<double>(preds.at(b, 0))));
   }

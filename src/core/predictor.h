@@ -68,6 +68,8 @@ class AdaptiveCostPredictor : public CostModel {
   // Batched path: one TCN forest pass + one CostPred pass for the whole
   // candidate set, bit-identical per row to predict().
   std::vector<double> predict_batch(const std::vector<nn::Tree>& trees) const override;
+  std::vector<double> predict_batch_ptrs(
+      const std::vector<const nn::Tree*>& trees) const override;
   std::size_t model_bytes() const override;
   std::string name() const override {
     return config_.adversarial ? "LOAM" : "LOAM-NA";

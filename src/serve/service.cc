@@ -27,7 +27,16 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
                                    ServeConfig config)
     : runtime_(runtime),
       config_(std::move(config)),
-      encoder_(&runtime->project().catalog, config_.encoding),
+      encoder_(&runtime->project().catalog, [this] {
+        // The encoder's node-row memo follows the service cache switch.
+        core::EncodingConfig enc = config_.encoding;
+        enc.row_cache_capacity =
+            config_.cache.enabled
+                ? (enc.row_cache_capacity > 0 ? enc.row_cache_capacity
+                                              : config_.cache.encoding_capacity)
+                : 0;
+        return enc;
+      }()),
       explorer_(&runtime->optimizer(), config_.explorer),
       journal_(config_.journal_path, [this] {
         // Normalizers and the environment context come from the project's
@@ -45,6 +54,7 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
         return encoder_.feature_dim();
       }()),
       registry_(config_.registry_root),
+      infer_cache_("serve", config_.cache),
       monitor_(config_.monitor),
       retrain_pool_(1) {
   // Restart continuity: resume serving the latest approved registry version;
@@ -207,13 +217,32 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
       slot_.load();
   const std::int64_t pickup_ns = obs::Tracer::now_ns();
 
-  // Explore + encode per request, then score the union of all candidate sets
-  // with a single predict_batch call.
+  // Explore per request, then score the union of every request's candidates
+  // with a single predict_batch call. With the inference cache on, a
+  // candidate whose (signature, env, registry-version) score is memoized
+  // skips encoding and inference entirely, and a candidate with a memoized
+  // encoding skips featurization; only true misses enter the forward pass.
+  // Scores are keyed by snapshot->version, so entries written under an older
+  // model CANNOT hit after a hot-swap — and entries for a version stay valid
+  // if a rollback reinstates it (same checkpoint, same scores).
   std::vector<ServeDecision> decisions(batch.size());
-  std::vector<std::size_t> offsets(batch.size() + 1, 0);
-  std::vector<nn::Tree> flat;
   bool failed_any = false;
   std::vector<bool> failed(batch.size(), false);
+  struct MissRef {
+    std::size_t request = 0;   // index into batch/decisions
+    std::size_t candidate = 0; // index into that request's candidate set
+    std::uint64_t score_key = 0;
+    std::shared_ptr<const nn::Tree> tree;  // keeps the cached encoding alive
+  };
+  std::vector<MissRef> misses;
+  std::vector<nn::Tree> flat;  // cache-disabled path only
+  std::vector<std::size_t> offsets(batch.size() + 1, 0);
+  const bool use_env = config_.encoding.include_env;
+  const EnvFeatures rep = env_context_.representative;
+  const double env_vals[4] = {rep.cpu_idle, rep.io_wait, rep.load5_norm,
+                              rep.mem_usage};
+  const std::uint64_t env_fp =
+      use_env ? cache::fingerprint(env_vals) : 0x9e1debull;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeDecision& d = decisions[i];
     d.request_id = batch[i].id;
@@ -222,9 +251,33 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
     d.queue_seconds = 1e-9 * static_cast<double>(pickup_ns - batch[i].enqueue_ns);
     try {
       d.generation = explorer_.explore(batch[i].query);
-      if (snapshot->model != nullptr) {
+      if (snapshot->model == nullptr) {
+        // fall through to the fallback branch below
+      } else if (!infer_cache_.enabled()) {
         std::vector<nn::Tree> trees = encode_candidates(d.generation);
         for (nn::Tree& t : trees) flat.push_back(std::move(t));
+      } else {
+        d.predicted.assign(d.generation.plans.size(), 0.0);
+        for (std::size_t c = 0; c < d.generation.plans.size(); ++c) {
+          const std::uint64_t psig = d.generation.plans[c].signature();
+          const std::uint64_t skey = cache::InferenceCache::score_key(
+              psig, env_fp, snapshot->version);
+          if (std::optional<double> hit = infer_cache_.get_score(skey);
+              hit.has_value()) {
+            d.predicted[c] = *hit;
+            continue;
+          }
+          const std::uint64_t ekey =
+              cache::InferenceCache::encoding_key(psig, env_fp);
+          std::shared_ptr<const nn::Tree> tree = infer_cache_.get_encoding(ekey);
+          if (tree == nullptr) {
+            tree = std::make_shared<const nn::Tree>(encoder_.encode(
+                d.generation.plans[c], nullptr,
+                use_env ? std::optional<EnvFeatures>(rep) : std::nullopt));
+            infer_cache_.put_encoding(ekey, tree);
+          }
+          misses.push_back(MissRef{i, c, skey, std::move(tree)});
+        }
       }
     } catch (...) {
       failed[i] = true;
@@ -238,14 +291,27 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
   if (snapshot->model != nullptr && !flat.empty()) {
     all_preds = snapshot->model->predict_batch(flat);
   }
+  if (snapshot->model != nullptr && !misses.empty()) {
+    std::vector<const nn::Tree*> ptrs;
+    ptrs.reserve(misses.size());
+    for (const MissRef& m : misses) ptrs.push_back(m.tree.get());
+    const std::vector<double> fresh = snapshot->model->predict_batch_ptrs(ptrs);
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      decisions[misses[j].request].predicted[misses[j].candidate] = fresh[j];
+      infer_cache_.put_score(misses[j].score_key, fresh[j]);
+    }
+  }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (failed_any && failed[i]) continue;
     ServeDecision& d = decisions[i];
     if (snapshot->model != nullptr) {
       d.model_version = snapshot->version;
-      d.predicted.assign(all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
-                         all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+      if (!infer_cache_.enabled()) {
+        d.predicted.assign(
+            all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+            all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+      }
       d.chosen = argmin(d.predicted);
       d.predicted_cost =
           d.predicted.empty() ? 0.0

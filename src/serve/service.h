@@ -83,6 +83,13 @@ struct ServeConfig {
   core::PlanExplorer::Config explorer;
   core::DeploymentGateConfig gate;
   core::OnlineDevianceMonitor::Config monitor;
+  // Cross-request memo (loam::cache): score keys carry the registry version
+  // that produced them, so a hot-swap invalidates every cached score
+  // structurally — post-swap lookups miss by construction and a stale entry
+  // can never serve. Encoding keys are version-free (the encoder is fixed
+  // after construction). Performance-only: decisions are bit-identical with
+  // caching off.
+  cache::CacheConfig cache;
 
   std::string registry_root = "loam_registry";
   std::string journal_path = "loam_feedback.jnl";
@@ -165,6 +172,8 @@ class OptimizerService {
 
   FeedbackJournal& journal() { return journal_; }
   ModelRegistry& registry() { return registry_; }
+  // Cross-request score/encoding memo (exposed for tests + bench).
+  const cache::InferenceCache& inference_cache() const { return infer_cache_; }
   const core::PlanEncoder& encoder() const { return encoder_; }
   const core::EnvContext& env_context() const { return env_context_; }
   const ServeConfig& config() const { return config_; }
@@ -200,6 +209,9 @@ class OptimizerService {
   core::EnvContext env_context_;
   FeedbackJournal journal_;
   ModelRegistry registry_;
+  // Thread-safe internally (sharded LRUs); only the batcher writes, tests
+  // and stats readers may probe concurrently.
+  mutable cache::InferenceCache infer_cache_;
 
   // Active model slot. A mutex whose critical section is a shared_ptr copy,
   // NOT std::atomic<shared_ptr>: libstdc++ 12 implements the latter with a

@@ -1,8 +1,69 @@
 #include "warehouse/flighting.h"
 
+#include <limits>
+
 #include "obs/obs.h"
 
 namespace loam::warehouse {
+
+std::vector<std::vector<double>> paired_replay(
+    const std::vector<Plan>& plans, const ClusterConfig& cluster_config,
+    const ExecutorConfig& executor_config, int runs, std::uint64_t seed,
+    util::ThreadPool* pool) {
+  static obs::Counter* const c_replays =
+      obs::Registry::instance().counter("loam.flighting.replays");
+  obs::Span span(obs::Cat::kFlighting, "paired_replay",
+                 static_cast<std::int64_t>(plans.size()));
+  if (runs < 0) runs = 0;
+  c_replays->add(plans.size() * static_cast<std::size_t>(runs));
+  std::vector<std::vector<double>> samples(
+      plans.size(), std::vector<double>(static_cast<std::size_t>(runs), 0.0));
+  if (plans.empty() || runs == 0) return samples;
+
+  // The master walk is inherently serial — run r's snapshot extends run
+  // r-1's drift — so realize every run's environment and seed first. Each
+  // run draws exactly what the legacy serial loop drew, in the same order.
+  Cluster master(cluster_config, seed ^ 0x3a57e5ull);
+  Rng rng(seed);
+  std::vector<Cluster> snapshots;
+  std::vector<Rng> run_bases;
+  snapshots.reserve(static_cast<std::size_t>(runs));
+  run_bases.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    // One realized environment e: every candidate executes against an
+    // identical cluster snapshot. Scheduling and execution noise stay
+    // independent across candidates — e determines the environment, not the
+    // residual randomness (this is the independence Lemma 1 assumes).
+    master.advance(rng.uniform(300.0, 3600.0));
+    const std::uint64_t run_seed = static_cast<std::uint64_t>(rng.uniform_int(
+        0, std::numeric_limits<std::int64_t>::max()));
+    snapshots.push_back(master);
+    // Per-candidate streams fork off the run seed by index, so the residual
+    // randomness is keyed only by (run, candidate) — candidates can never
+    // interleave draws, serial or parallel. fork(p) reproduces the
+    // historical per-plan derivation bit-for-bit (see Rng::fork).
+    run_bases.emplace_back(run_seed);
+  }
+
+  // The grid cells are now fully independent: private snapshot copy, private
+  // forked stream, private output slot.
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t p = cell % plans.size();
+    const std::size_t r = cell / plans.size();
+    Cluster snapshot = snapshots[r];
+    Executor executor(&snapshot, executor_config);
+    Rng run_rng = run_bases[r].fork(p);
+    Plan copy = plans[p];
+    samples[p][r] = executor.execute(copy, run_rng).cpu_cost;
+  };
+  const std::size_t cells = plans.size() * static_cast<std::size_t>(runs);
+  if (pool != nullptr) {
+    pool->parallel_for(cells, run_cell);
+  } else {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
+  }
+  return samples;
+}
 
 FlightingEnv::FlightingEnv(ClusterConfig cluster_config,
                            ExecutorConfig executor_config, std::uint64_t seed)

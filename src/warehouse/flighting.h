@@ -9,9 +9,26 @@
 
 #include <vector>
 
+#include "util/thread_pool.h"
 #include "warehouse/executor.h"
 
 namespace loam::warehouse {
+
+// Replays every plan `runs` times under paired environments: the returned
+// cost[p][r] is plan p's CPU cost under the r-th realized environment, with
+// ALL plans sharing environment r — the construction Theorem 1 reasons
+// about.
+//
+// `pool` (optional) spreads the (run, plan) replay grid over worker threads.
+// Results are bit-identical at every thread count: the master cluster's
+// drift walk and the per-run seeds are realized serially up front, each grid
+// cell then executes against its own cluster snapshot with its own
+// Rng::fork(plan) stream and writes its own result slot, and no cell reads
+// another cell's state.
+std::vector<std::vector<double>> paired_replay(
+    const std::vector<Plan>& plans, const ClusterConfig& cluster_config,
+    const ExecutorConfig& executor_config, int runs, std::uint64_t seed,
+    util::ThreadPool* pool = nullptr);
 
 class FlightingEnv {
  public:

@@ -1,6 +1,7 @@
 #include "warehouse/plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <sstream>
@@ -90,14 +91,52 @@ std::vector<int> Plan::postorder() const {
   return order;
 }
 
+namespace {
+
+// Order-sensitive combinator (sig(a, b) != sig(b, a)) so column lists and
+// attribute sequences hash by position, not by set.
+std::uint64_t sig_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v * 0x9e3779b97f4a7c15ull) ^ 0x7f4a7c15ull);
+}
+
+std::uint64_t sig_str(std::uint64_t h, const std::string& s) {
+  return sig_combine(h, hash64(s, 3));
+}
+
+}  // namespace
+
+int Plan::est_card_bucket(double est_rows) {
+  if (!(est_rows > 0.0)) return 0;  // also maps NaN/negatives to the 0 bucket
+  return 1 + static_cast<int>(std::floor(std::log2(1.0 + est_rows)));
+}
+
 std::uint64_t Plan::signature() const {
   std::function<std::uint64_t(int)> hash_node = [&](int id) -> std::uint64_t {
     if (id < 0) return 0x5bd1e995u;
     const PlanNode& n = node(id);
     std::uint64_t h = mix64(static_cast<std::uint64_t>(n.op) + 0x100);
-    h ^= mix64(static_cast<std::uint64_t>(n.table_id + 2));
-    h ^= mix64(static_cast<std::uint64_t>(n.join_form) + 0x9000);
-    for (const auto& c : n.join_columns) h ^= hash64(c, 3);
+    // Leaf identity: which table, how much of it survives partition pruning,
+    // and how wide the read is.
+    h = sig_combine(h, static_cast<std::uint64_t>(n.table_id + 2));
+    h = sig_combine(h, static_cast<std::uint64_t>(n.partitions_accessed + 1));
+    h = sig_combine(h, static_cast<std::uint64_t>(n.columns_accessed + 1));
+    // Join surface.
+    h = sig_combine(h, static_cast<std::uint64_t>(n.join_form) + 0x9000);
+    h = sig_combine(h, static_cast<std::uint64_t>(n.join_edge + 2));
+    for (const auto& c : n.join_columns) h = sig_str(h, c);
+    // Aggregation surface.
+    h = sig_combine(h, static_cast<std::uint64_t>(n.agg_fn) + 0xa000);
+    for (const auto& c : n.agg_columns) h = sig_str(h, c);
+    for (const auto& c : n.group_by_columns) h = sig_str(h, c);
+    // Filter surface (Filter and Calc alike).
+    for (const FilterFn f : n.filter_fns) {
+      h = sig_combine(h, static_cast<std::uint64_t>(f) + 0xf000);
+    }
+    for (const auto& c : n.filter_columns) h = sig_str(h, c);
+    // Statistics input: bucketized ESTIMATED cardinality only — true_rows is
+    // ground truth and must never reach a serving-path key.
+    h = sig_combine(h,
+                    static_cast<std::uint64_t>(est_card_bucket(n.est_rows)) + 0xc000);
     h = mix64(h ^ (hash_node(n.left) * 0x9e3779b97f4a7c15ull));
     h = mix64(h ^ (hash_node(n.right) * 0xc2b2ae3d27d4eb4full));
     return h;

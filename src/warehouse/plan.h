@@ -106,8 +106,21 @@ class Plan {
   // algorithm (cardinality annotation, staging, execution) walks this.
   std::vector<int> postorder() const;
 
-  // Structural signature for candidate-plan deduplication: hashes operator
-  // types, shape and scan targets; ignores cardinality annotations.
+  // Bucketized estimated cardinality as it enters signature():
+  // floor(log2(1 + est)), i.e. factor-2 bands, so deterministic re-annotation
+  // reproduces the bucket exactly while sub-band jitter cannot split cache
+  // keys. Exposed for tests.
+  static int est_card_bucket(double est_rows);
+
+  // Semantic signature: hashes the operator tree together with every node
+  // attribute that feeds featurization — leaf table/partition/column
+  // identity, join form + columns, aggregation and filter surfaces — plus
+  // the bucketized ESTIMATED cardinalities (the statistics input of the
+  // native cost model). Ground-truth cardinalities (true_rows) never enter
+  // the signature: they are invisible at serving time and must not leak
+  // into a cache key. Used both for candidate-plan deduplication (computed
+  // on the common estimate face) and as the plan half of every loam::cache
+  // key.
   std::uint64_t signature() const;
 
   // Count of <parent-op, child-op> adjacent pairs, the Ranker plan encoding

@@ -255,6 +255,61 @@ TEST(OptimizerService, HotSwapStressEveryRequestServedByExactlyOneVersion) {
   service.stop();
 }
 
+TEST(OptimizerService, HotSwapInvalidatesScoreCacheStructurally) {
+  ServeFixture fx("cacheswap");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+  ModelVersionMeta m1;  // v1 stays promotable for the rollback leg below
+  m1.approved = true;
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), m1), 1);
+
+  // One query served repeatedly: exploration is deterministic, so every pass
+  // presents the same (signature-unique) candidate set.
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 5, 1);
+  ASSERT_FALSE(queries.empty());
+  const warehouse::Query& q = queries.front();
+
+  const ServeDecision cold = service.optimize(q);
+  ASSERT_EQ(cold.model_version, 1);
+  const std::uint64_t n = cold.generation.plans.size();
+  EXPECT_EQ(service.inference_cache().score_stats().hits, 0u);
+  const ServeDecision warm = service.optimize(q);
+  const std::uint64_t hits_v1 = service.inference_cache().score_stats().hits;
+  EXPECT_GE(hits_v1, n);  // the whole candidate set re-served from cache
+  // ... and bit-identical to the cold pass.
+  EXPECT_EQ(warm.chosen, cold.chosen);
+  ASSERT_EQ(warm.predicted.size(), cold.predicted.size());
+  for (std::size_t i = 0; i < warm.predicted.size(); ++i) {
+    EXPECT_EQ(warm.predicted[i], cold.predicted[i]);
+  }
+
+  // Hot-swap: score keys carry the registry version, so v1's entries cannot
+  // match a single lookup made on behalf of v2 — zero stale hits, by
+  // construction rather than by flushing.
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), approved_meta()),
+            2);
+  const ServeDecision post_swap = service.optimize(q);
+  EXPECT_EQ(post_swap.model_version, 2);
+  EXPECT_EQ(service.inference_cache().score_stats().hits, hits_v1);
+  service.optimize(q);  // the cache resumes working under v2
+  EXPECT_GT(service.inference_cache().score_stats().hits, hits_v1);
+
+  // Rolling back to v1 re-hits its still-valid entries: same checkpoint,
+  // same scores — a legitimate reuse, not staleness.
+  service.swap_to_version(1);
+  const std::uint64_t before_rollback =
+      service.inference_cache().score_stats().hits;
+  const ServeDecision rolled = service.optimize(q);
+  EXPECT_EQ(rolled.model_version, 1);
+  EXPECT_GE(service.inference_cache().score_stats().hits, before_rollback + n);
+  EXPECT_EQ(rolled.chosen, cold.chosen);
+  service.stop();
+}
+
 TEST(OptimizerService, DevianceRollbackStepsDownThroughVersions) {
   ServeFixture fx("rollback");
   ServeConfig cfg = fx.config();

@@ -234,12 +234,43 @@ TEST(PlanTest, SignatureDistinguishesStructure) {
   EXPECT_NE(a.signature(), c.signature());
 }
 
-TEST(PlanTest, SignatureIgnoresCardinalities) {
+TEST(PlanTest, SignatureBucketsEstimatesAndIgnoresTruth) {
+  // The semantic signature includes the ESTIMATED cardinalities, but only at
+  // log2-bucket granularity: jitter inside a factor-2 band keeps the key,
+  // crossing a band changes it.
+  Plan a = make_small_plan();
+  a.mutable_node(0).est_rows = 1000;
+  Plan b = make_small_plan();
+  b.mutable_node(0).est_rows = 900;  // same factor-2 band as 1000
+  EXPECT_EQ(Plan::est_card_bucket(1000), Plan::est_card_bucket(900));
+  EXPECT_EQ(a.signature(), b.signature());
+  b.mutable_node(0).est_rows = 12345;  // different bucket
+  EXPECT_NE(Plan::est_card_bucket(1000), Plan::est_card_bucket(12345));
+  EXPECT_NE(a.signature(), b.signature());
+
+  // Ground truth is executor-only and must NEVER reach a cache key.
+  Plan c = make_small_plan();
+  c.mutable_node(0).est_rows = 1000;
+  c.mutable_node(2).true_rows = 999;
+  EXPECT_EQ(a.signature(), c.signature());
+}
+
+TEST(PlanTest, SignatureDistinguishesLeafTables) {
+  // Plans differing ONLY in one leaf's scan target must hash apart — leaf
+  // identity (table, partitions, columns) is part of the semantic key.
   Plan a = make_small_plan();
   Plan b = make_small_plan();
-  b.mutable_node(0).est_rows = 12345;
-  b.mutable_node(2).true_rows = 999;
   EXPECT_EQ(a.signature(), b.signature());
+  b.mutable_node(1).table_id = 7;
+  EXPECT_NE(a.signature(), b.signature());
+
+  Plan c = make_small_plan();
+  c.mutable_node(1).partitions_accessed = 3;
+  EXPECT_NE(a.signature(), c.signature());
+
+  Plan d = make_small_plan();
+  d.mutable_node(1).columns_accessed = 2;
+  EXPECT_NE(a.signature(), d.signature());
 }
 
 TEST(PlanTest, ParentChildPatterns) {

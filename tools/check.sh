@@ -15,7 +15,10 @@
 #     python3 -m json.tool, trace summarized by tools/trace_summary.py);
 #   - CLI flag hygiene (an unknown flag must fail with usage, not be ignored);
 #   - serving soak (loam_sim_cli serve) and serving latency/swap-pause bench
-#     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms).
+#     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms);
+#   - memoized-inference bench (BENCH_cache.json, fails on any cached-vs-
+#     uncached or parallel-vs-serial divergence, or if the warm selection
+#     speedup falls below 1.5x).
 #
 # Usage: tools/check.sh [jobs]
 # Environment:
@@ -85,6 +88,14 @@ echo "== Serving latency/hot-swap bench (BENCH_serve.json) =="
 "./${BUILD_DIR}/bench/bench_micro" --serve \
   --serve-json="${BUILD_DIR}/BENCH_serve.json"
 python3 -m json.tool "${BUILD_DIR}/BENCH_serve.json" > /dev/null
+
+echo "== Memoized-inference bench (BENCH_cache.json) =="
+# Paired uncached-vs-cached selection sweep (bit-identity asserted in the
+# binary), cold-vs-warm serve soak, serial-vs-parallel gate replay; exits
+# non-zero on divergence or a warm selection speedup below 1.5x.
+"./${BUILD_DIR}/bench/bench_micro" --cache \
+  --cache-json="${BUILD_DIR}/BENCH_cache.json"
+python3 -m json.tool "${BUILD_DIR}/BENCH_cache.json" > /dev/null
 
 echo "== ThreadSanitizer build + tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
