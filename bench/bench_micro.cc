@@ -30,6 +30,13 @@
 // Exits nonzero when any cached result diverges from its uncached twin or
 // the warm selection speedup falls below 1.5x — tools/check.sh runs this as
 // the cache perf smoke test.
+//
+// `--overload` runs the BBR-pacing overload section: a paced service is fed
+// open-loop arrival streams at 1x/2x/5x/10x its closed-loop capacity,
+// emitting BENCH_pacing.json (path override: --pacing-json=PATH) with
+// per-phase latency percentiles and shed fractions. Exits nonzero when any
+// request is rejected or p99 at 10x load exceeds 2x the 1x baseline —
+// tools/check.sh runs this as the pacing smoke test.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -858,16 +865,261 @@ int run_cache(const std::string& json_path) {
 
 }  // namespace cache_bench
 
+// ---------------------------------------------------------------------------
+// Pacing overload section (--overload)
+// ---------------------------------------------------------------------------
+namespace overload_bench {
+
+using bench_clock = std::chrono::steady_clock;
+
+struct PhaseResult {
+  double multiplier = 0.0;
+  double offered_rps = 0.0;   // target arrival rate
+  double achieved_rps = 0.0;  // what the submitter actually sustained
+  std::size_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::size_t model_served = 0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double model_p99_ms = 0.0;  // p99 over model-served requests only
+};
+
+// Open-loop phase: arrivals at `rate_rps` for `seconds`, submitted without
+// waiting for decisions (futures collected, resolved after the arrival
+// window closes — admission latency never throttles the offered load, which
+// is the point of an overload bench). Pacing is bursty at sleep granularity:
+// every ~0.5ms the submitter pushes everything due since the last poll, then
+// sleeps — no spinning, so on a small box the submitter does not steal the
+// batcher's CPU and distort the very latencies being measured.
+PhaseResult run_phase(serve::OptimizerService& service,
+                      const std::vector<warehouse::Query>& pool,
+                      double multiplier, double rate_rps, double seconds) {
+  PhaseResult r;
+  r.multiplier = multiplier;
+  r.offered_rps = rate_rps;
+  const std::uint64_t shed_before = service.stats().shed;
+
+  const auto start = bench_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<bench_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  const std::size_t target =
+      static_cast<std::size_t>(rate_rps * seconds);
+  std::vector<std::future<serve::ServeDecision>> futures;
+  futures.reserve(target + 16);
+  std::size_t i = 0;
+  for (auto now = start; now < deadline; now = bench_clock::now()) {
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    const std::size_t due = std::min(
+        target, static_cast<std::size_t>(rate_rps * elapsed));
+    for (; i < due; ++i) {
+      std::future<serve::ServeDecision> fut;
+      if (service.try_submit(pool[i % pool.size()], &fut)) {
+        futures.push_back(std::move(fut));
+      } else {
+        ++r.rejected;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  const double window =
+      std::chrono::duration<double>(bench_clock::now() - start).count();
+  r.submitted = i;
+  r.achieved_rps = window > 0.0 ? static_cast<double>(i) / window : 0.0;
+
+  std::vector<double> all_ms, model_ms;
+  all_ms.reserve(futures.size());
+  for (std::future<serve::ServeDecision>& fut : futures) {
+    const serve::ServeDecision d = fut.get();
+    const double ms = 1e3 * d.total_seconds;
+    all_ms.push_back(ms);
+    if (!d.shed) {
+      model_ms.push_back(ms);
+      ++r.model_served;
+    }
+  }
+  r.shed = service.stats().shed - shed_before;
+  r.p50_ms = serve_bench::percentile(all_ms, 0.50);
+  r.p99_ms = serve_bench::percentile(all_ms, 0.99);
+  r.model_p99_ms = serve_bench::percentile(model_ms, 0.99);
+  return r;
+}
+
+int run_overload(const std::string& json_path) {
+  namespace fs = std::filesystem;
+
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(warehouse::evaluation_archetypes()[1], rc);
+  runtime.simulate_history(3, 80);
+
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("loam_bench_pacing_" + std::to_string(::getpid()))).string();
+  fs::remove_all(dir);
+  serve::ServeConfig cfg;
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 256;
+  cfg.registry_root = dir + "/registry";
+  cfg.journal_path = dir + "/feedback.jnl";
+  cfg.pacing.enabled = true;
+  cfg.pacing.bw_window_ticks = 250'000'000;       // 250ms
+  cfg.pacing.delay_window_ticks = 1'000'000'000;  // 1s
+  cfg.pacing.min_round_ticks = 1'000'000;         // 1ms
+  cfg.pacing.probe_interval_ticks = 100'000'000;  // 100ms
+  cfg.pacing.max_batch = 16;
+  cfg.pacing.min_inflight = 2.0;
+
+  serve::OptimizerService service(&runtime, cfg);
+  service.start();
+  serve::ModelVersionMeta meta;
+  meta.approved = true;
+  service.publish_and_swap(
+      std::make_unique<core::AdaptiveCostPredictor>(
+          service.encoder().feature_dim(), cfg.predictor),
+      meta);
+
+  std::vector<warehouse::Query> pool = runtime.make_queries(3, 6, 160);
+
+  // Closed-loop warmup: walks the controller through STARTUP on real traffic
+  // and warms every cache with exactly one request in flight. Its serial rate
+  // only seeds the calibration below — batching makes open-loop capacity
+  // higher, so it is not the "1x" reference.
+  const auto w0 = bench_clock::now();
+  for (const warehouse::Query& q : pool) service.optimize(q);
+  const double warm_seconds =
+      std::chrono::duration<double>(bench_clock::now() - w0).count();
+  const double serial_rps =
+      static_cast<double>(pool.size()) / std::max(warm_seconds, 1e-9);
+
+  // Calibration: saturate the service (6x the serial rate, well past the
+  // knee) and take the model path's achieved throughput as capacity. This is
+  // the bottleneck bandwidth in BBR terms; "1x" below then means the pipe is
+  // exactly full, and the gate compares a full pipe against a 10x-overloaded
+  // one instead of an idle baseline against a saturated one.
+  const double kCalSeconds = 0.5;
+  const PhaseResult cal =
+      run_phase(service, pool, 0.0, 6.0 * serial_rps, kCalSeconds);
+  const double capacity_rps = std::max(
+      static_cast<double>(cal.model_served) / kCalSeconds, serial_rps);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::printf(
+      "== pacing overload: serial %.0f req/s, saturated model capacity %.0f "
+      "req/s ==\n",
+      serial_rps, capacity_rps);
+
+  const double kPhaseSeconds = 1.0;
+  const double multipliers[] = {1.0, 2.0, 5.0, 10.0};
+  std::vector<PhaseResult> phases;
+  for (const double m : multipliers) {
+    phases.push_back(
+        run_phase(service, pool, m, m * capacity_rps, kPhaseSeconds));
+    const PhaseResult& r = phases.back();
+    std::printf(
+        "%4.0fx | offered %7.0f/s achieved %7.0f/s | %5zu reqs | rejected "
+        "%llu | shed %llu (%.0f%%) | p50 %.3f ms p99 %.3f ms | model p99 "
+        "%.3f ms\n",
+        r.multiplier, r.offered_rps, r.achieved_rps, r.submitted,
+        static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.shed),
+        r.submitted > 0
+            ? 100.0 * static_cast<double>(r.shed) /
+                  static_cast<double>(r.submitted)
+            : 0.0,
+        r.p50_ms, r.p99_ms, r.model_p99_ms);
+    // Let the queue drain and the controller settle before the next step.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const serve::OptimizerService::PacingSnapshot snap = service.pacing_snapshot();
+  const serve::OptimizerService::Stats stats = service.stats();
+  service.stop();
+  fs::remove_all(dir);
+
+  std::printf(
+      "pacing: state %d | est bw %.0f plans/s | min delay %.3f ms | bdp %.1f "
+      "req | batch target %d | cwnd %.1f | shed total %llu\n",
+      static_cast<int>(snap.state), snap.est_bw_per_sec,
+      1e3 * snap.est_min_delay_seconds, snap.bdp_requests, snap.batch_target,
+      snap.cwnd, static_cast<unsigned long long>(stats.shed));
+
+  // The BBR claim, translated: under 10x offered load the paced service
+  // keeps p99 within 2x of the 1x baseline and rejects nothing (excess is
+  // shed to the fallback). The 0.25ms additive floor keeps a sub-ms 1x
+  // baseline from turning scheduler jitter into a gate failure.
+  const double p99_1x = phases.front().p99_ms;
+  const double p99_10x = phases.back().p99_ms;
+  std::uint64_t total_rejected = 0;
+  for (const PhaseResult& r : phases) total_rejected += r.rejected;
+  const bool pass =
+      total_rejected == 0 && p99_10x <= 2.0 * p99_1x + 0.25;
+  std::printf("gate: p99 1x %.3f ms -> 10x %.3f ms (%.2fx), rejected %llu: %s\n",
+              p99_1x, p99_10x, p99_1x > 0.0 ? p99_10x / p99_1x : 0.0,
+              static_cast<unsigned long long>(total_rejected),
+              pass ? "PASS" : "FAIL");
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"serial_rps\": " << serial_rps
+       << ",\n  \"capacity_rps\": " << capacity_rps << ",\n  \"phases\": [\n";
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const PhaseResult& r = phases[p];
+    json << "    {\"multiplier\": " << r.multiplier
+         << ", \"offered_rps\": " << r.offered_rps
+         << ", \"achieved_rps\": " << r.achieved_rps
+         << ", \"submitted\": " << r.submitted
+         << ", \"rejected\": " << r.rejected << ", \"shed\": " << r.shed
+         << ", \"model_served\": " << r.model_served
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << ", \"model_p99_ms\": " << r.model_p99_ms << "}"
+         << (p + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"pacing\": {\"state\": " << static_cast<int>(snap.state)
+       << ", \"est_bw_per_sec\": " << snap.est_bw_per_sec
+       << ", \"est_min_delay_ms\": " << 1e3 * snap.est_min_delay_seconds
+       << ", \"bdp_requests\": " << snap.bdp_requests
+       << ", \"batch_target\": " << snap.batch_target
+       << ", \"cwnd\": " << snap.cwnd
+       << ", \"shed_total\": " << stats.shed << "},\n"
+       << "  \"gate\": {\"p99_1x_ms\": " << p99_1x
+       << ", \"p99_10x_ms\": " << p99_10x
+       << ", \"ratio\": " << (p99_1x > 0.0 ? p99_10x / p99_1x : 0.0)
+       << ", \"rejected\": " << total_rejected
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: pacing gate (p99 10x %.3f ms vs 1x %.3f ms, rejected "
+                 "%llu)\n",
+                 p99_10x, p99_1x,
+                 static_cast<unsigned long long>(total_rejected));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace overload_bench
+
 int main(int argc, char** argv) {
   bool nn_core_only = false;
   bool obs_overhead = false;
   bool obs_report = false;
   bool serve = false;
   bool cache = false;
+  bool overload = false;
   std::string json_path = "BENCH_nn_core.json";
   std::string obs_json_path = "BENCH_obs.json";
   std::string serve_json_path = "BENCH_serve.json";
   std::string cache_json_path = "BENCH_cache.json";
+  std::string pacing_json_path = "BENCH_pacing.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
     if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
@@ -886,11 +1138,16 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--cache-json=", 13) == 0) {
       cache_json_path = argv[i] + 13;
     }
+    if (std::strcmp(argv[i], "--overload") == 0) overload = true;
+    if (std::strncmp(argv[i], "--pacing-json=", 14) == 0) {
+      pacing_json_path = argv[i] + 14;
+    }
   }
   if (nn_core_only) return nn_core::run_nn_core(json_path);
   if (obs_overhead) return obs_bench::run_obs_overhead(obs_json_path);
   if (serve) return serve_bench::run_serve(serve_json_path);
   if (cache) return cache_bench::run_cache(cache_json_path);
+  if (overload) return overload_bench::run_overload(pacing_json_path);
   if (obs_report) {
     obs::set_metrics_enabled(true);
     // Strip the flag so google-benchmark does not reject it.

@@ -56,7 +56,10 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
       registry_(config_.registry_root),
       infer_cache_("serve", config_.cache),
       monitor_(config_.monitor),
-      retrain_pool_(1) {
+      retrain_pool_(1),
+      pacing_(config_.pacing, config_.max_batch) {
+  cwnd_cached_.store(pacing_.cwnd(), std::memory_order_relaxed);
+  batch_target_cached_.store(pacing_.batch_target(), std::memory_order_relaxed);
   // Restart continuity: resume serving the latest approved registry version;
   // cold registries start on the native fallback.
   std::shared_ptr<const ModelSnapshot> initial = fallback_snapshot();
@@ -71,6 +74,8 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
 }
 
 OptimizerService::~OptimizerService() { stop(); }
+
+std::int64_t OptimizerService::obs_now_ns() { return obs::Tracer::now_ns(); }
 
 void OptimizerService::start() {
   {
@@ -114,22 +119,53 @@ bool OptimizerService::try_submit(Query query, std::future<ServeDecision>* out) 
       obs::Registry::instance().counter("loam.serve.requests_admitted");
   static obs::Counter* const c_rejected =
       obs::Registry::instance().counter("loam.serve.requests_rejected");
+  static obs::Counter* const c_shed =
+      obs::Registry::instance().counter("loam.serve.pacing.shed_total");
   if (out == nullptr) return false;
+  const bool pacing = config_.pacing.enabled;
   Pending pending;
   pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   pending.query = std::move(query);
-  pending.enqueue_ns = obs::Tracer::now_ns();
+  pending.enqueue_ns = now_ns();
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_ || queue_.size() >= config_.queue_capacity) {
+    if (stop_) {
       n_rejected_.fetch_add(1, std::memory_order_relaxed);
       c_rejected->add();
       return false;
     }
-    *out = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
+    if (!pacing) {
+      if (queue_.size() >= config_.queue_capacity) {
+        n_rejected_.fetch_add(1, std::memory_order_relaxed);
+        c_rejected->add();
+        return false;
+      }
+    } else {
+      // BBR-style admission: requests inside the pacing window take the
+      // model path; everything past it — or past the FIFO bound — is SHED to
+      // the native fallback, never rejected. Shedding happens HERE, at the
+      // source: a shed request never enters the queue, so the fallback path
+      // cannot build a standing queue behind the model path under overload
+      // (its latency stays one native optimize, paid on the caller thread).
+      shed = static_cast<double>(inflight_.load(std::memory_order_relaxed)) >=
+                 cwnd_cached_.load(std::memory_order_relaxed) ||
+             queue_.size() >= config_.queue_capacity;
+      if (!shed) inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!shed) {
+      *out = pending.promise.get_future();
+      queue_.push_back(std::move(pending));
+    }
   }
-  queue_cv_.notify_one();
+  if (shed) {
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    c_shed->add();
+    *out = pending.promise.get_future();
+    process_shed(std::move(pending), now_ns());
+  } else {
+    queue_cv_.notify_one();
+  }
   n_requests_.fetch_add(1, std::memory_order_relaxed);
   c_admitted->add();
   return true;
@@ -150,21 +186,32 @@ void OptimizerService::batcher_loop() {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ with a drained queue
+      // With pacing on, the batch target is whatever the controller last
+      // computed (STARTUP grows it, DRAIN/STEADY pin it at the BDP).
+      const int limit = std::max(
+          1, config_.pacing.enabled
+                 ? batch_target_cached_.load(std::memory_order_relaxed)
+                 : config_.max_batch);
       // Linger briefly so closely spaced requests coalesce into one
-      // predict_batch call instead of each paying a forward pass.
-      if (static_cast<int>(queue_.size()) < config_.max_batch && !stop_ &&
+      // predict_batch call instead of each paying a forward pass. The
+      // deadline is computed ONCE from the linger start: the predicate form
+      // of wait_until re-waits only the remaining time after a spurious or
+      // not-yet-full wakeup, so a trickle of sub-batch arrivals can neither
+      // cut the linger short (early batch) nor extend it past one linger
+      // period (the pre-deadline wakeup bug this replaced wait_for guards
+      // against).
+      if (static_cast<int>(queue_.size()) < limit && !stop_ &&
           config_.batch_linger_us > 0) {
-        queue_cv_.wait_for(
-            lock, std::chrono::microseconds(config_.batch_linger_us),
-            [this] {
-              return stop_ ||
-                     static_cast<int>(queue_.size()) >= config_.max_batch;
-            });
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(config_.batch_linger_us);
+        queue_cv_.wait_until(lock, deadline, [this, limit] {
+          return stop_ || static_cast<int>(queue_.size()) >= limit;
+        });
       }
-      const std::size_t n = std::min<std::size_t>(
-          queue_.size(), static_cast<std::size_t>(std::max(1, config_.max_batch)));
-      batch.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
+      // FIFO drain: up to `limit` requests per inference batch. (Shed
+      // requests never reach this queue — they are served at admission.)
+      while (!queue_.empty() && static_cast<int>(batch.size()) < limit) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -205,6 +252,8 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
   static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
       "loam.serve.request_seconds",
       obs::Histogram::exponential_bounds(1e-4, 2.0, 16));
+  const std::int64_t pickup_ns = now_ns();
+
   obs::Span span(obs::Cat::kServe, "batch",
                  static_cast<std::int64_t>(batch.size()));
   n_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -215,7 +264,6 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
   // registry version, however many swaps land while the batch is in flight.
   const std::shared_ptr<const ModelSnapshot> snapshot =
       slot_.load();
-  const std::int64_t pickup_ns = obs::Tracer::now_ns();
 
   // Explore per request, then score the union of every request's candidates
   // with a single predict_batch call. With the inference cache on, a
@@ -243,12 +291,18 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
                               rep.mem_usage};
   const std::uint64_t env_fp =
       use_env ? cache::fingerprint(env_vals) : 0x9e1debull;
+  std::int64_t min_queue_ticks = -1;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ServeDecision& d = decisions[i];
     d.request_id = batch[i].id;
     d.submit_day = batch[i].query.submit_day;
     d.batch_size = static_cast<int>(batch.size());
+    d.paced = config_.pacing.enabled;
     d.queue_seconds = 1e-9 * static_cast<double>(pickup_ns - batch[i].enqueue_ns);
+    const std::int64_t queue_ticks = pickup_ns - batch[i].enqueue_ns;
+    if (min_queue_ticks < 0 || queue_ticks < min_queue_ticks) {
+      min_queue_ticks = queue_ticks;
+    }
     try {
       d.generation = explorer_.explore(batch[i].query);
       if (snapshot->model == nullptr) {
@@ -302,6 +356,7 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
     }
   }
 
+  int plans_scored = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (failed_any && failed[i]) continue;
     ServeDecision& d = decisions[i];
@@ -323,11 +378,93 @@ void OptimizerService::process_batch(std::vector<Pending> batch) {
       n_fallback_.fetch_add(1, std::memory_order_relaxed);
       c_fallback->add();
     }
+    plans_scored += static_cast<int>(d.generation.plans.size());
     d.total_seconds =
-        1e-9 * static_cast<double>(obs::Tracer::now_ns() - batch[i].enqueue_ns);
+        1e-9 * static_cast<double>(now_ns() - batch[i].enqueue_ns);
     h_latency->observe(d.total_seconds);
     batch[i].promise.set_value(std::move(d));
   }
+
+  if (config_.pacing.enabled) {
+    // Every model-path request in this batch is resolved (value or
+    // exception): release the admission window before the controller sees
+    // the post-batch inflight.
+    inflight_.fetch_sub(static_cast<std::int64_t>(batch.size()),
+                        std::memory_order_relaxed);
+    const std::int64_t end_ns = now_ns();
+    const std::int64_t service_ticks = end_ns - pickup_ns;
+    // The delay sample is the batch's best-case admission->decision time:
+    // the min queue wait plus this batch's service time — the closest
+    // observable analog of the unqueued base latency the min filter wants.
+    pacing_round(end_ns, static_cast<int>(batch.size()), plans_scored,
+                 service_ticks,
+                 min_queue_ticks < 0 ? -1 : min_queue_ticks + service_ticks);
+  }
+}
+
+void OptimizerService::process_shed(Pending pending, std::int64_t pickup_ns) {
+  static obs::Counter* const c_fallback =
+      obs::Registry::instance().counter("loam.serve.fallback_decisions");
+  static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
+      "loam.serve.request_seconds",
+      obs::Histogram::exponential_bounds(1e-4, 2.0, 16));
+  ServeDecision d;
+  d.request_id = pending.id;
+  d.submit_day = pending.query.submit_day;
+  d.paced = true;
+  d.shed = true;
+  d.model_version = -1;
+  d.batch_size = 0;  // no inference batch backed this decision
+  d.queue_seconds =
+      1e-9 * static_cast<double>(pickup_ns - pending.enqueue_ns);
+  try {
+    // The paper's always-available fallback: the native optimizer's default
+    // plan, produced without candidate exploration or scoring — the shed
+    // path's cost must stay independent of the model path it is protecting.
+    d.generation.plans.push_back(runtime_->optimizer().optimize(pending.query));
+    d.generation.knobs.emplace_back();
+    d.generation.rough_costs.push_back(0.0);
+    d.generation.default_index = 0;
+    d.chosen = 0;
+    n_fallback_.fetch_add(1, std::memory_order_relaxed);
+    c_fallback->add();
+    d.total_seconds =
+        1e-9 * static_cast<double>(now_ns() - pending.enqueue_ns);
+    h_latency->observe(d.total_seconds);
+    pending.promise.set_value(std::move(d));
+  } catch (...) {
+    pending.promise.set_exception(std::current_exception());
+  }
+}
+
+void OptimizerService::pacing_round(std::int64_t end_ns, int requests,
+                                    int plans, std::int64_t service_ticks,
+                                    std::int64_t delay_ticks) {
+  static obs::Gauge* const g_bw =
+      obs::Registry::instance().gauge("loam.serve.pacing.est_bw");
+  static obs::Gauge* const g_delay =
+      obs::Registry::instance().gauge("loam.serve.pacing.est_min_delay");
+  static obs::Gauge* const g_bdp =
+      obs::Registry::instance().gauge("loam.serve.pacing.bdp");
+  static obs::Gauge* const g_batch =
+      obs::Registry::instance().gauge("loam.serve.pacing.batch_target");
+  static obs::Gauge* const g_cwnd =
+      obs::Registry::instance().gauge("loam.serve.pacing.cwnd");
+  static obs::Gauge* const g_state =
+      obs::Registry::instance().gauge("loam.serve.pacing.state");
+  const double inflight =
+      static_cast<double>(inflight_.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(pacing_mu_);
+  pacing_.on_batch_complete(end_ns, requests, plans, service_ticks,
+                            delay_ticks, inflight);
+  cwnd_cached_.store(pacing_.cwnd(), std::memory_order_relaxed);
+  batch_target_cached_.store(pacing_.batch_target(), std::memory_order_relaxed);
+  g_bw->set(pacing_.est_bw_per_sec());
+  g_delay->set(pacing_.est_min_delay_seconds());
+  g_bdp->set(pacing_.bdp_requests());
+  g_batch->set(static_cast<double>(pacing_.batch_target()));
+  g_cwnd->set(pacing_.cwnd());
+  g_state->set(static_cast<double>(static_cast<int>(pacing_.state())));
 }
 
 // ---------------------------------------------------------------------------
@@ -637,10 +774,26 @@ double OptimizerService::monitor_mean_overrun() const {
   return monitor_.mean_overrun();
 }
 
+OptimizerService::PacingSnapshot OptimizerService::pacing_snapshot() const {
+  PacingSnapshot s;
+  s.enabled = config_.pacing.enabled;
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(pacing_mu_);
+  s.state = pacing_.state();
+  s.est_bw_per_sec = pacing_.est_bw_per_sec();
+  s.est_min_delay_seconds = pacing_.est_min_delay_seconds();
+  s.bdp_requests = pacing_.bdp_requests();
+  s.cwnd = pacing_.cwnd();
+  s.batch_target = pacing_.batch_target();
+  s.rounds = pacing_.rounds();
+  return s;
+}
+
 OptimizerService::Stats OptimizerService::stats() const {
   Stats s;
   s.requests = n_requests_.load(std::memory_order_relaxed);
   s.rejected = n_rejected_.load(std::memory_order_relaxed);
+  s.shed = n_shed_.load(std::memory_order_relaxed);
   s.batches = n_batches_.load(std::memory_order_relaxed);
   s.fallback_decisions = n_fallback_.load(std::memory_order_relaxed);
   s.swaps = n_swaps_.load(std::memory_order_relaxed);

@@ -36,7 +36,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -49,6 +51,7 @@
 #include "core/gate.h"
 #include "core/loam.h"
 #include "serve/journal.h"
+#include "serve/pacing.h"
 #include "serve/registry.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +94,22 @@ struct ServeConfig {
   // caching off.
   cache::CacheConfig cache;
 
+  // BBR-style adaptive admission + batch pacing (serve/pacing.h). When
+  // enabled, `max_batch` becomes the STARTUP seed of an adaptive batch
+  // target, and load beyond the estimated bandwidth-delay product is shed to
+  // the native-optimizer fallback path instead of rejected — admission never
+  // fails while the fallback can absorb it. Pacing changes which path serves
+  // a request and when it is scored, never the scores: model-served
+  // decisions are bit-identical with pacing on or off.
+  PacingConfig pacing;
+
+  // Monotonic clock used for ServeDecision::queue_seconds/total_seconds and
+  // for feeding the pacing filters, returning nanoseconds. Null (default)
+  // uses the process steady clock; tests inject deterministic virtual time
+  // so latency fields and every pacing state transition are reproducible
+  // without wall-clock sleeps.
+  std::function<std::int64_t()> clock;
+
   std::string registry_root = "loam_registry";
   std::string journal_path = "loam_feedback.jnl";
   std::uint64_t seed = 0x5eedbeefull;
@@ -108,6 +127,9 @@ struct ServeDecision {
   int batch_size = 0;           // requests that shared this inference batch
   double queue_seconds = 0.0;   // admission -> batch pickup
   double total_seconds = 0.0;   // admission -> decision ready
+  bool paced = false;           // admission went through the pacing controller
+  bool shed = false;            // pacing diverted this request to the native
+                                // fallback path (model_version == -1)
 };
 
 class OptimizerService {
@@ -124,8 +146,12 @@ class OptimizerService {
   // Drains the queue, completes any in-flight retrain, joins threads.
   void stop();
 
-  // Non-blocking admission; false (and no future) when the queue is full or
-  // the service is stopped.
+  // Admission; false (and no future) when the queue is full (pacing off) or
+  // the service is stopped. With pacing on it never fails while running:
+  // load past the admission window is served synchronously on the CALLER's
+  // thread by the native fallback (one optimize() call, the returned future
+  // already resolved) — shedding at the source, so the fallback path cannot
+  // build a standing queue behind the model path under overload.
   bool try_submit(warehouse::Query query, std::future<ServeDecision>* out);
   // Blocking convenience: admit + wait. Throws std::runtime_error when the
   // queue is full.
@@ -155,6 +181,7 @@ class OptimizerService {
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t rejected = 0;       // bounded-queue admission failures
+    std::uint64_t shed = 0;           // pacing diversions to the native path
     std::uint64_t batches = 0;
     std::uint64_t fallback_decisions = 0;
     std::uint64_t swaps = 0;
@@ -170,6 +197,20 @@ class OptimizerService {
   int active_version() const;
   double monitor_mean_overrun() const;
 
+  // Point-in-time view of the pacing controller (tests, bench, CLI).
+  struct PacingSnapshot {
+    bool enabled = false;
+    PacingController::State state = PacingController::State::kStartup;
+    double est_bw_per_sec = 0.0;       // windowed max service bandwidth
+    double est_min_delay_seconds = 0.0;  // windowed min base delay
+    double bdp_requests = 0.0;
+    double cwnd = 0.0;                 // admission window (requests)
+    int batch_target = 0;
+    std::int64_t inflight = 0;
+    int rounds = 0;
+  };
+  PacingSnapshot pacing_snapshot() const;
+
   FeedbackJournal& journal() { return journal_; }
   ModelRegistry& registry() { return registry_; }
   // Cross-request score/encoding memo (exposed for tests + bench).
@@ -179,6 +220,8 @@ class OptimizerService {
   const ServeConfig& config() const { return config_; }
 
  private:
+  // A queued model-path request. Shed requests never become queue entries —
+  // they are served at admission, on the submitting thread.
   struct Pending {
     std::uint64_t id = 0;
     warehouse::Query query;
@@ -186,8 +229,24 @@ class OptimizerService {
     std::int64_t enqueue_ns = 0;
   };
 
+  // Monotonic now: the injected virtual clock when configured, else the
+  // process steady clock.
+  std::int64_t now_ns() const {
+    return config_.clock ? config_.clock() : obs_now_ns();
+  }
+  static std::int64_t obs_now_ns();
+
   void batcher_loop();
   void process_batch(std::vector<Pending> batch);
+  // Serves a shed request on the native fallback path: one optimize() call,
+  // a single-plan generation, no model inference. Runs on the submitting
+  // thread (the native optimizer is const and thread-safe, as the parallel
+  // explorer already relies on).
+  void process_shed(Pending pending, std::int64_t pickup_ns);
+  // Feeds the pacing controller after a batch and refreshes the cached
+  // admission window, batch target, and loam.serve.pacing.* gauges.
+  void pacing_round(std::int64_t end_ns, int requests, int plans,
+                    std::int64_t service_ticks, std::int64_t delay_ticks);
   // Encodes a candidate set under the representative environment.
   std::vector<nn::Tree> encode_candidates(
       const core::CandidateGeneration& generation) const;
@@ -243,7 +302,8 @@ class OptimizerService {
 
   // Lock hierarchy (outer to inner): queue_mu_ | feedback_mu_ -> swap_mu_ ->
   // monitor_mu_ -> slot_. The journal and registry carry their own leaf
-  // mutexes.
+  // mutexes; pacing_mu_ is a leaf (its critical sections touch only the
+  // PacingController and the cached atomics).
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
@@ -264,10 +324,22 @@ class OptimizerService {
   util::ThreadPool retrain_pool_;  // one worker: the background retrain loop
   std::atomic<bool> retrain_inflight_{false};
 
+  // Pacing. The controller itself is only ever touched under pacing_mu_ (the
+  // batcher writes each round, snapshot readers probe); the admission fast
+  // path reads the two cached atomics instead of taking the lock. Inflight
+  // counts admitted-but-unresolved model-path requests (shed requests bypass
+  // the window — their service cost is what the window protects).
+  mutable std::mutex pacing_mu_;
+  PacingController pacing_;
+  std::atomic<double> cwnd_cached_{0.0};
+  std::atomic<int> batch_target_cached_{1};
+  std::atomic<std::int64_t> inflight_{0};
+
   std::atomic<std::uint64_t> next_request_id_{1};
-  std::atomic<std::uint64_t> n_requests_{0}, n_rejected_{0}, n_batches_{0},
-      n_fallback_{0}, n_swaps_{0}, n_rollbacks_{0}, n_retrains_{0},
-      n_retrain_approved_{0}, n_retrain_rejected_{0}, n_retrain_skipped_{0};
+  std::atomic<std::uint64_t> n_requests_{0}, n_rejected_{0}, n_shed_{0},
+      n_batches_{0}, n_fallback_{0}, n_swaps_{0}, n_rollbacks_{0},
+      n_retrains_{0}, n_retrain_approved_{0}, n_retrain_rejected_{0},
+      n_retrain_skipped_{0};
 };
 
 }  // namespace loam::serve

@@ -1,0 +1,193 @@
+// Table-driven tests of the windowed max/min filters behind the pacing
+// controller, hand-computed from the win_minmax semantics the reference BBR
+// implementation's maxQueue points at: three aging slots (best, 2nd, 3rd),
+// a new best (or tie) resets all three, runners-up are promoted through
+// quarter- and half-window sub-windows, and expiry is strictly AFTER the
+// window edge.
+#include <gtest/gtest.h>
+
+#include "serve/pacing.h"
+
+namespace loam::serve {
+namespace {
+
+// One insert and the expected post-insert state of all three slots.
+struct Step {
+  std::int64_t t;
+  double v;
+  double best;          // expected best() after the insert
+  double s0, s1, s2;    // expected slot values
+  std::int64_t t0, t1, t2;  // expected slot timestamps
+};
+
+template <typename Filter>
+void run_table(Filter& f, const std::vector<Step>& steps) {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& s = steps[i];
+    const double best = f.update(s.t, s.v);
+    SCOPED_TRACE("step " + std::to_string(i) + " (t=" + std::to_string(s.t) +
+                 ", v=" + std::to_string(s.v) + ")");
+    EXPECT_EQ(best, s.best);
+    EXPECT_EQ(f.best(), s.best);
+    EXPECT_EQ(f.slot(0).v, s.s0);
+    EXPECT_EQ(f.slot(1).v, s.s1);
+    EXPECT_EQ(f.slot(2).v, s.s2);
+    EXPECT_EQ(f.slot(0).t, s.t0);
+    EXPECT_EQ(f.slot(1).t, s.t1);
+    EXPECT_EQ(f.slot(2).t, s.t2);
+  }
+}
+
+TEST(WindowedFilter, EmptyAndResetBehavior) {
+  WindowedMaxFilter f(100);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.best(), 0.0);
+
+  EXPECT_EQ(f.update(10, 5.0), 5.0);
+  EXPECT_FALSE(f.empty());
+  EXPECT_EQ(f.best(), 5.0);
+  // The first sample seeds every slot.
+  EXPECT_EQ(f.slot(0).t, 10);
+  EXPECT_EQ(f.slot(1).t, 10);
+  EXPECT_EQ(f.slot(2).t, 10);
+
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.best(), 0.0);
+  // A post-clear insert behaves like a first sample again.
+  EXPECT_EQ(f.update(500, 2.0), 2.0);
+  EXPECT_EQ(f.slot(2).t, 500);
+}
+
+TEST(WindowedFilter, NewMaxAndTieValueResetAllSlots) {
+  WindowedMaxFilter f(100);
+  f.update(10, 5.0);
+  // A strictly larger sample resets everything.
+  EXPECT_EQ(f.update(20, 7.0), 7.0);
+  EXPECT_EQ(f.slot(2).v, 7.0);
+  EXPECT_EQ(f.slot(0).t, 20);
+  // A TIE with the current best also resets: the equal sample is newer, so
+  // keeping it refreshes the best's timestamp instead of letting it expire.
+  EXPECT_EQ(f.update(30, 7.0), 7.0);
+  EXPECT_EQ(f.slot(0).t, 30);
+  EXPECT_EQ(f.slot(1).t, 30);
+  EXPECT_EQ(f.slot(2).t, 30);
+}
+
+// Monotone-decreasing inserts compact through the sub-window promotions:
+// a worse sample only enters once the front slots have aged a quarter/half
+// window; inside those sub-windows it is dropped outright.
+TEST(WindowedFilter, MonotoneInsertCompaction) {
+  WindowedMaxFilter f(100);  // quarter window 25, half window 50
+  run_table(f, {
+      // t    v    best  s0  s1  s2   t0  t1  t2
+      {0, 10.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      // 9 < everything and no sub-window has aged: dropped.
+      {1, 9.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      // The lone best has held > window/4: 9 becomes 2nd AND 3rd best.
+      {30, 9.0, 10.0, 10.0, 9.0, 9.0, 0, 30, 30},
+      // 8 is worse than every slot, s1 only 30 old (< window/2): dropped.
+      {60, 8.0, 10.0, 10.0, 9.0, 9.0, 0, 30, 30},
+      // s2 has shared s1's stamp for > window/2: 8 takes the 3rd slot.
+      {85, 8.0, 10.0, 10.0, 9.0, 8.0, 0, 30, 85},
+  });
+}
+
+// Expiry is strictly after the window edge: a sample exactly `window` old
+// still counts; one tick later the runners-up are promoted.
+TEST(WindowedFilter, SampleExpiryAtWindowEdge) {
+  WindowedMaxFilter f(100);
+  run_table(f, {
+      {0, 10.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      {30, 9.0, 10.0, 10.0, 9.0, 9.0, 0, 30, 30},
+      {85, 8.0, 10.0, 10.0, 9.0, 8.0, 0, 30, 85},
+      // t - t0 == 100 exactly: NOT expired, and 1.0 is dropped (worse than
+      // every slot, no sub-window promotion due).
+      {100, 1.0, 10.0, 10.0, 9.0, 8.0, 0, 30, 85},
+      // One past the edge: the best expires, runners-up promote, the new
+      // sample takes the tail slot.
+      {101, 1.0, 9.0, 9.0, 8.0, 1.0, 30, 85, 101},
+  });
+}
+
+// When the best AND the second-best have both expired, promotion cascades
+// twice in one insert.
+TEST(WindowedFilter, DoublePromotionWhenTwoSlotsExpired) {
+  WindowedMaxFilter f(100);
+  run_table(f, {
+      {0, 10.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      {30, 9.0, 10.0, 10.0, 9.0, 9.0, 0, 30, 30},
+      {85, 8.0, 10.0, 10.0, 9.0, 8.0, 0, 30, 85},
+      // t0 = 0 and (after one shift) t0 = 30 are both > window behind 150.
+      {150, 1.0, 8.0, 8.0, 1.0, 1.0, 85, 150, 150},
+  });
+}
+
+// The whole window going stale resets to the new sample, however bad it is.
+TEST(WindowedFilter, FullWindowStalenessResets) {
+  WindowedMaxFilter f(100);
+  f.update(0, 10.0);
+  f.update(30, 9.0);
+  f.update(85, 8.0);
+  // 300 - 85 > 100: every slot is stale; 0.5 becomes the windowed max.
+  EXPECT_EQ(f.update(300, 0.5), 0.5);
+  EXPECT_EQ(f.slot(0).t, 300);
+  EXPECT_EQ(f.slot(1).t, 300);
+  EXPECT_EQ(f.slot(2).t, 300);
+}
+
+// Tie timestamps: several samples can legitimately carry the same stamp
+// (sub-tick arrivals); the slot-equality checks must use timestamps, not
+// values, to detect "only one/two distinct samples held".
+TEST(WindowedFilter, TieTimestamps) {
+  WindowedMaxFilter f(100);
+  run_table(f, {
+      {0, 10.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      // Same stamp, smaller value: the quarter-window test sees s1.t == s0.t
+      // but zero age, so the sample is dropped.
+      {0, 4.0, 10.0, 10.0, 10.0, 10.0, 0, 0, 0},
+      // Same stamp, larger value: still a reset (new best wins ties).
+      {0, 12.0, 12.0, 12.0, 12.0, 12.0, 0, 0, 0},
+      {30, 9.0, 12.0, 12.0, 9.0, 9.0, 0, 30, 30},
+      // Equal to the CURRENT 2nd best: replaces 2nd and 3rd (>= semantics).
+      {40, 9.0, 12.0, 12.0, 9.0, 9.0, 0, 40, 40},
+  });
+}
+
+TEST(WindowedFilter, MinFilterMirrorsSemantics) {
+  WindowedMinFilter f(100);
+  run_table(f, {
+      {0, 5.0, 5.0, 5.0, 5.0, 5.0, 0, 0, 0},
+      // New min resets.
+      {10, 3.0, 3.0, 3.0, 3.0, 3.0, 10, 10, 10},
+      // Worse (larger) sample inside every sub-window: dropped.
+      {20, 4.0, 3.0, 3.0, 3.0, 3.0, 10, 10, 10},
+      // Tie with the best resets (refreshes the stamp).
+      {30, 3.0, 3.0, 3.0, 3.0, 3.0, 30, 30, 30},
+      // Quarter window elapsed: 4.0 becomes 2nd/3rd best.
+      {60, 4.0, 3.0, 3.0, 4.0, 4.0, 30, 60, 60},
+      // Better than the aging 2nd best: replaces 2nd and 3rd.
+      {70, 3.5, 3.0, 3.0, 3.5, 3.5, 30, 70, 70},
+      // Best expires one past the window edge; the promoted 2nd/3rd shared a
+      // stamp, so one shift leaves both front slots on the old runner-up.
+      {131, 6.0, 3.5, 3.5, 3.5, 6.0, 70, 70, 131},
+  });
+}
+
+// A shrinking window still expires correctly relative to its own width.
+TEST(WindowedFilter, NarrowWindow) {
+  WindowedMaxFilter f(4);  // quarter window 1, half window 2
+  run_table(f, {
+      {0, 8.0, 8.0, 8.0, 8.0, 8.0, 0, 0, 0},
+      // > window/4 after a lone best: promoted to 2nd/3rd.
+      {2, 5.0, 8.0, 8.0, 5.0, 5.0, 0, 2, 2},
+      // 5 ticks after t0: the best expires; the tied-stamp runners-up both
+      // promote forward and the new sample takes the tail.
+      {5, 1.0, 5.0, 5.0, 5.0, 1.0, 2, 2, 5},
+      // Whole window stale relative to s2: reset.
+      {10, 0.5, 0.5, 0.5, 0.5, 0.5, 10, 10, 10},
+  });
+}
+
+}  // namespace
+}  // namespace loam::serve

@@ -7,12 +7,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
 #include "serve/service.h"
 #include "warehouse/flighting.h"
 
@@ -395,6 +398,233 @@ TEST(OptimizerService, RestartResumesLatestApprovedAndJournal) {
     EXPECT_EQ(d.model_version, 1);
     EXPECT_EQ(d.predicted.size(), d.generation.plans.size());
   }
+  service.stop();
+}
+
+// Pacing knobs scaled for a test-sized service: short filter windows and
+// probe intervals so the controller moves through its states within the
+// soak's wall time.
+PacingConfig test_pacing() {
+  PacingConfig p;
+  p.enabled = true;
+  p.bw_window_ticks = 50'000'000;       // 50ms
+  p.delay_window_ticks = 200'000'000;   // 200ms
+  p.min_round_ticks = 200'000;          // 0.2ms
+  p.probe_interval_ticks = 20'000'000;  // 20ms
+  p.min_inflight = 2.0;
+  p.max_batch = 8;
+  return p;
+}
+
+// Overload soak: a 10x-style burst from several submitter threads against a
+// paced service. Nothing is ever rejected — excess load is shed to the
+// native fallback, counted in stats().shed and the
+// loam.serve.pacing.shed_total counter, and every future resolves.
+TEST(OptimizerService, PacingOverloadShedsToFallbackWithoutDrops) {
+  ServeFixture fx("paceshed");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 16;  // small: overflow converts to shed, not reject
+  cfg.pacing = test_pacing();
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+  ASSERT_EQ(service.publish_and_swap(untrained_model(service), approved_meta()),
+            1);
+
+  // Metrics on for this soak (the obs house rule: recording is off the
+  // decision path and bit-identical on/off), so the shed counter can be
+  // checked against stats(). Handles are process-global: compare deltas.
+  obs::set_metrics_enabled(true);
+  obs::Counter* shed_counter =
+      obs::Registry::instance().counter("loam.serve.pacing.shed_total");
+  const std::uint64_t shed_before = shed_counter->value();
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 7, 64);
+  ASSERT_GE(queries.size(), 16u);
+  std::vector<std::future<ServeDecision>> futures(queries.size());
+  std::vector<char> admitted(queries.size(), 0);
+
+  // Burst submission: all requests at once from 4 threads — far beyond the
+  // cold-start admission window, so the controller must shed.
+  const std::size_t n_threads = 4;
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = t; i < queries.size(); i += n_threads) {
+        admitted[i] = service.try_submit(queries[i], &futures[i]) ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  std::uint64_t shed_seen = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(admitted[i]) << "request " << i << " was rejected";
+    const ServeDecision d = futures[i].get();
+    EXPECT_TRUE(d.paced);
+    ASSERT_GE(d.chosen, 0);
+    ASSERT_LT(d.chosen, static_cast<int>(d.generation.plans.size()));
+    if (d.shed) {
+      ++shed_seen;
+      // Shed = the native fallback path: default plan, no model, no batch.
+      EXPECT_EQ(d.model_version, -1);
+      EXPECT_TRUE(d.predicted.empty());
+      EXPECT_EQ(d.chosen, d.generation.default_index);
+      EXPECT_EQ(d.batch_size, 0);
+      EXPECT_EQ(d.generation.plans.size(), 1u);
+    } else {
+      EXPECT_EQ(d.model_version, 1);
+      EXPECT_EQ(d.predicted.size(), d.generation.plans.size());
+      EXPECT_GE(d.batch_size, 1);
+    }
+  }
+  obs::set_metrics_enabled(false);
+
+  const OptimizerService::Stats stats = service.stats();
+  EXPECT_EQ(stats.requests, queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, shed_seen);
+  EXPECT_EQ(shed_counter->value() - shed_before, shed_seen);
+  // A synchronized burst against the cold-start window must shed some load.
+  EXPECT_GT(shed_seen, 0u);
+  EXPECT_LT(shed_seen, queries.size());  // ... but not everything
+
+  const OptimizerService::PacingSnapshot snap = service.pacing_snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_GT(snap.rounds, 0);
+  EXPECT_GE(snap.batch_target, 1);
+  EXPECT_GE(snap.cwnd, cfg.pacing.min_inflight);
+  service.stop();
+  EXPECT_EQ(service.pacing_snapshot().inflight, 0);
+}
+
+// The pacing house rule: pacing changes which path serves a request and when
+// it is scored — never the scores. Whatever subset of a paced burst reaches
+// the model must carry decisions bit-identical to an unpaced service scoring
+// the same queries, at every submitter thread count.
+TEST(OptimizerService, PacedModelDecisionsBitIdenticalToUnpaced) {
+  ServeFixture fx("paceident");
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 7, 24);
+  ASSERT_GE(queries.size(), 8u);
+
+  ServeConfig base = fx.config();
+  base.bootstrap_from_history = false;
+  base.bootstrap_train = false;
+  base.auto_retrain = false;
+  base.max_batch = 4;
+  base.queue_capacity = 8;
+
+  // Reference: pacing off, served serially — every decision on the model.
+  std::vector<ServeDecision> want(queries.size());
+  {
+    ServeConfig cfg = base;
+    cfg.registry_root = fx.root + "/registry_ref";
+    cfg.journal_path = fx.root + "/feedback_ref.jnl";
+    OptimizerService service(fx.runtime.get(), cfg);
+    service.start();
+    ASSERT_EQ(
+        service.publish_and_swap(untrained_model(service), approved_meta()),
+        1);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      want[i] = service.optimize(queries[i]);
+      ASSERT_EQ(want[i].model_version, 1);
+    }
+    service.stop();
+  }
+
+  for (const std::size_t n_threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(n_threads));
+    ServeConfig cfg = base;
+    cfg.pacing = test_pacing();
+    cfg.registry_root =
+        fx.root + "/registry_t" + std::to_string(n_threads);
+    cfg.journal_path =
+        fx.root + "/feedback_t" + std::to_string(n_threads) + ".jnl";
+    OptimizerService service(fx.runtime.get(), cfg);
+    service.start();
+    ASSERT_EQ(
+        service.publish_and_swap(untrained_model(service), approved_meta()),
+        1);
+
+    std::vector<std::future<ServeDecision>> futures(queries.size());
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (std::size_t i = t; i < queries.size(); i += n_threads) {
+          ASSERT_TRUE(service.try_submit(queries[i], &futures[i]));
+        }
+      });
+    }
+    for (std::thread& th : submitters) th.join();
+
+    std::size_t model_served = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const ServeDecision d = futures[i].get();
+      if (d.shed) continue;  // the fallback path is allowed to differ
+      ++model_served;
+      ASSERT_EQ(d.model_version, 1);
+      // Bit-identical scoring: same candidates, same predictions (exact
+      // double equality), same choice — regardless of how pacing batched or
+      // interleaved the requests.
+      ASSERT_EQ(d.generation.plans.size(), want[i].generation.plans.size());
+      ASSERT_EQ(d.predicted.size(), want[i].predicted.size());
+      for (std::size_t k = 0; k < d.predicted.size(); ++k) {
+        EXPECT_EQ(d.predicted[k], want[i].predicted[k]);
+      }
+      EXPECT_EQ(d.chosen, want[i].chosen);
+      EXPECT_EQ(d.predicted_cost, want[i].predicted_cost);
+    }
+    // The point of pacing: overload sheds instead of distorting the model
+    // path, but an un-overloaded trickle still reaches the model.
+    EXPECT_GT(model_served, 0u);
+    service.stop();
+  }
+}
+
+// The injected virtual clock drives every latency field: with a clock that
+// advances exactly 1ms per reading, queue_seconds/total_seconds come out as
+// exact step multiples — impossible under a wall clock, so this proves no
+// code path on the decision's timeline consults real time.
+TEST(OptimizerService, VirtualClockMakesLatencyFieldsDeterministic) {
+  ServeFixture fx("virtclock");
+  ServeConfig cfg = fx.config();
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.pacing = test_pacing();
+  constexpr std::int64_t kStepNs = 1'000'000;  // 1ms per clock reading
+  auto ticks = std::make_shared<std::atomic<std::int64_t>>(0);
+  cfg.clock = [ticks] {
+    return ticks->fetch_add(kStepNs, std::memory_order_relaxed) + kStepNs;
+  };
+  OptimizerService service(fx.runtime.get(), cfg);
+  service.start();
+
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(5, 5, 6);
+  ASSERT_GE(queries.size(), 2u);
+  for (const warehouse::Query& q : queries) {
+    const ServeDecision d = service.optimize(q);
+    // Enqueue, pickup, and completion are distinct readings of a strictly
+    // increasing clock: at least one step in the queue, two end to end.
+    EXPECT_GE(d.queue_seconds, 1e-9 * static_cast<double>(kStepNs));
+    EXPECT_GE(d.total_seconds,
+              d.queue_seconds + 1e-9 * static_cast<double>(kStepNs));
+    const double queue_ms = d.queue_seconds * 1e3;
+    const double total_ms = d.total_seconds * 1e3;
+    EXPECT_NEAR(queue_ms, std::round(queue_ms), 1e-9);
+    EXPECT_NEAR(total_ms, std::round(total_ms), 1e-9);
+  }
+
+  // The pacing filters consumed the same virtual timeline: the windowed min
+  // delay is a whole number of steps too.
+  const OptimizerService::PacingSnapshot snap = service.pacing_snapshot();
+  EXPECT_GT(snap.rounds, 0);
+  EXPECT_GT(snap.est_min_delay_seconds, 0.0);
+  const double delay_ms = snap.est_min_delay_seconds * 1e3;
+  EXPECT_NEAR(delay_ms, std::round(delay_ms), 1e-9);
   service.stop();
 }
 

@@ -18,7 +18,13 @@
 #     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms);
 #   - memoized-inference bench (BENCH_cache.json, fails on any cached-vs-
 #     uncached or parallel-vs-serial divergence, or if the warm selection
-#     speedup falls below 1.5x).
+#     speedup falls below 1.5x);
+#   - overload/pacing bench (BENCH_pacing.json, fails if any request is
+#     rejected at any load, or if p99 under 10x offered load exceeds 2x the
+#     1x baseline — the BBR-style shed-to-fallback claim).
+# The pacing filter/state-machine tests (pacing_filter_test,
+# pacing_controller_test) and the serve overload soak run in every ctest
+# pass above, including under TSan.
 #
 # Usage: tools/check.sh [jobs]
 # Environment:
@@ -96,6 +102,22 @@ echo "== Memoized-inference bench (BENCH_cache.json) =="
 "./${BUILD_DIR}/bench/bench_micro" --cache \
   --cache-json="${BUILD_DIR}/BENCH_cache.json"
 python3 -m json.tool "${BUILD_DIR}/BENCH_cache.json" > /dev/null
+
+echo "== Overload/pacing bench (BENCH_pacing.json) =="
+# Open-loop arrival phases at 1x/2x/5x/10x the saturated model-path capacity;
+# the binary exits non-zero if anything is rejected or the 10x p99 blows past
+# 2x the 1x baseline. The JSON gate is re-checked here so a stale file from
+# an earlier run can never green-wash a failure.
+"./${BUILD_DIR}/bench/bench_micro" --overload \
+  --pacing-json="${BUILD_DIR}/BENCH_pacing.json"
+python3 - "${BUILD_DIR}/BENCH_pacing.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["gate"]["pass"] is True, doc["gate"]
+assert all(p["rejected"] == 0 for p in doc["phases"]), doc["phases"]
+assert any(p["multiplier"] == 10 and p["shed"] > 0 for p in doc["phases"]), \
+    "10x phase did not shed anything"
+EOF
 
 echo "== ThreadSanitizer build + tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread

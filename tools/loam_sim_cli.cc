@@ -14,7 +14,10 @@
 //                                           request stream with execution
 //                                           feedback, print latency + version
 //                                           stats (state-dir holds the model
-//                                           registry and feedback journal)
+//                                           registry and feedback journal);
+//                                           --paced enables BBR-style batch
+//                                           pacing and prints the controller
+//                                           snapshot + shed count
 //
 // Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
 // sampled population.
@@ -179,7 +182,17 @@ std::string fmt_double(double v, int decimals) {
   return buf;
 }
 
-int cmd_serve(int index, int n_requests, const char* state_dir) {
+const char* pacing_state_name(serve::PacingController::State s) {
+  switch (s) {
+    case serve::PacingController::State::kStartup: return "STARTUP";
+    case serve::PacingController::State::kDrain: return "DRAIN";
+    case serve::PacingController::State::kSteady: return "STEADY";
+    case serve::PacingController::State::kProbe: return "PROBE";
+  }
+  return "?";
+}
+
+int cmd_serve(int index, int n_requests, const char* state_dir, bool paced) {
   core::RuntimeConfig rc;
   rc.seed = 99;
   core::ProjectRuntime runtime(pick_archetype(index), rc);
@@ -193,6 +206,7 @@ int cmd_serve(int index, int n_requests, const char* state_dir) {
   cfg.predictor.epochs = 10;
   cfg.gate.sample_queries = 12;
   cfg.retrain_min_new_records = std::max(16, n_requests / 2);
+  cfg.pacing.enabled = paced;
 
   // The request stream is pre-generated: make_queries consumes the runtime's
   // RNG, which the service's retrain gate also draws from.
@@ -244,6 +258,18 @@ int cmd_serve(int index, int n_requests, const char* state_dir) {
                      ? 100.0 * (model_cost - default_cost) / default_cost
                      : 0.0,
                  2)});
+  if (paced) {
+    const serve::OptimizerService::PacingSnapshot snap =
+        service.pacing_snapshot();
+    t.add_row({"pacing state", pacing_state_name(snap.state)});
+    t.add_row({"pacing est bw (plans/s)", fmt_double(snap.est_bw_per_sec, 0)});
+    t.add_row({"pacing min delay (ms)",
+               fmt_double(1e3 * snap.est_min_delay_seconds, 3)});
+    t.add_row({"pacing bdp (requests)", fmt_double(snap.bdp_requests, 1)});
+    t.add_row({"pacing batch target", TablePrinter::fmt_int(snap.batch_target)});
+    t.add_row({"pacing cwnd", fmt_double(snap.cwnd, 1)});
+    t.add_row({"shed to fallback", TablePrinter::fmt_int(stats.shed)});
+  }
   t.print();
   for (const auto& [version, count] : served_by_version) {
     if (version < 0) {
@@ -263,7 +289,8 @@ void usage() {
                "       loam_sim_cli history <archetype> <days> <out.tsv>\n"
                "       loam_sim_cli train   <archetype> <days> [ckpt]\n"
                "       loam_sim_cli steer   <archetype> <n-queries>\n"
-               "       loam_sim_cli serve   <archetype> <n-requests> [state-dir]\n"
+               "       loam_sim_cli serve   <archetype> <n-requests> [state-dir]"
+               " [--paced]\n"
                "global flags: --metrics-out=<path> --trace-out=<path>\n");
 }
 
@@ -281,12 +308,15 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   std::string metrics_out, trace_out;
+  bool paced = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--paced") == 0) {
+      paced = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -315,7 +345,8 @@ int main(int argc, char** argv) {
   } else if (cmd == "steer" && nargs >= 4) {
     rc = cmd_steer(index, std::atoi(args[3]));
   } else if (cmd == "serve" && nargs >= 4) {
-    rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr);
+    rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr,
+                   paced);
   } else {
     usage();
     return 1;
