@@ -37,6 +37,16 @@
 // per-phase latency percentiles and shed fractions. Exits nonzero when any
 // request is rejected or p99 at 10x load exceeds 2x the 1x baseline —
 // tools/check.sh runs this as the pacing smoke test.
+//
+// `--serve-scaling` runs the shard-per-core scale-out section: the same
+// workload against OptimizerServices configured with 1/2/4/8 shards, a
+// closed-loop submitter pool with a hot-swapper underneath plus a burst
+// phase for per-shard shed rates, emitting BENCH_serve_scaling.json (path
+// override: --serve-scaling-json=PATH). Exits nonzero when any request is
+// rejected, any shard's applied-swap pause exceeds 1ms, or — on a machine
+// with >= 4 hardware threads — 4-shard model-path throughput falls below
+// 2.5x the 1-shard figure. tools/check.sh runs this as the scale-out smoke
+// test.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -1108,6 +1118,260 @@ int run_overload(const std::string& json_path) {
 
 }  // namespace overload_bench
 
+// ---------------------------------------------------------------------------
+// Shard scale-out section (--serve-scaling)
+// ---------------------------------------------------------------------------
+namespace scaling_bench {
+
+using bench_clock = std::chrono::steady_clock;
+
+struct SweepResult {
+  int num_shards = 0;
+  std::size_t requests = 0;     // closed-loop phase
+  double model_rps = 0.0;       // model-path decisions per second
+  double total_rps = 0.0;       // all decisions (model + shed) per second
+  double p50_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t rejected = 0;   // across the whole sweep (must stay 0)
+  std::uint64_t swaps_applied = 0;
+  double swap_pause_max_us = 0.0;  // max over shards of the applied pause
+  std::vector<double> shard_shed_rate;  // burst phase, per shard
+};
+
+// One shard count: a closed-loop submitter pool (num_shards + 2 threads,
+// each waiting for its decision before submitting the next — throughput is
+// limited by the service, not an arrival schedule) with a hot-swapper
+// ping-ponging versions underneath, then an open burst to push every shard
+// past its admission window and read per-shard shed rates.
+SweepResult run_sweep(core::ProjectRuntime& runtime,
+                      const std::vector<warehouse::Query>& pool,
+                      int num_shards, double seconds) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("loam_bench_scaling_" + std::to_string(::getpid()) + "_s" +
+        std::to_string(num_shards))).string();
+  fs::remove_all(dir);
+
+  serve::ServeConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.bootstrap_from_history = false;
+  cfg.bootstrap_train = false;
+  cfg.auto_retrain = false;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 64;
+  cfg.registry_root = dir + "/registry";
+  cfg.journal_path = dir + "/feedback.jnl";
+  cfg.pacing.enabled = true;
+  cfg.pacing.bw_window_ticks = 250'000'000;
+  cfg.pacing.delay_window_ticks = 1'000'000'000;
+  cfg.pacing.min_round_ticks = 1'000'000;
+  cfg.pacing.probe_interval_ticks = 100'000'000;
+  cfg.pacing.max_batch = 16;
+  cfg.pacing.min_inflight = 2.0;
+
+  serve::OptimizerService service(&runtime, cfg);
+  service.start();
+  serve::ModelVersionMeta meta;
+  meta.approved = true;
+  for (int v = 0; v < 2; ++v) {
+    service.publish_and_swap(
+        std::make_unique<core::AdaptiveCostPredictor>(
+            service.encoder().feature_dim(), cfg.predictor),
+        meta);
+  }
+  // Warm every shard's caches and walk its controller out of cold STARTUP.
+  for (const warehouse::Query& q : pool) service.optimize(q);
+
+  SweepResult r;
+  r.num_shards = num_shards;
+
+  const int n_threads = num_shards + 2;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> lat_ms(
+      static_cast<std::size_t>(n_threads));
+  std::vector<std::size_t> model_served(
+      static_cast<std::size_t>(n_threads), 0);
+  std::vector<std::thread> submitters;
+  const auto t0 = bench_clock::now();
+  for (int t = 0; t < n_threads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const serve::ServeDecision d =
+            service.optimize(pool[i % pool.size()]);
+        lat_ms[static_cast<std::size_t>(t)].push_back(1e3 * d.total_seconds);
+        if (!d.shed) ++model_served[static_cast<std::size_t>(t)];
+        i += static_cast<std::size_t>(n_threads);
+      }
+    });
+  }
+  // Hot-swap continuously: the pause that matters now is the one each SHARD
+  // observes applying the broadcast, reported via ShardStats below.
+  std::thread swapper([&] {
+    int version = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      service.swap_to_version(version);
+      version = 3 - version;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  std::this_thread::sleep_for(
+      std::chrono::duration_cast<bench_clock::duration>(
+          std::chrono::duration<double>(seconds)));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : submitters) th.join();
+  swapper.join();
+  const double window =
+      std::chrono::duration<double>(bench_clock::now() - t0).count();
+
+  std::vector<double> all_ms;
+  std::size_t model_total = 0;
+  for (int t = 0; t < n_threads; ++t) {
+    const std::size_t idx = static_cast<std::size_t>(t);
+    all_ms.insert(all_ms.end(), lat_ms[idx].begin(), lat_ms[idx].end());
+    model_total += model_served[idx];
+  }
+  r.requests = all_ms.size();
+  r.total_rps = static_cast<double>(all_ms.size()) / window;
+  r.model_rps = static_cast<double>(model_total) / window;
+  r.p50_ms = serve_bench::percentile(all_ms, 0.50);
+  r.p99_ms = serve_bench::percentile(all_ms, 0.99);
+
+  // Burst phase: everything at once, no pacing by the submitter — each
+  // shard must shed its overflow to the fallback instead of rejecting.
+  std::vector<serve::ShardStats> before;
+  for (int k = 0; k < service.num_shards(); ++k) {
+    before.push_back(service.shard_stats(k));
+  }
+  std::vector<std::future<serve::ServeDecision>> futures;
+  futures.reserve(4 * pool.size());
+  std::uint64_t burst_rejected = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const warehouse::Query& q : pool) {
+      std::future<serve::ServeDecision> fut;
+      if (service.try_submit(q, &fut)) {
+        futures.push_back(std::move(fut));
+      } else {
+        ++burst_rejected;
+      }
+    }
+  }
+  for (std::future<serve::ServeDecision>& fut : futures) fut.get();
+
+  for (int k = 0; k < service.num_shards(); ++k) {
+    const serve::ShardStats after = service.shard_stats(k);
+    const std::uint64_t reqs = after.requests - before[k].requests;
+    const std::uint64_t shed = after.shed - before[k].shed;
+    r.shard_shed_rate.push_back(
+        reqs > 0 ? static_cast<double>(shed) / static_cast<double>(reqs)
+                 : 0.0);
+    r.swaps_applied += after.swaps_applied;
+    r.swap_pause_max_us = std::max(
+        r.swap_pause_max_us, 1e-3 * static_cast<double>(after.swap_pause_max_ns));
+  }
+  r.rejected = service.stats().rejected + burst_rejected;
+  service.stop();
+  fs::remove_all(dir);
+  return r;
+}
+
+int run_serve_scaling(const std::string& json_path) {
+  core::RuntimeConfig rc;
+  rc.seed = 99;
+  core::ProjectRuntime runtime(warehouse::evaluation_archetypes()[1], rc);
+  runtime.simulate_history(3, 80);
+  const std::vector<warehouse::Query> pool = runtime.make_queries(3, 6, 160);
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::printf("== shard scale-out sweep (hardware_concurrency %u) ==\n", hc);
+
+  const int shard_counts[] = {1, 2, 4, 8};
+  const double kSeconds = 1.2;
+  std::vector<SweepResult> results;
+  for (const int n : shard_counts) {
+    results.push_back(run_sweep(runtime, pool, n, kSeconds));
+    const SweepResult& r = results.back();
+    double shed_min = 1.0, shed_max = 0.0;
+    for (const double s : r.shard_shed_rate) {
+      shed_min = std::min(shed_min, s);
+      shed_max = std::max(shed_max, s);
+    }
+    std::printf(
+        "%d shard%s | model %7.0f req/s total %7.0f req/s | p50 %.3f ms p99 "
+        "%.3f ms | rejected %llu | burst shed/shard %.0f%%..%.0f%% | swaps "
+        "applied %llu pause max %.2f us\n",
+        r.num_shards, r.num_shards == 1 ? " " : "s", r.model_rps, r.total_rps,
+        r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.rejected),
+        100.0 * shed_min, 100.0 * shed_max,
+        static_cast<unsigned long long>(r.swaps_applied),
+        r.swap_pause_max_us);
+  }
+
+  const double rps_1 = results[0].model_rps;
+  const double rps_4 = results[2].model_rps;
+  const double speedup_4 = rps_1 > 0.0 ? rps_4 / rps_1 : 0.0;
+  std::uint64_t total_rejected = 0;
+  double pause_max_us = 0.0;
+  for (const SweepResult& r : results) {
+    total_rejected += r.rejected;
+    pause_max_us = std::max(pause_max_us, r.swap_pause_max_us);
+  }
+  // The scale-out gate. The throughput leg only binds where the hardware
+  // can actually run 4 shards concurrently; the rejection and swap-pause
+  // legs are scale-invariant and always bind.
+  const bool scaling_ok = hc < 4 || speedup_4 >= 2.5;
+  const bool pass =
+      scaling_ok && total_rejected == 0 && pause_max_us < 1000.0;
+  std::printf(
+      "gate: 4-shard/1-shard model throughput %.2fx (%s on %u threads), "
+      "rejected %llu, swap pause max %.2f us: %s\n",
+      speedup_4, hc >= 4 ? "binding" : "advisory", hc,
+      static_cast<unsigned long long>(total_rejected), pause_max_us,
+      pass ? "PASS" : "FAIL");
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"hardware_concurrency\": " << hc << ",\n  \"sweeps\": [\n";
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const SweepResult& r = results[s];
+    json << "    {\"num_shards\": " << r.num_shards
+         << ", \"requests\": " << r.requests
+         << ", \"model_rps\": " << r.model_rps
+         << ", \"total_rps\": " << r.total_rps
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << ", \"rejected\": " << r.rejected
+         << ", \"swaps_applied\": " << r.swaps_applied
+         << ", \"swap_pause_max_us\": " << r.swap_pause_max_us
+         << ", \"burst_shed_rate\": [";
+    for (std::size_t k = 0; k < r.shard_shed_rate.size(); ++k) {
+      json << (k ? ", " : "") << r.shard_shed_rate[k];
+    }
+    json << "]}" << (s + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"gate\": {\"speedup_4_shard\": " << speedup_4
+       << ", \"throughput_leg_binding\": " << (hc >= 4 ? "true" : "false")
+       << ", \"rejected\": " << total_rejected
+       << ", \"swap_pause_max_us\": " << pause_max_us
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: serve-scaling gate (speedup %.2fx, rejected %llu, "
+                 "pause max %.2f us)\n",
+                 speedup_4, static_cast<unsigned long long>(total_rejected),
+                 pause_max_us);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace scaling_bench
+
 int main(int argc, char** argv) {
   bool nn_core_only = false;
   bool obs_overhead = false;
@@ -1115,11 +1379,13 @@ int main(int argc, char** argv) {
   bool serve = false;
   bool cache = false;
   bool overload = false;
+  bool serve_scaling = false;
   std::string json_path = "BENCH_nn_core.json";
   std::string obs_json_path = "BENCH_obs.json";
   std::string serve_json_path = "BENCH_serve.json";
   std::string cache_json_path = "BENCH_cache.json";
   std::string pacing_json_path = "BENCH_pacing.json";
+  std::string scaling_json_path = "BENCH_serve_scaling.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
     if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
@@ -1142,12 +1408,19 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--pacing-json=", 14) == 0) {
       pacing_json_path = argv[i] + 14;
     }
+    if (std::strcmp(argv[i], "--serve-scaling") == 0) serve_scaling = true;
+    if (std::strncmp(argv[i], "--serve-scaling-json=", 21) == 0) {
+      scaling_json_path = argv[i] + 21;
+    }
   }
   if (nn_core_only) return nn_core::run_nn_core(json_path);
   if (obs_overhead) return obs_bench::run_obs_overhead(obs_json_path);
   if (serve) return serve_bench::run_serve(serve_json_path);
   if (cache) return cache_bench::run_cache(cache_json_path);
   if (overload) return overload_bench::run_overload(pacing_json_path);
+  if (serve_scaling) {
+    return scaling_bench::run_serve_scaling(scaling_json_path);
+  }
   if (obs_report) {
     obs::set_metrics_enabled(true);
     // Strip the flag so google-benchmark does not reject it.

@@ -45,7 +45,7 @@ Tracer::Ring& Tracer::local_ring() {
 }
 
 void Tracer::record(const char* name, Cat cat, std::int64_t start_ns,
-                    std::int64_t dur_ns, std::int64_t arg) {
+                    std::int64_t dur_ns, std::int64_t arg, std::int64_t shard) {
   Ring& ring = local_ring();
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
   Slot& s = ring.slots[h % kRingCapacity];
@@ -59,6 +59,7 @@ void Tracer::record(const char* name, Cat cat, std::int64_t start_ns,
   s.start_ns.store(start_ns, std::memory_order_relaxed);
   s.dur_ns.store(dur_ns, std::memory_order_relaxed);
   s.arg.store(arg, std::memory_order_relaxed);
+  s.shard.store(shard, std::memory_order_relaxed);
   s.seq.store(sq + 2, std::memory_order_release);
   ring.head.store(h + 1, std::memory_order_release);
 }
@@ -83,6 +84,7 @@ std::vector<TraceEvent> Tracer::drain() const {
       e.start_ns = s.start_ns.load(std::memory_order_relaxed);
       e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
       e.arg = s.arg.load(std::memory_order_relaxed);
+      e.shard = s.shard.load(std::memory_order_relaxed);
       e.tid = ring->tid;
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.seq.load(std::memory_order_relaxed) != s1 || e.name == nullptr) {
@@ -115,10 +117,11 @@ std::string Tracer::to_chrome_json() const {
     w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
     w.kv("pid", 0);
     w.kv("tid", static_cast<std::uint64_t>(e.tid));
-    if (e.arg >= 0) {
+    if (e.arg >= 0 || e.shard >= 0) {
       w.key("args");
       w.begin_object();
-      w.kv("v", e.arg);
+      if (e.arg >= 0) w.kv("v", e.arg);
+      if (e.shard >= 0) w.kv("shard", e.shard);
       w.end_object();
     }
     w.end_object();

@@ -53,6 +53,7 @@ struct TraceEvent {
   std::int64_t start_ns = 0;   // relative to the process trace epoch
   std::int64_t dur_ns = 0;
   std::int64_t arg = -1;       // optional payload (trial index, batch size…)
+  std::int64_t shard = -1;     // serve shard index (-1 = unsharded span)
 };
 
 class Tracer {
@@ -63,7 +64,8 @@ class Tracer {
 
   // Records one complete event into the calling thread's ring.
   void record(const char* name, Cat cat, std::int64_t start_ns,
-              std::int64_t dur_ns, std::int64_t arg = -1);
+              std::int64_t dur_ns, std::int64_t arg = -1,
+              std::int64_t shard = -1);
 
   // Copies the resident events of every ring, oldest first (sorted by start
   // time). Safe concurrently with recording; mid-write slots are skipped.
@@ -92,6 +94,7 @@ class Tracer {
     std::atomic<std::int64_t> start_ns{0};
     std::atomic<std::int64_t> dur_ns{0};
     std::atomic<std::int64_t> arg{-1};
+    std::atomic<std::int64_t> shard{-1};
   };
   struct Ring {
     explicit Ring(std::uint32_t tid_in) : slots(kRingCapacity), tid(tid_in) {}
@@ -113,15 +116,20 @@ class Tracer {
 // a string with static storage duration (the ring stores the pointer).
 class Span {
  public:
-  Span(Cat cat, const char* name, std::int64_t arg = -1)
-      : name_(tracing_on() ? name : nullptr), cat_(cat), arg_(arg) {
+  // `shard` tags the event with a serve shard index (Chrome JSON
+  // args.shard); -1 leaves the span unsharded. Tools group per-shard span
+  // stats on this tag (tools/trace_summary.py --shards).
+  Span(Cat cat, const char* name, std::int64_t arg = -1,
+       std::int64_t shard = -1)
+      : name_(tracing_on() ? name : nullptr), cat_(cat), arg_(arg),
+        shard_(shard) {
     if (name_ != nullptr) start_ns_ = Tracer::now_ns();
   }
   ~Span() {
     if (name_ != nullptr) {
       const std::int64_t end_ns = Tracer::now_ns();
       Tracer::instance().record(name_, cat_, start_ns_, end_ns - start_ns_,
-                                arg_);
+                                arg_, shard_);
     }
   }
   Span(const Span&) = delete;
@@ -131,6 +139,7 @@ class Span {
   const char* name_;
   Cat cat_;
   std::int64_t arg_;
+  std::int64_t shard_;
   std::int64_t start_ns_ = 0;
 };
 

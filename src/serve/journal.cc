@@ -1,6 +1,8 @@
 #include "serve/journal.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -223,9 +225,8 @@ std::vector<FeedbackRecord> FeedbackJournal::read_all(const std::string& path) {
   return out;
 }
 
-core::TrainingData FeedbackJournal::replay(int max_executed) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<FeedbackRecord> all = read_all(path_);
+core::TrainingData training_from_records(std::vector<FeedbackRecord> all,
+                                         int max_executed) {
   core::TrainingData data;
   std::size_t executed = 0;
   for (const FeedbackRecord& r : all) {
@@ -254,6 +255,11 @@ core::TrainingData FeedbackJournal::replay(int max_executed) const {
   return data;
 }
 
+core::TrainingData FeedbackJournal::replay(int max_executed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return training_from_records(read_all(path_), max_executed);
+}
+
 std::uint64_t FeedbackJournal::records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_;
@@ -272,6 +278,77 @@ std::uint64_t FeedbackJournal::bytes() const {
 int FeedbackJournal::max_day() const {
   std::lock_guard<std::mutex> lock(mu_);
   return max_day_;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFeedbackJournal
+// ---------------------------------------------------------------------------
+
+std::string ShardedFeedbackJournal::shard_path(const std::string& base,
+                                               int num_shards, int shard) {
+  if (num_shards <= 1) return base;
+  return base + ".s" + std::to_string(shard);
+}
+
+ShardedFeedbackJournal::ShardedFeedbackJournal(const std::string& base_path,
+                                               int num_shards,
+                                               int feature_dim) {
+  const int n = std::max(1, num_shards);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    shards_.push_back(std::make_unique<FeedbackJournal>(
+        shard_path(base_path, n, k), feature_dim));
+  }
+}
+
+void ShardedFeedbackJournal::append(int shard, const FeedbackRecord& record) {
+  const int n = num_shards();
+  const int k = shard < 0 ? 0 : (shard >= n ? shard % n : shard);
+  shards_[static_cast<std::size_t>(k)]->append(record);
+}
+
+core::TrainingData ShardedFeedbackJournal::replay(int max_executed) const {
+  // Shard-major concatenation: for a fixed shard count the stream order is a
+  // pure function of the on-disk files, so the retrain input is bit-identical
+  // however many threads fed the journal (see training_from_records for the
+  // shared freshest-N trim).
+  std::vector<FeedbackRecord> all;
+  for (const auto& j : shards_) {
+    std::vector<FeedbackRecord> part = FeedbackJournal::read_all(j->path());
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return training_from_records(std::move(all), max_executed);
+}
+
+std::uint64_t ShardedFeedbackJournal::records() const {
+  std::uint64_t total = 0;
+  for (const auto& j : shards_) total += j->records();
+  return total;
+}
+
+std::uint64_t ShardedFeedbackJournal::executed_records() const {
+  std::uint64_t total = 0;
+  for (const auto& j : shards_) total += j->executed_records();
+  return total;
+}
+
+std::uint64_t ShardedFeedbackJournal::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& j : shards_) total += j->bytes();
+  return total;
+}
+
+std::uint64_t ShardedFeedbackJournal::truncated_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& j : shards_) total += j->truncated_bytes();
+  return total;
+}
+
+int ShardedFeedbackJournal::max_day() const {
+  int day = -1;
+  for (const auto& j : shards_) day = std::max(day, j->max_day());
+  return day;
 }
 
 }  // namespace loam::serve

@@ -22,11 +22,23 @@
 // back to the last whole record and appending resumes from there. A torn
 // tail can therefore never corrupt training data, only lose the final
 // in-flight record.
+//
+// Sharded layout (ShardedFeedbackJournal): the shard-per-core service keeps
+// one journal FILE per shard (`<base>.s<K>`; a single-shard journal stays at
+// the bare base path, byte-compatible with the pre-shard layout). Appends on
+// different shards contend only on their own file's leaf mutex, and torn-tail
+// recovery is per file: a crash mid-append on shard k truncates at most
+// shard k's final in-flight record — every other shard's file is untouched
+// and recovers independently. Replay concatenates the shard files in
+// SHARD-MAJOR order (all of s0, then s1, …), which is deterministic for a
+// fixed shard count, so the retrainer's TrainingData is bit-identical to a
+// single journal file holding the same records in that order.
 #ifndef LOAM_SERVE_JOURNAL_H_
 #define LOAM_SERVE_JOURNAL_H_
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -85,6 +97,55 @@ class FeedbackJournal {
   std::uint64_t bytes_ = 0;
   int max_day_ = -1;
   std::uint64_t truncated_bytes_ = 0;
+};
+
+// Builds the offline training shape from a record stream: kExecuted records
+// become default_plans, kCandidate records candidate_plans. `max_executed`
+// keeps only the most RECENT executed records (0 = unlimited). Shared by
+// single-file and shard-major replay so both trims are bit-identical.
+core::TrainingData training_from_records(std::vector<FeedbackRecord> all,
+                                         int max_executed);
+
+// K independent FeedbackJournal files behind one append/replay facade — the
+// feedback log of the sharded OptimizerService. See the layout notes in the
+// file header. Shard index is the SERVING shard (the one whose batcher made
+// the decision), so a shard's feedback always lands in its own file.
+class ShardedFeedbackJournal {
+ public:
+  // Opens (creating as needed) `num_shards` journal files. With one shard
+  // the file is `base_path` itself — the pre-shard single-file layout.
+  ShardedFeedbackJournal(const std::string& base_path, int num_shards,
+                         int feature_dim);
+
+  // `base` for shard 0 of a 1-shard journal, else `base.s<shard>`.
+  static std::string shard_path(const std::string& base, int num_shards,
+                                int shard);
+
+  // Appends one record to shard `shard`'s file (clamped into range). Only
+  // that file's leaf mutex is taken — appends on other shards never wait.
+  void append(int shard, const FeedbackRecord& record);
+
+  // Shard-major replay: every record of shard 0, then shard 1, … — a
+  // deterministic order for a fixed shard count. The freshest-`max_executed`
+  // trim runs on the concatenated stream, exactly as a single-file journal
+  // would trim the same sequence.
+  core::TrainingData replay(int max_executed = 0) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  FeedbackJournal& shard(int k) { return *shards_.at(static_cast<std::size_t>(k)); }
+  const FeedbackJournal& shard(int k) const {
+    return *shards_.at(static_cast<std::size_t>(k));
+  }
+
+  int feature_dim() const { return shards_.front()->feature_dim(); }
+  std::uint64_t records() const;           // sum over shard files
+  std::uint64_t executed_records() const;  // sum over shard files
+  std::uint64_t bytes() const;             // sum over shard files
+  std::uint64_t truncated_bytes() const;   // sum over shard files
+  int max_day() const;                     // max over shard files
+
+ private:
+  std::vector<std::unique_ptr<FeedbackJournal>> shards_;
 };
 
 }  // namespace loam::serve

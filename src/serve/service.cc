@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/obs.h"
+#include "util/hash.h"
 
 namespace loam::serve {
 
@@ -17,8 +19,22 @@ using warehouse::QueryRecord;
 
 namespace {
 
+// Salt for the query -> shard hash: routing must not correlate with any
+// other salted use of the same identity fields (cache keys, signatures).
+constexpr std::uint64_t kShardSalt = 0x5a17e0d5'ca77e2edull;
+
 std::shared_ptr<const ModelSnapshot> fallback_snapshot() {
   return std::make_shared<const ModelSnapshot>();
+}
+
+// Resolves num_shards before any member (journal paths, shard vector) reads
+// it: 0 = one shard per hardware thread, floor 1.
+ServeConfig normalized(ServeConfig config) {
+  if (config.num_shards <= 0) {
+    config.num_shards =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  return config;
 }
 
 }  // namespace
@@ -26,7 +42,7 @@ std::shared_ptr<const ModelSnapshot> fallback_snapshot() {
 OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
                                    ServeConfig config)
     : runtime_(runtime),
-      config_(std::move(config)),
+      config_(normalized(std::move(config))),
       encoder_(&runtime->project().catalog, [this] {
         // The encoder's node-row memo follows the service cache switch.
         core::EncodingConfig enc = config_.encoding;
@@ -38,7 +54,7 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
         return enc;
       }()),
       explorer_(&runtime->optimizer(), config_.explorer),
-      journal_(config_.journal_path, [this] {
+      journal_(config_.journal_path, config_.num_shards, [this] {
         // Normalizers and the environment context come from the project's
         // history BEFORE the journal opens, so a fresh journal is stamped
         // with the final feature_dim.
@@ -54,12 +70,8 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
         return encoder_.feature_dim();
       }()),
       registry_(config_.registry_root),
-      infer_cache_("serve", config_.cache),
       monitor_(config_.monitor),
-      retrain_pool_(1),
-      pacing_(config_.pacing, config_.max_batch) {
-  cwnd_cached_.store(pacing_.cwnd(), std::memory_order_relaxed);
-  batch_target_cached_.store(pacing_.batch_target(), std::memory_order_relaxed);
+      retrain_pool_(1) {
   // Restart continuity: resume serving the latest approved registry version;
   // cold registries start on the native fallback.
   std::shared_ptr<const ModelSnapshot> initial = fallback_snapshot();
@@ -67,10 +79,32 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
     std::lock_guard<std::mutex> lock(swap_mu_);
     initial = snapshot_for(*meta);
   }
-  slot_.exchange(std::move(initial));
+  announce_slot_.exchange(std::move(initial));
   static obs::Gauge* const g_version =
       obs::Registry::instance().gauge("loam.serve.active_version");
   g_version->set(active_version());
+  static obs::Gauge* const g_shards =
+      obs::Registry::instance().gauge("loam.serve.num_shards");
+  g_shards->set(static_cast<double>(config_.num_shards));
+
+  // Shards come LAST: each adopts the announcement installed above.
+  const std::function<std::int64_t()> clock =
+      config_.clock ? config_.clock
+                    : std::function<std::int64_t()>(&OptimizerService::obs_now_ns);
+  shards_.reserve(static_cast<std::size_t>(config_.num_shards));
+  for (int k = 0; k < config_.num_shards; ++k) {
+    ServeShard::Env env;
+    env.index = k;
+    env.num_shards = config_.num_shards;
+    env.config = &config_;
+    env.encoder = &encoder_;
+    env.env_context = &env_context_;
+    env.native = &runtime_->optimizer();
+    env.swap_epoch = &swap_epoch_;
+    env.announcement = [this] { return announce_slot_.load(); };
+    env.clock = clock;
+    shards_.push_back(std::make_unique<ServeShard>(std::move(env)));
+  }
 }
 
 OptimizerService::~OptimizerService() { stop(); }
@@ -78,10 +112,6 @@ OptimizerService::~OptimizerService() { stop(); }
 std::int64_t OptimizerService::obs_now_ns() { return obs::Tracer::now_ns(); }
 
 void OptimizerService::start() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!stop_) return;  // already running
-  }
   if (config_.bootstrap_from_history && journal_.records() == 0 &&
       !runtime_->repository().records().empty()) {
     bootstrap_journal();
@@ -89,20 +119,14 @@ void OptimizerService::start() {
   if (config_.bootstrap_train && active_version() < 0) {
     retrain_sync();
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = false;
-  }
-  batcher_ = std::thread([this] { batcher_loop(); });
+  for (auto& shard : shards_) shard->start();
 }
 
 void OptimizerService::stop() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
+  // Signal every shard before joining any: shards drain their queues in
+  // parallel instead of serially.
+  for (auto& shard : shards_) shard->stop_async();
+  for (auto& shard : shards_) shard->join();
   // A scheduled retrain may still be running on the pool; wait it out so
   // stop() returns with the service fully quiescent.
   while (retrain_inflight_.load(std::memory_order_acquire)) {
@@ -111,64 +135,26 @@ void OptimizerService::stop() {
 }
 
 // ---------------------------------------------------------------------------
-// Admission + batching
+// Routing + admission
 // ---------------------------------------------------------------------------
 
+std::size_t OptimizerService::shard_of(const Query& query) const {
+  if (shards_.size() <= 1) return 0;
+  // Query identity (template + parameter signature) is the pre-exploration
+  // proxy for Plan::signature(): all plans for one query live on one shard,
+  // which also keeps that shard's score-cache stripe hot for the template.
+  const std::uint64_t h = hash64(query.template_id, kShardSalt) ^
+                          mix64(query.param_signature);
+  return static_cast<std::size_t>(mix64(h) %
+                                  static_cast<std::uint64_t>(shards_.size()));
+}
+
 bool OptimizerService::try_submit(Query query, std::future<ServeDecision>* out) {
-  static obs::Counter* const c_admitted =
-      obs::Registry::instance().counter("loam.serve.requests_admitted");
-  static obs::Counter* const c_rejected =
-      obs::Registry::instance().counter("loam.serve.requests_rejected");
-  static obs::Counter* const c_shed =
-      obs::Registry::instance().counter("loam.serve.pacing.shed_total");
   if (out == nullptr) return false;
-  const bool pacing = config_.pacing.enabled;
-  Pending pending;
-  pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  pending.query = std::move(query);
-  pending.enqueue_ns = now_ns();
-  bool shed = false;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_) {
-      n_rejected_.fetch_add(1, std::memory_order_relaxed);
-      c_rejected->add();
-      return false;
-    }
-    if (!pacing) {
-      if (queue_.size() >= config_.queue_capacity) {
-        n_rejected_.fetch_add(1, std::memory_order_relaxed);
-        c_rejected->add();
-        return false;
-      }
-    } else {
-      // BBR-style admission: requests inside the pacing window take the
-      // model path; everything past it — or past the FIFO bound — is SHED to
-      // the native fallback, never rejected. Shedding happens HERE, at the
-      // source: a shed request never enters the queue, so the fallback path
-      // cannot build a standing queue behind the model path under overload
-      // (its latency stays one native optimize, paid on the caller thread).
-      shed = static_cast<double>(inflight_.load(std::memory_order_relaxed)) >=
-                 cwnd_cached_.load(std::memory_order_relaxed) ||
-             queue_.size() >= config_.queue_capacity;
-      if (!shed) inflight_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!shed) {
-      *out = pending.promise.get_future();
-      queue_.push_back(std::move(pending));
-    }
-  }
-  if (shed) {
-    n_shed_.fetch_add(1, std::memory_order_relaxed);
-    c_shed->add();
-    *out = pending.promise.get_future();
-    process_shed(std::move(pending), now_ns());
-  } else {
-    queue_cv_.notify_one();
-  }
-  n_requests_.fetch_add(1, std::memory_order_relaxed);
-  c_admitted->add();
-  return true;
+  const std::uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  ServeShard& shard = *shards_[shard_of(query)];
+  return shard.try_submit(id, std::move(query), out);
 }
 
 ServeDecision OptimizerService::optimize(Query query) {
@@ -177,47 +163,6 @@ ServeDecision OptimizerService::optimize(Query query) {
     throw std::runtime_error("OptimizerService: queue full or service stopped");
   }
   return future.get();
-}
-
-void OptimizerService::batcher_loop() {
-  for (;;) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ with a drained queue
-      // With pacing on, the batch target is whatever the controller last
-      // computed (STARTUP grows it, DRAIN/STEADY pin it at the BDP).
-      const int limit = std::max(
-          1, config_.pacing.enabled
-                 ? batch_target_cached_.load(std::memory_order_relaxed)
-                 : config_.max_batch);
-      // Linger briefly so closely spaced requests coalesce into one
-      // predict_batch call instead of each paying a forward pass. The
-      // deadline is computed ONCE from the linger start: the predicate form
-      // of wait_until re-waits only the remaining time after a spurious or
-      // not-yet-full wakeup, so a trickle of sub-batch arrivals can neither
-      // cut the linger short (early batch) nor extend it past one linger
-      // period (the pre-deadline wakeup bug this replaced wait_for guards
-      // against).
-      if (static_cast<int>(queue_.size()) < limit && !stop_ &&
-          config_.batch_linger_us > 0) {
-        const auto deadline =
-            std::chrono::steady_clock::now() +
-            std::chrono::microseconds(config_.batch_linger_us);
-        queue_cv_.wait_until(lock, deadline, [this, limit] {
-          return stop_ || static_cast<int>(queue_.size()) >= limit;
-        });
-      }
-      // FIFO drain: up to `limit` requests per inference batch. (Shed
-      // requests never reach this queue — they are served at admission.)
-      while (!queue_.empty() && static_cast<int>(batch.size()) < limit) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
-    process_batch(std::move(batch));
-  }
 }
 
 std::vector<nn::Tree> OptimizerService::encode_candidates(
@@ -242,231 +187,6 @@ int OptimizerService::argmin(const std::vector<double>& v) {
   return best;
 }
 
-void OptimizerService::process_batch(std::vector<Pending> batch) {
-  static obs::Counter* const c_batches =
-      obs::Registry::instance().counter("loam.serve.batches");
-  static obs::Counter* const c_fallback =
-      obs::Registry::instance().counter("loam.serve.fallback_decisions");
-  static obs::Histogram* const h_batch = obs::Registry::instance().histogram(
-      "loam.serve.batch_size", obs::Histogram::linear_bounds(1.0, 1.0, 16));
-  static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
-      "loam.serve.request_seconds",
-      obs::Histogram::exponential_bounds(1e-4, 2.0, 16));
-  const std::int64_t pickup_ns = now_ns();
-
-  obs::Span span(obs::Cat::kServe, "batch",
-                 static_cast<std::int64_t>(batch.size()));
-  n_batches_.fetch_add(1, std::memory_order_relaxed);
-  c_batches->add();
-  h_batch->observe(static_cast<double>(batch.size()));
-
-  // ONE snapshot per batch: every request in it is served by exactly this
-  // registry version, however many swaps land while the batch is in flight.
-  const std::shared_ptr<const ModelSnapshot> snapshot =
-      slot_.load();
-
-  // Explore per request, then score the union of every request's candidates
-  // with a single predict_batch call. With the inference cache on, a
-  // candidate whose (signature, env, registry-version) score is memoized
-  // skips encoding and inference entirely, and a candidate with a memoized
-  // encoding skips featurization; only true misses enter the forward pass.
-  // Scores are keyed by snapshot->version, so entries written under an older
-  // model CANNOT hit after a hot-swap — and entries for a version stay valid
-  // if a rollback reinstates it (same checkpoint, same scores).
-  std::vector<ServeDecision> decisions(batch.size());
-  bool failed_any = false;
-  std::vector<bool> failed(batch.size(), false);
-  struct MissRef {
-    std::size_t request = 0;   // index into batch/decisions
-    std::size_t candidate = 0; // index into that request's candidate set
-    std::uint64_t score_key = 0;
-    std::shared_ptr<const nn::Tree> tree;  // keeps the cached encoding alive
-  };
-  std::vector<MissRef> misses;
-  std::vector<nn::Tree> flat;  // cache-disabled path only
-  std::vector<std::size_t> offsets(batch.size() + 1, 0);
-  const bool use_env = config_.encoding.include_env;
-  const EnvFeatures rep = env_context_.representative;
-  const double env_vals[4] = {rep.cpu_idle, rep.io_wait, rep.load5_norm,
-                              rep.mem_usage};
-  const std::uint64_t env_fp =
-      use_env ? cache::fingerprint(env_vals) : 0x9e1debull;
-  std::int64_t min_queue_ticks = -1;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    ServeDecision& d = decisions[i];
-    d.request_id = batch[i].id;
-    d.submit_day = batch[i].query.submit_day;
-    d.batch_size = static_cast<int>(batch.size());
-    d.paced = config_.pacing.enabled;
-    d.queue_seconds = 1e-9 * static_cast<double>(pickup_ns - batch[i].enqueue_ns);
-    const std::int64_t queue_ticks = pickup_ns - batch[i].enqueue_ns;
-    if (min_queue_ticks < 0 || queue_ticks < min_queue_ticks) {
-      min_queue_ticks = queue_ticks;
-    }
-    try {
-      d.generation = explorer_.explore(batch[i].query);
-      if (snapshot->model == nullptr) {
-        // fall through to the fallback branch below
-      } else if (!infer_cache_.enabled()) {
-        std::vector<nn::Tree> trees = encode_candidates(d.generation);
-        for (nn::Tree& t : trees) flat.push_back(std::move(t));
-      } else {
-        d.predicted.assign(d.generation.plans.size(), 0.0);
-        for (std::size_t c = 0; c < d.generation.plans.size(); ++c) {
-          const std::uint64_t psig = d.generation.plans[c].signature();
-          const std::uint64_t skey = cache::InferenceCache::score_key(
-              psig, env_fp, snapshot->version);
-          if (std::optional<double> hit = infer_cache_.get_score(skey);
-              hit.has_value()) {
-            d.predicted[c] = *hit;
-            continue;
-          }
-          const std::uint64_t ekey =
-              cache::InferenceCache::encoding_key(psig, env_fp);
-          std::shared_ptr<const nn::Tree> tree = infer_cache_.get_encoding(ekey);
-          if (tree == nullptr) {
-            tree = std::make_shared<const nn::Tree>(encoder_.encode(
-                d.generation.plans[c], nullptr,
-                use_env ? std::optional<EnvFeatures>(rep) : std::nullopt));
-            infer_cache_.put_encoding(ekey, tree);
-          }
-          misses.push_back(MissRef{i, c, skey, std::move(tree)});
-        }
-      }
-    } catch (...) {
-      failed[i] = true;
-      failed_any = true;
-      batch[i].promise.set_exception(std::current_exception());
-    }
-    offsets[i + 1] = flat.size();
-  }
-
-  std::vector<double> all_preds;
-  if (snapshot->model != nullptr && !flat.empty()) {
-    all_preds = snapshot->model->predict_batch(flat);
-  }
-  if (snapshot->model != nullptr && !misses.empty()) {
-    std::vector<const nn::Tree*> ptrs;
-    ptrs.reserve(misses.size());
-    for (const MissRef& m : misses) ptrs.push_back(m.tree.get());
-    const std::vector<double> fresh = snapshot->model->predict_batch_ptrs(ptrs);
-    for (std::size_t j = 0; j < misses.size(); ++j) {
-      decisions[misses[j].request].predicted[misses[j].candidate] = fresh[j];
-      infer_cache_.put_score(misses[j].score_key, fresh[j]);
-    }
-  }
-
-  int plans_scored = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (failed_any && failed[i]) continue;
-    ServeDecision& d = decisions[i];
-    if (snapshot->model != nullptr) {
-      d.model_version = snapshot->version;
-      if (!infer_cache_.enabled()) {
-        d.predicted.assign(
-            all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
-            all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
-      }
-      d.chosen = argmin(d.predicted);
-      d.predicted_cost =
-          d.predicted.empty() ? 0.0
-                              : d.predicted[static_cast<std::size_t>(d.chosen)];
-    } else {
-      // Native-optimizer fallback: serve the default plan.
-      d.model_version = -1;
-      d.chosen = d.generation.default_index;
-      n_fallback_.fetch_add(1, std::memory_order_relaxed);
-      c_fallback->add();
-    }
-    plans_scored += static_cast<int>(d.generation.plans.size());
-    d.total_seconds =
-        1e-9 * static_cast<double>(now_ns() - batch[i].enqueue_ns);
-    h_latency->observe(d.total_seconds);
-    batch[i].promise.set_value(std::move(d));
-  }
-
-  if (config_.pacing.enabled) {
-    // Every model-path request in this batch is resolved (value or
-    // exception): release the admission window before the controller sees
-    // the post-batch inflight.
-    inflight_.fetch_sub(static_cast<std::int64_t>(batch.size()),
-                        std::memory_order_relaxed);
-    const std::int64_t end_ns = now_ns();
-    const std::int64_t service_ticks = end_ns - pickup_ns;
-    // The delay sample is the batch's best-case admission->decision time:
-    // the min queue wait plus this batch's service time — the closest
-    // observable analog of the unqueued base latency the min filter wants.
-    pacing_round(end_ns, static_cast<int>(batch.size()), plans_scored,
-                 service_ticks,
-                 min_queue_ticks < 0 ? -1 : min_queue_ticks + service_ticks);
-  }
-}
-
-void OptimizerService::process_shed(Pending pending, std::int64_t pickup_ns) {
-  static obs::Counter* const c_fallback =
-      obs::Registry::instance().counter("loam.serve.fallback_decisions");
-  static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
-      "loam.serve.request_seconds",
-      obs::Histogram::exponential_bounds(1e-4, 2.0, 16));
-  ServeDecision d;
-  d.request_id = pending.id;
-  d.submit_day = pending.query.submit_day;
-  d.paced = true;
-  d.shed = true;
-  d.model_version = -1;
-  d.batch_size = 0;  // no inference batch backed this decision
-  d.queue_seconds =
-      1e-9 * static_cast<double>(pickup_ns - pending.enqueue_ns);
-  try {
-    // The paper's always-available fallback: the native optimizer's default
-    // plan, produced without candidate exploration or scoring — the shed
-    // path's cost must stay independent of the model path it is protecting.
-    d.generation.plans.push_back(runtime_->optimizer().optimize(pending.query));
-    d.generation.knobs.emplace_back();
-    d.generation.rough_costs.push_back(0.0);
-    d.generation.default_index = 0;
-    d.chosen = 0;
-    n_fallback_.fetch_add(1, std::memory_order_relaxed);
-    c_fallback->add();
-    d.total_seconds =
-        1e-9 * static_cast<double>(now_ns() - pending.enqueue_ns);
-    h_latency->observe(d.total_seconds);
-    pending.promise.set_value(std::move(d));
-  } catch (...) {
-    pending.promise.set_exception(std::current_exception());
-  }
-}
-
-void OptimizerService::pacing_round(std::int64_t end_ns, int requests,
-                                    int plans, std::int64_t service_ticks,
-                                    std::int64_t delay_ticks) {
-  static obs::Gauge* const g_bw =
-      obs::Registry::instance().gauge("loam.serve.pacing.est_bw");
-  static obs::Gauge* const g_delay =
-      obs::Registry::instance().gauge("loam.serve.pacing.est_min_delay");
-  static obs::Gauge* const g_bdp =
-      obs::Registry::instance().gauge("loam.serve.pacing.bdp");
-  static obs::Gauge* const g_batch =
-      obs::Registry::instance().gauge("loam.serve.pacing.batch_target");
-  static obs::Gauge* const g_cwnd =
-      obs::Registry::instance().gauge("loam.serve.pacing.cwnd");
-  static obs::Gauge* const g_state =
-      obs::Registry::instance().gauge("loam.serve.pacing.state");
-  const double inflight =
-      static_cast<double>(inflight_.load(std::memory_order_relaxed));
-  std::lock_guard<std::mutex> lock(pacing_mu_);
-  pacing_.on_batch_complete(end_ns, requests, plans, service_ticks,
-                            delay_ticks, inflight);
-  cwnd_cached_.store(pacing_.cwnd(), std::memory_order_relaxed);
-  batch_target_cached_.store(pacing_.batch_target(), std::memory_order_relaxed);
-  g_bw->set(pacing_.est_bw_per_sec());
-  g_delay->set(pacing_.est_min_delay_seconds());
-  g_bdp->set(pacing_.bdp_requests());
-  g_batch->set(static_cast<double>(pacing_.batch_target()));
-  g_cwnd->set(pacing_.cwnd());
-  g_state->set(static_cast<double>(static_cast<int>(pacing_.state())));
-}
-
 // ---------------------------------------------------------------------------
 // Feedback + monitoring + rollback
 // ---------------------------------------------------------------------------
@@ -475,12 +195,16 @@ void OptimizerService::record_feedback(const ServeDecision& decision,
                                        const warehouse::ExecutionResult& exec) {
   static obs::Counter* const c_feedback =
       obs::Registry::instance().counter("loam.serve.feedback_records");
-  obs::Span span(obs::Cat::kServe, "feedback");
-  std::lock_guard<std::mutex> lock(feedback_mu_);
+  obs::Span span(obs::Cat::kServe, "feedback", -1, decision.shard);
   c_feedback->add();
 
   // Journal the executed plan with the environments its stages actually saw
-  // (the same encoding the offline trainer uses for default plans).
+  // (the same encoding the offline trainer uses for default plans). The
+  // record goes to the SERVING shard's journal file: concurrent feedback for
+  // different shards only contends on each file's own leaf mutex — the old
+  // service-wide feedback mutex that serialized submitters against the
+  // journal is gone (the encoder's row memo is lock-striped and the monitor
+  // has its own leaf lock).
   const warehouse::Plan& plan =
       decision.generation.plans.at(static_cast<std::size_t>(decision.chosen));
   std::vector<EnvFeatures> stage_envs(exec.stages.size());
@@ -492,7 +216,7 @@ void OptimizerService::record_feedback(const ServeDecision& decision,
   record.day = decision.submit_day;
   record.cpu_cost = exec.cpu_cost;
   record.tree = encoder_.encode(plan, &stage_envs, std::nullopt);
-  journal_.append(record);
+  journal_.append(decision.shard, record);
 
   // A few unexecuted candidates keep the adversarial half of Eq. (1) fed.
   int added = 0;
@@ -511,7 +235,7 @@ void OptimizerService::record_feedback(const ServeDecision& decision,
         config_.encoding.include_env
             ? std::optional<EnvFeatures>(env_context_.representative)
             : std::nullopt);
-    journal_.append(cand);
+    journal_.append(decision.shard, cand);
     ++added;
   }
 
@@ -531,10 +255,12 @@ void OptimizerService::record_feedback(const ServeDecision& decision,
   if (trigger) rollback(decision.model_version);
 
   // Retraining cadence: every retrain_min_new_records executed records, one
-  // background retrain (never more than one in flight).
+  // background retrain (never more than one in flight — the exchange below
+  // is the sole gate, so a racing double-trigger schedules once).
   if (config_.auto_retrain &&
-      ++executed_since_retrain_ >= config_.retrain_min_new_records) {
-    executed_since_retrain_ = 0;
+      executed_since_retrain_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          config_.retrain_min_new_records) {
+    executed_since_retrain_.store(0, std::memory_order_relaxed);
     if (!retrain_inflight_.exchange(true, std::memory_order_acq_rel)) {
       retrain_pool_.submit([this] { retrain_task(); });
     }
@@ -546,8 +272,7 @@ void OptimizerService::rollback(int bad_version) {
       obs::Registry::instance().counter("loam.serve.rollbacks");
   obs::Span span(obs::Cat::kServe, "rollback");
   std::lock_guard<std::mutex> lock(swap_mu_);
-  const std::shared_ptr<const ModelSnapshot> current =
-      slot_.load();
+  const std::shared_ptr<const ModelSnapshot> current = announce_slot_.load();
   if (current->version != bad_version) return;  // raced with another swap
   registry_.mark_rolled_back(bad_version);
   loaded_.erase(bad_version);
@@ -589,6 +314,8 @@ bool OptimizerService::retrain_sync() {
   obs::Span span(obs::Cat::kServe, "retrain");
   obs::ScopedTimer timer(h_seconds);
 
+  // Shard-major replay: deterministic for a fixed shard count, so the
+  // training input does not depend on how submitter threads interleaved.
   core::TrainingData data = journal_.replay(config_.max_journal_examples);
   if (static_cast<int>(data.default_plans.size()) < config_.min_train_examples) {
     n_retrain_skipped_.fetch_add(1, std::memory_order_relaxed);
@@ -650,6 +377,8 @@ void OptimizerService::bootstrap_journal() {
   if (static_cast<int>(records.size()) > config_.max_journal_examples) {
     records.resize(static_cast<std::size_t>(config_.max_journal_examples));
   }
+  // Bootstrap records land in the shard file their query ROUTES to — the
+  // same file that query's live feedback will append to later.
   for (const QueryRecord* r : records) {
     std::vector<EnvFeatures> stage_envs(r->exec.stages.size());
     for (const warehouse::StageExecution& s : r->exec.stages) {
@@ -660,7 +389,7 @@ void OptimizerService::bootstrap_journal() {
     record.day = r->day;
     record.cpu_cost = r->exec.cpu_cost;
     record.tree = encoder_.encode(r->plan, &stage_envs, std::nullopt);
-    journal_.append(record);
+    journal_.append(static_cast<int>(shard_of(r->query)), record);
   }
   // Candidate records for a sample of history queries (generated, never
   // executed), so even the bootstrap retrain trains domain-adversarially.
@@ -682,14 +411,14 @@ void OptimizerService::bootstrap_journal() {
           config_.encoding.include_env
               ? std::optional<EnvFeatures>(env_context_.representative)
               : std::nullopt);
-      journal_.append(cand);
+      journal_.append(static_cast<int>(shard_of(r->query)), cand);
       ++added;
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Swapping
+// Swapping (epoch broadcast)
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<const ModelSnapshot> OptimizerService::snapshot_for(
@@ -716,10 +445,15 @@ std::shared_ptr<const ModelSnapshot> OptimizerService::swap_snapshot(
       "loam.serve.swap_pause_seconds",
       obs::Histogram::exponential_bounds(1e-8, 4.0, 14));
   const int version = next->version;
+  // Announcement first, epoch second (release): a shard that sees the new
+  // epoch is guaranteed to load at least this announcement. No shard is
+  // paused here — each applies the swap at its own next batch boundary,
+  // measuring its own pause into loam.serve.shard<K>.swap_pause_seconds.
   const std::int64_t t0 = obs::Tracer::now_ns();
   const std::shared_ptr<const ModelSnapshot> prev =
-      slot_.exchange(std::move(next));
+      announce_slot_.exchange(std::move(next));
   const std::int64_t pause_ns = obs::Tracer::now_ns() - t0;
+  swap_epoch_.fetch_add(1, std::memory_order_release);
   h_pause->observe(1e-9 * static_cast<double>(pause_ns));
   c_swaps->add();
   g_version->set(version);
@@ -766,7 +500,7 @@ void OptimizerService::swap_to_fallback() {
 // ---------------------------------------------------------------------------
 
 int OptimizerService::active_version() const {
-  return slot_.load()->version;
+  return announce_slot_.load()->version;
 }
 
 double OptimizerService::monitor_mean_overrun() const {
@@ -774,28 +508,24 @@ double OptimizerService::monitor_mean_overrun() const {
   return monitor_.mean_overrun();
 }
 
-OptimizerService::PacingSnapshot OptimizerService::pacing_snapshot() const {
-  PacingSnapshot s;
-  s.enabled = config_.pacing.enabled;
-  s.inflight = inflight_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(pacing_mu_);
-  s.state = pacing_.state();
-  s.est_bw_per_sec = pacing_.est_bw_per_sec();
-  s.est_min_delay_seconds = pacing_.est_min_delay_seconds();
-  s.bdp_requests = pacing_.bdp_requests();
-  s.cwnd = pacing_.cwnd();
-  s.batch_target = pacing_.batch_target();
-  s.rounds = pacing_.rounds();
-  return s;
+PacingSnapshot OptimizerService::pacing_snapshot(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))->pacing_snapshot();
+}
+
+ShardStats OptimizerService::shard_stats(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))->stats();
 }
 
 OptimizerService::Stats OptimizerService::stats() const {
   Stats s;
-  s.requests = n_requests_.load(std::memory_order_relaxed);
-  s.rejected = n_rejected_.load(std::memory_order_relaxed);
-  s.shed = n_shed_.load(std::memory_order_relaxed);
-  s.batches = n_batches_.load(std::memory_order_relaxed);
-  s.fallback_decisions = n_fallback_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const ShardStats ss = shard->stats();
+    s.requests += ss.requests;
+    s.rejected += ss.rejected;
+    s.shed += ss.shed;
+    s.batches += ss.batches;
+    s.fallback_decisions += ss.fallback_decisions;
+  }
   s.swaps = n_swaps_.load(std::memory_order_relaxed);
   s.rollbacks = n_rollbacks_.load(std::memory_order_relaxed);
   s.retrains = n_retrains_.load(std::memory_order_relaxed);

@@ -2,31 +2,36 @@
 // lifecycle half of the stack).
 //
 // One OptimizerService per project hosts the full learned-optimizer
-// lifecycle the offline pipeline only runs once:
+// lifecycle the offline pipeline only runs once. Since the shard-per-core
+// scale-out it is a thin ROUTER over `num_shards` shared-nothing ServeShards
+// (serve/shard.h) plus the service-wide lifecycle no shard owns:
 //
-//   * Admission & coalescing — requests enter a bounded queue; a dedicated
-//     batcher thread drains up to `max_batch` of them (lingering briefly to
-//     let a batch fill), explores candidates per request, and scores the
-//     UNION of every request's candidates with one predict_batch call, so
-//     concurrent requests share inference batches instead of paying one
-//     forward pass each.
-//   * Versioned serving — the active model is an immutable ModelSnapshot
-//     behind a std::atomic<std::shared_ptr>: readers acquire it wait-free at
-//     batch start, every request in a batch is served by exactly one
-//     registry version, and a hot-swap is a single pointer store that never
-//     stalls in-flight work. Snapshots come from the durable ModelRegistry.
+//   * Routing & admission — a request hashes to one shard by its query
+//     identity (salted util::hash over template id + parameter signature —
+//     the pre-exploration proxy for Plan::signature), and that shard's
+//     bounded queue, batcher thread, pacing controller, and cache stripe
+//     serve it end to end. Admission is the shard's lock-free fast path;
+//     shards never contend with each other.
+//   * Versioned serving — the active model is an immutable ModelSnapshot.
+//     The service owns the ANNOUNCEMENT slot + swap epoch; each shard holds
+//     its own serving slot and applies a pending announcement at its next
+//     batch boundary (epoch broadcast — no global lock, per-shard pause in
+//     the microseconds). Every request in a batch is served by exactly one
+//     registry version. Snapshots come from the durable ModelRegistry.
 //   * Feedback & monitoring — record_feedback() appends each execution
-//     outcome to the crash-recoverable FeedbackJournal and feeds the
-//     core::OnlineDevianceMonitor; when the monitor detects regression the
-//     service auto-rolls back to the previous approved registry version (or
-//     to the native optimizer when none remains) and durably marks the bad
-//     version so it is never re-promoted.
+//     outcome to the serving shard's crash-recoverable FeedbackJournal file
+//     (journal.s<K>; appends on different shards only touch their own file's
+//     leaf mutex) and feeds the core::OnlineDevianceMonitor; when the
+//     monitor detects regression the service auto-rolls back to the previous
+//     approved registry version (or to the native optimizer when none
+//     remains) and durably marks the bad version so it is never re-promoted.
 //   * Continuous retraining — every `retrain_min_new_records` executed
 //     feedback records, a background task on the retrain pool replays the
-//     journal into TrainingData, fits a fresh AdaptiveCostPredictor, pushes
-//     it through the flighting DeploymentGate (core::evaluate_selection),
-//     publishes the result to the registry (approved or not — a full audit
-//     trail), and hot-swaps on approval.
+//     journal shard-major into TrainingData, fits a fresh
+//     AdaptiveCostPredictor, pushes it through the flighting DeploymentGate
+//     (core::evaluate_selection), publishes the result to the registry
+//     (approved or not — a full audit trail), and broadcasts the swap on
+//     approval.
 //
 // With no approved model the service serves the native optimizer's default
 // plan — the paper's Section-3 fallback — so it can be started cold and
@@ -35,16 +40,13 @@
 #define LOAM_SERVE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/deviance.h"
@@ -53,84 +55,10 @@
 #include "serve/journal.h"
 #include "serve/pacing.h"
 #include "serve/registry.h"
+#include "serve/shard.h"
 #include "util/thread_pool.h"
 
 namespace loam::serve {
-
-// Immutable view of "the model serving right now". version -1 with a null
-// model is the native-optimizer fallback snapshot.
-struct ModelSnapshot {
-  int version = -1;
-  std::shared_ptr<const core::CostModel> model;
-};
-
-struct ServeConfig {
-  // Admission / batching.
-  std::size_t queue_capacity = 256;
-  int max_batch = 8;         // requests coalesced into one inference batch
-  int batch_linger_us = 200; // how long a non-full batch waits for company
-
-  // Feedback / retraining.
-  bool bootstrap_from_history = true;  // seed the journal from the repository
-  bool bootstrap_train = true;         // synchronous initial retrain on start()
-  bool auto_retrain = true;            // schedule retrains from feedback volume
-  int retrain_min_new_records = 64;    // executed records between retrains
-  int min_train_examples = 40;         // below this a retrain is skipped
-  int max_journal_examples = 4000;     // freshest executed records per retrain
-  int candidate_records_per_request = 2;
-  int bootstrap_candidate_queries = 40;  // history queries explored for
-                                         // candidate records during bootstrap
-
-  core::PredictorConfig predictor;
-  core::EncodingConfig encoding;
-  core::PlanExplorer::Config explorer;
-  core::DeploymentGateConfig gate;
-  core::OnlineDevianceMonitor::Config monitor;
-  // Cross-request memo (loam::cache): score keys carry the registry version
-  // that produced them, so a hot-swap invalidates every cached score
-  // structurally — post-swap lookups miss by construction and a stale entry
-  // can never serve. Encoding keys are version-free (the encoder is fixed
-  // after construction). Performance-only: decisions are bit-identical with
-  // caching off.
-  cache::CacheConfig cache;
-
-  // BBR-style adaptive admission + batch pacing (serve/pacing.h). When
-  // enabled, `max_batch` becomes the STARTUP seed of an adaptive batch
-  // target, and load beyond the estimated bandwidth-delay product is shed to
-  // the native-optimizer fallback path instead of rejected — admission never
-  // fails while the fallback can absorb it. Pacing changes which path serves
-  // a request and when it is scored, never the scores: model-served
-  // decisions are bit-identical with pacing on or off.
-  PacingConfig pacing;
-
-  // Monotonic clock used for ServeDecision::queue_seconds/total_seconds and
-  // for feeding the pacing filters, returning nanoseconds. Null (default)
-  // uses the process steady clock; tests inject deterministic virtual time
-  // so latency fields and every pacing state transition are reproducible
-  // without wall-clock sleeps.
-  std::function<std::int64_t()> clock;
-
-  std::string registry_root = "loam_registry";
-  std::string journal_path = "loam_feedback.jnl";
-  std::uint64_t seed = 0x5eedbeefull;
-};
-
-struct ServeDecision {
-  std::uint64_t request_id = 0;
-  int submit_day = 0;
-  core::CandidateGeneration generation;
-  int chosen = 0;
-  int model_version = -1;       // registry version that served this request;
-                                // -1 = native-optimizer fallback
-  double predicted_cost = 0.0;  // model's cost for the chosen plan (0 if fallback)
-  std::vector<double> predicted;  // per-candidate predictions (empty if fallback)
-  int batch_size = 0;           // requests that shared this inference batch
-  double queue_seconds = 0.0;   // admission -> batch pickup
-  double total_seconds = 0.0;   // admission -> decision ready
-  bool paced = false;           // admission went through the pacing controller
-  bool shed = false;            // pacing diverted this request to the native
-                                // fallback path (model_version == -1)
-};
 
 class OptimizerService {
  public:
@@ -140,41 +68,46 @@ class OptimizerService {
   OptimizerService(const OptimizerService&) = delete;
   OptimizerService& operator=(const OptimizerService&) = delete;
 
-  // Bootstraps (journal seeding + optional initial train) and launches the
-  // batcher thread. Idempotent.
+  // Bootstraps (journal seeding + optional initial train) and launches every
+  // shard's batcher thread. Idempotent.
   void start();
-  // Drains the queue, completes any in-flight retrain, joins threads.
+  // Drains every shard's queue, completes any in-flight retrain, joins
+  // threads.
   void stop();
 
-  // Admission; false (and no future) when the queue is full (pacing off) or
-  // the service is stopped. With pacing on it never fails while running:
-  // load past the admission window is served synchronously on the CALLER's
-  // thread by the native fallback (one optimize() call, the returned future
-  // already resolved) — shedding at the source, so the fallback path cannot
-  // build a standing queue behind the model path under overload.
+  // Admission; false (and no future) when the target shard's queue is full
+  // (pacing off) or the service is stopped. With pacing on it never fails
+  // while running: load past a shard's admission window is served
+  // synchronously on the CALLER's thread by the native fallback (one
+  // optimize() call, the returned future already resolved) — shedding at the
+  // source, so the fallback path cannot build a standing queue behind the
+  // model path under overload.
   bool try_submit(warehouse::Query query, std::future<ServeDecision>* out);
   // Blocking convenience: admit + wait. Throws std::runtime_error when the
   // queue is full.
   ServeDecision optimize(warehouse::Query query);
 
   // Reports the execution outcome of a served decision: journals the
-  // feedback, updates the deviance monitor (possibly triggering rollback),
-  // and schedules a retrain when enough new feedback accumulated.
+  // feedback (into the serving shard's file), updates the deviance monitor
+  // (possibly triggering rollback), and schedules a retrain when enough new
+  // feedback accumulated. Safe to call from many threads concurrently —
+  // journal appends for different shards do not serialize on each other.
   void record_feedback(const ServeDecision& decision,
                        const warehouse::ExecutionResult& exec);
 
   // Synchronous retrain: journal -> fit -> deployment gate -> publish;
-  // hot-swaps and returns true when the gate approves. Also the bootstrap
-  // path. Thread-safe with serving.
+  // broadcasts the swap and returns true when the gate approves. Also the
+  // bootstrap path. Thread-safe with serving.
   bool retrain_sync();
 
   // Publishes `model` to the registry with `meta` (version assigned by the
-  // registry) and, when meta.approved, hot-swaps to it. Returns the assigned
-  // version. Exposed for tests and operational tooling (manual promotion).
+  // registry) and, when meta.approved, broadcasts the swap. Returns the
+  // assigned version. Exposed for tests and operational tooling (manual
+  // promotion).
   int publish_and_swap(std::unique_ptr<core::AdaptiveCostPredictor> model,
                        ModelVersionMeta meta);
-  // Hot-swaps to a registry version (loading its checkpoint if needed), or
-  // to the native fallback with swap_to_fallback().
+  // Broadcasts a swap to a registry version (loading its checkpoint if
+  // needed), or to the native fallback with swap_to_fallback().
   void swap_to_version(int version);
   void swap_to_fallback();
 
@@ -184,51 +117,46 @@ class OptimizerService {
     std::uint64_t shed = 0;           // pacing diversions to the native path
     std::uint64_t batches = 0;
     std::uint64_t fallback_decisions = 0;
-    std::uint64_t swaps = 0;
+    std::uint64_t swaps = 0;          // announcements broadcast
     std::uint64_t rollbacks = 0;
     std::uint64_t retrains = 0;        // attempts that reached the gate
     std::uint64_t retrain_approved = 0;
     std::uint64_t retrain_rejected = 0;
     std::uint64_t retrain_skipped = 0;  // not enough journal data
   };
+  // Request-path fields are summed across shards.
   Stats stats() const;
 
-  // Version currently serving (-1 = native fallback).
+  // Shard topology + per-shard introspection.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // The shard `query` routes to: salted hash of (template id, parameter
+  // signature) — stable for the life of the service, uniform across shards.
+  std::size_t shard_of(const warehouse::Query& query) const;
+  ShardStats shard_stats(int shard) const;
+  const ServeShard& shard(int k) const { return *shards_.at(static_cast<std::size_t>(k)); }
+
+  // ANNOUNCED version (-1 = native fallback): what the registry lifecycle
+  // last broadcast. A shard picks it up at its next batch boundary;
+  // shard(k).serving_version() reads one shard's applied view.
   int active_version() const;
   double monitor_mean_overrun() const;
 
-  // Point-in-time view of the pacing controller (tests, bench, CLI).
-  struct PacingSnapshot {
-    bool enabled = false;
-    PacingController::State state = PacingController::State::kStartup;
-    double est_bw_per_sec = 0.0;       // windowed max service bandwidth
-    double est_min_delay_seconds = 0.0;  // windowed min base delay
-    double bdp_requests = 0.0;
-    double cwnd = 0.0;                 // admission window (requests)
-    int batch_target = 0;
-    std::int64_t inflight = 0;
-    int rounds = 0;
-  };
-  PacingSnapshot pacing_snapshot() const;
+  using PacingSnapshot = ::loam::serve::PacingSnapshot;
+  // Shard 0's controller (the whole service when num_shards == 1).
+  PacingSnapshot pacing_snapshot() const { return pacing_snapshot(0); }
+  PacingSnapshot pacing_snapshot(int shard) const;
 
-  FeedbackJournal& journal() { return journal_; }
+  ShardedFeedbackJournal& journal() { return journal_; }
   ModelRegistry& registry() { return registry_; }
-  // Cross-request score/encoding memo (exposed for tests + bench).
-  const cache::InferenceCache& inference_cache() const { return infer_cache_; }
+  // Shard 0's score/encoding memo (exposed for tests + bench).
+  const cache::InferenceCache& inference_cache() const {
+    return shards_.front()->inference_cache();
+  }
   const core::PlanEncoder& encoder() const { return encoder_; }
   const core::EnvContext& env_context() const { return env_context_; }
   const ServeConfig& config() const { return config_; }
 
  private:
-  // A queued model-path request. Shed requests never become queue entries —
-  // they are served at admission, on the submitting thread.
-  struct Pending {
-    std::uint64_t id = 0;
-    warehouse::Query query;
-    std::promise<ServeDecision> promise;
-    std::int64_t enqueue_ns = 0;
-  };
-
   // Monotonic now: the injected virtual clock when configured, else the
   // process steady clock.
   std::int64_t now_ns() const {
@@ -236,25 +164,17 @@ class OptimizerService {
   }
   static std::int64_t obs_now_ns();
 
-  void batcher_loop();
-  void process_batch(std::vector<Pending> batch);
-  // Serves a shed request on the native fallback path: one optimize() call,
-  // a single-plan generation, no model inference. Runs on the submitting
-  // thread (the native optimizer is const and thread-safe, as the parallel
-  // explorer already relies on).
-  void process_shed(Pending pending, std::int64_t pickup_ns);
-  // Feeds the pacing controller after a batch and refreshes the cached
-  // admission window, batch target, and loam.serve.pacing.* gauges.
-  void pacing_round(std::int64_t end_ns, int requests, int plans,
-                    std::int64_t service_ticks, std::int64_t delay_ticks);
-  // Encodes a candidate set under the representative environment.
+  // Encodes a candidate set under the representative environment (gate
+  // selector + bootstrap; shards carry their own copy of this logic).
   std::vector<nn::Tree> encode_candidates(
       const core::CandidateGeneration& generation) const;
   static int argmin(const std::vector<double>& v);
 
   void bootstrap_journal();
   void retrain_task();
-  // Swap + bookkeeping; returns the previously active snapshot.
+  // Installs `next` in the announcement slot and bumps the swap epoch — the
+  // broadcast every shard observes at its next batch boundary. Returns the
+  // previously announced snapshot.
   std::shared_ptr<const ModelSnapshot> swap_snapshot(
       std::shared_ptr<const ModelSnapshot> next);
   // Loads a checkpointed version into memory (no-op if cached).
@@ -262,57 +182,25 @@ class OptimizerService {
   void rollback(int bad_version);
 
   core::ProjectRuntime* runtime_;
-  ServeConfig config_;
+  ServeConfig config_;  // num_shards resolved (>= 1) before members init
   core::PlanEncoder encoder_;
   core::PlanExplorer explorer_;
   core::EnvContext env_context_;
-  FeedbackJournal journal_;
+  ShardedFeedbackJournal journal_;
   ModelRegistry registry_;
-  // Thread-safe internally (sharded LRUs); only the batcher writes, tests
-  // and stats readers may probe concurrently.
-  mutable cache::InferenceCache infer_cache_;
 
-  // Active model slot. A mutex whose critical section is a shared_ptr copy,
-  // NOT std::atomic<shared_ptr>: libstdc++ 12 implements the latter with a
-  // lock-bit spinlock whose load-side unlock is memory_order_relaxed, which
-  // leaves the internal pointer read formally unsynchronized with the next
-  // swap's write — TSan flags it, correctly per the C++ memory model. The
-  // mutex is uncontended (one load per batch) and the swap pause stays in
-  // the microseconds (asserted by bench_micro --serve). Leaf lock: neither
-  // method touches anything else, so it nests under every other mutex.
-  class SnapshotSlot {
-   public:
-    std::shared_ptr<const ModelSnapshot> load() const {
-      std::lock_guard<std::mutex> lock(mu_);
-      return snap_;
-    }
-    // Installs `next`, returning the previously active snapshot.
-    std::shared_ptr<const ModelSnapshot> exchange(
-        std::shared_ptr<const ModelSnapshot> next) {
-      std::lock_guard<std::mutex> lock(mu_);
-      snap_.swap(next);
-      return next;
-    }
+  // Swap broadcast state: the announcement slot holds what the lifecycle
+  // last published; the epoch (bumped with release AFTER the slot is
+  // written) tells shards an announcement is pending. Shards load the epoch
+  // with acquire, so a changed epoch guarantees they read at least that
+  // announcement.
+  SnapshotSlot announce_slot_;
+  std::atomic<std::uint64_t> swap_epoch_{0};
 
-   private:
-    mutable std::mutex mu_;
-    std::shared_ptr<const ModelSnapshot> snap_;
-  };
-  SnapshotSlot slot_;
-
-  // Lock hierarchy (outer to inner): queue_mu_ | feedback_mu_ -> swap_mu_ ->
-  // monitor_mu_ -> slot_. The journal and registry carry their own leaf
-  // mutexes; pacing_mu_ is a leaf (its critical sections touch only the
-  // PacingController and the cached atomics).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stop_ = true;  // start() flips to false
-  std::thread batcher_;
-
-  std::mutex feedback_mu_;
-  int executed_since_retrain_ = 0;
-
+  // Lock hierarchy (outer to inner): swap_mu_ -> monitor_mu_ ->
+  // announce_slot_. The journal files and registry carry their own leaf
+  // mutexes; per-shard locks (queue, pacing, slot) never nest with the
+  // service's.
   std::mutex swap_mu_;
   std::map<int, std::shared_ptr<const ModelSnapshot>> loaded_;  // version cache
 
@@ -324,22 +212,16 @@ class OptimizerService {
   util::ThreadPool retrain_pool_;  // one worker: the background retrain loop
   std::atomic<bool> retrain_inflight_{false};
 
-  // Pacing. The controller itself is only ever touched under pacing_mu_ (the
-  // batcher writes each round, snapshot readers probe); the admission fast
-  // path reads the two cached atomics instead of taking the lock. Inflight
-  // counts admitted-but-unresolved model-path requests (shed requests bypass
-  // the window — their service cost is what the window protects).
-  mutable std::mutex pacing_mu_;
-  PacingController pacing_;
-  std::atomic<double> cwnd_cached_{0.0};
-  std::atomic<int> batch_target_cached_{1};
-  std::atomic<std::int64_t> inflight_{0};
+  // The shards. Created in the ctor (after the announcement slot holds the
+  // restart snapshot), started/stopped by start()/stop(). The vector itself
+  // is immutable once constructed, so lock-free access from submitters is
+  // safe.
+  std::vector<std::unique_ptr<ServeShard>> shards_;
 
   std::atomic<std::uint64_t> next_request_id_{1};
-  std::atomic<std::uint64_t> n_requests_{0}, n_rejected_{0}, n_shed_{0},
-      n_batches_{0}, n_fallback_{0}, n_swaps_{0}, n_rollbacks_{0},
-      n_retrains_{0}, n_retrain_approved_{0}, n_retrain_rejected_{0},
-      n_retrain_skipped_{0};
+  std::atomic<int> executed_since_retrain_{0};
+  std::atomic<std::uint64_t> n_swaps_{0}, n_rollbacks_{0}, n_retrains_{0},
+      n_retrain_approved_{0}, n_retrain_rejected_{0}, n_retrain_skipped_{0};
 };
 
 }  // namespace loam::serve

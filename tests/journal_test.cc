@@ -191,5 +191,94 @@ TEST(FeedbackJournal, ReopenRequiresMatchingFeatureDim) {
   fs::remove(path);
 }
 
+void remove_shard_files(const std::string& base, int num_shards) {
+  for (int k = 0; k < num_shards; ++k) {
+    fs::remove(ShardedFeedbackJournal::shard_path(base, num_shards, k));
+  }
+}
+
+TEST(ShardedFeedbackJournal, SingleShardUsesTheBarePathLayout) {
+  const std::string path = temp_path("single");
+  ShardedFeedbackJournal journal(path, 1, kDim);
+  EXPECT_EQ(ShardedFeedbackJournal::shard_path(path, 1, 0), path);
+  journal.append(0, make_record(0));
+  // Byte-compatible with the pre-shard single-file journal.
+  EXPECT_EQ(FeedbackJournal::read_all(path).size(), 1u);
+  EXPECT_NO_THROW(FeedbackJournal(path, kDim));
+  fs::remove(path);
+}
+
+TEST(ShardedFeedbackJournal, ShardMajorReplayMatchesSingleFileLayout) {
+  const std::string base = temp_path("shardmajor");
+  const std::string flat = temp_path("shardmajor_flat");
+  constexpr int kShards = 3;
+  constexpr int kN = 18;
+  ShardedFeedbackJournal sharded(base, kShards, kDim);
+  for (int i = 0; i < kN; ++i) sharded.append(i % kShards, make_record(i));
+
+  // A single journal file holding the same records in shard-major order —
+  // the layout the sharded replay promises to be bit-identical to.
+  FeedbackJournal single(flat, kDim);
+  for (int k = 0; k < kShards; ++k) {
+    for (int i = k; i < kN; i += kShards) single.append(make_record(i));
+  }
+
+  for (const int cap : {0, 4}) {
+    const core::TrainingData a = sharded.replay(cap);
+    const core::TrainingData b = single.replay(cap);
+    ASSERT_EQ(a.default_plans.size(), b.default_plans.size()) << cap;
+    ASSERT_EQ(a.candidate_plans.size(), b.candidate_plans.size()) << cap;
+    for (std::size_t i = 0; i < a.default_plans.size(); ++i) {
+      EXPECT_EQ(a.default_plans[i].cpu_cost, b.default_plans[i].cpu_cost);
+      expect_trees_equal(a.default_plans[i].tree, b.default_plans[i].tree);
+    }
+    for (std::size_t i = 0; i < a.candidate_plans.size(); ++i) {
+      expect_trees_equal(a.candidate_plans[i], b.candidate_plans[i]);
+    }
+  }
+  EXPECT_EQ(sharded.records(), single.records());
+  EXPECT_EQ(sharded.executed_records(), single.executed_records());
+  EXPECT_EQ(sharded.max_day(), single.max_day());
+  remove_shard_files(base, kShards);
+  fs::remove(flat);
+}
+
+TEST(ShardedFeedbackJournal, TornTailOnOneShardLosesOnlyThatShardsTail) {
+  const std::string base = temp_path("sharded_torn");
+  constexpr int kShards = 3;
+  constexpr int kN = 12;
+  {
+    ShardedFeedbackJournal journal(base, kShards, kDim);
+    for (int i = 0; i < kN; ++i) journal.append(i % kShards, make_record(i));
+  }
+  // Crash mid-append on shard 1: a frame header promising more bytes than
+  // were ever written. Shards 0 and 2 are untouched — per-shard files mean
+  // a torn tail is isolated to the shard that was appending.
+  const std::string torn_path =
+      ShardedFeedbackJournal::shard_path(base, kShards, 1);
+  {
+    std::ofstream out(torn_path, std::ios::binary | std::ios::app);
+    const std::uint32_t len = 2000;
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write("torn", 4);
+  }
+
+  ShardedFeedbackJournal recovered(base, kShards, kDim);
+  EXPECT_GT(recovered.shard(1).truncated_bytes(), 0u);
+  EXPECT_EQ(recovered.shard(0).truncated_bytes(), 0u);
+  EXPECT_EQ(recovered.shard(2).truncated_bytes(), 0u);
+  // No WHOLE record was in the torn frame, so nothing is lost; every other
+  // shard's records are bit-identical through replay.
+  EXPECT_EQ(recovered.records(), kN);
+  for (int k = 0; k < kShards; ++k) {
+    EXPECT_EQ(recovered.shard(k).records(), kN / kShards) << k;
+  }
+  // Appending resumes cleanly on the recovered shard.
+  recovered.append(1, make_record(kN));
+  EXPECT_EQ(FeedbackJournal::read_all(torn_path).size(),
+            static_cast<std::size_t>(kN / kShards) + 1);
+  remove_shard_files(base, kShards);
+}
+
 }  // namespace
 }  // namespace loam::serve

@@ -21,10 +21,18 @@
 #     speedup falls below 1.5x);
 #   - overload/pacing bench (BENCH_pacing.json, fails if any request is
 #     rejected at any load, or if p99 under 10x offered load exceeds 2x the
-#     1x baseline — the BBR-style shed-to-fallback claim).
+#     1x baseline — the BBR-style shed-to-fallback claim);
+#   - multi-shard serving soak (loam_sim_cli serve --shards=4; per-shard
+#     journal files must appear);
+#   - shard scale-out bench (BENCH_serve_scaling.json, fails if any request
+#     is rejected, any shard's applied-swap pause exceeds 1 ms, or — on a
+#     machine with >= 4 hardware threads — 4-shard model-path throughput
+#     falls below 2.5x 1-shard).
 # The pacing filter/state-machine tests (pacing_filter_test,
-# pacing_controller_test) and the serve overload soak run in every ctest
-# pass above, including under TSan.
+# pacing_controller_test), the serve overload soak, and the shard suite
+# (shard_test: cross-shard hot-swap soak, rollback-while-sharded,
+# fixed-shard-count bit-identity) run in every ctest pass above — the TSan
+# pass is the 4-shard concurrency soak.
 #
 # Usage: tools/check.sh [jobs]
 # Environment:
@@ -117,6 +125,38 @@ assert doc["gate"]["pass"] is True, doc["gate"]
 assert all(p["rejected"] == 0 for p in doc["phases"]), doc["phases"]
 assert any(p["multiplier"] == 10 and p["shed"] > 0 for p in doc["phases"]), \
     "10x phase did not shed anything"
+EOF
+
+echo "== Multi-shard serving soak smoke (loam_sim_cli serve --shards=4) =="
+rm -rf "${BUILD_DIR}/serve_state_sharded"
+"./${BUILD_DIR}/tools/loam_sim_cli" serve 1 48 \
+  "${BUILD_DIR}/serve_state_sharded" --paced --shards=4
+for k in 0 1 2 3; do
+  test -s "${BUILD_DIR}/serve_state_sharded/feedback.jnl.s${k}"
+done
+
+echo "== Shard scale-out bench (BENCH_serve_scaling.json) =="
+# Closed-loop sweep over 1/2/4/8 shards with continuous hot-swap plus a
+# burst phase; the binary exits non-zero on any rejection, a per-shard
+# applied-swap pause over 1 ms, or (with >= 4 hardware threads) a 4-shard
+# speedup below 2.5x. The JSON gate is re-checked here so a stale file from
+# an earlier run can never green-wash a failure.
+"./${BUILD_DIR}/bench/bench_micro" --serve-scaling \
+  --serve-scaling-json="${BUILD_DIR}/BENCH_serve_scaling.json"
+python3 - "${BUILD_DIR}/BENCH_serve_scaling.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["gate"]["pass"] is True, doc["gate"]
+assert doc["gate"]["rejected"] == 0, doc["gate"]
+assert doc["gate"]["swap_pause_max_us"] < 1000.0, doc["gate"]
+sweeps = {s["num_shards"]: s for s in doc["sweeps"]}
+assert set(sweeps) == {1, 2, 4, 8}, sorted(sweeps)
+if doc["hardware_concurrency"] >= 4:
+    assert sweeps[4]["model_rps"] >= 2.5 * sweeps[1]["model_rps"], doc["gate"]
+# Every sweep's burst must shed on at least one shard instead of rejecting.
+for s in sweeps.values():
+    assert s["rejected"] == 0, s
+    assert any(r > 0 for r in s["burst_shed_rate"]), s
 EOF
 
 echo "== ThreadSanitizer build + tests =="

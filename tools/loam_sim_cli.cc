@@ -17,7 +17,12 @@
 //                                           registry and feedback journal);
 //                                           --paced enables BBR-style batch
 //                                           pacing and prints the controller
-//                                           snapshot + shed count
+//                                           snapshot + shed count;
+//                                           --shards=N runs the shard-per-core
+//                                           scale-out (N shared-nothing
+//                                           shards, 0 = one per hardware
+//                                           thread) and prints a per-shard
+//                                           stats table
 //
 // Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
 // sampled population.
@@ -192,7 +197,8 @@ const char* pacing_state_name(serve::PacingController::State s) {
   return "?";
 }
 
-int cmd_serve(int index, int n_requests, const char* state_dir, bool paced) {
+int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
+              int shards) {
   core::RuntimeConfig rc;
   rc.seed = 99;
   core::ProjectRuntime runtime(pick_archetype(index), rc);
@@ -207,6 +213,7 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced) {
   cfg.gate.sample_queries = 12;
   cfg.retrain_min_new_records = std::max(16, n_requests / 2);
   cfg.pacing.enabled = paced;
+  cfg.num_shards = shards;
 
   // The request stream is pre-generated: make_queries consumes the runtime's
   // RNG, which the service's retrain gate also draws from.
@@ -271,6 +278,23 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced) {
     t.add_row({"shed to fallback", TablePrinter::fmt_int(stats.shed)});
   }
   t.print();
+  if (service.num_shards() > 1) {
+    std::printf("\nper-shard stats (%d shared-nothing shards):\n",
+                service.num_shards());
+    TablePrinter st({"shard", "requests", "batches", "shed", "fallback",
+                     "swaps applied", "swap pause max (us)"});
+    for (int k = 0; k < service.num_shards(); ++k) {
+      const serve::ShardStats s = service.shard_stats(k);
+      st.add_row({TablePrinter::fmt_int(k), TablePrinter::fmt_int(s.requests),
+                  TablePrinter::fmt_int(s.batches),
+                  TablePrinter::fmt_int(s.shed),
+                  TablePrinter::fmt_int(s.fallback_decisions),
+                  TablePrinter::fmt_int(s.swaps_applied),
+                  fmt_double(1e-3 * static_cast<double>(s.swap_pause_max_ns),
+                             2)});
+    }
+    st.print();
+  }
   for (const auto& [version, count] : served_by_version) {
     if (version < 0) {
       std::printf("  served by native fallback: %d\n", count);
@@ -290,7 +314,7 @@ void usage() {
                "       loam_sim_cli train   <archetype> <days> [ckpt]\n"
                "       loam_sim_cli steer   <archetype> <n-queries>\n"
                "       loam_sim_cli serve   <archetype> <n-requests> [state-dir]"
-               " [--paced]\n"
+               " [--paced] [--shards=N]\n"
                "global flags: --metrics-out=<path> --trace-out=<path>\n");
 }
 
@@ -309,6 +333,7 @@ bool write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   std::string metrics_out, trace_out;
   bool paced = false;
+  int shards = 1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -317,6 +342,8 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--paced") == 0) {
       paced = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -346,7 +373,7 @@ int main(int argc, char** argv) {
     rc = cmd_steer(index, std::atoi(args[3]));
   } else if (cmd == "serve" && nargs >= 4) {
     rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr,
-                   paced);
+                   paced, shards);
   } else {
     usage();
     return 1;

@@ -7,6 +7,11 @@ span names by total and by self time. Self time subtracts the time covered
 by same-thread spans strictly nested inside an event, so a parent that only
 waits on instrumented children shows up near zero.
 
+Serve spans carry a shard tag (args.shard, -1/absent = untagged); when any
+are present a per-shard utilization table follows: events, total span time,
+and each shard's busy fraction of the tagged wall window — an imbalance or
+an idle shard is visible at a glance.
+
 Usage: tools/trace_summary.py TRACE.json [--top N]
 """
 
@@ -27,6 +32,7 @@ def load_events(path):
     for e in data:
         if not isinstance(e, dict) or e.get("ph") != "X":
             continue
+        event_args = e.get("args", {})
         events.append(
             {
                 "name": e.get("name", "?"),
@@ -34,6 +40,9 @@ def load_events(path):
                 "tid": e.get("tid", 0),
                 "ts": float(e.get("ts", 0.0)),
                 "dur": float(e.get("dur", 0.0)),
+                "shard": int(event_args.get("shard", -1))
+                if isinstance(event_args, dict)
+                else -1,
             }
         )
     return events
@@ -98,6 +107,29 @@ def main():
 
     table("top spans by TOTAL time:", 1)
     table("top spans by SELF time:", 2)
+    shard_table(events)
+
+
+def shard_table(events):
+    """Per-shard utilization over shard-tagged spans (serve batch/shed)."""
+    tagged = [e for e in events if e["shard"] >= 0]
+    if not tagged:
+        return
+    window_us = max(e["ts"] + e["dur"] for e in tagged) - min(
+        e["ts"] for e in tagged
+    )
+    shards = defaultdict(lambda: [0, 0.0])  # shard -> [events, total us]
+    for e in tagged:
+        row = shards[e["shard"]]
+        row[0] += 1
+        row[1] += e["dur"]
+    print("per-shard utilization (shard-tagged spans):")
+    print(f"  {'shard':>5} {'events':>8} {'total ms':>10} {'busy %':>8}")
+    for shard in sorted(shards):
+        count, tot = shards[shard]
+        busy = 100.0 * tot / window_us if window_us > 0 else 0.0
+        print(f"  {shard:>5} {count:>8} {tot / 1e3:>10.2f} {busy:>8.1f}")
+    print()
 
 
 if __name__ == "__main__":
