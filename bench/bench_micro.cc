@@ -446,10 +446,24 @@ struct ExplorerOverhead {
   double overhead_pct = 0.0;
 };
 
-ExplorerOverhead bench_explorer() {
+// With `with_recorder` the same paired measurement runs while an
+// obs::Recorder samples the registry every 5 ms in the background — the
+// flight-recorder deployment configuration. The recorder runs through BOTH
+// sides of every pair (only the metrics/tracing flags toggle), so the
+// reported overhead is what recording adds to instrumented explorer calls,
+// with sampling noise hitting each pair alike.
+ExplorerOverhead bench_explorer(bool with_recorder = false) {
   Fixture& f = fixture();
   core::PlanExplorer explorer(f.optimizer.get());
   explorer.explore(f.query);  // warm caches and metric handles
+  std::unique_ptr<obs::Recorder> recorder;
+  if (with_recorder) {
+    obs::RecorderConfig rc;
+    rc.interval_ns = 5'000'000;  // 5 ms — far denser than the 250 ms default
+    rc.ring_capacity = 256;
+    recorder = std::make_unique<obs::Recorder>(std::move(rc));
+    recorder->start();
+  }
   // The per-call delta (well under 1 µs) is smaller than the machine-state
   // drift across a multi-second run, so the two states are measured in
   // INTERLEAVED adjacent chunks — drift hits each pair alike — and the
@@ -481,6 +495,7 @@ ExplorerOverhead bench_explorer() {
   }
   obs::set_metrics_enabled(false);
   obs::set_tracing_enabled(false);
+  if (recorder) recorder->stop();
 
   auto median = [](std::vector<double> v) {
     std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
@@ -506,6 +521,11 @@ int run_obs_overhead(const std::string& json_path) {
   std::printf("disabled %.0f ns, enabled %.0f ns, overhead %+.2f%%\n",
               e.disabled_ns, e.enabled_ns, e.overhead_pct);
 
+  std::printf("\n== explorer end-to-end, obs enabled + 5 ms flight recorder ==\n");
+  const ExplorerOverhead er = bench_explorer(/*with_recorder=*/true);
+  std::printf("disabled %.0f ns, enabled %.0f ns, overhead %+.2f%%\n",
+              er.disabled_ns, er.enabled_ns, er.overhead_pct);
+
   std::ofstream json(json_path);
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -520,13 +540,25 @@ int run_obs_overhead(const std::string& json_path) {
        << ", \"span_enabled_ns\": " << s.span_on_ns << "\n  },\n"
        << "  \"explorer\": {\"disabled_ns\": " << e.disabled_ns
        << ", \"enabled_ns\": " << e.enabled_ns
-       << ", \"overhead_pct\": " << e.overhead_pct << "}\n}\n";
+       << ", \"overhead_pct\": " << e.overhead_pct << "},\n"
+       << "  \"explorer_recorder\": {\"disabled_ns\": " << er.disabled_ns
+       << ", \"enabled_ns\": " << er.enabled_ns
+       << ", \"overhead_pct\": " << er.overhead_pct
+       << ", \"interval_ms\": 5}\n}\n";
   std::printf("\nwrote %s\n", json_path.c_str());
 
   // The disabled budget is generous here (timer quantization on shared CI
   // boxes); the real assertion is "nanoseconds, not microseconds".
   if (s.counter_off_ns > 50.0 || s.span_off_ns > 50.0) {
     std::fprintf(stderr, "FAIL: disabled obs sites cost more than 50 ns\n");
+    return 1;
+  }
+  // The flight-recorder deployment budget: sampling 5 ms rings next to the
+  // explorer must not push instrumented-call overhead past 2%.
+  if (er.overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: explorer overhead with recorder %.2f%% exceeds 2%%\n",
+                 er.overhead_pct);
     return 1;
   }
   return 0;
@@ -545,6 +577,17 @@ double percentile(std::vector<double> v, double p) {
   const std::size_t i = static_cast<std::size_t>(
       p * static_cast<double>(v.size() - 1) + 0.5);
   return v[std::min(i, v.size() - 1)];
+}
+
+// Latency percentiles for --serve/--overload/--serve-scaling come from the
+// SAME interpolated fixed-bucket estimator the SLO engine reads
+// (obs::histogram_quantile), so BENCH_*.json and alert thresholds agree on
+// one definition. 96 exponential buckets from 0.01 ms to ~6.8 s keep the
+// per-bucket resolution at 15% — interpolation error stays far inside the
+// 2x-p99 pacing gate's margin.
+obs::FixedBucketQuantile latency_quantile_ms() {
+  return obs::FixedBucketQuantile(
+      obs::Histogram::exponential_bounds(0.01, 1.15, 96));
 }
 
 int run_serve(const std::string& json_path) {
@@ -609,8 +652,10 @@ int run_serve(const std::string& json_path) {
   submitter.join();
   service.stop();
 
-  const double p50_ms = 1e3 * percentile(latencies, 0.50);
-  const double p99_ms = 1e3 * percentile(latencies, 0.99);
+  obs::FixedBucketQuantile lat_q = latency_quantile_ms();
+  for (const double s : latencies) lat_q.observe(1e3 * s);
+  const double p50_ms = lat_q.quantile(0.50);
+  const double p99_ms = lat_q.quantile(0.99);
   double batch_sum = 0.0;
   for (const int b : batch_sizes) batch_sum += b;
   const double swap_mean_us =
@@ -937,21 +982,21 @@ PhaseResult run_phase(serve::OptimizerService& service,
   r.submitted = i;
   r.achieved_rps = window > 0.0 ? static_cast<double>(i) / window : 0.0;
 
-  std::vector<double> all_ms, model_ms;
-  all_ms.reserve(futures.size());
+  obs::FixedBucketQuantile all_q = serve_bench::latency_quantile_ms();
+  obs::FixedBucketQuantile model_q = serve_bench::latency_quantile_ms();
   for (std::future<serve::ServeDecision>& fut : futures) {
     const serve::ServeDecision d = fut.get();
     const double ms = 1e3 * d.total_seconds;
-    all_ms.push_back(ms);
+    all_q.observe(ms);
     if (!d.shed) {
-      model_ms.push_back(ms);
+      model_q.observe(ms);
       ++r.model_served;
     }
   }
   r.shed = service.stats().shed - shed_before;
-  r.p50_ms = serve_bench::percentile(all_ms, 0.50);
-  r.p99_ms = serve_bench::percentile(all_ms, 0.99);
-  r.model_p99_ms = serve_bench::percentile(model_ms, 0.99);
+  r.p50_ms = all_q.quantile(0.50);
+  r.p99_ms = all_q.quantile(0.99);
+  r.model_p99_ms = model_q.quantile(0.99);
   return r;
 }
 
@@ -1234,8 +1279,10 @@ SweepResult run_sweep(core::ProjectRuntime& runtime,
   r.requests = all_ms.size();
   r.total_rps = static_cast<double>(all_ms.size()) / window;
   r.model_rps = static_cast<double>(model_total) / window;
-  r.p50_ms = serve_bench::percentile(all_ms, 0.50);
-  r.p99_ms = serve_bench::percentile(all_ms, 0.99);
+  obs::FixedBucketQuantile lat_q = serve_bench::latency_quantile_ms();
+  for (const double ms : all_ms) lat_q.observe(ms);
+  r.p50_ms = lat_q.quantile(0.50);
+  r.p99_ms = lat_q.quantile(0.99);
 
   // Burst phase: everything at once, no pacing by the submitter — each
   // shard must shed its overflow to the fallback instead of rejecting.

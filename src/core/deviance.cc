@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace loam::core {
 
 double min_cost_pdf(const std::vector<LogNormal>& dists, double x) {
@@ -148,6 +150,12 @@ OnlineDevianceMonitor::OnlineDevianceMonitor(Config config)
       ring_(static_cast<std::size_t>(std::max(1, config.window)), 0.0) {}
 
 void OnlineDevianceMonitor::observe(double predicted_cost, double observed_cost) {
+  static obs::Counter* const c_observations =
+      obs::Registry::instance().counter("loam.deviance.observations");
+  static obs::Counter* const c_regressions =
+      obs::Registry::instance().counter("loam.deviance.regressions");
+  static obs::Gauge* const g_overrun =
+      obs::Registry::instance().gauge("loam.deviance.mean_overrun");
   // Guard the logs: costs are positive by construction, but a defensive floor
   // keeps a pathological zero-prediction from poisoning the window with inf.
   const double pred = std::max(predicted_cost, 1e-12);
@@ -158,6 +166,12 @@ void OnlineDevianceMonitor::observe(double predicted_cost, double observed_cost)
   sum_ += overrun;
   next_ = (next_ + 1) % ring_.size();
   ++count_;
+  c_observations->add();
+  g_overrun->set(mean_overrun());
+  if (!latched_regressed_ && regressed()) {
+    latched_regressed_ = true;
+    c_regressions->add();
+  }
 }
 
 double OnlineDevianceMonitor::mean_overrun() const {
@@ -179,6 +193,7 @@ void OnlineDevianceMonitor::reset() {
   next_ = 0;
   count_ = 0;
   sum_ = 0.0;
+  latched_regressed_ = false;
 }
 
 }  // namespace loam::core

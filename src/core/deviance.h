@@ -105,6 +105,10 @@ class OnlineDevianceMonitor {
   std::size_t next_ = 0;
   std::size_t count_ = 0;     // total observations since reset
   double sum_ = 0.0;          // running sum of the resident window
+  // Edge-detects the healthy -> regressed transition so the
+  // loam.deviance.regressions counter counts verdicts, not the observations
+  // that sustain one. Cleared by reset().
+  bool latched_regressed_ = false;
 };
 
 }  // namespace loam::core

@@ -87,6 +87,14 @@ class JsonWriter {
     out_ += "null";
     return *this;
   }
+  // Embeds pre-serialized JSON verbatim (a value position). The caller
+  // vouches that `json` is itself well-formed — used to splice registry
+  // snapshots and state-provider payloads into flight-recorder bundles.
+  JsonWriter& raw(std::string_view json) {
+    prefix();
+    out_ += json;
+    return *this;
+  }
 
   template <typename T>
   JsonWriter& kv(std::string_view k, T v) {

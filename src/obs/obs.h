@@ -11,7 +11,10 @@
 #define LOAM_OBS_OBS_H_
 
 #include "obs/json.h"      // IWYU pragma: export
+#include "obs/quantile.h"  // IWYU pragma: export
+#include "obs/recorder.h"  // IWYU pragma: export
 #include "obs/registry.h"  // IWYU pragma: export
+#include "obs/slo.h"       // IWYU pragma: export
 #include "obs/trace.h"     // IWYU pragma: export
 
 #endif  // LOAM_OBS_OBS_H_

@@ -1,0 +1,58 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+
+namespace loam::obs {
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double prev = cum;
+    cum += static_cast<double>(buckets[b]);
+    if (cum < rank) continue;
+    if (b >= bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward, so
+      // clamp to the highest finite bound (matches Prometheus).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = (b == 0) ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    double frac = (rank - prev) / static_cast<double>(buckets[b]);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return lo + frac * (hi - lo);
+  }
+  // Unreachable with total > 0, but keep a defined answer.
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double histogram_quantile(const MetricSnapshot& snap, double q) {
+  if (snap.kind != MetricKind::kHistogram) return 0.0;
+  return histogram_quantile(snap.bounds, snap.buckets, q);
+}
+
+FixedBucketQuantile::FixedBucketQuantile(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void FixedBucketQuantile::observe(double v) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  ++buckets_[b];
+  ++count_;
+  sum_ += v;
+}
+
+double FixedBucketQuantile::quantile(double q) const {
+  return histogram_quantile(bounds_, buckets_, q);
+}
+
+}  // namespace loam::obs

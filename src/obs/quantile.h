@@ -1,0 +1,62 @@
+// Interpolated fixed-bucket quantile estimation over obs::Histogram data.
+//
+// The registry's histograms store only bucket counts (ascending inclusive
+// upper bounds plus an implicit +inf overflow bucket), so exact percentiles
+// are unrecoverable — but a Prometheus-style linear interpolation inside the
+// bucket containing the target rank recovers them to within one bucket
+// width. The same estimator serves three callers so their numbers agree:
+//   * obs::SloEngine quantile predicates (p99(loam.serve.request_seconds));
+//   * bench_micro --serve/--overload/--serve-scaling latency reporting;
+//   * tools/obs_report.py (reimplemented in Python against the same schema).
+//
+// FixedBucketQuantile is the streaming front-end for code that has raw
+// samples but wants the shared estimator (and its exact bucketing) instead
+// of an ad-hoc sort-and-index percentile.
+#ifndef LOAM_OBS_QUANTILE_H_
+#define LOAM_OBS_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace loam::obs {
+
+// Quantile q in [0, 1] (clamped) of a fixed-bucket histogram. `bounds` are
+// ascending inclusive upper edges; `buckets` has bounds.size() + 1 entries,
+// the last being the +inf overflow bucket. Linear interpolation inside the
+// bucket holding rank q * total; the overflow bucket clamps to the highest
+// finite bound (there is no upper edge to interpolate toward). Returns 0
+// when the histogram is empty.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets, double q);
+
+// Convenience overload for registry snapshots. Non-histogram snapshots
+// return 0.
+double histogram_quantile(const MetricSnapshot& snap, double q);
+
+// Streaming accumulator with the exact bucketing rule of obs::Histogram
+// (linear scan, v > bound moves up, overflow past the last bound) but no
+// atomics and no registry entanglement — for single-threaded measurement
+// loops like bench_micro's latency reporting.
+class FixedBucketQuantile {
+ public:
+  explicit FixedBucketQuantile(std::vector<double> bounds);
+
+  void observe(double v);
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_QUANTILE_H_

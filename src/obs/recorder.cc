@@ -1,0 +1,267 @@
+#include "obs/recorder.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/quantile.h"
+#include "obs/trace.h"
+
+namespace loam::obs {
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// Counters and histogram counts are per-location monotone (relaxed atomics,
+// single memory location), so deltas are non-negative unless the registry
+// was reset between ticks — in which case the pre-reset baseline is gone and
+// the cumulative value IS the delta.
+std::uint64_t monotone_delta(std::uint64_t cur, std::uint64_t prev) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+}  // namespace
+
+const TickSeries* RecorderTick::find(std::string_view name) const {
+  for (const TickSeries& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Recorder::Recorder(RecorderConfig config) : config_(std::move(config)) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+Recorder::~Recorder() { stop(); }
+
+std::int64_t Recorder::read_clock() const {
+  return config_.clock ? config_.clock() : Tracer::now_ns();
+}
+
+void Recorder::start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Recorder::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  stop_requested_ = false;
+}
+
+bool Recorder::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return thread_.joinable();
+}
+
+void Recorder::run() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      // Cadence on the steady clock: a virtual RecorderConfig::clock cannot
+      // wake a real thread (tests drive ticks via sample_once() instead).
+      cv_.wait_for(lock, std::chrono::nanoseconds(config_.interval_ns),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    sample_once();
+  }
+}
+
+RecorderTick Recorder::sample_once() {
+  // Self-observability first, so this tick's snapshot carries the fresh
+  // values: the obs layer reports its own data loss instead of hiding it.
+  static Gauge* registry_size =
+      Registry::instance().gauge("loam.obs.registry_size");
+  static Gauge* trace_dropped =
+      Registry::instance().gauge("loam.obs.trace_dropped");
+  static Counter* sample_counter =
+      Registry::instance().counter("loam.obs.recorder.samples");
+  static Counter* overwrite_counter =
+      Registry::instance().counter("loam.obs.recorder.overwrites");
+  registry_size->set(static_cast<double>(Registry::instance().size()));
+  trace_dropped->set(static_cast<double>(Tracer::instance().dropped()));
+  sample_counter->add(1);
+
+  const std::int64_t t = read_clock();
+  RegistrySnapshot snap = Registry::instance().snapshot();
+
+  RecorderTick tick;
+  tick.t_ns = t;
+
+  std::uint64_t new_overwrites = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tick.dt_seconds =
+        has_prev_ ? 1e-9 * static_cast<double>(t - prev_t_ns_) : 0.0;
+    if (tick.dt_seconds < 0.0) tick.dt_seconds = 0.0;
+
+    tick.series.reserve(snap.metrics.size());
+    for (const MetricSnapshot& m : snap.metrics) {
+      const MetricSnapshot* prev = has_prev_ ? prev_.find(m.name) : nullptr;
+
+      TickSeries ts;
+      ts.name = m.name;
+      ts.kind = m.kind;
+      SeriesSample sample;
+      sample.t_ns = t;
+
+      switch (m.kind) {
+        case MetricKind::kCounter: {
+          const std::uint64_t prev_v = prev ? prev->count : 0;
+          ts.total = m.count;
+          ts.delta = monotone_delta(m.count, prev_v);
+          ts.value = tick.dt_seconds > 0.0
+                         ? static_cast<double>(ts.delta) / tick.dt_seconds
+                         : 0.0;
+          sample.value = ts.value;
+          sample.delta = ts.delta;
+          break;
+        }
+        case MetricKind::kGauge: {
+          ts.value = m.value;
+          sample.value = m.value;
+          break;
+        }
+        case MetricKind::kHistogram: {
+          const bool same_shape =
+              prev != nullptr && prev->buckets.size() == m.buckets.size();
+          ts.total = m.count;
+          ts.delta = monotone_delta(m.count, prev ? prev->count : 0);
+          ts.sum_delta = m.value - (same_shape ? prev->value : 0.0);
+          ts.bounds = m.bounds;
+          ts.bucket_delta.resize(m.buckets.size());
+          for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+            ts.bucket_delta[b] = monotone_delta(
+                m.buckets[b], same_shape ? prev->buckets[b] : 0);
+          }
+          // Interval p99: the quantile of what landed THIS interval, not of
+          // the cumulative distribution — this is what SLO rules window over.
+          ts.value = ts.delta > 0
+                         ? histogram_quantile(m.bounds, ts.bucket_delta, 0.99)
+                         : 0.0;
+          sample.value = ts.value;
+          sample.delta = ts.delta;
+          sample.sum_delta = ts.sum_delta;
+          sample.buckets = ts.bucket_delta;
+          break;
+        }
+      }
+
+      auto [it, inserted] = rings_.try_emplace(m.name);
+      SeriesRing& ring = it->second;
+      if (inserted) {
+        ring.kind = m.kind;
+        ring.bounds = m.bounds;
+        order_.push_back(m.name);
+      }
+      if (ring.samples.size() < config_.ring_capacity) {
+        ring.samples.push_back(std::move(sample));
+      } else {
+        ring.samples[ring.head % config_.ring_capacity] = std::move(sample);
+        ++new_overwrites;
+        ++overwrites_;
+      }
+      ++ring.head;
+
+      tick.series.push_back(std::move(ts));
+    }
+
+    prev_ = std::move(snap);
+    has_prev_ = true;
+    prev_t_ns_ = t;
+    ++samples_;
+  }
+
+  // Next tick's snapshot picks this up; bumping after the snapshot keeps the
+  // current tick's delta arithmetic self-consistent.
+  if (new_overwrites > 0) overwrite_counter->add(new_overwrites);
+
+  if (config_.on_tick) config_.on_tick(tick);
+  return tick;
+}
+
+std::vector<Recorder::Series> Recorder::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Series> out;
+  out.reserve(order_.size());
+  for (const std::string& name : order_) {
+    const SeriesRing& ring = rings_.at(name);
+    Series s;
+    s.name = name;
+    s.kind = ring.kind;
+    s.bounds = ring.bounds;
+    s.total_samples = ring.head;
+    s.samples.reserve(ring.samples.size());
+    if (ring.samples.size() < config_.ring_capacity) {
+      s.samples = ring.samples;
+    } else {
+      const std::size_t cap = config_.ring_capacity;
+      const std::size_t oldest = ring.head % cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        s.samples.push_back(ring.samples[(oldest + i) % cap]);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t Recorder::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::uint64_t Recorder::overwrites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwrites_;
+}
+
+void Recorder::history_to_json(JsonWriter& w) const {
+  const std::vector<Series> hist = history();
+  w.begin_array();
+  for (const Series& s : hist) {
+    w.begin_object();
+    w.kv("name", std::string_view(s.name));
+    w.kv("kind", kind_name(s.kind));
+    w.kv("total_samples", s.total_samples);
+    if (s.kind == MetricKind::kHistogram) {
+      w.key("bounds").begin_array();
+      for (double b : s.bounds) w.value(b);
+      w.end_array();
+    }
+    w.key("samples").begin_array();
+    for (const SeriesSample& sample : s.samples) {
+      w.begin_object();
+      w.kv("t_ns", sample.t_ns);
+      w.kv("value", sample.value);
+      w.kv("delta", sample.delta);
+      if (s.kind == MetricKind::kHistogram) {
+        w.kv("sum_delta", sample.sum_delta);
+        w.key("buckets").begin_array();
+        for (std::uint64_t b : sample.buckets) w.value(b);
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace loam::obs

@@ -1,0 +1,155 @@
+// Time-series metrics recorder: a background sampler that turns the
+// registry's point-in-time snapshots into bounded per-series history rings.
+//
+// Each sample tick takes one consistent Registry::snapshot(), diffs it
+// against the previous tick, and appends one SeriesSample per metric:
+//   * counters  — stored as rates (delta / dt) with the raw delta kept;
+//   * gauges    — stored as-is (last-write-wins instantaneous value);
+//   * histograms — stored as per-interval bucket deltas, with an interval
+//     p99 (via obs::histogram_quantile) precomputed as the sample value.
+// Rings have fixed capacity and overwrite oldest; loss is surfaced through
+// loam.obs.recorder.overwrites rather than hidden.
+//
+// Contract (same as the rest of loam::obs): off by default — nothing
+// samples until start() or an explicit sample_once(); the sampler never
+// touches an RNG stream, never takes locks owned by instrumented code, and
+// only ever *reads* the registry (plus its own loam.obs.* self-metrics), so
+// a recorder running next to the serve path cannot perturb model-path
+// decisions (asserted bit-identical under TSan in tests/recorder_test.cc).
+//
+// Clocks: RecorderConfig::clock (default Tracer::now_ns) timestamps samples
+// and computes dt, so tests drive deterministic histories with a virtual
+// clock via sample_once(). The background thread's *cadence* necessarily
+// waits on the steady clock — a virtual clock cannot wake a real thread —
+// which is why tests tick manually instead of calling start().
+//
+// The first tick has no predecessor: deltas span everything recorded before
+// the recorder began, i.e. they equal the cumulative totals at that moment.
+#ifndef LOAM_OBS_RECORDER_H_
+#define LOAM_OBS_RECORDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace loam::obs {
+
+// One metric's reading at one tick, as handed to on_tick observers (the SLO
+// engine evaluates these).
+struct TickSeries {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        // counter: rate/s; gauge: value; hist: interval p99
+  std::uint64_t total = 0;   // counter: cumulative; hist: cumulative count
+  std::uint64_t delta = 0;   // counter/hist count delta this interval
+  double sum_delta = 0.0;    // histogram sum delta this interval
+  std::vector<double> bounds;              // histograms only
+  std::vector<std::uint64_t> bucket_delta; // histograms only
+};
+
+struct RecorderTick {
+  std::int64_t t_ns = 0;
+  double dt_seconds = 0.0;
+  std::vector<TickSeries> series;  // registration order
+
+  const TickSeries* find(std::string_view name) const;
+};
+
+// One ring entry. Interpretation depends on the series kind (see TickSeries).
+struct SeriesSample {
+  std::int64_t t_ns = 0;
+  double value = 0.0;
+  std::uint64_t delta = 0;
+  double sum_delta = 0.0;
+  std::vector<std::uint64_t> buckets;  // histograms: per-interval deltas
+};
+
+struct RecorderConfig {
+  std::int64_t interval_ns = 250'000'000;  // background sampling cadence
+  std::size_t ring_capacity = 512;         // samples retained per series
+  // Timestamp/delta clock (ns). Null uses Tracer::now_ns(). The background
+  // thread's wait cadence always uses the steady clock (see file comment).
+  std::function<std::int64_t()> clock;
+  // Invoked after every sample with the fresh tick (SLO evaluation hook).
+  // Called outside the recorder's mutex, on the sampling thread.
+  std::function<void(const RecorderTick&)> on_tick;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderConfig config = {});
+  ~Recorder();
+
+  // Starts/stops the background sampling thread. Idempotent.
+  void start();
+  void stop();
+  bool running() const;
+
+  // Takes one sample synchronously on the calling thread (works with or
+  // without the background thread; tests drive virtual-clock histories
+  // through this). Returns the tick it recorded.
+  RecorderTick sample_once();
+
+  struct Series {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> bounds;         // histograms only
+    std::vector<SeriesSample> samples;  // oldest first
+    std::uint64_t total_samples = 0;    // including overwritten
+  };
+  // Copy of every series' resident ring, registration order.
+  std::vector<Series> history() const;
+
+  std::uint64_t samples() const;     // ticks taken
+  std::uint64_t overwrites() const;  // ring slots overwritten (all series)
+  std::size_t ring_capacity() const { return config_.ring_capacity; }
+  std::int64_t interval_ns() const { return config_.interval_ns; }
+
+  // Serializes history() as a JSON array (the "history" section of a dump
+  // bundle): [{"name","kind","bounds"?,"samples":[{"t_ns","value","delta",
+  // "sum_delta"?,"buckets"?}]}].
+  void history_to_json(JsonWriter& w) const;
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+ private:
+  struct SeriesRing {
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> bounds;
+    std::vector<SeriesSample> samples;  // ring storage, capacity-bounded
+    std::uint64_t head = 0;             // total samples ever appended
+  };
+
+  std::int64_t read_clock() const;
+  void run();
+
+  RecorderConfig config_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesRing> rings_;
+  std::vector<std::string> order_;  // registration order of rings_ keys
+  RegistrySnapshot prev_;
+  bool has_prev_ = false;
+  std::int64_t prev_t_ns_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t overwrites_ = 0;
+
+  mutable std::mutex thread_mu_;  // guards thread_/stop_requested_ + cv waits
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_RECORDER_H_

@@ -1,0 +1,385 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/quantile.h"
+#include "obs/trace.h"
+
+namespace loam::obs {
+namespace {
+
+void alert_to_json(JsonWriter& w, const Alert& a) {
+  w.begin_object();
+  w.kv("rule", std::string_view(a.rule));
+  w.kv("metric", std::string_view(a.metric));
+  w.kv("fired_t_ns", a.fired_t_ns);
+  w.kv("cleared_t_ns", a.cleared_t_ns);
+  w.kv("value", a.value);
+  w.kv("threshold", a.threshold);
+  w.kv("active", a.active);
+  w.end_object();
+}
+
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void SloEngine::add_rule(SloRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+  states_.emplace_back();
+}
+
+bool SloEngine::rule_value(const SloRule& rule, RuleState& state,
+                           const RecorderTick& tick, double* value) const {
+  switch (rule.kind) {
+    case SloRule::Kind::kThreshold: {
+      const TickSeries* s = tick.find(rule.metric);
+      if (s == nullptr) return false;
+      if (s->kind == MetricKind::kHistogram && rule.quantile >= 0.0) {
+        // Quantile of THIS interval's observations; an empty interval has
+        // no distribution to judge.
+        if (s->delta == 0) return false;
+        *value = histogram_quantile(s->bounds, s->bucket_delta, rule.quantile);
+        return true;
+      }
+      if (s->kind == MetricKind::kCounter) {
+        *value = rule.use_rate ? s->value : static_cast<double>(s->delta);
+        return true;
+      }
+      *value = s->value;
+      return true;
+    }
+    case SloRule::Kind::kRatio: {
+      const TickSeries* num = tick.find(rule.metric);
+      const TickSeries* den = tick.find(rule.denominator);
+      if (num == nullptr || den == nullptr || den->delta == 0) return false;
+      *value = static_cast<double>(num->delta) /
+               static_cast<double>(den->delta);
+      return true;
+    }
+    case SloRule::Kind::kBurnRate: {
+      const TickSeries* s = tick.find(rule.metric);
+      if (s == nullptr) return false;
+      state.window.emplace_back(s->delta, tick.dt_seconds);
+      const std::size_t window =
+          static_cast<std::size_t>(std::max(rule.window_samples, 1));
+      while (state.window.size() > window) state.window.pop_front();
+      std::uint64_t delta_sum = 0;
+      double dt_sum = 0.0;
+      for (const auto& [delta, dt] : state.window) {
+        delta_sum += delta;
+        dt_sum += dt;
+      }
+      if (dt_sum <= 0.0) return false;
+      *value = static_cast<double>(delta_sum) / dt_sum;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Alert> SloEngine::evaluate(const RecorderTick& tick) {
+  static Counter* alerts_fired =
+      Registry::instance().counter("loam.obs.slo.alerts");
+
+  std::vector<Alert> fired;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    RuleState& state = states_[i];
+
+    double value = 0.0;
+    const bool has_value = rule_value(rule, state, tick, &value);
+    const bool breach =
+        has_value && (rule.cmp == SloRule::Cmp::kGt ? value > rule.threshold
+                                                    : value < rule.threshold);
+
+    if (breach) {
+      ++state.breach_streak;
+      state.clear_streak = 0;
+      if (!state.active && state.breach_streak >= rule.for_samples) {
+        state.active = true;
+        Alert a;
+        a.rule = rule.name;
+        a.metric = rule.metric;
+        a.fired_t_ns = tick.t_ns;
+        a.value = value;
+        a.threshold = rule.threshold;
+        a.active = true;
+        state.log_index = log_.size();
+        log_.push_back(a);
+        fired.push_back(a);
+        alerts_fired->add(1);
+      }
+    } else {
+      ++state.clear_streak;
+      state.breach_streak = 0;
+      if (state.active && state.clear_streak >= rule.clear_samples) {
+        state.active = false;
+        log_[state.log_index].cleared_t_ns = tick.t_ns;
+        log_[state.log_index].active = false;
+      }
+    }
+  }
+  return fired;
+}
+
+std::vector<Alert> SloEngine::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Alert> out;
+  for (const Alert& a : log_) {
+    if (a.active) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Alert> SloEngine::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::uint64_t SloEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+std::size_t SloEngine::rule_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_.size();
+}
+
+void SloEngine::to_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.kv("evaluations", evaluations_);
+  w.key("active").begin_array();
+  for (const Alert& a : log_) {
+    if (a.active) alert_to_json(w, a);
+  }
+  w.end_array();
+  w.key("log").begin_array();
+  for (const Alert& a : log_) alert_to_json(w, a);
+  w.end_array();
+  w.end_object();
+}
+
+std::vector<SloRule> default_serve_rules(int num_shards) {
+  std::vector<SloRule> rules;
+
+  SloRule p99;
+  p99.name = "serve.p99_latency";
+  p99.kind = SloRule::Kind::kThreshold;
+  p99.metric = "loam.serve.request_seconds";
+  p99.quantile = 0.99;
+  p99.threshold = 0.5;  // seconds
+  p99.for_samples = 3;
+  p99.clear_samples = 2;
+  rules.push_back(std::move(p99));
+
+  SloRule shed;
+  shed.name = "serve.shed_ratio";
+  shed.kind = SloRule::Kind::kRatio;
+  shed.metric = "loam.serve.pacing.shed_total";
+  shed.denominator = "loam.serve.requests_admitted";
+  shed.threshold = 0.5;
+  shed.for_samples = 1;
+  shed.clear_samples = 2;
+  rules.push_back(std::move(shed));
+
+  SloRule reject;
+  reject.name = "serve.reject_burn";
+  reject.kind = SloRule::Kind::kBurnRate;
+  reject.metric = "loam.serve.requests_rejected";
+  reject.threshold = 0.0;  // any sustained rejection burn is an SLO breach
+  reject.window_samples = 4;
+  reject.clear_samples = 2;
+  rules.push_back(std::move(reject));
+
+  for (int k = 0; k < num_shards; ++k) {
+    SloRule swap;
+    swap.name = "serve.shard" + std::to_string(k) + ".swap_pause_p99";
+    swap.kind = SloRule::Kind::kThreshold;
+    swap.metric =
+        "loam.serve.shard" + std::to_string(k) + ".swap_pause_seconds";
+    swap.quantile = 0.99;
+    swap.threshold = 1e-3;  // the 1 ms hot-swap budget
+    swap.clear_samples = 2;
+    rules.push_back(std::move(swap));
+  }
+  return rules;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)), recorder_([this] {
+        RecorderConfig rc = config_.recorder;
+        rc.on_tick = [this](const RecorderTick& t) { this->on_tick(t); };
+        return rc;
+      }()) {
+  for (const SloRule& rule : config_.rules) engine_.add_rule(rule);
+}
+
+FlightRecorder::~FlightRecorder() { stop(); }
+
+void FlightRecorder::start() { recorder_.start(); }
+void FlightRecorder::stop() { recorder_.stop(); }
+
+RecorderTick FlightRecorder::tick() { return recorder_.sample_once(); }
+
+void FlightRecorder::on_tick(const RecorderTick& tick) {
+  const std::vector<Alert> fired = engine_.evaluate(tick);
+  if (config_.dump_on_alert && !fired.empty() &&
+      !dumping_.load(std::memory_order_relaxed)) {
+    trigger_dump("alert:" + fired.front().rule);
+  }
+  if (config_.recorder.on_tick) config_.recorder.on_tick(tick);
+}
+
+int FlightRecorder::add_state_provider(const std::string& name,
+                                       std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_provider_id_++;
+  providers_.push_back({id, name, std::move(provider)});
+  return id;
+}
+
+void FlightRecorder::remove_state_provider(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(
+      std::remove_if(providers_.begin(), providers_.end(),
+                     [id](const Provider& p) { return p.id == id; }),
+      providers_.end());
+}
+
+std::string FlightRecorder::bundle_json(const std::string& reason) {
+  // Copy the provider list so callbacks run without our mutex held (they
+  // typically take service-side locks of their own).
+  std::vector<Provider> providers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers = providers_;
+  }
+  const std::int64_t t = config_.recorder.clock ? config_.recorder.clock()
+                                                : Tracer::now_ns();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "loam.flight.v1");
+  w.kv("reason", std::string_view(reason));
+  w.kv("t_ns", t);
+  w.kv("interval_ns", recorder_.interval_ns());
+  w.kv("ring_capacity", static_cast<std::uint64_t>(recorder_.ring_capacity()));
+
+  w.key("recorder").begin_object();
+  w.kv("samples", recorder_.samples());
+  w.kv("overwrites", recorder_.overwrites());
+  w.end_object();
+
+  w.key("alerts");
+  engine_.to_json(w);
+
+  w.key("history");
+  recorder_.history_to_json(w);
+
+  w.key("registry").raw(Registry::instance().snapshot().to_json());
+
+  std::vector<TraceEvent> events = Tracer::instance().drain();
+  const std::size_t keep = std::min(events.size(), config_.max_trace_events);
+  w.key("trace").begin_array();
+  for (std::size_t i = events.size() - keep; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    w.begin_object();
+    w.kv("name", e.name != nullptr ? e.name : "");
+    w.kv("cat", cat_name(e.cat));
+    w.kv("tid", static_cast<std::uint64_t>(e.tid));
+    w.kv("start_ns", e.start_ns);
+    w.kv("dur_ns", e.dur_ns);
+    w.kv("arg", e.arg);
+    w.kv("shard", e.shard);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("state").begin_object();
+  for (const Provider& p : providers) {
+    w.key(p.name).raw(p.fn());
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string FlightRecorder::trigger_dump(const std::string& reason) {
+  // Re-entrancy guard: the sample below evaluates SLO rules, and a rule
+  // firing there must not start a second dump from inside this one.
+  if (dumping_.exchange(true, std::memory_order_acq_rel)) return "";
+  struct Release {
+    std::atomic<bool>* flag;
+    ~Release() { flag->store(false, std::memory_order_release); }
+  } release{&dumping_};
+
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t t = config_.recorder.clock ? config_.recorder.clock()
+                                                  : Tracer::now_ns();
+    if (config_.min_dump_interval_ns > 0) {
+      auto it = last_dump_t_.find(reason);
+      if (it != last_dump_t_.end() &&
+          t - it->second < config_.min_dump_interval_ns) {
+        return "";
+      }
+    }
+    last_dump_t_[reason] = t;
+    seq = dump_seq_++;
+  }
+
+  // Capture the trigger moment itself in the rings before bundling.
+  recorder_.sample_once();
+
+  const std::string json = bundle_json(reason);
+
+  char seq_buf[16];
+  std::snprintf(seq_buf, sizeof(seq_buf), "%04llu",
+                static_cast<unsigned long long>(seq));
+  const std::string path = config_.dump_dir + "/" + config_.dump_prefix + "-" +
+                           seq_buf + "-" + sanitize_for_filename(reason) +
+                           ".json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return "";
+    out << json << '\n';
+    if (!out) return "";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++dumps_written_;
+  last_dump_path_ = path;
+  return path;
+}
+
+std::uint64_t FlightRecorder::dumps_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_written_;
+}
+
+std::string FlightRecorder::last_dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_dump_path_;
+}
+
+}  // namespace loam::obs

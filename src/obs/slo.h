@@ -1,0 +1,203 @@
+// Declarative SLO rules over recorder ticks, and the flight recorder that
+// turns an alert (or a deviance rollback, or an explicit trigger) into a
+// forensic dump bundle.
+//
+// Rule kinds:
+//   * kThreshold — one series vs a constant. With quantile >= 0 on a
+//     histogram series, the compared value is the interval quantile of that
+//     tick's bucket deltas (e.g. p99(loam.serve.request_seconds) > 0.5 for
+//     3 samples); counters compare the raw interval delta, or the rate when
+//     use_rate is set; gauges compare the instantaneous value.
+//   * kRatio — delta(metric) / delta(denominator) this interval (e.g.
+//     shed_total / requests_admitted > 0.5). A zero-delta denominator is a
+//     healthy tick — no traffic, no verdict.
+//   * kBurnRate — sum of deltas over the trailing window_samples ticks
+//     divided by the summed wall time, i.e. a windowed events-per-second
+//     burn (e.g. requests_rejected burning > 0/s over 4 samples).
+//
+// Hysteresis: a rule fires only after `for_samples` consecutive breaching
+// ticks and clears only after `clear_samples` consecutive healthy ones —
+// one good tick inside a bad stretch does not flap the alert. Ticks where
+// the series is missing or has no data (empty interval for a quantile rule)
+// count as healthy. Every fire appends a structured Alert to the engine log
+// and bumps loam.obs.slo.alerts.
+//
+// FlightRecorder = Recorder + SloEngine + dump bundles. Each tick is
+// evaluated on the sampling thread; if dump_on_alert is set, a freshly
+// fired alert writes one JSON bundle: full metric-history rings, a recent
+// trace-ring drain, active + historical alerts, the live registry snapshot,
+// and every registered state provider's JSON (the serve layer registers a
+// pacing/per-shard state table). Callers may also trigger_dump() directly
+// (rollback and gate-rejection hooks in serve/service.cc do). Providers are
+// invoked WITHOUT recorder locks held, but they may take their own — so
+// trigger_dump() must not be called while holding any lock a provider
+// needs (see the serve wiring notes in docs/OBSERVABILITY.md).
+#ifndef LOAM_OBS_SLO_H_
+#define LOAM_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/recorder.h"
+
+namespace loam::obs {
+
+struct SloRule {
+  std::string name;  // unique; appears in Alert records and dump filenames
+
+  enum class Kind { kThreshold, kRatio, kBurnRate };
+  Kind kind = Kind::kThreshold;
+
+  std::string metric;       // series name (numerator for kRatio)
+  std::string denominator;  // kRatio only
+  // kThreshold on a histogram: compare this interval quantile (e.g. 0.99).
+  // Negative = not a quantile rule.
+  double quantile = -1.0;
+  // kThreshold on a counter: compare the rate (delta/dt) instead of the
+  // raw interval delta.
+  bool use_rate = false;
+
+  enum class Cmp { kGt, kLt };
+  Cmp cmp = Cmp::kGt;
+  double threshold = 0.0;
+
+  int for_samples = 1;     // consecutive breaches to fire
+  int clear_samples = 1;   // consecutive healthy ticks to clear
+  int window_samples = 1;  // kBurnRate trailing window length
+};
+
+struct Alert {
+  std::string rule;
+  std::string metric;
+  std::int64_t fired_t_ns = 0;
+  std::int64_t cleared_t_ns = -1;  // -1 while active
+  double value = 0.0;              // observed value at fire time
+  double threshold = 0.0;
+  bool active = false;
+};
+
+class SloEngine {
+ public:
+  void add_rule(SloRule rule);
+
+  // Evaluates every rule against one tick; returns alerts that fired ON
+  // this tick (hysteresis crossings only, not ongoing actives).
+  std::vector<Alert> evaluate(const RecorderTick& tick);
+
+  std::vector<Alert> active() const;
+  std::vector<Alert> log() const;  // every alert ever fired, fire order
+  std::uint64_t evaluations() const;
+  std::size_t rule_count() const;
+
+  // {"evaluations":N,"active":[...],"log":[...]}
+  void to_json(JsonWriter& w) const;
+
+ private:
+  struct RuleState {
+    int breach_streak = 0;
+    int clear_streak = 0;
+    bool active = false;
+    std::size_t log_index = 0;  // of the currently-active alert
+    std::deque<std::pair<std::uint64_t, double>> window;  // (delta, dt)
+  };
+
+  // Returns true and sets `value` when the rule has a verdict this tick;
+  // false = healthy-by-absence.
+  bool rule_value(const SloRule& rule, RuleState& state,
+                  const RecorderTick& tick, double* value) const;
+
+  mutable std::mutex mu_;
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<Alert> log_;
+  std::uint64_t evaluations_ = 0;
+};
+
+// The serve path's stock rule set (docs/OBSERVABILITY.md#slo-rules):
+//   serve.p99_latency      p99(loam.serve.request_seconds) > 0.5s for 3
+//   serve.shed_ratio       shed_total / requests_admitted > 0.5
+//   serve.reject_burn      requests_rejected burning > 0/s over 4 samples
+//   serve.shard<K>.swap_pause_p99  per shard, p99 > 1 ms
+std::vector<SloRule> default_serve_rules(int num_shards);
+
+struct FlightRecorderConfig {
+  RecorderConfig recorder;
+  std::vector<SloRule> rules;
+  bool dump_on_alert = false;
+  std::string dump_dir = ".";
+  std::string dump_prefix = "flight";
+  std::size_t max_trace_events = 2048;  // newest events kept in a bundle
+  // Minimum spacing between dumps for the SAME reason (0 = unlimited);
+  // measured on the recorder clock.
+  std::int64_t min_dump_interval_ns = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+  ~FlightRecorder();
+
+  void start();
+  void stop();
+
+  // One synchronous sample + SLO evaluation (virtual-clock tests and the
+  // CLI's end-of-burst checkpoint use this).
+  RecorderTick tick();
+
+  // Registers a callback whose returned string (must be valid JSON) is
+  // embedded under "state"."<name>" in every bundle. Returns an id for
+  // remove_state_provider. Providers run on whichever thread triggers a
+  // dump; they must be safe to call until removed.
+  int add_state_provider(const std::string& name,
+                         std::function<std::string()> provider);
+  void remove_state_provider(int id);
+
+  // Writes one dump bundle now; returns the path ("" when rate-limited or
+  // the file could not be written). Never recurses: an alert fired by the
+  // sample this dump takes cannot trigger a second dump.
+  std::string trigger_dump(const std::string& reason);
+  // The bundle JSON without writing a file (tests).
+  std::string bundle_json(const std::string& reason);
+
+  const Recorder& recorder() const { return recorder_; }
+  std::vector<Alert> active_alerts() const { return engine_.active(); }
+  std::vector<Alert> alert_log() const { return engine_.log(); }
+  std::uint64_t dumps_written() const;
+  std::string last_dump_path() const;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  void on_tick(const RecorderTick& tick);
+
+  FlightRecorderConfig config_;
+  SloEngine engine_;
+  Recorder recorder_;  // last: its thread may call on_tick during teardown
+
+  std::atomic<bool> dumping_{false};  // re-entrancy guard
+
+  mutable std::mutex mu_;
+  struct Provider {
+    int id;
+    std::string name;
+    std::function<std::string()> fn;
+  };
+  std::vector<Provider> providers_;
+  int next_provider_id_ = 0;
+  std::map<std::string, std::int64_t> last_dump_t_;  // per reason
+  std::uint64_t dumps_written_ = 0;
+  std::uint64_t dump_seq_ = 0;
+  std::string last_dump_path_;
+};
+
+}  // namespace loam::obs
+
+#endif  // LOAM_OBS_SLO_H_

@@ -105,9 +105,24 @@ OptimizerService::OptimizerService(core::ProjectRuntime* runtime,
     env.clock = clock;
     shards_.push_back(std::make_unique<ServeShard>(std::move(env)));
   }
+
+  // Flight-recorder hookup last (shards must exist: the provider reads
+  // their stats). Purely observational — nothing on the request path ever
+  // consults the recorder.
+  if (config_.flight_recorder != nullptr) {
+    flight_provider_ = config_.flight_recorder->add_state_provider(
+        "serve", [this] { return serve_state_json(); });
+  }
 }
 
-OptimizerService::~OptimizerService() { stop(); }
+OptimizerService::~OptimizerService() {
+  stop();
+  // After this the recorder may keep running, but no dump will call back
+  // into the (now dying) service.
+  if (config_.flight_recorder != nullptr && flight_provider_ >= 0) {
+    config_.flight_recorder->remove_state_provider(flight_provider_);
+  }
+}
 
 std::int64_t OptimizerService::obs_now_ns() { return obs::Tracer::now_ns(); }
 
@@ -252,7 +267,17 @@ void OptimizerService::record_feedback(const ServeDecision& decision,
     g_overrun->set(monitor_.mean_overrun());
     trigger = monitor_.regressed();
   }
-  if (trigger) rollback(decision.model_version);
+  if (trigger) {
+    rollback(decision.model_version);
+    // Forensics AFTER the rollback completes: rollback() holds swap_mu_ /
+    // monitor_mu_, and the dump's state provider takes monitor_mu_ itself —
+    // triggering here (no service locks held) keeps the hierarchy clean. The
+    // bundle's history rings still show the overrun trajectory that tripped
+    // the monitor; only the post-swap registry state is "after the fact".
+    if (config_.flight_recorder != nullptr) {
+      config_.flight_recorder->trigger_dump("deviance_rollback");
+    }
+  }
 
   // Retraining cadence: every retrain_min_new_records executed records, one
   // background retrain (never more than one in flight — the exchange below
@@ -366,6 +391,9 @@ bool OptimizerService::retrain_sync() {
   registry_.publish(*model, meta);
   n_retrain_rejected_.fetch_add(1, std::memory_order_relaxed);
   c_rejected->add();
+  if (config_.flight_recorder != nullptr) {
+    config_.flight_recorder->trigger_dump("gate_rejection");
+  }
   return false;
 }
 
@@ -514,6 +542,76 @@ PacingSnapshot OptimizerService::pacing_snapshot(int shard) const {
 
 ShardStats OptimizerService::shard_stats(int shard) const {
   return shards_.at(static_cast<std::size_t>(shard))->stats();
+}
+
+namespace {
+
+const char* pacing_state_json_name(PacingController::State s) {
+  switch (s) {
+    case PacingController::State::kStartup: return "startup";
+    case PacingController::State::kDrain: return "drain";
+    case PacingController::State::kSteady: return "steady";
+    case PacingController::State::kProbe: return "probe";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string OptimizerService::serve_state_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("active_version", active_version());
+  w.kv("num_shards", num_shards());
+  w.kv("monitor_mean_overrun", monitor_mean_overrun());
+
+  const Stats s = stats();
+  w.key("stats").begin_object();
+  w.kv("requests", s.requests);
+  w.kv("rejected", s.rejected);
+  w.kv("shed", s.shed);
+  w.kv("batches", s.batches);
+  w.kv("fallback_decisions", s.fallback_decisions);
+  w.kv("swaps", s.swaps);
+  w.kv("rollbacks", s.rollbacks);
+  w.kv("retrains", s.retrains);
+  w.kv("retrain_approved", s.retrain_approved);
+  w.kv("retrain_rejected", s.retrain_rejected);
+  w.kv("retrain_skipped", s.retrain_skipped);
+  w.end_object();
+
+  w.key("shards").begin_array();
+  for (int k = 0; k < num_shards(); ++k) {
+    const ServeShard& sh = *shards_[static_cast<std::size_t>(k)];
+    const ShardStats ss = sh.stats();
+    const PacingSnapshot ps = sh.pacing_snapshot();
+    w.begin_object();
+    w.kv("index", k);
+    w.kv("serving_version", sh.serving_version());
+    w.kv("requests", ss.requests);
+    w.kv("rejected", ss.rejected);
+    w.kv("shed", ss.shed);
+    w.kv("batches", ss.batches);
+    w.kv("fallback_decisions", ss.fallback_decisions);
+    w.kv("swaps_applied", ss.swaps_applied);
+    w.kv("swap_pause_max_ns", ss.swap_pause_max_ns);
+    w.key("pacing").begin_object();
+    w.kv("enabled", ps.enabled);
+    w.kv("state", pacing_state_json_name(ps.state));
+    w.kv("est_bw_per_sec", ps.est_bw_per_sec);
+    w.kv("est_min_delay_seconds", ps.est_min_delay_seconds);
+    w.kv("bdp_requests", ps.bdp_requests);
+    w.kv("cwnd", ps.cwnd);
+    w.kv("batch_target", ps.batch_target);
+    w.kv("inflight", ps.inflight);
+    w.kv("rounds", ps.rounds);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
 }
 
 OptimizerService::Stats OptimizerService::stats() const {

@@ -172,6 +172,10 @@ class OptimizerService {
 
   void bootstrap_journal();
   void retrain_task();
+  // The "serve" state-provider payload for flight-recorder dump bundles:
+  // active version, service stats, monitor overrun, and a per-shard table
+  // (counters + pacing controller snapshot). Takes only introspection locks.
+  std::string serve_state_json() const;
   // Installs `next` in the announcement slot and bumps the swap epoch — the
   // broadcast every shard observes at its next batch boundary. Returns the
   // previously announced snapshot.
@@ -217,6 +221,11 @@ class OptimizerService {
   // is immutable once constructed, so lock-free access from submitters is
   // safe.
   std::vector<std::unique_ptr<ServeShard>> shards_;
+
+  // Flight-recorder state-provider registration (config_.flight_recorder);
+  // -1 = no recorder configured. Registered at the end of construction,
+  // removed in the dtor after stop().
+  int flight_provider_ = -1;
 
   std::atomic<std::uint64_t> next_request_id_{1};
   std::atomic<int> executed_since_retrain_{0};

@@ -112,6 +112,7 @@ bool ServeShard::try_submit(std::uint64_t id, Query query,
   pending.query = std::move(query);
   pending.enqueue_ns = now_ns();
   bool shed = false;
+  bool reject = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_) {
@@ -121,12 +122,7 @@ bool ServeShard::try_submit(std::uint64_t id, Query query,
       return false;
     }
     if (!pacing) {
-      if (queue_.size() >= config.queue_capacity) {
-        n_rejected_.fetch_add(1, std::memory_order_relaxed);
-        c_rejected->add();
-        c_rejected_->add();
-        return false;
-      }
+      reject = queue_.size() >= config.queue_capacity;
     } else {
       // BBR-style admission: requests inside this shard's pacing window take
       // the model path; everything past it — or past the FIFO bound — is
@@ -140,10 +136,24 @@ bool ServeShard::try_submit(std::uint64_t id, Query query,
              queue_.size() >= config.queue_capacity;
       if (!shed) inflight_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!shed) {
+    if (!shed && !reject) {
       *out = pending.promise.get_future();
       queue_.push_back(std::move(pending));
     }
+  }
+  if (reject) {
+    n_rejected_.fetch_add(1, std::memory_order_relaxed);
+    c_rejected->add();
+    c_rejected_->add();
+    // A bounded-queue rejection with pacing off is the service visibly
+    // failing admission — worth a black-box dump. Triggered OUTSIDE
+    // queue_mu_: the dump's state provider walks every shard's stats and
+    // the service monitor, none of which may nest under a queue lock. A
+    // stopped service stays dump-free (shutdown is not an incident).
+    if (config.flight_recorder != nullptr) {
+      config.flight_recorder->trigger_dump("serve.reject");
+    }
+    return false;
   }
   if (shed) {
     n_shed_.fetch_add(1, std::memory_order_relaxed);

@@ -53,6 +53,10 @@
 #include "obs/registry.h"
 #include "serve/pacing.h"
 
+namespace loam::obs {
+class FlightRecorder;
+}  // namespace loam::obs
+
 namespace loam::serve {
 
 // Immutable view of "the model serving right now". version -1 with a null
@@ -116,6 +120,13 @@ struct ServeConfig {
   // so latency fields and every pacing state transition are reproducible
   // without wall-clock sleeps.
   std::function<std::int64_t()> clock;
+
+  // Optional flight recorder (obs/slo.h). Non-owning; must outlive the
+  // service. When set, the service registers a "serve" state provider
+  // (pacing + per-shard tables in every dump bundle) and forensic dumps
+  // fire on deviance rollback, retrain gate rejection, and bounded-queue
+  // rejection. Purely observational: no decision consults it.
+  obs::FlightRecorder* flight_recorder = nullptr;
 
   std::string registry_root = "loam_registry";
   std::string journal_path = "loam_feedback.jnl";

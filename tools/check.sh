@@ -135,6 +135,24 @@ for k in 0 1 2 3; do
   test -s "${BUILD_DIR}/serve_state_sharded/feedback.jnl.s${k}"
 done
 
+echo "== Flight-recorder smoke (--record --dump-on-alert + obs_report) =="
+# Paced 4-shard soak with the recorder sampling at 25ms and a 32x burst
+# resubmission at the end: the burst drives the shed ratio well past 0.5
+# (~0.75 observed), so the serve.shed_ratio SLO rule must fire and leave an
+# alert dump on disk (alongside the deviance-rollback and shutdown bundles).
+# Every bundle must pass the obs_report schema validator and render.
+rm -rf "${BUILD_DIR}/flight_state" "${BUILD_DIR}/flight_dumps"
+mkdir -p "${BUILD_DIR}/flight_dumps"
+"./${BUILD_DIR}/tools/loam_sim_cli" serve 1 32 "${BUILD_DIR}/flight_state" \
+  --paced --shards=4 --record --record-interval=25 --dump-on-alert \
+  --dump-out="${BUILD_DIR}/flight_dumps" --burst=32
+ls "${BUILD_DIR}/flight_dumps"/*alert*.json > /dev/null
+for dump in "${BUILD_DIR}/flight_dumps"/*.json; do
+  python3 tools/obs_report.py --validate "${dump}"
+done
+dump=$(ls "${BUILD_DIR}/flight_dumps"/*.json | head -n 1)
+python3 tools/obs_report.py "${dump}" --series loam.serve > /dev/null
+
 echo "== Shard scale-out bench (BENCH_serve_scaling.json) =="
 # Closed-loop sweep over 1/2/4/8 shards with continuous hot-swap plus a
 # burst phase; the binary exits non-zero on any rejection, a per-shard

@@ -34,12 +34,16 @@
 //
 // Unknown `--flags` are rejected with usage and a non-zero exit.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gate.h"
@@ -197,8 +201,17 @@ const char* pacing_state_name(serve::PacingController::State s) {
   return "?";
 }
 
+// Flight-recorder options for `serve` (--record and friends).
+struct RecordOptions {
+  bool record = false;
+  int interval_ms = 50;
+  bool dump_on_alert = false;
+  std::string dump_out;  // empty = the serve state dir
+  int burst = 0;         // extra burst submissions of the whole pool
+};
+
 int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
-              int shards) {
+              int shards, const RecordOptions& rec) {
   core::RuntimeConfig rc;
   rc.seed = 99;
   core::ProjectRuntime runtime(pick_archetype(index), rc);
@@ -214,6 +227,26 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
   cfg.retrain_min_new_records = std::max(16, n_requests / 2);
   cfg.pacing.enabled = paced;
   cfg.num_shards = shards;
+
+  // The flight recorder must OUTLIVE the service: the service registers its
+  // "serve" state provider with it and removes it in its destructor.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (rec.record) {
+    obs::set_metrics_enabled(true);  // nothing to record otherwise
+    const int resolved_shards =
+        shards > 0 ? shards
+                   : std::max(1, static_cast<int>(
+                                     std::thread::hardware_concurrency()));
+    obs::FlightRecorderConfig fc;
+    fc.recorder.interval_ns =
+        static_cast<std::int64_t>(std::max(1, rec.interval_ms)) * 1'000'000;
+    fc.rules = obs::default_serve_rules(resolved_shards);
+    fc.dump_on_alert = rec.dump_on_alert;
+    fc.dump_dir = rec.dump_out.empty() ? dir : rec.dump_out;
+    flight = std::make_unique<obs::FlightRecorder>(std::move(fc));
+    cfg.flight_recorder = flight.get();
+    flight->start();
+  }
 
   // The request stream is pre-generated: make_queries consumes the runtime's
   // RNG, which the service's retrain gate also draws from.
@@ -241,6 +274,31 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
         d.generation.plans[static_cast<std::size_t>(d.generation.default_index)])
         .cpu_cost;
     service.record_feedback(d, exec);
+  }
+
+  // Optional overload burst: submit the whole pool --burst more times all at
+  // once. With pacing on, everything past each shard's admission window is
+  // shed to the native fallback — which is exactly what drives the
+  // serve.shed_ratio SLO rule over its threshold. The explicit tick()
+  // afterwards guarantees the rules see the burst interval even when the
+  // background cadence would have sampled later.
+  std::uint64_t burst_shed = 0;
+  if (rec.burst > 0) {
+    const std::uint64_t shed_before = service.stats().shed;
+    std::vector<std::future<serve::ServeDecision>> futures;
+    futures.reserve(static_cast<std::size_t>(rec.burst) * requests.size());
+    for (int b = 0; b < rec.burst; ++b) {
+      for (const warehouse::Query& q : requests) {
+        std::future<serve::ServeDecision> fut;
+        if (service.try_submit(q, &fut)) futures.push_back(std::move(fut));
+      }
+    }
+    for (std::future<serve::ServeDecision>& fut : futures) fut.get();
+    burst_shed = service.stats().shed - shed_before;
+    if (flight) flight->tick();
+    std::printf("burst: %dx pool (%zu requests), shed %llu to fallback\n",
+                rec.burst, futures.size(),
+                static_cast<unsigned long long>(burst_shed));
   }
   service.stop();
 
@@ -304,6 +362,37 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
   }
   std::printf("state in %s (registry %zu versions)\n", dir.c_str(),
               service.registry().versions().size());
+
+  if (flight) {
+    // Final checkpoint bundle: whatever happened this run, the last flight
+    // recording is on disk next to the alert-triggered ones.
+    flight->trigger_dump("shutdown");
+    flight->stop();
+    std::printf(
+        "\nflight recorder: %llu samples, %llu ring overwrites, %llu dumps "
+        "(last: %s)\n",
+        static_cast<unsigned long long>(flight->recorder().samples()),
+        static_cast<unsigned long long>(flight->recorder().overwrites()),
+        static_cast<unsigned long long>(flight->dumps_written()),
+        flight->last_dump_path().c_str());
+    const std::vector<obs::Alert> alert_log = flight->alert_log();
+    if (!alert_log.empty()) {
+      std::printf("alert timeline:\n");
+      TablePrinter at({"rule", "metric", "fired (ms)", "cleared (ms)", "value",
+                       "threshold"});
+      for (const obs::Alert& a : alert_log) {
+        at.add_row({a.rule, a.metric,
+                    fmt_double(1e-6 * static_cast<double>(a.fired_t_ns), 1),
+                    a.cleared_t_ns >= 0
+                        ? fmt_double(1e-6 * static_cast<double>(a.cleared_t_ns), 1)
+                        : std::string("active"),
+                    fmt_double(a.value, 3), fmt_double(a.threshold, 3)});
+      }
+      at.print();
+    } else {
+      std::printf("alert timeline: empty (no SLO rule fired)\n");
+    }
+  }
   return 0;
 }
 
@@ -315,6 +404,13 @@ void usage() {
                "       loam_sim_cli steer   <archetype> <n-queries>\n"
                "       loam_sim_cli serve   <archetype> <n-requests> [state-dir]"
                " [--paced] [--shards=N]\n"
+               "               [--record] [--record-interval=<ms>]"
+               " [--dump-on-alert]\n"
+               "               [--dump-out=<dir>] [--burst=N]\n"
+               "               (--record samples metric history + SLO rules;\n"
+               "                dumps land in --dump-out, default state-dir;\n"
+               "                --burst=N resubmits the pool N times at once\n"
+               "                to exercise shedding under the recorder)\n"
                "global flags: --metrics-out=<path> --trace-out=<path>\n");
 }
 
@@ -334,6 +430,7 @@ int main(int argc, char** argv) {
   std::string metrics_out, trace_out;
   bool paced = false;
   int shards = 1;
+  RecordOptions rec;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -344,6 +441,16 @@ int main(int argc, char** argv) {
       paced = true;
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      rec.record = true;
+    } else if (std::strncmp(argv[i], "--record-interval=", 18) == 0) {
+      rec.interval_ms = std::atoi(argv[i] + 18);
+    } else if (std::strcmp(argv[i], "--dump-on-alert") == 0) {
+      rec.dump_on_alert = true;
+    } else if (std::strncmp(argv[i], "--dump-out=", 11) == 0) {
+      rec.dump_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--burst=", 8) == 0) {
+      rec.burst = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -373,7 +480,7 @@ int main(int argc, char** argv) {
     rc = cmd_steer(index, std::atoi(args[3]));
   } else if (cmd == "serve" && nargs >= 4) {
     rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr,
-                   paced, shards);
+                   paced, shards, rec);
   } else {
     usage();
     return 1;

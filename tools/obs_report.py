@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Render or validate loam flight-recorder dump bundles.
+
+A dump bundle (schema "loam.flight.v1") is one JSON object written by
+obs::FlightRecorder::trigger_dump(): metric-history rings, the SLO alert
+log, a trace drain, registered state-provider tables, and a full registry
+snapshot. See docs/OBSERVABILITY.md for the schema.
+
+Usage:
+  tools/obs_report.py DUMP.json                 # render summary report
+  tools/obs_report.py DUMP.json --series SUBSTR # only matching series
+  tools/obs_report.py DUMP.json --quantile 0.5  # histogram quantile to plot
+  tools/obs_report.py --validate DUMP.json      # schema check, exit 0/1
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"  # ▁..█
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def _fail(msg):
+    print("obs_report: INVALID: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def validate(bundle):
+    """Structural schema check for a loam.flight.v1 bundle. Returns exit code."""
+    if not isinstance(bundle, dict):
+        return _fail("top level is not an object")
+    if bundle.get("schema") != "loam.flight.v1":
+        return _fail("schema is %r, expected 'loam.flight.v1'" % bundle.get("schema"))
+    if not isinstance(bundle.get("reason"), str) or not bundle["reason"]:
+        return _fail("missing or empty 'reason'")
+    for key in ("t_ns", "interval_ns", "ring_capacity"):
+        if not isinstance(bundle.get(key), (int, float)):
+            return _fail("missing numeric %r" % key)
+    rec = bundle.get("recorder")
+    if not isinstance(rec, dict) or not all(
+            isinstance(rec.get(k), (int, float)) for k in ("samples", "overwrites")):
+        return _fail("'recorder' must hold numeric samples/overwrites")
+
+    history = bundle.get("history")
+    if not isinstance(history, list):
+        return _fail("'history' is not a list")
+    for i, series in enumerate(history):
+        where = "history[%d]" % i
+        if not isinstance(series, dict):
+            return _fail("%s is not an object" % where)
+        name = series.get("name")
+        if not isinstance(name, str) or not name:
+            return _fail("%s missing 'name'" % where)
+        where = "history[%r]" % name
+        kind = series.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            return _fail("%s has unknown kind %r" % (where, kind))
+        samples = series.get("samples")
+        if not isinstance(samples, list):
+            return _fail("%s 'samples' is not a list" % where)
+        prev_t = None
+        for s in samples:
+            if not isinstance(s, dict):
+                return _fail("%s has a non-object sample" % where)
+            for k in ("t_ns", "value", "delta"):
+                if not isinstance(s.get(k), (int, float)):
+                    return _fail("%s sample missing numeric %r" % (where, k))
+            if prev_t is not None and s["t_ns"] < prev_t:
+                return _fail("%s samples not time-ordered" % where)
+            prev_t = s["t_ns"]
+            if kind == "histogram":
+                if not isinstance(s.get("buckets"), list):
+                    return _fail("%s histogram sample missing 'buckets'" % where)
+        if kind == "histogram":
+            bounds = series.get("bounds")
+            if not isinstance(bounds, list):
+                return _fail("%s histogram missing 'bounds'" % where)
+            for s in samples:
+                if len(s["buckets"]) != len(bounds) + 1:
+                    return _fail("%s bucket/bound arity mismatch" % where)
+
+    alerts = bundle.get("alerts")
+    if not isinstance(alerts, dict) or not isinstance(alerts.get("log"), list) \
+            or not isinstance(alerts.get("active"), list):
+        return _fail("'alerts' must hold 'log' and 'active' lists")
+    for a in alerts["log"]:
+        for k in ("rule", "metric"):
+            if not isinstance(a.get(k), str):
+                return _fail("alert log entry missing %r" % k)
+        for k in ("fired_t_ns", "value", "threshold"):
+            if not isinstance(a.get(k), (int, float)):
+                return _fail("alert log entry missing numeric %r" % k)
+
+    registry = bundle.get("registry")
+    if not isinstance(registry, dict) or not isinstance(registry.get("metrics"), list):
+        return _fail("'registry' must hold a 'metrics' list")
+    if not isinstance(bundle.get("trace"), list):
+        return _fail("'trace' is not a list")
+    if not isinstance(bundle.get("state"), dict):
+        return _fail("'state' is not an object")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers
+# ---------------------------------------------------------------------------
+
+def histogram_quantile(bounds, buckets, q):
+    """Interpolated quantile; mirrors loam::obs::histogram_quantile."""
+    total = sum(buckets)
+    if total <= 0:
+        return 0.0
+    rank = min(max(q, 0.0), 1.0) * total
+    cum = 0.0
+    for b, count in enumerate(buckets):
+        if count <= 0:
+            continue
+        prev = cum
+        cum += count
+        if cum >= rank:
+            if b == len(bounds):  # overflow bucket: clamp to the last bound
+                return bounds[-1] if bounds else 0.0
+            lo = 0.0 if b == 0 else bounds[b - 1]
+            hi = bounds[b]
+            frac = min(max((rank - prev) / count, 0.0), 1.0)
+            return lo + frac * (hi - lo)
+    return bounds[-1] if bounds else 0.0
+
+
+def sparkline(values):
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_CHARS[0])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[min(max(idx, 0), len(SPARK_CHARS) - 1)])
+    return "".join(out)
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if a >= 1e5 or a < 1e-3:
+        return "%.3g" % v
+    if float(v).is_integer() and a < 1e5:
+        return "%d" % int(v)
+    return "%.4g" % v
+
+
+def print_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        print("| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |")
+    line(headers)
+    line(["-" * w for w in widths])
+    for row in rows:
+        line(row)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+def series_values(series, q):
+    """Per-tick plot values: counter rate / gauge value / histogram quantile."""
+    kind = series["kind"]
+    bounds = series.get("bounds", [])
+    out = []
+    for s in series["samples"]:
+        if kind == "histogram":
+            buckets = s.get("buckets", [])
+            out.append(histogram_quantile(bounds, buckets, q) if sum(buckets) > 0
+                       else None)
+        else:
+            out.append(s["value"])
+    return out
+
+
+def render(bundle, series_filter, q, max_width):
+    t0 = min((s["samples"][0]["t_ns"] for s in bundle["history"] if s["samples"]),
+             default=bundle["t_ns"])
+
+    print("flight dump: reason=%s  schema=%s" % (bundle["reason"], bundle["schema"]))
+    print("recorder: %d samples, %d overwrites, interval %.1f ms, ring %d" % (
+        bundle["recorder"]["samples"], bundle["recorder"]["overwrites"],
+        bundle["interval_ns"] / 1e6, bundle["ring_capacity"]))
+    print("captured at t=%.1f ms (relative to first sample); %d trace events; "
+          "state tables: %s" % ((bundle["t_ns"] - t0) / 1e6, len(bundle["trace"]),
+                                ", ".join(sorted(bundle["state"])) or "none"))
+    print()
+
+    log = sorted(bundle["alerts"]["log"], key=lambda a: a["fired_t_ns"])
+    print("alert timeline (%d fired, %d active):" % (
+        len(log), len(bundle["alerts"]["active"])))
+    if log:
+        rows = []
+        for a in log:
+            cleared = a.get("cleared_t_ns", -1)
+            rows.append([
+                a["rule"], a["metric"],
+                "%.1f" % ((a["fired_t_ns"] - t0) / 1e6),
+                "active" if cleared is None or cleared < 0
+                else "%.1f" % ((cleared - t0) / 1e6),
+                fmt(a["value"]), fmt(a["threshold"]),
+            ])
+        print_table(["rule", "metric", "fired (ms)", "cleared (ms)",
+                     "value", "threshold"], rows)
+    else:
+        print("  (no SLO rule fired)")
+    print()
+
+    history = [s for s in bundle["history"]
+               if not series_filter or series_filter in s["name"]]
+    label = {"counter": "rate/s", "gauge": "value",
+             "histogram": "p%g" % (100 * q)}
+    print("metric history (%d series%s; histogram column is per-tick %s):" % (
+        len(history),
+        " matching %r" % series_filter if series_filter else "",
+        label["histogram"]))
+    rows = []
+    for series in history:
+        values = series_values(series, q)
+        finite = [v for v in values if v is not None]
+        tail = values[-max_width:]
+        rows.append([
+            series["name"], series["kind"], str(series.get("total_samples", len(values))),
+            fmt(finite[-1] if finite else None),
+            fmt(min(finite) if finite else None),
+            fmt(max(finite) if finite else None),
+            sparkline(tail),
+        ])
+    print_table(["series", "kind", "n", "last", "min", "max", "history"], rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="flight dump bundle (JSON)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check only; exit 0 if well-formed")
+    parser.add_argument("--series", default="",
+                        help="only render series whose name contains this substring")
+    parser.add_argument("--quantile", type=float, default=0.99,
+                        help="histogram quantile to plot (default 0.99)")
+    parser.add_argument("--width", type=int, default=64,
+                        help="max sparkline width in ticks (default 64)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.dump, "r", encoding="utf-8") as f:
+            bundle = json.load(f)
+    except (OSError, ValueError) as e:
+        return _fail("cannot load %s: %s" % (args.dump, e))
+
+    code = validate(bundle)
+    if args.validate:
+        if code == 0:
+            print("obs_report: %s is a well-formed loam.flight.v1 bundle" % args.dump)
+        return code
+    if code != 0:
+        return code
+    render(bundle, args.series, args.quantile, max(args.width, 4))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
