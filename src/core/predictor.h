@@ -83,6 +83,16 @@ class AdaptiveCostPredictor : public CostModel {
 
   const TrainingDiagnostics& diagnostics() const { return diagnostics_; }
   const LogCostScaler& scaler() const { return scaler_; }
+
+  // Lifelong (incremental) training support. A frozen scaler keeps the
+  // z-space of previously learned weights fixed, so a warm-start fit on a
+  // fresh feedback window UPDATES the model instead of silently re-basing
+  // its regression target; the first fit (or a load) still establishes the
+  // scaler. set_epochs bounds how long such an update runs — incremental
+  // passes converge in a fraction of a from-scratch schedule.
+  void set_scaler_frozen(bool frozen) { scaler_frozen_ = frozen; }
+  bool scaler_frozen() const { return scaler_frozen_; }
+  void set_epochs(int epochs) { config_.epochs = epochs < 1 ? 1 : epochs; }
   // All trainable parameters in registration order (exposed so tests can
   // assert bit-identity of trained weights across thread counts).
   const std::vector<nn::Parameter*>& parameters() const { return all_params_; }
@@ -98,6 +108,8 @@ class AdaptiveCostPredictor : public CostModel {
 
   PredictorConfig config_;
   LogCostScaler scaler_;
+  bool scaler_frozen_ = false;
+  bool scaler_fitted_ = false;
   mutable nn::TreeConvNet plan_emb_;
   mutable nn::Linear cost_pred_;
   nn::GradientReversal grl_;

@@ -1,0 +1,332 @@
+#include "drift/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "util/hash.h"
+#include "warehouse/flighting.h"
+
+namespace loam::drift {
+
+namespace {
+
+obs::Counter* drift_counter(const char* leaf) {
+  return obs::Registry::instance().counter(std::string("loam.drift.") + leaf);
+}
+
+obs::Gauge* drift_gauge(const char* leaf) {
+  return obs::Registry::instance().gauge(std::string("loam.drift.") + leaf);
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioConfig config, ModularLearner* learner)
+    : config_(std::move(config)),
+      learner_(learner),
+      events_rng_(mix64(config_.seed ^ 0xd21f7ull)) {
+  if (learner_ == nullptr) {
+    throw std::invalid_argument("ScenarioEngine requires a learner");
+  }
+  if (config_.recorder != nullptr) {
+    provider_id_ = config_.recorder->add_state_provider(
+        "drift", [this] { return state_json(); });
+  }
+}
+
+ScenarioEngine::~ScenarioEngine() {
+  if (provider_id_ >= 0) config_.recorder->remove_state_provider(provider_id_);
+}
+
+void ScenarioEngine::register_archetype(
+    const warehouse::ProjectArchetype& archetype) {
+  std::lock_guard<std::mutex> lock(mu_);
+  archetypes_[archetype.name] = archetype;
+}
+
+void ScenarioEngine::add_project(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  add_project_locked(name);
+}
+
+void ScenarioEngine::add_project_locked(const std::string& name) {
+  auto it = archetypes_.find(name);
+  if (it == archetypes_.end()) {
+    throw std::runtime_error("drift: no registered archetype named \"" + name +
+                             "\"");
+  }
+  if (runtimes_.count(name) != 0) {
+    throw std::runtime_error("drift: project \"" + name +
+                             "\" is already onboarded");
+  }
+  core::RuntimeConfig rc = config_.runtime;
+  // Per-project stream, keyed by name only: onboarding order (or a script
+  // reshuffle) never changes any project's workload.
+  rc.seed = mix64(config_.seed ^ hash64(name));
+  auto runtime = std::make_unique<core::ProjectRuntime>(it->second, rc);
+  if (config_.onboard_history_days > 0) {
+    runtime->simulate_history(config_.onboard_history_days,
+                              config_.queries_per_day);
+  }
+  learner_->onboard(name, runtime.get());
+  runtimes_.emplace(name, std::move(runtime));
+  drift_counter("onboards")->add();
+  drift_gauge("active_projects")->set(static_cast<double>(runtimes_.size()));
+}
+
+void ScenarioEngine::remove_project(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runtimes_.find(name);
+  if (it == runtimes_.end()) {
+    throw std::runtime_error("drift: project \"" + name +
+                             "\" is not onboarded");
+  }
+  learner_->offboard(name);
+  runtimes_.erase(it);
+  crowds_.erase(name);
+  drift_counter("offboards")->add();
+  drift_gauge("active_projects")->set(static_cast<double>(runtimes_.size()));
+}
+
+void ScenarioEngine::set_script(DriftScript script) {
+  std::lock_guard<std::mutex> lock(mu_);
+  script_ = std::move(script);
+}
+
+int ScenarioEngine::day() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return day_;
+}
+
+std::vector<std::string> ScenarioEngine::projects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(runtimes_.size());
+  for (const auto& [name, rt] : runtimes_) out.push_back(name);
+  return out;
+}
+
+core::ProjectRuntime* ScenarioEngine::runtime(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runtimes_.find(name);
+  return it == runtimes_.end() ? nullptr : it->second.get();
+}
+
+int ScenarioEngine::applied_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_events_;
+}
+
+void ScenarioEngine::apply_event_locked(const DriftEvent& event,
+                                        std::size_t script_index,
+                                        DayStats& stats) {
+  // The event's private stream: keyed by script position alone, so a script
+  // with N events applies identically whether its days are sorted, shuffled
+  // or interleaved with other projects' events (drift_test asserts this).
+  Rng ev_rng = events_rng_.fork(script_index);
+
+  switch (event.kind) {
+    case DriftEventKind::kOnboard:
+      add_project_locked(event.project);
+      break;
+    case DriftEventKind::kOffboard: {
+      auto it = runtimes_.find(event.project);
+      if (it == runtimes_.end()) {
+        throw std::runtime_error("drift: offboard targets unknown project \"" +
+                                 event.project + "\"");
+      }
+      learner_->offboard(event.project);
+      runtimes_.erase(it);
+      crowds_.erase(event.project);
+      drift_counter("offboards")->add();
+      drift_gauge("active_projects")
+          ->set(static_cast<double>(runtimes_.size()));
+      break;
+    }
+    case DriftEventKind::kFlashCrowd:
+      if (runtimes_.count(event.project) == 0) {
+        throw std::runtime_error(
+            "drift: flash_crowd targets unknown project \"" + event.project +
+            "\"");
+      }
+      crowds_[event.project] =
+          Crowd{event.multiplier, day_ + event.duration_days};
+      drift_counter("flash_crowds")->add();
+      break;
+    case DriftEventKind::kSchemaMigration: {
+      auto it = runtimes_.find(event.project);
+      if (it == runtimes_.end()) {
+        throw std::runtime_error(
+            "drift: schema_migration targets unknown project \"" +
+            event.project + "\"");
+      }
+      warehouse::Project& project = it->second->project();
+      // Candidate tables: live, non-temp base tables (snapshot twins follow
+      // their base automatically inside migrate_table).
+      std::vector<int> bases;
+      for (int id = 0; id < project.catalog.table_count(); ++id) {
+        const warehouse::Table& t = project.catalog.table(id);
+        if (!t.is_temp && t.alias_of < 0 && t.live_on(day_)) bases.push_back(id);
+      }
+      if (bases.empty()) {
+        drift_counter("events_skipped")->add();
+        return;
+      }
+      const int table_id = bases[static_cast<std::size_t>(event.table_index) %
+                                 bases.size()];
+      warehouse::migrate_table(project, table_id, event.add_columns,
+                               event.drop_columns, event.row_growth, ev_rng);
+      drift_counter("migrations")->add();
+      break;
+    }
+    case DriftEventKind::kTemplateRotation: {
+      auto it = runtimes_.find(event.project);
+      if (it == runtimes_.end()) {
+        throw std::runtime_error(
+            "drift: template_rotation targets unknown project \"" +
+            event.project + "\"");
+      }
+      warehouse::Project& project = it->second->project();
+      if (project.templates.empty()) {
+        drift_counter("events_skipped")->add();
+        return;
+      }
+      const warehouse::WorkloadGenerator generator(0);  // rotate is pure
+      const int n = static_cast<int>(project.templates.size());
+      for (int k = 0; k < event.rotate_count; ++k) {
+        const int index =
+            static_cast<int>(ev_rng.uniform_int(0, n - 1));
+        const int generation = ++rotation_generation_[event.project][index];
+        project.templates[static_cast<std::size_t>(index)] =
+            generator.rotate_template(project, index, generation, ev_rng);
+      }
+      drift_counter("rotations")->add();
+      break;
+    }
+  }
+  ++applied_events_;
+  ++stats.events_applied;
+  drift_counter("events_total")->add();
+  drift_gauge("last_event_day")->set(static_cast<double>(day_));
+}
+
+ScenarioEngine::DayStats ScenarioEngine::step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DayStats stats;
+  stats.day = day_;
+  drift_gauge("day")->set(static_cast<double>(day_));
+
+  // 1. Retire expired flash crowds.
+  for (auto it = crowds_.begin(); it != crowds_.end();) {
+    if (day_ >= it->second.end_day) {
+      it = crowds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Apply today's script events, in script order.
+  for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    if (script_.events[i].day == day_) {
+      apply_event_locked(script_.events[i], i, stats);
+    }
+  }
+
+  // 3. Serve each project's day through the learner, ground-truthing every
+  // decision with a paired flighting replay against the default plan.
+  for (auto& [name, rt] : runtimes_) {
+    int cap = config_.queries_per_day;
+    if (auto it = crowds_.find(name); it != crowds_.end()) {
+      cap = static_cast<int>(
+          std::llround(static_cast<double>(cap) * it->second.multiplier));
+    }
+    cap = std::clamp(cap, 1, config_.max_queries_per_day);
+
+    warehouse::ClusterConfig cluster_cfg = config_.runtime.cluster;
+    cluster_cfg.machines = rt->project().archetype.cluster_machines;
+
+    const std::vector<warehouse::Query> queries =
+        rt->make_queries(day_, day_, cap);
+    const std::uint64_t replay_base = mix64(config_.seed ^ hash64(name));
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      ModularLearner::Decision decision =
+          learner_->optimize(name, queries[qi]);
+      const std::vector<warehouse::Plan> pair = {
+          decision.generation.plans.at(
+              static_cast<std::size_t>(decision.chosen)),
+          decision.generation.plans.at(
+              static_cast<std::size_t>(decision.default_index))};
+      // Replay seed keyed by (project, day, query index): independent of the
+      // event schedule and of every other project's traffic.
+      const std::uint64_t replay_seed =
+          mix64(replay_base + (static_cast<std::uint64_t>(day_) << 20) + qi);
+      const std::vector<std::vector<double>> costs = warehouse::paired_replay(
+          pair, cluster_cfg, config_.runtime.executor, config_.replay_runs,
+          replay_seed);
+      const double chosen_cost = mean_of(costs[0]);
+      const double default_cost = mean_of(costs[1]);
+      stats.chosen_cost[name] += chosen_cost;
+      stats.default_cost[name] += default_cost;
+      learner_->record_feedback(name, decision, chosen_cost, day_);
+      ++stats.queries;
+    }
+    stats.regression[name] =
+        stats.default_cost[name] > 0.0
+            ? stats.chosen_cost[name] / stats.default_cost[name]
+            : 1.0;
+  }
+
+  // 4. Let the learner run whatever retrains its triggers ask for.
+  stats.retrains = learner_->maybe_retrain(day_);
+  for (const ModularLearner::RetrainReport& r : stats.retrains) {
+    if (!r.attempted) continue;
+    drift_counter("module_retrains")->add();
+    drift_counter(r.approved ? "module_swaps" : "module_rejections")->add();
+  }
+
+  ++day_;
+  return stats;
+}
+
+std::string ScenarioEngine::state_json_locked() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("day", day_);
+  w.kv("applied_events", applied_events_);
+  w.kv("script_events", static_cast<int>(script_.events.size()));
+  w.key("projects");
+  w.begin_array();
+  for (const auto& [name, rt] : runtimes_) w.value(name);
+  w.end_array();
+  w.key("crowds");
+  w.begin_array();
+  for (const auto& [name, crowd] : crowds_) {
+    w.begin_object();
+    w.kv("project", name);
+    w.kv("multiplier", crowd.multiplier);
+    w.kv("end_day", crowd.end_day);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("learner");
+  w.raw(learner_->state_json());
+  w.end_object();
+  return w.str();
+}
+
+std::string ScenarioEngine::state_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_json_locked();
+}
+
+}  // namespace loam::drift

@@ -1,0 +1,124 @@
+// Workload-drift scenario engine: replays a DriftScript against live
+// ProjectRuntimes while a ModularLearner serves (and keeps learning from)
+// their traffic. One step() is one simulation day:
+//
+//   1. expired flash crowds are retired;
+//   2. every script event due today is applied — schema migration on a live
+//      table, flash-crowd volume spike, template rotation, project
+//      onboard/offboard — each under its own Rng::fork(script_index) stream,
+//      so an event's effect depends only on (engine seed, its position in
+//      the script), never on how many other events fired before it;
+//   3. each project's day of queries is served through the learner, every
+//      decision is ground-truthed by a paired flighting replay against the
+//      matching default plan, and the realized cost is journaled back;
+//   4. the learner runs whatever retrains its fresh-feedback triggers ask
+//      for.
+//
+// Determinism (house rule): a fixed (config, script, call sequence) replays
+// to bit-identical decisions, costs and retrain verdicts at any thread
+// count. Every event emits loam.drift.* obs series, and the engine registers
+// itself as a flight-recorder state provider ("drift") so forensic bundles
+// capture the scenario position alongside the learner's module table.
+#ifndef LOAM_DRIFT_SCENARIO_H_
+#define LOAM_DRIFT_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "drift/modular.h"
+#include "drift/script.h"
+#include "obs/slo.h"
+
+namespace loam::drift {
+
+struct ScenarioConfig {
+  // Served queries per project per day (before any flash-crowd multiplier).
+  int queries_per_day = 12;
+  // Hard cap after the multiplier — bounds a scripted spike's cost.
+  int max_queries_per_day = 256;
+  // Flighting replays per served query (1 = one paired environment).
+  int replay_runs = 1;
+  // Days of simulated history a freshly onboarded runtime accrues before it
+  // starts serving (0 = cold start).
+  int onboard_history_days = 0;
+  core::RuntimeConfig runtime;  // per-project seeds are derived from `seed`
+  std::uint64_t seed = 2026;
+  // Optional: forensic bundles get a "drift" state-provider entry.
+  obs::FlightRecorder* recorder = nullptr;
+};
+
+class ScenarioEngine {
+ public:
+  // `learner` is borrowed and must outlive the engine.
+  ScenarioEngine(ScenarioConfig config, ModularLearner* learner);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  // Makes `archetype.name` onboardable (by add_project or a script event).
+  void register_archetype(const warehouse::ProjectArchetype& archetype);
+  // Creates the project's runtime and onboards its module immediately.
+  void add_project(const std::string& name);
+  void remove_project(const std::string& name);
+  void set_script(DriftScript script);
+
+  struct DayStats {
+    int day = 0;
+    int queries = 0;
+    int events_applied = 0;
+    // Per-project sums of replayed CPU cost for the served plan and the
+    // paired default plan, and their ratio (1.0 = parity with native; the
+    // recovery curves in BENCH_drift.json are built from `regression`).
+    std::map<std::string, double> chosen_cost;
+    std::map<std::string, double> default_cost;
+    std::map<std::string, double> regression;
+    std::vector<ModularLearner::RetrainReport> retrains;
+  };
+  // Runs the current day end-to-end and advances to the next.
+  DayStats step();
+
+  int day() const;
+  std::vector<std::string> projects() const;
+  // nullptr when the project is not onboarded.
+  core::ProjectRuntime* runtime(const std::string& name);
+  const DriftScript& script() const { return script_; }
+  int applied_events() const;
+  // The recorder provider's payload: scenario position + active crowds +
+  // the learner's module table.
+  std::string state_json() const;
+
+ private:
+  struct Crowd {
+    double multiplier = 1.0;
+    int end_day = 0;  // exclusive: active while day < end_day
+  };
+
+  void add_project_locked(const std::string& name);
+  void apply_event_locked(const DriftEvent& event, std::size_t script_index,
+                          DayStats& stats);
+  std::string state_json_locked() const;
+
+  ScenarioConfig config_;
+  ModularLearner* learner_;
+  // Stateless fork root for event randomness (step 2 of the contract above).
+  Rng events_rng_;
+  mutable std::mutex mu_;  // guards everything below (learner has its own)
+  std::map<std::string, warehouse::ProjectArchetype> archetypes_;
+  std::map<std::string, std::unique_ptr<core::ProjectRuntime>> runtimes_;
+  std::map<std::string, Crowd> crowds_;
+  // Per-project, per-slot rotation generation (suffixes rotated template
+  // ids so recurrence tracking can tell generations apart).
+  std::map<std::string, std::map<int, int>> rotation_generation_;
+  DriftScript script_;
+  int day_ = 0;
+  int applied_events_ = 0;
+  int provider_id_ = -1;
+};
+
+}  // namespace loam::drift
+
+#endif  // LOAM_DRIFT_SCENARIO_H_

@@ -1,0 +1,388 @@
+#include "drift/script.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace loam::drift {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the repo's obs::JsonWriter has no reading twin).
+// Recursive descent over the full RFC 8259 grammar minus \u surrogate pairs
+// (escapes decode to '?'); every error names the byte offset. Object fields
+// preserve document order so unknown-key errors point at the first offender.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const char* type_name() const {
+    switch (type) {
+      case Type::kNull: return "null";
+      case Type::kBool: return "bool";
+      case Type::kNumber: return "number";
+      case Type::kString: return "string";
+      case Type::kArray: return "array";
+      case Type::kObject: return "object";
+    }
+    return "?";
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("drift script JSON error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_literal(c == 't' ? "true" : "false", c == 't');
+      case 'n': {
+        parse_literal("null", false);
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(const std::string& word, bool value) {
+    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    JsonValue v;
+    if (word == "null") return v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    char* end = nullptr;
+    const std::string tok = text_.substr(start, pos_ - start);
+    const double num = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number '" + tok + "'");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = num;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            pos_ += 4;
+            out += '?';
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping with unknown-key rejection
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void schema_fail(const std::string& what) {
+  throw std::runtime_error("drift script: " + what);
+}
+
+double require_number(const JsonValue& v, const std::string& key) {
+  if (v.type != JsonValue::Type::kNumber) {
+    schema_fail("key \"" + key + "\" must be a number, got " + v.type_name());
+  }
+  return v.number;
+}
+
+int require_int(const JsonValue& v, const std::string& key) {
+  const double d = require_number(v, key);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    schema_fail("key \"" + key + "\" must be an integer");
+  }
+  return i;
+}
+
+DriftEventKind parse_kind(const std::string& name) {
+  if (name == "schema_migration") return DriftEventKind::kSchemaMigration;
+  if (name == "flash_crowd") return DriftEventKind::kFlashCrowd;
+  if (name == "template_rotation") return DriftEventKind::kTemplateRotation;
+  if (name == "onboard") return DriftEventKind::kOnboard;
+  if (name == "offboard") return DriftEventKind::kOffboard;
+  schema_fail("unknown event kind \"" + name +
+              "\" (expected schema_migration, flash_crowd, "
+              "template_rotation, onboard or offboard)");
+}
+
+DriftEvent parse_event(const JsonValue& v, std::size_t index) {
+  if (v.type != JsonValue::Type::kObject) {
+    schema_fail("events[" + std::to_string(index) + "] must be an object");
+  }
+  DriftEvent e;
+  bool saw_kind = false, saw_project = false;
+  for (const auto& [key, val] : v.fields) {
+    if (key == "kind") {
+      if (val.type != JsonValue::Type::kString) {
+        schema_fail("key \"kind\" must be a string");
+      }
+      e.kind = parse_kind(val.string);
+      saw_kind = true;
+    } else if (key == "day") {
+      e.day = require_int(val, key);
+      if (e.day < 0) schema_fail("\"day\" must be >= 0");
+    } else if (key == "project") {
+      if (val.type != JsonValue::Type::kString || val.string.empty()) {
+        schema_fail("key \"project\" must be a non-empty string");
+      }
+      e.project = val.string;
+      saw_project = true;
+    } else if (key == "table") {
+      e.table_index = require_int(val, key);
+      if (e.table_index < 0) schema_fail("\"table\" must be >= 0");
+    } else if (key == "add_columns") {
+      e.add_columns = require_int(val, key);
+      if (e.add_columns < 0) schema_fail("\"add_columns\" must be >= 0");
+    } else if (key == "drop_columns") {
+      e.drop_columns = require_int(val, key);
+      if (e.drop_columns < 0) schema_fail("\"drop_columns\" must be >= 0");
+    } else if (key == "row_growth") {
+      e.row_growth = require_number(val, key);
+      if (!(e.row_growth > 0.0)) schema_fail("\"row_growth\" must be > 0");
+    } else if (key == "multiplier") {
+      e.multiplier = require_number(val, key);
+      if (!(e.multiplier > 0.0)) schema_fail("\"multiplier\" must be > 0");
+    } else if (key == "duration_days") {
+      e.duration_days = require_int(val, key);
+      if (e.duration_days < 1) schema_fail("\"duration_days\" must be >= 1");
+    } else if (key == "count") {
+      e.rotate_count = require_int(val, key);
+      if (e.rotate_count < 1) schema_fail("\"count\" must be >= 1");
+    } else {
+      // The unknown-flag policy, applied to scripts: fail loudly.
+      schema_fail("unknown key \"" + key + "\" in events[" +
+                  std::to_string(index) + "]");
+    }
+  }
+  if (!saw_kind) {
+    schema_fail("events[" + std::to_string(index) + "] is missing \"kind\"");
+  }
+  if (!saw_project) {
+    schema_fail("events[" + std::to_string(index) + "] is missing \"project\"");
+  }
+  return e;
+}
+
+}  // namespace
+
+const char* kind_name(DriftEventKind kind) {
+  switch (kind) {
+    case DriftEventKind::kSchemaMigration: return "schema_migration";
+    case DriftEventKind::kFlashCrowd: return "flash_crowd";
+    case DriftEventKind::kTemplateRotation: return "template_rotation";
+    case DriftEventKind::kOnboard: return "onboard";
+    case DriftEventKind::kOffboard: return "offboard";
+  }
+  return "?";
+}
+
+std::string DriftEvent::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", kind_name(kind));
+  w.kv("day", day);
+  w.kv("project", project);
+  switch (kind) {
+    case DriftEventKind::kSchemaMigration:
+      w.kv("table", table_index);
+      w.kv("add_columns", add_columns);
+      w.kv("drop_columns", drop_columns);
+      w.kv("row_growth", row_growth);
+      break;
+    case DriftEventKind::kFlashCrowd:
+      w.kv("multiplier", multiplier);
+      w.kv("duration_days", duration_days);
+      break;
+    case DriftEventKind::kTemplateRotation:
+      w.kv("count", rotate_count);
+      break;
+    case DriftEventKind::kOnboard:
+    case DriftEventKind::kOffboard:
+      break;
+  }
+  w.end_object();
+  return w.str();
+}
+
+DriftScript DriftScript::parse(const std::string& json) {
+  JsonValue doc = JsonReader(json).parse_document();
+  if (doc.type != JsonValue::Type::kObject) {
+    schema_fail("top level must be an object");
+  }
+  DriftScript script;
+  bool saw_events = false;
+  for (const auto& [key, val] : doc.fields) {
+    if (key == "events") {
+      if (val.type != JsonValue::Type::kArray) {
+        schema_fail("\"events\" must be an array");
+      }
+      for (std::size_t i = 0; i < val.items.size(); ++i) {
+        script.events.push_back(parse_event(val.items[i], i));
+      }
+      saw_events = true;
+    } else {
+      schema_fail("unknown top-level key \"" + key + "\"");
+    }
+  }
+  if (!saw_events) schema_fail("missing top-level \"events\" array");
+  return script;
+}
+
+DriftScript DriftScript::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open drift script " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string DriftScript::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("events");
+  w.begin_array();
+  for (const DriftEvent& e : events) w.raw(e.to_json());
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace loam::drift

@@ -1,0 +1,76 @@
+// Declarative drift timelines: the scripted mutation events the scenario
+// engine applies against a running simulation (docs/DRIFT.md). A script is a
+// JSON document
+//
+//   {"events": [
+//     {"kind": "schema_migration", "day": 3, "project": "project2",
+//      "table": 5, "add_columns": 2, "drop_columns": 1, "row_growth": 4.0},
+//     {"kind": "flash_crowd", "day": 4, "project": "project2",
+//      "multiplier": 6.0, "duration_days": 2},
+//     {"kind": "template_rotation", "day": 5, "project": "project4",
+//      "count": 3},
+//     {"kind": "onboard", "day": 6, "project": "project5"},
+//     {"kind": "offboard", "day": 8, "project": "project5"}
+//   ]}
+//
+// Parsing REJECTS unknown keys (and unknown kinds) with an error naming the
+// offender — the same policy the CLI applies to unknown flags: a typo must
+// fail loudly, never silently no-op a scheduled event.
+#ifndef LOAM_DRIFT_SCRIPT_H_
+#define LOAM_DRIFT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loam::drift {
+
+enum class DriftEventKind : std::uint8_t {
+  kSchemaMigration = 0,  // column add/drop + data reload on a live table
+  kFlashCrowd,           // temporary query-volume spike
+  kTemplateRotation,     // retire recurring templates, introduce fresh ones
+  kOnboard,              // project joins the deployment mid-stream
+  kOffboard,             // project leaves (its module is retired)
+};
+
+// Script-facing name ("schema_migration", "flash_crowd", ...).
+const char* kind_name(DriftEventKind kind);
+
+struct DriftEvent {
+  DriftEventKind kind = DriftEventKind::kSchemaMigration;
+  int day = 0;          // simulation day the event fires on
+  std::string project;  // target project (archetype name for onboard)
+
+  // kSchemaMigration: `table_index` selects among the project's live base
+  // tables (resolved modulo their count, so scripts stay valid across
+  // catalog sizes).
+  int table_index = 0;
+  int add_columns = 2;
+  int drop_columns = 1;
+  double row_growth = 1.0;
+
+  // kFlashCrowd.
+  double multiplier = 4.0;
+  int duration_days = 2;
+
+  // kTemplateRotation.
+  int rotate_count = 2;
+
+  std::string to_json() const;
+};
+
+struct DriftScript {
+  std::vector<DriftEvent> events;  // script order; days need not be sorted
+
+  // Parses the JSON document above. Throws std::runtime_error on malformed
+  // JSON, an unknown key, an unknown kind, or an out-of-range value.
+  static DriftScript parse(const std::string& json);
+  // parse() over a file's contents; throws on an unreadable path.
+  static DriftScript load(const std::string& path);
+
+  std::string to_json() const;
+};
+
+}  // namespace loam::drift
+
+#endif  // LOAM_DRIFT_SCRIPT_H_

@@ -292,7 +292,8 @@ std::string ShardedFeedbackJournal::shard_path(const std::string& base,
 
 ShardedFeedbackJournal::ShardedFeedbackJournal(const std::string& base_path,
                                                int num_shards,
-                                               int feature_dim) {
+                                               int feature_dim)
+    : base_path_(base_path) {
   const int n = std::max(1, num_shards);
   shards_.reserve(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
@@ -307,14 +308,42 @@ void ShardedFeedbackJournal::append(int shard, const FeedbackRecord& record) {
   shards_[static_cast<std::size_t>(k)]->append(record);
 }
 
+std::vector<std::string> ShardedFeedbackJournal::replay_paths() const {
+  // Every journal file that exists under this base, whatever shard count
+  // wrote it: the bare single-shard file first, then `.s<k>` ascending.
+  // Shard files are created densely (s0..sN-1), so the first missing index
+  // ends the scan; files beyond the current shard count are orphans from a
+  // previous configuration and replay read-only.
+  std::vector<std::string> paths;
+  if (num_shards() <= 1) {
+    // The bare base is shard 0's live file; list it via the shard object so
+    // the order matches the append path even if the file was just created.
+    paths.push_back(shards_.front()->path());
+  } else if (std::filesystem::exists(base_path_)) {
+    paths.push_back(base_path_);
+  }
+  for (int k = 0;; ++k) {
+    const std::string p = base_path_ + ".s" + std::to_string(k);
+    if (k < num_shards() && num_shards() > 1) {
+      paths.push_back(p);  // live shard file, exists by construction
+      continue;
+    }
+    if (!std::filesystem::exists(p)) break;
+    paths.push_back(p);
+  }
+  return paths;
+}
+
 core::TrainingData ShardedFeedbackJournal::replay(int max_executed) const {
-  // Shard-major concatenation: for a fixed shard count the stream order is a
-  // pure function of the on-disk files, so the retrain input is bit-identical
-  // however many threads fed the journal (see training_from_records for the
-  // shared freshest-N trim).
+  // Shard-major concatenation over replay_paths(): for a fixed shard count
+  // the stream order is a pure function of the on-disk files, so the retrain
+  // input is bit-identical however many threads fed the journal (see
+  // training_from_records for the shared freshest-N trim). Orphan files from
+  // an earlier shard count are included, so a reshard restart never loses
+  // feedback.
   std::vector<FeedbackRecord> all;
-  for (const auto& j : shards_) {
-    std::vector<FeedbackRecord> part = FeedbackJournal::read_all(j->path());
+  for (const std::string& path : replay_paths()) {
+    std::vector<FeedbackRecord> part = FeedbackJournal::read_all(path);
     all.insert(all.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
   }

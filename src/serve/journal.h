@@ -129,7 +129,18 @@ class ShardedFeedbackJournal {
   // deterministic order for a fixed shard count. The freshest-`max_executed`
   // trim runs on the concatenated stream, exactly as a single-file journal
   // would trim the same sequence.
+  //
+  // Reshard-safe: replay reads every journal file that exists on disk under
+  // this base path — the bare single-shard file plus each `base.s<k>` in
+  // ascending k — not just the files of the CURRENT shard count. A service
+  // restarted with fewer (or more) shards therefore still trains on every
+  // record the previous configuration journaled; files outside the current
+  // count are read-only orphans (new appends never touch them).
   core::TrainingData replay(int max_executed = 0) const;
+
+  // The on-disk journal files replay() will read, in replay order. Exposed
+  // for tests and tooling.
+  std::vector<std::string> replay_paths() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   FeedbackJournal& shard(int k) { return *shards_.at(static_cast<std::size_t>(k)); }
@@ -145,6 +156,7 @@ class ShardedFeedbackJournal {
   int max_day() const;                     // max over shard files
 
  private:
+  std::string base_path_;
   std::vector<std::unique_ptr<FeedbackJournal>> shards_;
 };
 

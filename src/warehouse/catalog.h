@@ -36,6 +36,11 @@ struct Table {
   // templates); shares the underlying storage, which is what makes spool
   // reuse across the two scans legal.
   int alias_of = -1;
+  // Bumped by every schema migration (column add/drop, reload, repartition).
+  // Scan nodes stamp it into the plan, and Plan::signature() hashes it, so a
+  // plan built before a migration can NEVER share a cache key with a plan
+  // built after it — even when the migration leaves the plan shape intact.
+  int schema_epoch = 0;
 
   int lifespan_days() const {
     if (dropped_day == std::numeric_limits<int>::max()) {

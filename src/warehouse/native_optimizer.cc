@@ -303,6 +303,7 @@ Plan NativeOptimizer::build_physical(const Query& query, const JoinTree& tree,
     scan.op = reuse ? OpType::kSpoolRead : OpType::kTableScan;
     scanned_tables.insert(storage_id);
     scan.table_id = table_id;
+    scan.schema_epoch = t.schema_epoch;
     double prune = 1.0;
     for (const Predicate* p : query.predicates_on(table_id)) {
       if (p->column == 0) prune *= std::clamp(p->selectivity, 1e-9, 1.0);

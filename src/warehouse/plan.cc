@@ -120,6 +120,10 @@ std::uint64_t Plan::signature() const {
     h = sig_combine(h, static_cast<std::uint64_t>(n.table_id + 2));
     h = sig_combine(h, static_cast<std::uint64_t>(n.partitions_accessed + 1));
     h = sig_combine(h, static_cast<std::uint64_t>(n.columns_accessed + 1));
+    // Schema generation of the scanned table: a migration bumps the epoch,
+    // so plans over the old schema can never collide with post-migration
+    // plans in any signature-keyed cache.
+    h = sig_combine(h, static_cast<std::uint64_t>(n.schema_epoch) + 0xd000);
     // Join surface.
     h = sig_combine(h, static_cast<std::uint64_t>(n.join_form) + 0x9000);
     h = sig_combine(h, static_cast<std::uint64_t>(n.join_edge + 2));

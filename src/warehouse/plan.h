@@ -68,6 +68,9 @@ struct PlanNode {
   int table_id = -1;
   int partitions_accessed = 0;
   int columns_accessed = 0;
+  // The scanned table's Table::schema_epoch at plan-build time; part of
+  // signature() so pre-migration cache entries are unreachable afterwards.
+  int schema_epoch = 0;
   // Joins:
   JoinForm join_form = JoinForm::kInner;
   std::vector<std::string> join_columns;  // fully qualified identifiers

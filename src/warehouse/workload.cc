@@ -257,6 +257,93 @@ QueryTemplate WorkloadGenerator::make_template(const Project& project, int index
   return tmpl;
 }
 
+QueryTemplate WorkloadGenerator::rotate_template(const Project& project,
+                                                 int index, int generation,
+                                                 Rng& rng) const {
+  QueryTemplate tmpl = make_template(project, index, rng);
+  tmpl.id = project.name + ".q" + std::to_string(index) + ".g" +
+            std::to_string(generation);
+  return tmpl;
+}
+
+TableMigration migrate_table(Project& project, int table_id, int add_columns,
+                             int drop_columns, double row_growth, Rng& rng) {
+  Catalog& catalog = project.catalog;
+  Table& t = catalog.mutable_table(table_id);  // throws on a bad id
+
+  TableMigration m;
+  m.table_id = table_id;
+  m.old_rows = t.row_count;
+
+  // Data reload: the TRUE row count moves; the collected statistics keep
+  // whatever observed_rows they had, so the native estimates are now stale
+  // by roughly the growth factor.
+  t.row_count = std::max<long long>(
+      100, static_cast<long long>(static_cast<double>(t.row_count) *
+                                  std::max(0.0, row_growth)));
+  t.num_partitions =
+      std::clamp(static_cast<int>(t.row_count / 200000) + 1, 1, 1024);
+  m.new_rows = t.row_count;
+
+  // Column drops come off the tail; the partition column (0), the primary
+  // key (1) and one payload column always survive.
+  for (int d = 0; d < drop_columns && t.columns.size() > 3; ++d) {
+    t.columns.pop_back();
+    ++m.dropped_columns;
+  }
+  for (int a = 0; a < add_columns; ++a) {
+    t.columns.push_back(make_column(
+        t.name, static_cast<int>(t.columns.size()), t.row_count, rng));
+    ++m.added_columns;
+  }
+  ++t.schema_epoch;
+  m.schema_epoch = t.schema_epoch;
+
+  // Snapshot twins share the storage, so the migration shows through them.
+  std::set<int> affected = {table_id};
+  for (int id = 0; id < catalog.table_count(); ++id) {
+    if (catalog.table(id).alias_of != table_id) continue;
+    Table& twin = catalog.mutable_table(id);
+    twin.columns = t.columns;
+    twin.row_count = t.row_count;
+    twin.num_partitions = t.num_partitions;
+    twin.schema_epoch = t.schema_epoch;
+    affected.insert(id);
+  }
+
+  // Clamp every template reference into the surviving column range so the
+  // recurring workload stays instantiable over the new schema.
+  auto clamp_col = [&](int tid, int col, int lo) {
+    const int n = static_cast<int>(catalog.table(tid).columns.size());
+    return std::clamp(col, std::min(lo, n - 1), n - 1);
+  };
+  for (QueryTemplate& tmpl : project.templates) {
+    for (JoinEdge& e : tmpl.joins) {
+      if (affected.contains(e.left_table)) {
+        e.left_column = clamp_col(e.left_table, e.left_column, 0);
+      }
+      if (affected.contains(e.right_table)) {
+        e.right_column = clamp_col(e.right_table, e.right_column, 0);
+      }
+    }
+    for (QueryTemplate::PredSlot& slot : tmpl.pred_slots) {
+      if (affected.contains(slot.table_id)) {
+        slot.column = clamp_col(slot.table_id, slot.column, 0);
+      }
+    }
+    if (tmpl.aggregation) {
+      Aggregation& agg = *tmpl.aggregation;
+      if (affected.contains(agg.table_id)) {
+        agg.column = clamp_col(agg.table_id, agg.column, 1);
+      }
+      for (auto& [gt, gc] : agg.group_by) {
+        if (affected.contains(gt)) gc = clamp_col(gt, gc, 0);
+      }
+    }
+  }
+  return m;
+}
+
 Project WorkloadGenerator::make_project(const ProjectArchetype& archetype) {
   Rng rng(archetype.seed ^ hash64(archetype.name));
   Project project;

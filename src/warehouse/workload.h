@@ -104,12 +104,49 @@ class WorkloadGenerator {
   // heavily, as in production).
   std::vector<Query> day_workload(const Project& project, int day, Rng& rng) const;
 
+  // Re-synthesizes template `index` against the project's CURRENT catalog
+  // (drift: template rotation — the recurring query is retired and a new one
+  // takes over its submission slot). The returned template carries a
+  // generation suffix in its id so recurrence tracking can tell the
+  // generations apart. Pure function of (project, index, generation, rng):
+  // the caller assigns the result into project.templates[index].
+  QueryTemplate rotate_template(const Project& project, int index,
+                                int generation, Rng& rng) const;
+
  private:
   Catalog make_catalog(const ProjectArchetype& a, Rng& rng) const;
   QueryTemplate make_template(const Project& project, int index, Rng& rng) const;
 
   Rng rng_;
 };
+
+// ---------------------------------------------------------------------------
+// In-place workload mutation (drift scenarios)
+// ---------------------------------------------------------------------------
+
+// One applied schema migration. Deterministic given `rng`: the same stream
+// always synthesizes the same new columns.
+struct TableMigration {
+  int table_id = -1;
+  int schema_epoch = 0;  // the table's epoch AFTER the migration
+  int added_columns = 0;
+  int dropped_columns = 0;
+  long long old_rows = 0;
+  long long new_rows = 0;
+};
+
+// Applies an in-place schema migration to `table_id`: appends `add_columns`
+// fresh columns, drops up to `drop_columns` trailing columns (always keeping
+// the partition column, the primary key and one payload column), scales the
+// true row count by `row_growth` WITHOUT refreshing collected statistics —
+// they go stale exactly as in production, which is what shifts the cost
+// surface under the learned model — bumps Table::schema_epoch, mirrors the
+// new shape onto snapshot twins, and clamps every template reference (join
+// columns, predicate slots, aggregations) back into the surviving column
+// range so the workload stays instantiable. Throws std::out_of_range on a
+// bad table id.
+TableMigration migrate_table(Project& project, int table_id, int add_columns,
+                             int drop_columns, double row_growth, Rng& rng);
 
 // ---------------------------------------------------------------------------
 // Canned archetypes for the evaluation (Section 7.1).

@@ -380,6 +380,48 @@ TEST(PipelineBitIdentity, RetrainEpochInvalidatesScores) {
   EXPECT_GT(loam.inference_cache().score_stats().hits, hits_warm);
 }
 
+TEST(PipelineBitIdentity, SchemaMigrationStrandsEveryPreMigrationCacheKey) {
+  PipelineFixture fx;
+  core::PlanExplorer::Config ec;
+  ec.num_threads = 1;
+  core::PlanExplorer explorer(&fx.runtime->optimizer(), ec);
+  std::vector<warehouse::Query> queries = fx.runtime->make_queries(4, 4, 6);
+  ASSERT_FALSE(queries.empty());
+
+  std::set<std::uint64_t> pre_sigs;
+  std::vector<std::size_t> pre_counts;
+  for (const warehouse::Query& q : queries) {
+    const core::CandidateGeneration gen = explorer.explore(q);
+    pre_counts.push_back(gen.plans.size());
+    for (const Plan& p : gen.plans) pre_sigs.insert(p.signature());
+  }
+
+  // A SHAPE-PRESERVING migration on every base table: no columns change, no
+  // rows change — only Table::schema_epoch bumps, exactly the case where a
+  // structural signature without the epoch term would keep serving stale
+  // cache entries for byte-identical plan trees.
+  warehouse::Project& project = fx.runtime->project();
+  Rng mig_rng(5);
+  for (int id = 0; id < project.catalog.table_count(); ++id) {
+    if (project.catalog.table(id).alias_of >= 0) continue;
+    warehouse::migrate_table(project, id, 0, 0, 1.0, mig_rng);
+    EXPECT_EQ(project.catalog.table(id).schema_epoch, 1);
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const core::CandidateGeneration gen = explorer.explore(queries[i]);
+    // Same query, same knobs, same catalog shape: the candidate set is
+    // structurally unchanged...
+    EXPECT_EQ(gen.plans.size(), pre_counts[i]);
+    for (const Plan& p : gen.plans) {
+      // ...but every post-migration signature is new, so every cache key
+      // derived from it (encoding AND score, any env, any model epoch) can
+      // only miss — zero stale hits by construction.
+      EXPECT_EQ(pre_sigs.count(p.signature()), 0u);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parallel flighting replay determinism
 // ---------------------------------------------------------------------------

@@ -1,0 +1,626 @@
+// Tests of loam::drift — the drift-script parser's loud-failure policy, the
+// fork-keyed event scheduler's order independence, in-place schema
+// migrations, and the modular lifelong learner's structural isolation:
+// drift (and retraining, and rollback) on project A must be invisible to
+// project B's converged module, and a fixed (config, script, seed) must
+// replay to bit-identical decisions.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "drift/modular.h"
+#include "drift/scenario.h"
+#include "drift/script.h"
+#include "util/rng.h"
+#include "warehouse/workload.h"
+
+namespace loam::drift {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("loam_drift_test_" + tag + "_" +
+                      std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+warehouse::ProjectArchetype small_archetype(const std::string& name,
+                                            std::uint64_t seed) {
+  warehouse::ProjectArchetype a;
+  a.name = name;
+  a.seed = seed;
+  a.n_tables = 10;
+  a.avg_columns_per_table = 8;
+  a.n_templates = 6;
+  a.queries_per_day = 50.0;
+  a.stats_coverage = 0.3;
+  a.cluster_machines = 12;
+  return a;
+}
+
+LearnerConfig small_learner_config(const std::string& state_dir,
+                                   bool modular = true) {
+  LearnerConfig cfg;
+  cfg.modular = modular;
+  cfg.state_dir = state_dir;
+  cfg.predictor.epochs = 3;
+  cfg.predictor.hidden_dim = 12;
+  cfg.predictor.embed_dim = 8;
+  cfg.predictor.tcn_layers = 2;
+  cfg.predictor.batch_size = 8;
+  cfg.predictor.adversarial = false;
+  cfg.predictor.num_threads = 1;
+  cfg.explorer.top_k = 3;
+  cfg.explorer.card_scales = {0.5};
+  cfg.explorer.num_threads = 1;
+  // Lenient gate: these tests exercise the swap/rollback MECHANICS, not
+  // model quality, so approvals should be the common case.
+  cfg.gate.sample_queries = 4;
+  cfg.gate.replay_runs = 2;
+  cfg.gate.replay_threads = 1;
+  cfg.gate.max_regression = 10.0;
+  cfg.gate.max_regression_ratio = 100.0;
+  cfg.retrain_min_fresh = 8;
+  cfg.window_max_executed = 64;
+  cfg.incremental_epochs = 2;
+  cfg.min_train_examples = 8;
+  return cfg;
+}
+
+ScenarioConfig small_scenario_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.queries_per_day = 4;
+  cfg.replay_runs = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Drift scripts: parse fidelity and the loud-failure policy
+// ---------------------------------------------------------------------------
+
+TEST(DriftScript, ParsesEveryKindWithDefaultsAndOverrides) {
+  const DriftScript s = DriftScript::parse(R"({"events": [
+    {"kind": "schema_migration", "day": 3, "project": "a",
+     "table": 5, "add_columns": 3, "drop_columns": 0, "row_growth": 4.0},
+    {"kind": "flash_crowd", "day": 4, "project": "a",
+     "multiplier": 6.5, "duration_days": 2},
+    {"kind": "template_rotation", "day": 5, "project": "b", "count": 3},
+    {"kind": "onboard", "day": 6, "project": "c"},
+    {"kind": "offboard", "project": "c"}
+  ]})");
+  ASSERT_EQ(s.events.size(), 5u);
+  EXPECT_EQ(s.events[0].kind, DriftEventKind::kSchemaMigration);
+  EXPECT_EQ(s.events[0].day, 3);
+  EXPECT_EQ(s.events[0].project, "a");
+  EXPECT_EQ(s.events[0].table_index, 5);
+  EXPECT_EQ(s.events[0].add_columns, 3);
+  EXPECT_EQ(s.events[0].drop_columns, 0);
+  EXPECT_EQ(s.events[0].row_growth, 4.0);
+  EXPECT_EQ(s.events[1].kind, DriftEventKind::kFlashCrowd);
+  EXPECT_EQ(s.events[1].multiplier, 6.5);
+  EXPECT_EQ(s.events[1].duration_days, 2);
+  EXPECT_EQ(s.events[2].rotate_count, 3);
+  EXPECT_EQ(s.events[3].kind, DriftEventKind::kOnboard);
+  EXPECT_EQ(s.events[4].day, 0);  // day defaults to 0
+
+  // to_json round-trips through parse.
+  const DriftScript back = DriftScript::parse(s.to_json());
+  ASSERT_EQ(back.events.size(), s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].kind, s.events[i].kind) << i;
+    EXPECT_EQ(back.events[i].day, s.events[i].day) << i;
+    EXPECT_EQ(back.events[i].project, s.events[i].project) << i;
+  }
+}
+
+TEST(DriftScript, RejectsUnknownKeysNamingTheOffender) {
+  try {
+    DriftScript::parse(R"({"events": [
+      {"kind": "flash_crowd", "day": 1, "project": "a", "multipler": 2.0}
+    ]})");
+    FAIL() << "typo'd key must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("multipler"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("events[0]"), std::string::npos);
+  }
+}
+
+TEST(DriftScript, RejectsUnknownTopLevelKeysKindsAndMissingFields) {
+  EXPECT_THROW(DriftScript::parse(R"({"events": [], "extra": 1})"),
+               std::runtime_error);
+  EXPECT_THROW(DriftScript::parse(R"({"events": [
+    {"kind": "schema_migraton", "project": "a"}]})"),
+               std::runtime_error);
+  // Missing kind / missing project.
+  EXPECT_THROW(DriftScript::parse(R"({"events": [{"project": "a"}]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      DriftScript::parse(R"({"events": [{"kind": "flash_crowd"}]})"),
+      std::runtime_error);
+  // Missing the events array entirely.
+  EXPECT_THROW(DriftScript::parse(R"({})"), std::runtime_error);
+}
+
+TEST(DriftScript, RejectsMalformedJsonAndBadValues) {
+  EXPECT_THROW(DriftScript::parse("{\"events\": ["), std::runtime_error);
+  EXPECT_THROW(DriftScript::parse("not json at all"), std::runtime_error);
+  EXPECT_THROW(DriftScript::parse(R"({"events": [
+    {"kind": "flash_crowd", "project": "a", "multiplier": -1.0}]})"),
+               std::runtime_error);
+  EXPECT_THROW(DriftScript::parse(R"({"events": [
+    {"kind": "schema_migration", "project": "a", "day": -2}]})"),
+               std::runtime_error);
+  EXPECT_THROW(DriftScript::parse(R"({"events": [
+    {"kind": "template_rotation", "project": "a", "count": 0}]})"),
+               std::runtime_error);
+  // Non-integer where an integer is required.
+  EXPECT_THROW(DriftScript::parse(R"({"events": [
+    {"kind": "flash_crowd", "project": "a", "day": 1.5}]})"),
+               std::runtime_error);
+}
+
+TEST(DriftScript, LoadRejectsMissingFile) {
+  EXPECT_THROW(DriftScript::load("/nonexistent/drift_script.json"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fork-keyed event scheduler: stream independence
+// ---------------------------------------------------------------------------
+
+TEST(EventScheduler, ForkStreamsIgnoreParentDrawsAndDecorrelate) {
+  Rng parent_a(42);
+  Rng parent_b(42);
+  for (int i = 0; i < 100; ++i) parent_b.uniform();  // consume
+  // fork(i) is keyed by (construction seed, i) alone: identical streams no
+  // matter how much the parent has drawn — the property the scheduler leans
+  // on to make event effects independent of the surrounding schedule.
+  Rng fa = parent_a.fork(3);
+  Rng fb = parent_b.fork(3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+  }
+  Rng f0 = parent_a.fork(0);
+  Rng f1 = parent_a.fork(1);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (f0.uniform_int(0, 1 << 30) == f1.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 2);  // distinct indices give decorrelated streams
+}
+
+TEST(EventScheduler, EventEffectIndependentOfOtherScheduledEvents) {
+  // Two engines, same seed. Engine 2's script carries an EXTRA rotation on
+  // project B that fires EARLIER in time (day 1) but sits LATER in the
+  // script (index 1). The migration keeps script index 0 in both, so its
+  // fork stream — and therefore the exact columns it synthesizes on A —
+  // must be identical, even though engine 2 applied another event first.
+  DriftEvent migration;
+  migration.kind = DriftEventKind::kSchemaMigration;
+  migration.day = 2;
+  migration.project = "A";
+  migration.table_index = 1;
+  migration.add_columns = 2;
+  migration.drop_columns = 1;
+  migration.row_growth = 3.0;
+
+  DriftEvent rotation;
+  rotation.kind = DriftEventKind::kTemplateRotation;
+  rotation.day = 1;
+  rotation.project = "B";
+  rotation.rotate_count = 2;
+
+  std::vector<const warehouse::Catalog*> catalogs;
+  std::vector<std::string> dirs;
+  std::vector<std::unique_ptr<ModularLearner>> learners;
+  std::vector<std::unique_ptr<ScenarioEngine>> engines;
+  for (int variant = 0; variant < 2; ++variant) {
+    dirs.push_back(temp_dir("sched" + std::to_string(variant)));
+    LearnerConfig lc = small_learner_config(dirs.back());
+    lc.retrain_min_fresh = 100000;  // no retrains: isolate the scheduler
+    learners.push_back(std::make_unique<ModularLearner>(lc));
+    ScenarioConfig sc = small_scenario_config(909);
+    sc.queries_per_day = 2;
+    engines.push_back(
+        std::make_unique<ScenarioEngine>(sc, learners.back().get()));
+    engines.back()->register_archetype(small_archetype("A", 5));
+    engines.back()->register_archetype(small_archetype("B", 6));
+    engines.back()->add_project("A");
+    engines.back()->add_project("B");
+    DriftScript script;
+    script.events.push_back(migration);
+    if (variant == 1) script.events.push_back(rotation);
+    engines.back()->set_script(script);
+    for (int day = 0; day < 3; ++day) engines.back()->step();
+    catalogs.push_back(&engines.back()->runtime("A")->project().catalog);
+  }
+
+  ASSERT_EQ(catalogs[0]->table_count(), catalogs[1]->table_count());
+  bool saw_migrated = false;
+  for (int id = 0; id < catalogs[0]->table_count(); ++id) {
+    const warehouse::Table& t0 = catalogs[0]->table(id);
+    const warehouse::Table& t1 = catalogs[1]->table(id);
+    ASSERT_EQ(t0.schema_epoch, t1.schema_epoch) << t0.name;
+    ASSERT_EQ(t0.row_count, t1.row_count) << t0.name;
+    ASSERT_EQ(t0.columns.size(), t1.columns.size()) << t0.name;
+    for (std::size_t c = 0; c < t0.columns.size(); ++c) {
+      EXPECT_EQ(t0.columns[c].name, t1.columns[c].name);
+      EXPECT_EQ(t0.columns[c].ndv, t1.columns[c].ndv);
+      EXPECT_EQ(t0.columns[c].zipf_skew, t1.columns[c].zipf_skew);
+    }
+    if (t0.schema_epoch > 0) saw_migrated = true;
+  }
+  EXPECT_TRUE(saw_migrated);
+  for (auto& d : dirs) fs::remove_all(d);
+}
+
+// ---------------------------------------------------------------------------
+// Schema migration mechanics
+// ---------------------------------------------------------------------------
+
+TEST(SchemaMigration, KeepsWorkloadInstantiableAndMirrorsTwins) {
+  warehouse::WorkloadGenerator gen(3);
+  warehouse::ProjectArchetype a = small_archetype("mig", 17);
+  a.snapshot_fraction = 0.3;  // make twin mirroring observable
+  warehouse::Project project = gen.make_project(a);
+
+  // Pick a base table that has snapshot twins if any exist.
+  int target = -1;
+  for (int id = 0; id < project.catalog.table_count() && target < 0; ++id) {
+    for (int twin = 0; twin < project.catalog.table_count(); ++twin) {
+      if (project.catalog.table(twin).alias_of == id) {
+        target = id;
+        break;
+      }
+    }
+  }
+  if (target < 0) target = 0;
+
+  Rng rng(99);
+  const std::size_t before_cols = project.catalog.table(target).columns.size();
+  const warehouse::TableMigration m =
+      warehouse::migrate_table(project, target, 2, 1, 4.0, rng);
+  EXPECT_EQ(m.table_id, target);
+  EXPECT_EQ(m.schema_epoch, 1);
+  EXPECT_EQ(project.catalog.table(target).schema_epoch, 1);
+  EXPECT_EQ(m.added_columns, 2);
+  EXPECT_EQ(m.dropped_columns, 1);
+  EXPECT_EQ(project.catalog.table(target).columns.size(), before_cols + 1);
+  EXPECT_EQ(m.new_rows, m.old_rows * 4);
+  // Statistics are NOT refreshed — staleness is the drift.
+  if (project.catalog.stats(target).available) {
+    EXPECT_NE(project.catalog.stats(target).observed_rows, m.new_rows);
+  }
+  // Twins mirror shape and epoch.
+  for (int id = 0; id < project.catalog.table_count(); ++id) {
+    const warehouse::Table& t = project.catalog.table(id);
+    if (t.alias_of != target) continue;
+    EXPECT_EQ(t.schema_epoch, 1);
+    EXPECT_EQ(t.row_count, m.new_rows);
+    EXPECT_EQ(t.columns.size(), project.catalog.table(target).columns.size());
+  }
+
+  // Aggressive drops on EVERY base table, then the whole workload must still
+  // instantiate and plan without throwing.
+  for (int id = 0; id < project.catalog.table_count(); ++id) {
+    if (project.catalog.table(id).alias_of >= 0) continue;
+    warehouse::migrate_table(project, id, 0, 100, 1.0, rng);
+    EXPECT_GE(project.catalog.table(id).columns.size(), 3u);
+  }
+  Rng qrng(7);
+  const std::vector<warehouse::Query> day = gen.day_workload(project, 3, qrng);
+  ASSERT_FALSE(day.empty());
+  warehouse::NativeOptimizer opt(project.catalog);
+  for (const warehouse::Query& q : day) {
+    EXPECT_NO_THROW(opt.optimize(q));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Modular learner: structural isolation + bit identity
+// ---------------------------------------------------------------------------
+
+struct TwoProjectFixture {
+  std::string dir;
+  std::unique_ptr<core::ProjectRuntime> rt_a;
+  std::unique_ptr<core::ProjectRuntime> rt_b;
+  std::unique_ptr<ModularLearner> learner;
+
+  explicit TwoProjectFixture(const std::string& tag, bool modular = true) {
+    dir = temp_dir(tag);
+    core::RuntimeConfig rc_a;
+    rc_a.seed = 21;
+    core::RuntimeConfig rc_b;
+    rc_b.seed = 22;
+    rt_a = std::make_unique<core::ProjectRuntime>(small_archetype("A", 5), rc_a);
+    rt_b = std::make_unique<core::ProjectRuntime>(small_archetype("B", 6), rc_b);
+    learner = std::make_unique<ModularLearner>(
+        small_learner_config(dir, modular));
+    learner->onboard("A", rt_a.get());
+    learner->onboard("B", rt_b.get());
+  }
+
+  ~TwoProjectFixture() { fs::remove_all(dir); }
+
+  // Serves one day of `n` queries for `key`, journaling the explorer's rough
+  // cost as the realized cost (the mechanics under test do not need real
+  // replays).
+  void serve_day(const std::string& key, core::ProjectRuntime* rt, int day,
+                 int n) {
+    for (warehouse::Query& q : rt->make_queries(day, day, n)) {
+      ModularLearner::Decision d = learner->optimize(key, q);
+      const double cost =
+          d.generation.rough_costs.at(static_cast<std::size_t>(d.chosen));
+      learner->record_feedback(key, d, cost, day);
+    }
+  }
+};
+
+void expect_status_equal(const ModuleStatus& x, const ModuleStatus& y) {
+  EXPECT_EQ(x.version, y.version);
+  EXPECT_EQ(x.epoch, y.epoch);
+  EXPECT_EQ(x.executed_records, y.executed_records);
+  EXPECT_EQ(x.retrains, y.retrains);
+  EXPECT_EQ(x.approvals, y.approvals);
+  EXPECT_EQ(x.rejections, y.rejections);
+  EXPECT_EQ(x.rollbacks, y.rollbacks);
+  EXPECT_EQ(x.watermark_day, y.watermark_day);
+}
+
+TEST(ModularLearner, DriftRetrainAndRollbackOnANeverTouchB) {
+  TwoProjectFixture fx("isolation");
+  for (int day = 0; day < 2; ++day) {
+    fx.serve_day("A", fx.rt_a.get(), day, 6);
+    fx.serve_day("B", fx.rt_b.get(), day, 6);
+  }
+
+  const ModuleStatus b_before = fx.learner->status("B");
+  EXPECT_EQ(b_before.executed_records, 12u);
+
+  // Retrain A (bootstrap fit + gate + publish)...
+  const ModularLearner::RetrainReport r1 = fx.learner->retrain_module("A", 1);
+  EXPECT_TRUE(r1.attempted);
+  EXPECT_FALSE(r1.incremental);
+  EXPECT_EQ(r1.examples, 12);
+  // ...then drift A's catalog and retrain again, incrementally, from A's own
+  // journal only.
+  Rng rng(5);
+  warehouse::migrate_table(fx.rt_a->project(), 0, 2, 1, 4.0, rng);
+  fx.serve_day("A", fx.rt_a.get(), 2, 6);
+  const ModularLearner::RetrainReport r2 = fx.learner->retrain_module("A", 2);
+  EXPECT_TRUE(r2.attempted);
+  if (r1.approved) EXPECT_TRUE(r2.incremental);
+
+  // Structural isolation: nothing about B moved — not its version, not its
+  // gate counters, not its journal.
+  expect_status_equal(fx.learner->status("B"), b_before);
+
+  // Rollback on A is equally invisible to B.
+  const ModuleStatus a_before_rb = fx.learner->status("A");
+  const int rolled = fx.learner->rollback_module("A");
+  if (a_before_rb.version > 0) {
+    EXPECT_EQ(rolled, a_before_rb.version);
+    const ModuleStatus a_after = fx.learner->status("A");
+    EXPECT_EQ(a_after.rollbacks, a_before_rb.rollbacks + 1);
+    EXPECT_LT(a_after.version, a_before_rb.version);
+  } else {
+    EXPECT_EQ(rolled, 0);
+  }
+  expect_status_equal(fx.learner->status("B"), b_before);
+  EXPECT_EQ(fx.learner->status("B").rollbacks, 0);
+}
+
+TEST(ModularLearner, OffboardRetiresModuleAndReonboardResumes) {
+  TwoProjectFixture fx("offboard");
+  fx.serve_day("A", fx.rt_a.get(), 0, 10);
+  const ModularLearner::RetrainReport r = fx.learner->retrain_module("A", 0);
+  fx.learner->offboard("A");
+  EXPECT_FALSE(fx.learner->has_module("A"));
+  EXPECT_TRUE(fx.learner->has_module("B"));
+  EXPECT_THROW(fx.learner->optimize("A", warehouse::Query{}),
+               std::runtime_error);
+
+  // Re-onboarding resumes from the module's durable registry + journal.
+  fx.learner->onboard("A", fx.rt_a.get());
+  const ModuleStatus a = fx.learner->status("A");
+  EXPECT_EQ(a.executed_records, 10u);
+  if (r.approved) EXPECT_EQ(a.version, r.version);
+}
+
+TEST(ModularLearner, MonolithicBaselinePoolsJournalAndGatesGlobally) {
+  TwoProjectFixture fx("mono", /*modular=*/false);
+  EXPECT_FALSE(fx.learner->modular());
+  for (int day = 0; day < 2; ++day) {
+    fx.serve_day("A", fx.rt_a.get(), day, 5);
+    fx.serve_day("B", fx.rt_b.get(), day, 5);
+  }
+  // One pooled journal: both projects' records land in the shared log, and
+  // status reads the shared state through any module key.
+  EXPECT_EQ(fx.learner->status("A").executed_records, 20u);
+  EXPECT_EQ(fx.learner->status("B").executed_records, 20u);
+
+  const ModularLearner::RetrainReport r = fx.learner->retrain_module("*", 1);
+  EXPECT_TRUE(r.attempted);
+  EXPECT_EQ(r.key, "*");
+  EXPECT_FALSE(r.incremental);  // the baseline always refits from scratch
+  EXPECT_EQ(r.examples, 20);
+  // A global swap (or rejection) is visible through EVERY module's status —
+  // the per-project isolation the modular learner provides is exactly what
+  // the monolith cannot.
+  expect_status_equal(fx.learner->status("A"), fx.learner->status("B"));
+  if (r.approved) {
+    EXPECT_EQ(fx.learner->status("A").version, r.version);
+    EXPECT_EQ(fx.learner->status("B").version, r.version);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario engine end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioEngine, FlashCrowdScalesVolumeOnlyForItsDuration) {
+  const std::string dir = temp_dir("crowd");
+  LearnerConfig lc = small_learner_config(dir);
+  lc.retrain_min_fresh = 100000;
+  ModularLearner learner(lc);
+  ScenarioConfig sc = small_scenario_config(31);
+  ScenarioEngine engine(sc, &learner);
+  engine.register_archetype(small_archetype("A", 5));
+  engine.register_archetype(small_archetype("B", 6));
+  engine.add_project("A");
+  engine.add_project("B");
+
+  DriftScript script;
+  DriftEvent crowd;
+  crowd.kind = DriftEventKind::kFlashCrowd;
+  crowd.day = 1;
+  crowd.project = "A";
+  crowd.multiplier = 3.0;
+  crowd.duration_days = 1;
+  script.events.push_back(crowd);
+  engine.set_script(script);
+
+  const ScenarioEngine::DayStats d0 = engine.step();
+  EXPECT_EQ(d0.queries, 8);  // 2 projects x queries_per_day
+  EXPECT_EQ(d0.events_applied, 0);
+  const ScenarioEngine::DayStats d1 = engine.step();
+  EXPECT_EQ(d1.events_applied, 1);
+  EXPECT_EQ(d1.queries, 16);  // A serves 4 x 3, B stays at 4
+  const ScenarioEngine::DayStats d2 = engine.step();
+  EXPECT_EQ(d2.queries, 8);  // crowd expired
+  EXPECT_EQ(engine.applied_events(), 1);
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioEngine, ScriptedOnboardOffboardDriveTheModuleTable) {
+  const std::string dir = temp_dir("onoff");
+  LearnerConfig lc = small_learner_config(dir);
+  lc.retrain_min_fresh = 100000;
+  ModularLearner learner(lc);
+  ScenarioEngine engine(small_scenario_config(47), &learner);
+  engine.register_archetype(small_archetype("A", 5));
+  engine.register_archetype(small_archetype("C", 7));
+  engine.add_project("A");
+
+  DriftScript script;
+  DriftEvent on;
+  on.kind = DriftEventKind::kOnboard;
+  on.day = 1;
+  on.project = "C";
+  DriftEvent off;
+  off.kind = DriftEventKind::kOffboard;
+  off.day = 2;
+  off.project = "C";
+  script.events = {on, off};
+  engine.set_script(script);
+
+  EXPECT_EQ(engine.step().queries, 4);  // day 0: A alone
+  EXPECT_FALSE(learner.has_module("C"));
+  EXPECT_EQ(engine.step().queries, 8);  // day 1: A + onboarded C
+  EXPECT_TRUE(learner.has_module("C"));
+  EXPECT_NE(engine.runtime("C"), nullptr);
+  EXPECT_EQ(engine.step().queries, 4);  // day 2: C offboarded before serving
+  EXPECT_FALSE(learner.has_module("C"));
+  EXPECT_EQ(engine.runtime("C"), nullptr);
+  EXPECT_EQ(engine.projects(), std::vector<std::string>{"A"});
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioEngine, EventOnUnknownProjectFailsLoudly) {
+  const std::string dir = temp_dir("ghost");
+  LearnerConfig lc = small_learner_config(dir);
+  ModularLearner learner(lc);
+  ScenarioEngine engine(small_scenario_config(53), &learner);
+  engine.register_archetype(small_archetype("A", 5));
+  engine.add_project("A");
+  DriftScript script;
+  DriftEvent ev;
+  ev.kind = DriftEventKind::kFlashCrowd;
+  ev.day = 0;
+  ev.project = "ghost";
+  script.events.push_back(ev);
+  engine.set_script(script);
+  EXPECT_THROW(engine.step(), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioEngine, FixedConfigReplaysBitIdentically) {
+  // Two fully independent stacks, same (config, seed, script): every served
+  // day must agree bit-for-bit — replayed costs, regression ratios, retrain
+  // verdicts, module versions. This is the house determinism rule extended
+  // across the whole drift subsystem.
+  DriftScript script;
+  DriftEvent migration;
+  migration.kind = DriftEventKind::kSchemaMigration;
+  migration.day = 2;
+  migration.project = "A";
+  migration.add_columns = 2;
+  migration.drop_columns = 1;
+  migration.row_growth = 3.0;
+  DriftEvent rotation;
+  rotation.kind = DriftEventKind::kTemplateRotation;
+  rotation.day = 3;
+  rotation.project = "B";
+  script.events = {migration, rotation};
+
+  std::vector<std::vector<ScenarioEngine::DayStats>> runs;
+  std::vector<std::string> states;
+  for (int run = 0; run < 2; ++run) {
+    const std::string dir = temp_dir("bitid" + std::to_string(run));
+    LearnerConfig lc = small_learner_config(dir);
+    ModularLearner learner(lc);
+    ScenarioEngine engine(small_scenario_config(777), &learner);
+    engine.register_archetype(small_archetype("A", 5));
+    engine.register_archetype(small_archetype("B", 6));
+    engine.add_project("A");
+    engine.add_project("B");
+    engine.set_script(script);
+    std::vector<ScenarioEngine::DayStats> days;
+    for (int day = 0; day < 5; ++day) days.push_back(engine.step());
+    runs.push_back(std::move(days));
+    states.push_back(learner.state_json());
+    fs::remove_all(dir);
+  }
+
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t d = 0; d < runs[0].size(); ++d) {
+    const ScenarioEngine::DayStats& x = runs[0][d];
+    const ScenarioEngine::DayStats& y = runs[1][d];
+    EXPECT_EQ(x.queries, y.queries) << "day " << d;
+    EXPECT_EQ(x.events_applied, y.events_applied) << "day " << d;
+    ASSERT_EQ(x.chosen_cost.size(), y.chosen_cost.size()) << "day " << d;
+    for (const auto& [name, cost] : x.chosen_cost) {
+      ASSERT_TRUE(y.chosen_cost.count(name));
+      // Bitwise double equality: same decisions, same replays.
+      EXPECT_EQ(cost, y.chosen_cost.at(name)) << name << " day " << d;
+      EXPECT_EQ(x.default_cost.at(name), y.default_cost.at(name))
+          << name << " day " << d;
+      EXPECT_EQ(x.regression.at(name), y.regression.at(name))
+          << name << " day " << d;
+    }
+    ASSERT_EQ(x.retrains.size(), y.retrains.size()) << "day " << d;
+    for (std::size_t r = 0; r < x.retrains.size(); ++r) {
+      EXPECT_EQ(x.retrains[r].key, y.retrains[r].key);
+      EXPECT_EQ(x.retrains[r].attempted, y.retrains[r].attempted);
+      EXPECT_EQ(x.retrains[r].approved, y.retrains[r].approved);
+      EXPECT_EQ(x.retrains[r].version, y.retrains[r].version);
+      EXPECT_EQ(x.retrains[r].gate_gain, y.retrains[r].gate_gain);
+    }
+  }
+  EXPECT_EQ(states[0], states[1]);
+}
+
+}  // namespace
+}  // namespace loam::drift

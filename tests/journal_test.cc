@@ -243,6 +243,55 @@ TEST(ShardedFeedbackJournal, ShardMajorReplayMatchesSingleFileLayout) {
   fs::remove(flat);
 }
 
+TEST(ShardedFeedbackJournal, ShrinkingShardCountStillReplaysEveryRecord) {
+  const std::string base = temp_path("reshard_shrink");
+  constexpr int kOldShards = 4;
+  constexpr int kN = 20;
+  {
+    ShardedFeedbackJournal journal(base, kOldShards, kDim);
+    for (int i = 0; i < kN; ++i) journal.append(i % kOldShards, make_record(i));
+  }
+
+  // Restart with ONE shard: appends now go to the bare base file, but replay
+  // must still see the four .s<k> files the old configuration journaled —
+  // they are read-only orphans, not lost training data.
+  ShardedFeedbackJournal shrunk(base, 1, kDim);
+  EXPECT_EQ(shrunk.replay_paths().size(), 1u + kOldShards);
+  EXPECT_EQ(shrunk.replay(0).default_plans.size() +
+                shrunk.replay(0).candidate_plans.size(),
+            static_cast<std::size_t>(kN));
+  shrunk.append(0, make_record(kN));
+  const core::TrainingData data = shrunk.replay(0);
+  EXPECT_EQ(data.default_plans.size() + data.candidate_plans.size(),
+            static_cast<std::size_t>(kN) + 1);
+  // The freshest-N trim runs over the concatenated stream, orphans included.
+  EXPECT_EQ(shrunk.replay(4).default_plans.size(), 4u);
+  fs::remove(base);
+  remove_shard_files(base, kOldShards);
+}
+
+TEST(ShardedFeedbackJournal, GrowingShardCountStillReplaysEveryRecord) {
+  const std::string base = temp_path("reshard_grow");
+  constexpr int kN = 10;
+  {
+    ShardedFeedbackJournal journal(base, 1, kDim);
+    for (int i = 0; i < kN; ++i) journal.append(0, make_record(i));
+  }
+
+  // Restart with FOUR shards: the bare single-shard file is now an orphan
+  // that replay must still read, ahead of the live .s<k> files.
+  ShardedFeedbackJournal grown(base, 4, kDim);
+  const std::vector<std::string> paths = grown.replay_paths();
+  ASSERT_EQ(paths.size(), 5u);
+  EXPECT_EQ(paths.front(), base);  // orphan first: oldest records first
+  grown.append(2, make_record(kN));
+  const core::TrainingData data = grown.replay(0);
+  EXPECT_EQ(data.default_plans.size() + data.candidate_plans.size(),
+            static_cast<std::size_t>(kN) + 1);
+  fs::remove(base);
+  remove_shard_files(base, 4);
+}
+
 TEST(ShardedFeedbackJournal, TornTailOnOneShardLosesOnlyThatShardsTail) {
   const std::string base = temp_path("sharded_torn");
   constexpr int kShards = 3;

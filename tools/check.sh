@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # CI-style verification: build and test the tree three times —
 #   1. Release (the tier-1 configuration), full ctest suite;
-#   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), full ctest suite;
-#   3. ASan+UBSan (-DLOAM_SANITIZE=address+undefined), full ctest suite.
+#   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), ctest minus `slow` label;
+#   3. ASan+UBSan (-DLOAM_SANITIZE=address+undefined), ctest minus `slow`.
+# The `slow` label marks the drift scenario suites (whole simulated days per
+# test); Release runs them, the 10-20x sanitizer passes skip them — their
+# concurrency surface (journal/registry/cache) is already covered by the
+# serve suites that do run under both sanitizers.
 # The TSan pass is what certifies the parallel explorer, the thread pool, the
 # obs tracing rings, and the loam::serve hot-swap path free of data races; the
 # ASan+UBSan pass catches lifetime and UB bugs in the journal/registry binary
@@ -27,7 +31,13 @@
 #   - shard scale-out bench (BENCH_serve_scaling.json, fails if any request
 #     is rejected, any shard's applied-swap pause exceeds 1 ms, or — on a
 #     machine with >= 4 hardware threads — 4-shard model-path throughput
-#     falls below 2.5x 1-shard).
+#     falls below 2.5x 1-shard);
+#   - workload-drift smoke (loam_sim_cli drift: a scripted schema migration +
+#     flash crowd replayed under the flight recorder, dump validated by
+#     obs_report.py; a script with an unknown key must be rejected);
+#   - drift recovery bench (BENCH_drift.json, fails unless the modular
+#     learner's time-to-recover beats the monolithic baseline on BOTH
+#     localized-drift scenarios with the control project never rolled back).
 # The pacing filter/state-machine tests (pacing_filter_test,
 # pacing_controller_test), the serve overload soak, and the shard suite
 # (shard_test: cross-shard hot-swap soak, rollback-while-sharded,
@@ -177,14 +187,75 @@ for s in sweeps.values():
     assert any(r > 0 for r in s["burst_shed_rate"]), s
 EOF
 
+echo "== Workload-drift smoke (loam_sim_cli drift --drift-script) =="
+# A scripted schema migration plus a flash crowd replayed against the modular
+# lifelong learner under the flight recorder; the shutdown bundle must carry
+# the "drift" scenario state table and loam.drift.* metric history.
+rm -rf "${BUILD_DIR}/drift_state" "${BUILD_DIR}/drift_dumps"
+mkdir -p "${BUILD_DIR}/drift_dumps"
+cat > "${BUILD_DIR}/drift_script.json" <<'EOF'
+{"events": [
+  {"kind": "schema_migration", "day": 2, "project": "main", "table": 0,
+   "add_columns": 2, "drop_columns": 1, "row_growth": 4.0},
+  {"kind": "flash_crowd", "day": 3, "project": "main", "multiplier": 4.0,
+   "duration_days": 2}
+]}
+EOF
+"./${BUILD_DIR}/tools/loam_sim_cli" drift 1 5 "${BUILD_DIR}/drift_state" \
+  --drift-script="${BUILD_DIR}/drift_script.json" \
+  --record --record-interval=25 --dump-on-alert \
+  --dump-out="${BUILD_DIR}/drift_dumps"
+test -s "${BUILD_DIR}/drift_state/main/feedback.jnl"
+for dump in "${BUILD_DIR}/drift_dumps"/*.json; do
+  python3 tools/obs_report.py --validate "${dump}"
+done
+dump=$(ls "${BUILD_DIR}/drift_dumps"/*.json | head -n 1)
+python3 tools/obs_report.py "${dump}" --series loam.drift \
+  | grep -q "loam.drift.migrations"
+# Unknown-key rejection: a typo'd script field must fail loudly, matching
+# the unknown-flag policy.
+cat > "${BUILD_DIR}/drift_script_bad.json" <<'EOF'
+{"events": [
+  {"kind": "flash_crowd", "day": 1, "project": "main", "multipler": 2.0}
+]}
+EOF
+rc=0
+"./${BUILD_DIR}/tools/loam_sim_cli" drift 1 2 "${BUILD_DIR}/drift_state" \
+  --drift-script="${BUILD_DIR}/drift_script_bad.json" \
+  > /dev/null 2>&1 || rc=$?
+if [[ "${rc}" == 0 ]]; then
+  echo "loam_sim_cli accepted a drift script with an unknown key" >&2
+  exit 1
+fi
+
+echo "== Drift recovery bench (BENCH_drift.json) =="
+# Two localized-drift scenarios x (modular | monolithic); the binary exits
+# non-zero unless modular time-to-recover is strictly better on both and the
+# control project is never rolled back. The JSON gate is re-checked here so a
+# stale file from an earlier run can never green-wash a failure.
+"./${BUILD_DIR}/bench/bench_micro" --drift \
+  --drift-json="${BUILD_DIR}/BENCH_drift.json"
+python3 - "${BUILD_DIR}/BENCH_drift.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["gate"]["pass"] is True, doc["gate"]
+assert doc["gate"]["modular_faster_everywhere"] is True, doc["gate"]
+assert doc["gate"]["control_clean"] is True, doc["gate"]
+names = {s["name"] for s in doc["scenarios"]}
+assert names == {"schema_migration", "template_rotation"}, names
+for s in doc["scenarios"]:
+    assert s["modular"]["ttr_days"] < s["monolithic"]["ttr_days"], s["name"]
+    assert s["modular"]["control_rollbacks"] == 0, s["name"]
+EOF
+
 echo "== ThreadSanitizer build + tests =="
 cmake -B "${TSAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=thread
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
+ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -LE slow
 
 echo "== ASan+UBSan build + tests =="
 cmake -B "${ASAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=address+undefined
 cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${ASAN_BUILD_DIR}" --output-on-failure -j "${JOBS}"
+ctest --test-dir "${ASAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -LE slow
 
 echo "== check.sh: all configurations green =="

@@ -23,6 +23,24 @@
 //                                           shards, 0 = one per hardware
 //                                           thread) and prints a per-shard
 //                                           stats table
+//   drift     <archetype-index> <days> [state-dir] --drift-script=<file>
+//                                           run a declarative workload-drift
+//                                           timeline (JSON; see docs/DRIFT.md)
+//                                           against the lifelong modular
+//                                           learner: the archetype serves as
+//                                           project "main", the script's
+//                                           events fire on their scheduled
+//                                           days, and a per-day cost-ratio +
+//                                           retrain table is printed;
+//                                           --monolithic swaps in the pooled
+//                                           single-model baseline; --record /
+//                                           --dump-on-alert / --dump-out work
+//                                           as in serve (bundles include the
+//                                           "drift" scenario state provider).
+//                                           Malformed scripts — including any
+//                                           unknown key — are rejected with a
+//                                           non-zero exit, matching the
+//                                           unknown-flag policy.
 //
 // Archetype indices 0-4 are the paper's evaluation projects; 5+ draw from the
 // sampled population.
@@ -48,6 +66,7 @@
 
 #include "core/gate.h"
 #include "core/loam.h"
+#include "drift/scenario.h"
 #include "obs/obs.h"
 #include "serve/service.h"
 #include "util/table_printer.h"
@@ -396,6 +415,131 @@ int cmd_serve(int index, int n_requests, const char* state_dir, bool paced,
   return 0;
 }
 
+int cmd_drift(int index, int days, const char* state_dir,
+              const std::string& script_path, bool monolithic,
+              const RecordOptions& rec) {
+  if (script_path.empty()) {
+    std::fprintf(stderr, "drift requires --drift-script=<file>\n");
+    return 1;
+  }
+  // Loud-failure policy: a malformed script (unknown key, unknown kind, bad
+  // value) must exit non-zero naming the offender, same as an unknown flag.
+  drift::DriftScript script;
+  try {
+    script = drift::DriftScript::load(script_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drift script rejected: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string dir = state_dir != nullptr ? state_dir : "loam_drift_state";
+
+  // Same recorder lifetime rule as serve: the engine registers its "drift"
+  // state provider and removes it in its destructor.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (rec.record) {
+    obs::set_metrics_enabled(true);
+    obs::FlightRecorderConfig fc;
+    fc.recorder.interval_ns =
+        static_cast<std::int64_t>(std::max(1, rec.interval_ms)) * 1'000'000;
+    fc.rules = obs::default_serve_rules(1);
+    fc.dump_on_alert = rec.dump_on_alert;
+    fc.dump_dir = rec.dump_out.empty() ? dir : rec.dump_out;
+    flight = std::make_unique<obs::FlightRecorder>(std::move(fc));
+    flight->start();
+  }
+
+  drift::LearnerConfig lc;
+  lc.modular = !monolithic;
+  lc.state_dir = dir;
+  lc.predictor.epochs = 6;
+  lc.predictor.hidden_dim = 16;
+  lc.predictor.embed_dim = 8;
+  lc.predictor.tcn_layers = 2;
+  lc.predictor.batch_size = 16;
+  lc.predictor.adversarial = false;
+  lc.predictor.num_threads = 1;
+  lc.explorer.top_k = 3;
+  lc.explorer.card_scales = {0.5};
+  lc.explorer.num_threads = 1;
+  lc.gate.sample_queries = 6;
+  lc.gate.replay_runs = 2;
+  lc.gate.replay_threads = 1;
+  lc.retrain_min_fresh = 12;
+  lc.window_max_executed = 96;
+  lc.incremental_epochs = 4;
+  lc.min_train_examples = 24;
+  drift::ModularLearner learner(lc);
+
+  drift::ScenarioConfig sc;
+  sc.queries_per_day = 12;
+  sc.seed = 99;
+  sc.recorder = flight.get();
+  drift::ScenarioEngine engine(sc, &learner);
+
+  // The chosen archetype serves as project "main" — the stable name drift
+  // scripts target regardless of the archetype index.
+  warehouse::ProjectArchetype arch = pick_archetype(index);
+  arch.name = "main";
+  engine.register_archetype(arch);
+  engine.add_project("main");
+  engine.set_script(std::move(script));
+
+  std::printf("drift run: %s learner, %d days, %zu scripted events, project "
+              "\"main\" (archetype %d)\n",
+              monolithic ? "monolithic" : "modular", days,
+              engine.script().events.size(), index);
+  TablePrinter t({"day", "events", "queries", "cost vs default (%)",
+                  "retrains", "approved"});
+  for (int day = 0; day < days; ++day) {
+    const drift::ScenarioEngine::DayStats stats = engine.step();
+    int approved = 0;
+    for (const drift::ModularLearner::RetrainReport& r : stats.retrains) {
+      approved += r.approved;
+    }
+    double ratio = 1.0;
+    const auto it = stats.regression.find("main");
+    if (it != stats.regression.end()) ratio = it->second;
+    t.add_row({TablePrinter::fmt_int(stats.day),
+               TablePrinter::fmt_int(stats.events_applied),
+               TablePrinter::fmt_int(stats.queries),
+               fmt_double(100.0 * (ratio - 1.0), 2),
+               TablePrinter::fmt_int(
+                   static_cast<long long>(stats.retrains.size())),
+               TablePrinter::fmt_int(approved)});
+  }
+  t.print();
+
+  std::printf("\nmodule table (%s):\n", monolithic ? "pooled" : "per-project");
+  TablePrinter mt({"module", "version", "epoch", "executed", "retrains",
+                   "approved", "rejected", "rollbacks"});
+  for (const std::string& key : learner.keys()) {
+    const drift::ModuleStatus s = learner.status(key);
+    mt.add_row({s.key, TablePrinter::fmt_int(s.version),
+                TablePrinter::fmt_int(s.epoch),
+                TablePrinter::fmt_int(
+                    static_cast<long long>(s.executed_records)),
+                TablePrinter::fmt_int(s.retrains),
+                TablePrinter::fmt_int(s.approvals),
+                TablePrinter::fmt_int(s.rejections),
+                TablePrinter::fmt_int(s.rollbacks)});
+  }
+  mt.print();
+  std::printf("applied %d of %zu scripted events; state in %s\n",
+              engine.applied_events(), engine.script().events.size(),
+              dir.c_str());
+
+  if (flight) {
+    flight->trigger_dump("shutdown");
+    flight->stop();
+    std::printf("flight recorder: %llu samples, %llu dumps (last: %s)\n",
+                static_cast<unsigned long long>(flight->recorder().samples()),
+                static_cast<unsigned long long>(flight->dumps_written()),
+                flight->last_dump_path().c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: loam_sim_cli inspect <archetype>\n"
@@ -411,6 +555,14 @@ void usage() {
                "                dumps land in --dump-out, default state-dir;\n"
                "                --burst=N resubmits the pool N times at once\n"
                "                to exercise shedding under the recorder)\n"
+               "       loam_sim_cli drift   <archetype> <days> [state-dir]"
+               " --drift-script=<file>\n"
+               "               [--monolithic] [--record] [--dump-on-alert]"
+               " [--dump-out=<dir>]\n"
+               "               (replays a JSON drift timeline against the\n"
+               "                modular lifelong learner; scripts target\n"
+               "                project \"main\"; unknown script keys are\n"
+               "                rejected — see docs/DRIFT.md)\n"
                "global flags: --metrics-out=<path> --trace-out=<path>\n");
 }
 
@@ -427,8 +579,9 @@ bool write_file(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, drift_script;
   bool paced = false;
+  bool monolithic = false;
   int shards = 1;
   RecordOptions rec;
   std::vector<char*> args;
@@ -451,6 +604,10 @@ int main(int argc, char** argv) {
       rec.dump_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--burst=", 8) == 0) {
       rec.burst = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--drift-script=", 15) == 0) {
+      drift_script = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--monolithic") == 0) {
+      monolithic = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -481,6 +638,9 @@ int main(int argc, char** argv) {
   } else if (cmd == "serve" && nargs >= 4) {
     rc = cmd_serve(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr,
                    paced, shards, rec);
+  } else if (cmd == "drift" && nargs >= 4) {
+    rc = cmd_drift(index, std::atoi(args[3]), nargs >= 5 ? args[4] : nullptr,
+                   drift_script, monolithic, rec);
   } else {
     usage();
     return 1;
