@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-// The kernels below are written for compiler auto-vectorization rather than
-// intrinsics: restrict-qualified pointers, contiguous unit-stride inner loops
-// over j, and register-blocked micro-kernels (2 output rows x 4 k-steps for
-// the NN/NT products, 2 rows x 4 columns of independent dot products for the
-// a*b^T product). Each output element still accumulates through a single
-// chain in ascending-k order, so results are bit-identical to the naive
-// triple loop — the blocking only amortizes loads/stores of the output row
-// and of the a operand across the vectorized j loop.
+#include "nn/simd.h"
+
+// The GEMM entry points below are thin shims over the runtime-dispatched
+// micro-kernels in nn/simd.h — shape checks and the prepare_out/accumulate
+// convention live here, the arithmetic lives in kernels_impl.inc. Every
+// dispatch arm accumulates each output element through a single fmaf chain in
+// ascending-k order (see the contract in mat.h), so this routing is invisible
+// to results.
 #if defined(__GNUC__) || defined(__clang__)
 #define LOAM_RESTRICT __restrict__
 #else
@@ -19,66 +19,6 @@
 
 namespace loam::nn {
 namespace {
-
-// Column tile for the j loop: keeps the active b rows and c rows of a tile
-// resident in L1 when n is large (4 k-rows + 2 c-rows of kColTile floats
-// ~= 6 KiB). For the hidden sizes used here a single tile covers the matrix.
-constexpr int kColTile = 256;
-
-// c0/c1 += a-block * b-block over the column range [j0, j1). kb in [1, 4]
-// selects how many k steps are live; mr in [1, 2] selects live output rows.
-inline void micro_2x4(const float* LOAM_RESTRICT a0, const float* LOAM_RESTRICT a1,
-                      const float* LOAM_RESTRICT b0, const float* LOAM_RESTRICT b1,
-                      const float* LOAM_RESTRICT b2, const float* LOAM_RESTRICT b3,
-                      float* LOAM_RESTRICT c0, float* LOAM_RESTRICT c1,
-                      int j0, int j1) {
-  const float a00 = a0[0], a01 = a0[1], a02 = a0[2], a03 = a0[3];
-  const float a10 = a1[0], a11 = a1[1], a12 = a1[2], a13 = a1[3];
-  for (int j = j0; j < j1; ++j) {
-    float t0 = c0[j];
-    t0 += a00 * b0[j];
-    t0 += a01 * b1[j];
-    t0 += a02 * b2[j];
-    t0 += a03 * b3[j];
-    c0[j] = t0;
-    float t1 = c1[j];
-    t1 += a10 * b0[j];
-    t1 += a11 * b1[j];
-    t1 += a12 * b2[j];
-    t1 += a13 * b3[j];
-    c1[j] = t1;
-  }
-}
-
-inline void micro_1x4(const float* LOAM_RESTRICT a0,
-                      const float* LOAM_RESTRICT b0, const float* LOAM_RESTRICT b1,
-                      const float* LOAM_RESTRICT b2, const float* LOAM_RESTRICT b3,
-                      float* LOAM_RESTRICT c0, int j0, int j1) {
-  const float a00 = a0[0], a01 = a0[1], a02 = a0[2], a03 = a0[3];
-  for (int j = j0; j < j1; ++j) {
-    float t0 = c0[j];
-    t0 += a00 * b0[j];
-    t0 += a01 * b1[j];
-    t0 += a02 * b2[j];
-    t0 += a03 * b3[j];
-    c0[j] = t0;
-  }
-}
-
-// Remainder k steps (< 4): one rank-1 update per k, still ascending.
-inline void micro_2x1(float av0, float av1, const float* LOAM_RESTRICT brow,
-                      float* LOAM_RESTRICT c0, float* LOAM_RESTRICT c1,
-                      int j0, int j1) {
-  for (int j = j0; j < j1; ++j) {
-    c0[j] += av0 * brow[j];
-    c1[j] += av1 * brow[j];
-  }
-}
-
-inline void micro_1x1(float av0, const float* LOAM_RESTRICT brow,
-                      float* LOAM_RESTRICT c0, int j0, int j1) {
-  for (int j = j0; j < j1; ++j) c0[j] += av0 * brow[j];
-}
 
 inline void prepare_out(Mat& out, int m, int n, bool accumulate) {
   if (out.rows() != m || out.cols() != n) {
@@ -128,57 +68,15 @@ void matmul(const Mat& a, const Mat& b, Mat& out, bool accumulate,
   assert(a.cols() == b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   prepare_out(out, m, n, accumulate);
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
+  const simd::KernelOps& ops = simd::active();
   if (skip_zeros) {
-    // Sparse path: branch on every a element and skip zero lanes. Only
+    // Sparse path: branches on every a element and skips zero lanes. Only
     // worthwhile for the one-hot-heavy input-feature layer; bit-identical to
-    // the dense path (adding a ±0 product to a +0-initialized accumulator
+    // the dense path (adding a ±0 product to a finite accumulator via fmaf
     // never changes it).
-    for (int i = 0; i < m; ++i) {
-      const float* arow = A + static_cast<std::size_t>(i) * k;
-      float* orow = C + static_cast<std::size_t>(i) * n;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = B + static_cast<std::size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
-  for (int j0 = 0; j0 < n; j0 += kColTile) {
-    const int j1 = std::min(n, j0 + kColTile);
-    int i = 0;
-    for (; i + 2 <= m; i += 2) {
-      const float* a0 = A + static_cast<std::size_t>(i) * k;
-      const float* a1 = a0 + k;
-      float* c0 = C + static_cast<std::size_t>(i) * n;
-      float* c1 = c0 + n;
-      int kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        const float* b0 = B + static_cast<std::size_t>(kk) * n;
-        micro_2x4(a0 + kk, a1 + kk, b0, b0 + n, b0 + 2 * n, b0 + 3 * n,
-                  c0, c1, j0, j1);
-      }
-      for (; kk < k; ++kk) {
-        micro_2x1(a0[kk], a1[kk], B + static_cast<std::size_t>(kk) * n,
-                  c0, c1, j0, j1);
-      }
-    }
-    for (; i < m; ++i) {
-      const float* a0 = A + static_cast<std::size_t>(i) * k;
-      float* c0 = C + static_cast<std::size_t>(i) * n;
-      int kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        const float* b0 = B + static_cast<std::size_t>(kk) * n;
-        micro_1x4(a0 + kk, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, c0, j0, j1);
-      }
-      for (; kk < k; ++kk) {
-        micro_1x1(a0[kk], B + static_cast<std::size_t>(kk) * n, c0, j0, j1);
-      }
-    }
+    ops.gemm_nn_sparse(a.data(), b.data(), out.data(), m, k, n);
+  } else {
+    ops.gemm_nn(a.data(), b.data(), out.data(), m, k, n);
   }
 }
 
@@ -186,132 +84,14 @@ void matmul_at_b(const Mat& a, const Mat& b, Mat& out, bool accumulate) {
   assert(a.rows() == b.rows());
   const int k = a.rows(), m = a.cols(), n = b.cols();
   prepare_out(out, m, n, accumulate);
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
-  // Same micro-kernel structure as matmul; the a operand is read with stride
-  // m (column i of a) instead of stride 1.
-  for (int j0 = 0; j0 < n; j0 += kColTile) {
-    const int j1 = std::min(n, j0 + kColTile);
-    int i = 0;
-    for (; i + 2 <= m; i += 2) {
-      float* c0 = C + static_cast<std::size_t>(i) * n;
-      float* c1 = c0 + n;
-      int kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-        const float av[4] = {acol[0], acol[m], acol[2 * m], acol[3 * m]};
-        const float aw[4] = {acol[1], acol[1 + m], acol[1 + 2 * m], acol[1 + 3 * m]};
-        const float* b0 = B + static_cast<std::size_t>(kk) * n;
-        micro_2x4(av, aw, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, c0, c1, j0, j1);
-      }
-      for (; kk < k; ++kk) {
-        const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-        micro_2x1(acol[0], acol[1], B + static_cast<std::size_t>(kk) * n,
-                  c0, c1, j0, j1);
-      }
-    }
-    for (; i < m; ++i) {
-      float* c0 = C + static_cast<std::size_t>(i) * n;
-      int kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-        const float av[4] = {acol[0], acol[m], acol[2 * m], acol[3 * m]};
-        const float* b0 = B + static_cast<std::size_t>(kk) * n;
-        micro_1x4(av, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, c0, j0, j1);
-      }
-      for (; kk < k; ++kk) {
-        const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-        micro_1x1(acol[0], B + static_cast<std::size_t>(kk) * n, c0, j0, j1);
-      }
-    }
-  }
+  simd::active().gemm_tn(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void matmul_a_bt(const Mat& a, const Mat& b, Mat& out, bool accumulate) {
   assert(a.cols() == b.cols());
   const int m = a.rows(), k = a.cols(), n = b.rows();
   prepare_out(out, m, n, accumulate);
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
-  // Dot-product form: 2 a-rows x 4 b-rows of independent accumulators, each
-  // summed over ascending k (same association as the scalar loop), then added
-  // to the output exactly once.
-  int i = 0;
-  for (; i + 2 <= m; i += 2) {
-    const float* LOAM_RESTRICT a0 = A + static_cast<std::size_t>(i) * k;
-    const float* LOAM_RESTRICT a1 = a0 + k;
-    float* LOAM_RESTRICT c0 = C + static_cast<std::size_t>(i) * n;
-    float* LOAM_RESTRICT c1 = c0 + n;
-    int j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* LOAM_RESTRICT b0 = B + static_cast<std::size_t>(j) * k;
-      const float* LOAM_RESTRICT b1 = b0 + k;
-      const float* LOAM_RESTRICT b2 = b1 + k;
-      const float* LOAM_RESTRICT b3 = b2 + k;
-      float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
-      float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av0 = a0[kk], av1 = a1[kk];
-        s00 += av0 * b0[kk];
-        s01 += av0 * b1[kk];
-        s02 += av0 * b2[kk];
-        s03 += av0 * b3[kk];
-        s10 += av1 * b0[kk];
-        s11 += av1 * b1[kk];
-        s12 += av1 * b2[kk];
-        s13 += av1 * b3[kk];
-      }
-      c0[j] += s00;
-      c0[j + 1] += s01;
-      c0[j + 2] += s02;
-      c0[j + 3] += s03;
-      c1[j] += s10;
-      c1[j + 1] += s11;
-      c1[j + 2] += s12;
-      c1[j + 3] += s13;
-    }
-    for (; j < n; ++j) {
-      const float* LOAM_RESTRICT brow = B + static_cast<std::size_t>(j) * k;
-      float s0 = 0.0f, s1 = 0.0f;
-      for (int kk = 0; kk < k; ++kk) {
-        s0 += a0[kk] * brow[kk];
-        s1 += a1[kk] * brow[kk];
-      }
-      c0[j] += s0;
-      c1[j] += s1;
-    }
-  }
-  for (; i < m; ++i) {
-    const float* LOAM_RESTRICT a0 = A + static_cast<std::size_t>(i) * k;
-    float* LOAM_RESTRICT c0 = C + static_cast<std::size_t>(i) * n;
-    int j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* LOAM_RESTRICT b0 = B + static_cast<std::size_t>(j) * k;
-      const float* LOAM_RESTRICT b1 = b0 + k;
-      const float* LOAM_RESTRICT b2 = b1 + k;
-      const float* LOAM_RESTRICT b3 = b2 + k;
-      float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av0 = a0[kk];
-        s00 += av0 * b0[kk];
-        s01 += av0 * b1[kk];
-        s02 += av0 * b2[kk];
-        s03 += av0 * b3[kk];
-      }
-      c0[j] += s00;
-      c0[j + 1] += s01;
-      c0[j + 2] += s02;
-      c0[j + 3] += s03;
-    }
-    for (; j < n; ++j) {
-      const float* LOAM_RESTRICT brow = B + static_cast<std::size_t>(j) * k;
-      float s0 = 0.0f;
-      for (int kk = 0; kk < k; ++kk) s0 += a0[kk] * brow[kk];
-      c0[j] += s0;
-    }
-  }
+  simd::active().gemm_nt(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void matmul_at_b_bias_acc(const Mat& a, const Mat& g, Mat& w_grad,
@@ -319,55 +99,9 @@ void matmul_at_b_bias_acc(const Mat& a, const Mat& g, Mat& w_grad,
   assert(a.rows() == g.rows());
   assert(w_grad.rows() == a.cols() && w_grad.cols() == g.cols());
   assert(bias_grad.rows() == 1 && bias_grad.cols() == g.cols());
-  const int k = a.rows(), m = a.cols(), n = g.cols();
-  const float* A = a.data();
-  const float* G = g.data();
-  float* W = w_grad.data();
-  float* LOAM_RESTRICT bg = bias_grad.data();
-  // One sweep over g: each g row is consumed by the bias column-sum and by
-  // the rank-1 w_grad update while it is cache-hot. Both accumulations run in
-  // ascending-kk order, matching accumulate_bias_grad + matmul_at_b exactly.
-  int kk = 0;
-  for (; kk + 4 <= k; kk += 4) {
-    const float* LOAM_RESTRICT g0 = G + static_cast<std::size_t>(kk) * n;
-    const float* LOAM_RESTRICT g1 = g0 + n;
-    const float* LOAM_RESTRICT g2 = g1 + n;
-    const float* LOAM_RESTRICT g3 = g2 + n;
-    for (int j = 0; j < n; ++j) {
-      float t = bg[j];
-      t += g0[j];
-      t += g1[j];
-      t += g2[j];
-      t += g3[j];
-      bg[j] = t;
-    }
-    int i = 0;
-    for (; i + 2 <= m; i += 2) {
-      const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-      const float av[4] = {acol[0], acol[m], acol[2 * m], acol[3 * m]};
-      const float aw[4] = {acol[1], acol[1 + m], acol[1 + 2 * m], acol[1 + 3 * m]};
-      float* c0 = W + static_cast<std::size_t>(i) * n;
-      micro_2x4(av, aw, g0, g1, g2, g3, c0, c0 + n, 0, n);
-    }
-    for (; i < m; ++i) {
-      const float* acol = A + static_cast<std::size_t>(kk) * m + i;
-      const float av[4] = {acol[0], acol[m], acol[2 * m], acol[3 * m]};
-      micro_1x4(av, g0, g1, g2, g3, W + static_cast<std::size_t>(i) * n, 0, n);
-    }
-  }
-  for (; kk < k; ++kk) {
-    const float* LOAM_RESTRICT grow = G + static_cast<std::size_t>(kk) * n;
-    for (int j = 0; j < n; ++j) bg[j] += grow[j];
-    const float* acol = A + static_cast<std::size_t>(kk) * m;
-    int i = 0;
-    for (; i + 2 <= m; i += 2) {
-      float* c0 = W + static_cast<std::size_t>(i) * n;
-      micro_2x1(acol[i], acol[i + 1], grow, c0, c0 + n, 0, n);
-    }
-    for (; i < m; ++i) {
-      micro_1x1(acol[i], grow, W + static_cast<std::size_t>(i) * n, 0, n);
-    }
-  }
+  accumulate_bias_grad(g, bias_grad);
+  simd::active().gemm_tn(a.data(), g.data(), w_grad.data(), a.cols(), a.rows(),
+                         g.cols());
 }
 
 void add_row_bias(Mat& x, const Mat& bias) {

@@ -1,36 +1,135 @@
 // Minimal dense float32 matrix used by the hand-rolled NN library, plus the
-// blocked/vectorized GEMM kernels every layer is built from.
+// GEMM entry points every layer is built from.
 //
 // The predictors in this repo are small (tens of thousands of parameters),
 // but PR 1's batched inference hands the kernels [batch*nodes, hidden]
-// matrices, so the matmuls are register-blocked and cache-tiled: contiguous
-// inner loops over restrict-qualified pointers that the compiler
-// auto-vectorizes, with 2-row x 4-k micro-kernels amortizing the output-row
-// load/store traffic.
+// matrices, so the matmuls route through the runtime-dispatched SIMD
+// micro-kernels in nn/simd.h: explicit AVX2/AVX-512 FMA arms with
+// register-blocked accumulators and masked remainder tails, plus an
+// always-compiled scalar reference selectable via LOAM_SIMD=off.
 //
-// Determinism contract: every kernel accumulates each output element with a
-// SINGLE accumulator in ascending-k order — exactly the association of the
-// naive triple loop — so blocked results are bit-identical to the reference
-// implementation (pinned to 0 ULP by tests/mat_kernel_test.cc), and
-// bit-identical across block sizes, tile sizes and call sites. Initialization
-// draws from an explicitly seeded Rng.
+// Determinism contract: every kernel accumulates each output element through
+// a SINGLE fused-multiply-add chain in ascending-k order — t = fmaf(a_k, b_k,
+// t) — and vector lanes always map to independent output elements, never
+// reduced across. std::fmaf is correctly rounded, i.e. the same one rounding
+// per step as hardware FMA, so every dispatch arm produces bit-identical
+// results (pinned to 0 ULP by tests/mat_kernel_test.cc and
+// tests/simd_kernel_test.cc), identical across block sizes, tile sizes and
+// call sites. Initialization draws from an explicitly seeded Rng.
+//
+// Backing storage is 64-byte aligned (detail::AlignedVec) so the vector arms
+// can assume cache-line-aligned row starts for packed panels and so aligned
+// variants stay available without a gather/fixup prologue.
 #ifndef LOAM_NN_MAT_H_
 #define LOAM_NN_MAT_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <span>
-#include <vector>
 
 #include "util/rng.h"
 
 namespace loam::nn {
 
+namespace detail {
+
+// 64-byte-aligned float buffer with std::vector value semantics: copies
+// preserve contents, resize preserves the common prefix and zero-fills any
+// new tail, and shrink-regrow within capacity never reallocates (the
+// capacity-reuse behavior Mat::resize documents and tests pin).
+class AlignedVec {
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedVec() = default;
+  explicit AlignedVec(std::size_t n) { resize(n); }
+  AlignedVec(const AlignedVec& other) {
+    if (other.size_ > 0) {
+      allocate(other.size_);
+      size_ = other.size_;
+      std::copy(other.p_, other.p_ + size_, p_);
+    }
+  }
+  AlignedVec(AlignedVec&& other) noexcept
+      : p_(other.p_), size_(other.size_), cap_(other.cap_) {
+    other.p_ = nullptr;
+    other.size_ = other.cap_ = 0;
+  }
+  AlignedVec& operator=(const AlignedVec& other) {
+    if (this == &other) return *this;
+    if (cap_ < other.size_) {
+      deallocate();
+      allocate(other.size_);
+    }
+    size_ = other.size_;
+    std::copy(other.p_, other.p_ + size_, p_);
+    return *this;
+  }
+  AlignedVec& operator=(AlignedVec&& other) noexcept {
+    if (this == &other) return *this;
+    deallocate();
+    p_ = other.p_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    other.p_ = nullptr;
+    other.size_ = other.cap_ = 0;
+    return *this;
+  }
+  ~AlignedVec() { deallocate(); }
+
+  void resize(std::size_t n) {
+    if (n > cap_) {
+      const std::size_t grown = cap_ * 2 > n ? cap_ * 2 : n;
+      float* np = static_cast<float*>(
+          ::operator new[](grown * sizeof(float), std::align_val_t{kAlign}));
+      std::copy(p_, p_ + size_, np);
+      deallocate();
+      p_ = np;
+      cap_ = grown;
+    }
+    if (n > size_) std::fill(p_ + size_, p_ + n, 0.0f);
+    size_ = n;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+  float* data() { return p_; }
+  const float* data() const { return p_; }
+  float* begin() { return p_; }
+  float* end() { return p_ + size_; }
+  const float* begin() const { return p_; }
+  const float* end() const { return p_ + size_; }
+  float& operator[](std::size_t i) { return p_[i]; }
+  float operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  void allocate(std::size_t n) {
+    p_ = static_cast<float*>(
+        ::operator new[](n * sizeof(float), std::align_val_t{kAlign}));
+    cap_ = n;
+  }
+  void deallocate() {
+    ::operator delete[](p_, std::align_val_t{kAlign});
+    p_ = nullptr;
+    cap_ = 0;
+  }
+
+  float* p_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace detail
+
 class Mat {
  public:
   Mat() = default;
-  Mat(int rows, int cols) : rows_(rows), cols_(cols),
-      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {}
+  Mat(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {}
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -88,7 +187,7 @@ class Mat {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  detail::AlignedVec data_;
 };
 
 // out = a * b. Shapes: [m,k] x [k,n] -> [m,n]. `accumulate` adds into out
@@ -104,8 +203,9 @@ void matmul_at_b(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
 void matmul_a_bt(const Mat& a, const Mat& b, Mat& out, bool accumulate = false);
 
 // Fused backward pass over g [m,n]: w_grad += a^T g AND bias_grad += column
-// sums of g in a single sweep (g rows are read once instead of twice).
-// bias_grad is 1 x n. Bit-identical to matmul_at_b + accumulate_bias_grad.
+// sums of g. bias_grad is 1 x n. Bit-identical to matmul_at_b +
+// accumulate_bias_grad (each output element is an independent chain, so the
+// pairing is a scheduling detail, not a numeric one).
 void matmul_at_b_bias_acc(const Mat& a, const Mat& g, Mat& w_grad, Mat& bias_grad);
 
 // Adds bias (a 1 x n Mat) to every row of x.

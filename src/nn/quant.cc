@@ -1,0 +1,126 @@
+#include "nn/quant.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace loam::nn::quant {
+
+std::int8_t quantize_one(float x, float s) {
+  const long q = std::lrintf(x / s);
+  const long c = q < -127 ? -127 : (q > 127 ? 127 : q);
+  return static_cast<std::int8_t>(c);
+}
+
+float tensor_scale(const Mat& x) {
+  float mx = 0.0f;
+  const float* p = x.data();
+  const std::size_t sz = x.size();
+  for (std::size_t i = 0; i < sz; ++i) {
+    const float a = std::fabs(p[i]);
+    if (a > mx) mx = a;
+  }
+  // Floor keeps the scale positive for all-zero tensors (everything then
+  // quantizes to 0, which is exact).
+  const float s = mx / 127.0f;
+  return s > 1e-12f ? s : 1e-12f;
+}
+
+std::vector<float> per_channel_scales(const std::vector<const Mat*>& ws) {
+  assert(!ws.empty());
+  const int n = ws[0]->cols();
+  std::vector<float> mx(static_cast<std::size_t>(n), 0.0f);
+  for (const Mat* w : ws) {
+    assert(w->cols() == n);
+    for (int kk = 0; kk < w->rows(); ++kk) {
+      const float* row = w->data() + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        const float a = std::fabs(row[j]);
+        if (a > mx[static_cast<std::size_t>(j)]) {
+          mx[static_cast<std::size_t>(j)] = a;
+        }
+      }
+    }
+  }
+  for (float& v : mx) {
+    v /= 127.0f;
+    if (v < 1e-12f) v = 1e-12f;
+  }
+  return mx;
+}
+
+void pack_s8_panel(const Mat& w, const std::vector<float>& col_scale,
+                   S8Panel* out) {
+  const int k = w.rows(), n = w.cols();
+  assert(static_cast<int>(col_scale.size()) == n);
+  const int n_pad = round_up(n, kPanelColAlign);
+  const int kp = (k + 1) / 2;
+  out->k = k;
+  out->n = n;
+  out->n_pad = n_pad;
+  out->data.assign(static_cast<std::size_t>(kp) * n_pad * 2, 0);
+  for (int p = 0; p < kp; ++p) {
+    const float* r0 = w.data() + static_cast<std::size_t>(2 * p) * n;
+    const float* r1 = 2 * p + 1 < k ? r0 + n : nullptr;
+    std::int8_t* dst = out->data.data() + static_cast<std::size_t>(p) * n_pad * 2;
+    for (int j = 0; j < n; ++j) {
+      const float s = col_scale[static_cast<std::size_t>(j)];
+      dst[2 * j] = quantize_one(r0[j], s);
+      dst[2 * j + 1] = r1 != nullptr ? quantize_one(r1[j], s) : 0;
+    }
+  }
+}
+
+void quantize_activations(const Mat& x, float scale,
+                          std::vector<std::int8_t>* out) {
+  const std::size_t sz = x.size();
+  if (out->size() < sz) out->resize(sz);
+  const float* p = x.data();
+  std::int8_t* q = out->data();
+  // Hot path: one divide up front, then multiply per element. The zero
+  // short-circuit matters for the one-hot-sparse layer-0 encodings.
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < sz; ++i) {
+    const float v = p[i];
+    if (v == 0.0f) {
+      q[i] = 0;
+      continue;
+    }
+    const long r = std::lrintf(v * inv);
+    q[i] = static_cast<std::int8_t>(r < -127 ? -127 : (r > 127 ? 127 : r));
+  }
+}
+
+void quantize_compact(const Mat& x, float scale, S8Rows* out) {
+  const int m = x.rows(), k = x.cols();
+  const int kp = (k + 1) / 2;
+  out->m = m;
+  out->k = k;
+  out->pairs.clear();
+  out->pos.clear();
+  out->row_ptr.resize(static_cast<std::size_t>(m) + 1);
+  out->row_ptr[0] = 0;
+  const float inv = 1.0f / scale;
+  const auto q1 = [inv](float v) -> std::int32_t {
+    if (v == 0.0f) return 0;
+    const long r = std::lrintf(v * inv);
+    return static_cast<std::int32_t>(r < -127 ? -127 : (r > 127 ? 127 : r));
+  };
+  for (int i = 0; i < m; ++i) {
+    const float* row = x.data() + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < kp; ++p) {
+      const float v0 = row[2 * p];
+      const float v1 = 2 * p + 1 < k ? row[2 * p + 1] : 0.0f;
+      if (v0 == 0.0f && v1 == 0.0f) continue;
+      const std::int32_t a0 = q1(v0);
+      const std::int32_t a1 = q1(v1);
+      if ((a0 | a1) == 0) continue;  // quantized to zero: exact no-op pair
+      out->pairs.push_back((a1 << 16) | (a0 & 0xffff));
+      out->pos.push_back(p);
+    }
+    out->row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int32_t>(out->pairs.size());
+  }
+}
+
+}  // namespace loam::nn::quant

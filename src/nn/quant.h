@@ -1,0 +1,89 @@
+// Symmetric int8 quantization helpers for the opt-in quantized serve path.
+//
+// Scheme (see docs/KERNELS.md):
+//   - weights: per-output-channel symmetric scales, sw[j] = max_k |w[k,j]| /
+//     127, computed JOINTLY across every weight matrix that feeds the same
+//     accumulator (the three tree-conv weight matrices share one int32 sum,
+//     so they must share one output scale).
+//   - activations: per-tensor symmetric scales calibrated offline from a
+//     fp32 forward pass over journal replay data (max |x| / 127).
+//   - q(x) = clamp(lrintf(x / s), -127, 127); the accumulator is exact
+//     int32; dequantization multiplies by sa * sw[j] in fp32.
+//
+// Weights are packed into K2-interleaved panels so the AVX2/AVX-512 arms can
+// ride VPMADDWD: panel[(p * n_pad + j) * 2 + {0,1}] holds the quantized
+// (row 2p, row 2p+1) pair of column j, zero-padded past k and past n. All of
+// this is deterministic — requantizing the same fp32 weights with the same
+// scales reproduces the panel bit-for-bit on every arm.
+#ifndef LOAM_NN_QUANT_H_
+#define LOAM_NN_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mat.h"
+
+namespace loam::nn::quant {
+
+// Panel column padding: the widest int8 tile (AVX-512, 2*16 lanes) may read
+// this many columns at once, so n_pad is rounded up to it.
+constexpr int kPanelColAlign = 32;
+
+inline int round_up(int x, int m) { return (x + m - 1) / m * m; }
+
+// clamp(round-to-nearest-even(x / s), -127, 127) as int8. s must be > 0.
+std::int8_t quantize_one(float x, float s);
+
+// Symmetric per-tensor scale: max |x| / 127 over the whole mat, floored at a
+// tiny epsilon so all-zero tensors still get a valid (positive) scale.
+float tensor_scale(const Mat& x);
+
+// Per-output-channel symmetric scales over [k,n] weight matrices, computed
+// jointly: scale[j] = max over all mats and rows of |w(kk, j)| / 127. Every
+// mat must have the same column count.
+std::vector<float> per_channel_scales(const std::vector<const Mat*>& ws);
+
+// A K2-interleaved int8 weight panel (kernel operand of simd::gemm_s8).
+struct S8Panel {
+  int k = 0;      // source rows
+  int n = 0;      // source (live) columns
+  int n_pad = 0;  // padded columns, multiple of kPanelColAlign
+  std::vector<std::int8_t> data;  // ((k+1)/2) * n_pad * 2 bytes
+};
+
+// Quantize w [k,n] with col_scale[n] into the interleaved panel layout.
+void pack_s8_panel(const Mat& w, const std::vector<float>& col_scale,
+                   S8Panel* out);
+
+// Quantize a [m,k] activation mat with one per-tensor scale into row-major
+// int8 (resizes out to m*k). Hot inference path: multiplies by a precomputed
+// 1/scale instead of dividing per element, so an element sitting within a
+// few ulps of a rounding boundary may land one step away from quantize_one;
+// the round-trip error stays within 0.5*s*(1 + ~2^-18).
+void quantize_activations(const Mat& x, float scale,
+                          std::vector<std::int8_t>* out);
+
+// CSR-compacted quantized activation rows, the A operand of
+// simd::gemm_s8_rows: row i's nonzero K2 pairs occupy
+// [row_ptr[i], row_ptr[i+1]) of pairs/pos, with pairs[z] packing
+// (a1 << 16) | (a0 & 0xffff) and pos[z] the pair index p (rows 2p, 2p+1 of
+// the weight panel). Built in ONE pass over x — the tree-conv layer reuses
+// it for all three weight GEMMs via child row-maps instead of gathering and
+// re-scanning per operand.
+struct S8Rows {
+  int m = 0;
+  int k = 0;
+  std::vector<std::int32_t> pairs;
+  std::vector<std::int32_t> pos;
+  std::vector<std::int32_t> row_ptr;  // m + 1 entries
+};
+
+// Quantize a [m,k] activation mat with one per-tensor scale directly into
+// compacted rows. A pair whose two elements both quantize to 0 is dropped;
+// gemm_s8_rows therefore computes exactly what gemm_s8 computes over the
+// dense rows (zero pairs contribute nothing to an int32 accumulator).
+void quantize_compact(const Mat& x, float scale, S8Rows* out);
+
+}  // namespace loam::nn::quant
+
+#endif  // LOAM_NN_QUANT_H_

@@ -1,0 +1,107 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace loam::nn::simd {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(_M_X64)) && (defined(__GNUC__) || defined(__clang__))
+#define LOAM_SIMD_X86 1
+#else
+#define LOAM_SIMD_X86 0
+#endif
+
+const KernelOps* ops_for(Arch a) {
+  switch (a) {
+    case Arch::kScalar: return kernel_ops_scalar();
+    case Arch::kScalarFma: return kernel_ops_scalar_fma();
+    case Arch::kAvx2: return kernel_ops_avx2();
+    case Arch::kAvx512: return kernel_ops_avx512();
+  }
+  return kernel_ops_scalar();
+}
+
+bool runnable(Arch a) { return cpu_supports(a) && ops_for(a) != nullptr; }
+
+Arch best_available() {
+  if (runnable(Arch::kAvx512)) return Arch::kAvx512;
+  if (runnable(Arch::kAvx2)) return Arch::kAvx2;
+  if (runnable(Arch::kScalarFma)) return Arch::kScalarFma;
+  return Arch::kScalar;
+}
+
+// Fastest arm with scalar (lane-width-1) code: what "LOAM_SIMD=off" means.
+Arch best_scalar() {
+  return runnable(Arch::kScalarFma) ? Arch::kScalarFma : Arch::kScalar;
+}
+
+Arch from_env() {
+  const char* e = std::getenv("LOAM_SIMD");
+  if (e == nullptr || *e == '\0' || std::strcmp(e, "auto") == 0) {
+    return best_available();
+  }
+  if (std::strcmp(e, "off") == 0 || std::strcmp(e, "scalar") == 0) {
+    return best_scalar();
+  }
+  if (std::strcmp(e, "portable") == 0) return Arch::kScalar;
+  if (std::strcmp(e, "avx2") == 0 && runnable(Arch::kAvx2)) return Arch::kAvx2;
+  if (std::strcmp(e, "avx512") == 0 && runnable(Arch::kAvx512)) {
+    return Arch::kAvx512;
+  }
+  // Unknown or unsupported request: fall back to auto rather than crash —
+  // CI legs set LOAM_SIMD unconditionally and must still run on any host.
+  return best_available();
+}
+
+// The dispatched table. Resolved lazily on first use (acquire/release so the
+// pointed-to table is visible to every thread); force_arch() overwrites it.
+std::atomic<const KernelOps*> g_active{nullptr};
+
+}  // namespace
+
+bool cpu_supports(Arch a) {
+  if (a == Arch::kScalar) return true;
+#if LOAM_SIMD_X86
+  switch (a) {
+    case Arch::kScalar: return true;
+    case Arch::kScalarFma: return __builtin_cpu_supports("fma");
+    case Arch::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Arch::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
+  }
+#endif
+  return false;
+}
+
+const KernelOps& active() {
+  const KernelOps* p = g_active.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    const KernelOps* resolved = ops_for(from_env());
+    // A racing first-use resolves to the same table (the env cannot change
+    // between the two loads in any supported usage); keep whichever won.
+    g_active.compare_exchange_strong(p, resolved, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+    if (p == nullptr) p = resolved;
+  }
+  return *p;
+}
+
+Arch active_arch() { return active().arch; }
+const char* active_name() { return active().name; }
+
+bool force_arch(Arch a) {
+  if (!runnable(a)) return false;
+  g_active.store(ops_for(a), std::memory_order_release);
+  return true;
+}
+
+void reset_arch() {
+  g_active.store(ops_for(from_env()), std::memory_order_release);
+}
+
+}  // namespace loam::nn::simd

@@ -97,15 +97,17 @@ RecorderTick Recorder::sample_once() {
   trace_dropped->set(static_cast<double>(Tracer::instance().dropped()));
   sample_counter->add(1);
 
-  const std::int64_t t = read_clock();
-  RegistrySnapshot snap = Registry::instance().snapshot();
-
   RecorderTick tick;
-  tick.t_ns = t;
-
   std::uint64_t new_overwrites = 0;
   {
+    // The clock read and the snapshot must happen under mu_: sample_once()
+    // is called from both the background sampler and a dump's final flush,
+    // and reading the clock outside the lock lets a later-stamped tick win
+    // the lock first, leaving the rings with a non-monotone tail.
     std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t t = read_clock();
+    RegistrySnapshot snap = Registry::instance().snapshot();
+    tick.t_ns = t;
     tick.dt_seconds =
         has_prev_ ? 1e-9 * static_cast<double>(t - prev_t_ns_) : 0.0;
     if (tick.dt_seconds < 0.0) tick.dt_seconds = 0.0;

@@ -61,6 +61,8 @@ void ModelRegistry::scan() {
         meta.approved = value == "1";
       } else if (key == "rolled_back") {
         meta.rolled_back = value == "1";
+      } else if (key == "quantized") {
+        meta.quantized = value == "1";
       } else if (key == "gate_gain") {
         meta.gate_gain = std::stod(value);
       } else if (key == "gate_json") {
@@ -91,6 +93,7 @@ void ModelRegistry::write_meta(const ModelVersionMeta& meta) const {
     put_line(out, "journal_records", std::to_string(meta.journal_records));
     put_line(out, "approved", meta.approved ? "1" : "0");
     put_line(out, "rolled_back", meta.rolled_back ? "1" : "0");
+    put_line(out, "quantized", meta.quantized ? "1" : "0");
     put_line(out, "gate_gain", std::to_string(meta.gate_gain));
     put_line(out, "gate_json", meta.gate_json);
     put_line(out, "checkpoint", meta.checkpoint_path);
@@ -102,6 +105,13 @@ void ModelRegistry::write_meta(const ModelVersionMeta& meta) const {
 
 ModelVersionMeta ModelRegistry::publish(const core::AdaptiveCostPredictor& model,
                                         ModelVersionMeta meta) {
+  return publish([&model](const std::string& path) { model.save(path); },
+                 std::move(meta));
+}
+
+ModelVersionMeta ModelRegistry::publish(
+    const std::function<void(const std::string&)>& save_ckpt,
+    ModelVersionMeta meta) {
   static obs::Counter* const c_published =
       obs::Registry::instance().counter("loam.serve.versions_published");
   obs::Span span(obs::Cat::kServe, "registry_publish");
@@ -114,7 +124,7 @@ ModelVersionMeta ModelRegistry::publish(const core::AdaptiveCostPredictor& model
   // a complete file), meta second: a crash between the two leaves an orphan
   // checkpoint, which scan() ignores.
   const std::string tmp_ckpt = meta.checkpoint_path + ".tmp";
-  model.save(tmp_ckpt);
+  save_ckpt(tmp_ckpt);
   fs::rename(tmp_ckpt, meta.checkpoint_path);
   write_meta(meta);
   versions_.push_back(meta);

@@ -17,6 +17,7 @@
 #ifndef LOAM_SERVE_REGISTRY_H_
 #define LOAM_SERVE_REGISTRY_H_
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -35,6 +36,11 @@ struct ModelVersionMeta {
   std::uint64_t journal_records = 0;  // executed records trained on
   bool approved = false;
   bool rolled_back = false;
+  // True when the checkpoint is an int8 QuantizedCostModel rather than a
+  // fp32 AdaptiveCostPredictor (older meta files lack the key and scan as
+  // fp32). The loader branches on this; promotion/rollback machinery treats
+  // both identically.
+  bool quantized = false;
   double gate_gain = 0.0;
   std::string gate_json;        // full DeploymentGateReport::to_json()
   std::string checkpoint_path;  // absolute or root-relative .ckpt path
@@ -51,6 +57,13 @@ class ModelRegistry {
   // mid-publish can never leave a meta file pointing at a torn checkpoint.
   ModelVersionMeta publish(const core::AdaptiveCostPredictor& model,
                            ModelVersionMeta meta);
+
+  // Generalized publish for model kinds the registry does not know about
+  // (e.g. quantized twins): `save_ckpt` must write a complete checkpoint to
+  // the path it is given. Same temp-file + rename crash discipline.
+  ModelVersionMeta publish(
+      const std::function<void(const std::string&)>& save_ckpt,
+      ModelVersionMeta meta);
 
   // Durably flags a version so latest_approved() skips it from now on.
   void mark_rolled_back(int version);

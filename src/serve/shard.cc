@@ -266,6 +266,8 @@ void ServeShard::process_batch(std::vector<Pending> batch) {
       obs::Registry::instance().counter("loam.serve.batches");
   static obs::Counter* const c_fallback =
       obs::Registry::instance().counter("loam.serve.fallback_decisions");
+  static obs::Counter* const c_quant_decisions =
+      obs::Registry::instance().counter("loam.serve.quant.decisions");
   static obs::Histogram* const h_batch = obs::Registry::instance().histogram(
       "loam.serve.batch_size", obs::Histogram::linear_bounds(1.0, 1.0, 16));
   static obs::Histogram* const h_latency = obs::Registry::instance().histogram(
@@ -385,6 +387,7 @@ void ServeShard::process_batch(std::vector<Pending> batch) {
     ServeDecision& d = decisions[i];
     if (snapshot->model != nullptr) {
       d.model_version = snapshot->version;
+      if (snapshot->quantized) c_quant_decisions->add();
       if (!infer_cache_.enabled()) {
         d.predicted.assign(
             all_preds.begin() + static_cast<std::ptrdiff_t>(offsets[i]),

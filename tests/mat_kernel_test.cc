@@ -1,11 +1,15 @@
-// Kernel-parity suite for the blocked dense-math core. The contract under
-// test: every blocked/fused kernel is bit-identical (0 ULP) to a naive
-// reference written with the canonical association — a single accumulator
-// per output element, ascending-k — across ragged shapes that exercise all
-// remainder paths of the 2x4 micro-kernels. Also pins the Mat::resize
-// storage-reuse semantics and the Workspace arena's borrow/give_back reuse.
+// Kernel-parity suite for the dense-math core. The contract under test:
+// every dispatched/fused kernel is bit-identical (0 ULP) to a naive
+// reference written with the canonical association — a single std::fmaf
+// chain per output element, ascending-k (fmaf is correctly rounded, i.e.
+// exactly one hardware-FMA rounding per step) — across ragged shapes that
+// exercise all remainder paths of the SIMD micro-kernels. Also pins the
+// Mat::resize storage-reuse semantics and the Workspace arena's
+// borrow/give_back reuse. Cross-arm identity is covered separately by
+// tests/simd_kernel_test.cc.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -28,7 +32,9 @@ Mat ref_matmul(const Mat& a, const Mat& b) {
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < b.cols(); ++j) {
       float t = 0.0f;
-      for (int kk = 0; kk < a.cols(); ++kk) t += a.at(i, kk) * b.at(kk, j);
+      for (int kk = 0; kk < a.cols(); ++kk) {
+        t = std::fmaf(a.at(i, kk), b.at(kk, j), t);
+      }
       out.at(i, j) = t;
     }
   }
@@ -40,7 +46,9 @@ Mat ref_matmul_at_b(const Mat& a, const Mat& b) {
   for (int i = 0; i < a.cols(); ++i) {
     for (int j = 0; j < b.cols(); ++j) {
       float t = 0.0f;
-      for (int kk = 0; kk < a.rows(); ++kk) t += a.at(kk, i) * b.at(kk, j);
+      for (int kk = 0; kk < a.rows(); ++kk) {
+        t = std::fmaf(a.at(kk, i), b.at(kk, j), t);
+      }
       out.at(i, j) = t;
     }
   }
@@ -52,7 +60,9 @@ Mat ref_matmul_a_bt(const Mat& a, const Mat& b) {
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < b.rows(); ++j) {
       float t = 0.0f;
-      for (int kk = 0; kk < a.cols(); ++kk) t += a.at(i, kk) * b.at(j, kk);
+      for (int kk = 0; kk < a.cols(); ++kk) {
+        t = std::fmaf(a.at(i, kk), b.at(j, kk), t);
+      }
       out.at(i, j) = t;
     }
   }
@@ -137,7 +147,9 @@ TEST(MatKernel, AccumulateAddsOnTopOfExistingValues) {
     for (int i = 0; i < s.m; ++i) {
       for (int j = 0; j < s.n; ++j) {
         float t = want.at(i, j);
-        for (int kk = 0; kk < s.k; ++kk) t += a.at(i, kk) * b.at(kk, j);
+        for (int kk = 0; kk < s.k; ++kk) {
+          t = std::fmaf(a.at(i, kk), b.at(kk, j), t);
+        }
         want.at(i, j) = t;
       }
     }

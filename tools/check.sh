@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # CI-style verification: build and test the tree three times —
-#   1. Release (the tier-1 configuration), full ctest suite;
+#   1. Release (the tier-1 configuration), full ctest suite, plus a
+#      forced-scalar leg (LOAM_SIMD=off) re-running the dense-math and
+#      serving suites with the SIMD dispatch pinned to the scalar arm;
 #   2. ThreadSanitizer (-DLOAM_SANITIZE=thread), ctest minus `slow` label;
-#   3. ASan+UBSan (-DLOAM_SANITIZE=address+undefined), ctest minus `slow`.
+#   3. ASan+UBSan (-DLOAM_SANITIZE=address+undefined), ctest minus `slow`,
+#      plus a per-arm alignment pass cycling LOAM_SIMD over
+#      portable/avx2/avx512 for the kernel and quantization suites.
 # The `slow` label marks the drift scenario suites (whole simulated days per
 # test); Release runs them, the 10-20x sanitizer passes skip them — their
 # concurrency surface (journal/registry/cache) is already covered by the
@@ -13,13 +17,15 @@
 # IO. The determinism property tests run under every configuration.
 #
 # Between the builds, Release smoke steps run:
-#   - dense-math core perf (BENCH_nn_core.json, fails on non-bit-identity);
+#   - dense-math core perf (BENCH_nn_core.json, fails on non-bit-identity
+#     or a blocked-GEMM speedup below 4x when a vector arm is dispatched);
 #   - obs overhead (BENCH_obs.json, fails if disabled sites cost > 50 ns);
 #   - CLI observability export (--metrics-out/--trace-out JSON validated with
 #     python3 -m json.tool, trace summarized by tools/trace_summary.py);
 #   - CLI flag hygiene (an unknown flag must fail with usage, not be ignored);
 #   - serving soak (loam_sim_cli serve) and serving latency/swap-pause bench
-#     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms);
+#     (BENCH_serve.json, fails if a swap ever pauses requests > 1 ms; also
+#     records the paired fp32-vs-int8 quantized serving leg);
 #   - memoized-inference bench (BENCH_cache.json, fails on any cached-vs-
 #     uncached or parallel-vs-serial divergence, or if the warm selection
 #     speedup falls below 1.5x);
@@ -64,12 +70,33 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+echo "== Forced-scalar leg (LOAM_SIMD=off) =="
+# Re-run the dense-math, predictor, and serving suites with the SIMD
+# dispatch pinned to the scalar arm: the fp32 results must be bit-identical
+# to the vector arms (the single-fmaf-chain contract), so every suite that
+# passed above must pass unchanged here.
+LOAM_SIMD=off ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -j "${JOBS}" -R "Simd|Mat|Nn|Quant|Predictor|Serve|Service|Shard|Pacing"
+
 echo "== Dense-math core perf smoke (BENCH_nn_core.json) =="
-# Blocked GEMM vs in-binary naive replicas + serial-vs-parallel training;
-# exits non-zero if parallel training is not bit-identical to serial.
+# Dispatched SIMD GEMM vs in-binary blocked + naive replicas and
+# serial-vs-parallel training; the binary exits non-zero if parallel
+# training is not bit-identical to serial, or if a vector arm (avx2/avx512)
+# is dispatched and the best blocked-GEMM speedup falls below 4x (the gate
+# self-skips with a notice on hosts without AVX2). The JSON is re-checked
+# here so a stale file can never green-wash a failure.
 "./${BUILD_DIR}/bench/bench_micro" --nn-core-only \
   --nn-core-json="${BUILD_DIR}/BENCH_nn_core.json"
-test -s "${BUILD_DIR}/BENCH_nn_core.json"
+python3 - "${BUILD_DIR}/BENCH_nn_core.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["simd_arch"] in {"scalar", "scalar+fma", "avx2", "avx512"}, doc
+gate = doc["gemm_gate"]
+if gate["binding"]:
+    assert gate["best_speedup_vs_blocked"] >= 4.0, gate
+else:
+    print("NOTICE: 4x GEMM gate not binding (arm %s)" % doc["simd_arch"])
+EOF
 
 echo "== Observability overhead smoke (BENCH_obs.json) =="
 # Disabled sites must stay in the nanoseconds (the one-branch contract).
@@ -111,7 +138,15 @@ echo "== Serving latency/hot-swap bench (BENCH_serve.json) =="
 # if any swap pauses the request path for more than 1 ms.
 "./${BUILD_DIR}/bench/bench_micro" --serve \
   --serve-json="${BUILD_DIR}/BENCH_serve.json"
-python3 -m json.tool "${BUILD_DIR}/BENCH_serve.json" > /dev/null
+python3 - "${BUILD_DIR}/BENCH_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+q = doc["quantized"]
+# The int8 twin must have served the paired leg (a p50 of 0 would mean the
+# quantized snapshot never answered); the speedup itself is hardware- and
+# load-dependent, so it is recorded, not gated.
+assert q["requests_per_leg"] > 0 and q["int8_ms"]["p50"] > 0, q
+EOF
 
 echo "== Memoized-inference bench (BENCH_cache.json) =="
 # Paired uncached-vs-cached selection sweep (bit-identity asserted in the
@@ -257,5 +292,15 @@ echo "== ASan+UBSan build + tests =="
 cmake -B "${ASAN_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLOAM_SANITIZE=address+undefined
 cmake --build "${ASAN_BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${ASAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -LE slow
+
+echo "== UBSan alignment pass over the SIMD kernels, per arm =="
+# The kernel and quantization suites under ASan+UBSan with the dispatch
+# pinned to each arm in turn: unaligned vector loads/stores, masked-tail
+# overruns, and int8 panel padding bugs all trip the sanitizer here. Arms
+# the host cannot run are skipped by the dispatch fallback.
+for arm in portable avx2 avx512; do
+  LOAM_SIMD="${arm}" ctest --test-dir "${ASAN_BUILD_DIR}" \
+    --output-on-failure -j "${JOBS}" -R "Simd|MatKernel|Quant"
+done
 
 echo "== check.sh: all configurations green =="
